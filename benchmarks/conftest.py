@@ -1,0 +1,55 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every file in benchmarks/ regenerates one table or figure of the paper.
+Simulation runs are cached per session (Figures 4 and 5 share the same
+11-benchmark sweep), and rendered outputs are written to ``results/`` so
+they survive the pytest run.
+
+Scale: set ``REPRO_BENCH_SCALE`` (default 0.1) to trade fidelity for
+time; 1.0 reproduces the figures at full iteration counts.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.measure import BenchmarkRun, run_benchmark
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def run_cache():
+    """benchmark name -> BenchmarkRun with the variants measured so far."""
+    return {}
+
+
+def ensure_run(cache, name: str, variants) -> BenchmarkRun:
+    """Fetch a cached run, measuring any missing variants."""
+    run = cache.get(name)
+    missing = [v for v in variants
+               if run is None or v not in run.measurements]
+    if missing:
+        fresh = run_benchmark(name, tuple(["base"] + missing),
+                              scale=SCALE)
+        if run is None:
+            run = fresh
+        else:
+            run.measurements.update(fresh.measurements)
+        cache[name] = run
+    return run
+
+
+def save(results_dir: Path, filename: str, text: str) -> None:
+    path = results_dir / filename
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

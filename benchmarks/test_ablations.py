@@ -1,0 +1,117 @@
+"""Ablations beyond the paper's fixed prototype.
+
+1. Hardware: how the LUT/FF delta scales with key width and D-TLB size
+   (the two structural parameters of the ROLoad modification).
+2. Key-sharing locality: the paper explains ICall beating VCall on
+   runtime by its *unified* vtable key ("better TLB and cache locality").
+   We re-run the dispatch-heaviest benchmark with per-class keys versus
+   hierarchy-grouped keys and check that coarser keying never costs more
+   cycles (fewer distinct keyed pages => at most equal D-TLB pressure).
+"""
+
+from repro.compiler import compile_module
+from repro.defenses import VCallProtection
+from repro.eval.measure import run_variant
+from repro.hw import ablate_dtlb_entries, ablate_key_width
+from repro.workloads import build_workload, profile
+
+from benchmarks.conftest import SCALE, save
+
+
+def test_hw_ablation_key_width(benchmark, results_dir):
+    points = benchmark.pedantic(ablate_key_width, rounds=1, iterations=1)
+    lines = ["Hardware ablation: key width vs added cost",
+             f"{'key bits':>9s} {'dLUT':>6s} {'dFF':>6s} {'LUT %':>8s} "
+             f"{'FF %':>8s}"]
+    for point in points:
+        lines.append(f"{point.value:>9d} {point.delta_lut:>6d} "
+                     f"{point.delta_ff:>6d} {point.core_lut_pct:>7.3f}% "
+                     f"{point.core_ff_pct:>7.3f}%")
+    save(results_dir, "ablation_key_width.txt", "\n".join(lines))
+    # Monotone in width; the paper's 10-bit point stays under its bound.
+    ffs = [p.delta_ff for p in points]
+    assert ffs == sorted(ffs)
+    ten_bit = next(p for p in points if p.value == 10)
+    assert ten_bit.core_ff_pct < 3.32
+
+
+def test_hw_ablation_dtlb(benchmark, results_dir):
+    points = benchmark.pedantic(ablate_dtlb_entries, rounds=1,
+                                iterations=1)
+    lines = ["Hardware ablation: D-TLB entries vs added cost",
+             f"{'entries':>8s} {'dLUT':>6s} {'dFF':>6s} {'FF %':>8s}"]
+    for point in points:
+        lines.append(f"{point.value:>8d} {point.delta_lut:>6d} "
+                     f"{point.delta_ff:>6d} {point.core_ff_pct:>7.3f}%")
+    save(results_dir, "ablation_dtlb.txt", "\n".join(lines))
+    ffs = [p.delta_ff for p in points]
+    assert ffs == sorted(ffs)
+
+
+def test_key_sharing_locality(benchmark, results_dir):
+    """Per-hierarchy keys vs one unified vtable key on 483.xalancbmk.
+
+    The unified key is exactly what ICall does for vtables; the paper
+    credits it for ICall's better TLB/cache locality over VCall.
+    """
+    program = build_workload(profile("483.xalancbmk"), scale=SCALE)
+    unified_map = {name: "all" for name in program.class_names}
+
+    def run_both():
+        per_hierarchy = compile_module(
+            program.module,
+            hardening=[VCallProtection(
+                key_by_hierarchy=program.hierarchies)])
+        unified = compile_module(
+            program.module,
+            hardening=[VCallProtection(key_by_hierarchy=unified_map)])
+        results = {}
+        for label, image in (("per-hier", per_hierarchy),
+                             ("unified", unified)):
+            from repro.kernel import Kernel
+            from repro.soc import build_system
+            system = build_system()
+            kernel = Kernel(system)
+            process = kernel.create_process(image)
+            kernel.run(process, max_instructions=100_000_000)
+            assert process.state.value == "exited"
+            results[label] = (system.timing.stats.cycles,
+                              process.memory_kib(),
+                              system.mmu.dtlb.misses)
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    lines = ["Key-sharing ablation (483.xalancbmk, VCall):",
+             f"{'keying':>10s} {'cycles':>12s} {'mem KiB':>10s} "
+             f"{'dtlb miss':>10s}"]
+    for label, (cycles, mem, misses) in results.items():
+        lines.append(f"{label:>10s} {cycles:>12,d} {mem:>10.0f} "
+                     f"{misses:>10d}")
+    save(results_dir, "ablation_key_sharing.txt", "\n".join(lines))
+    # Coarser keys: fewer keyed pages, so memory and D-TLB pressure are
+    # at most the per-hierarchy figures (the paper's locality argument).
+    assert results["unified"][1] <= results["per-hier"][1]
+    assert results["unified"][2] <= results["per-hier"][2] * 1.01
+
+
+def test_overhead_scale_stability(benchmark, results_dir):
+    """The reported overheads must not be artifacts of the iteration
+    count: measure VCall's runtime overhead at three scales and require
+    the spread to stay within a fraction of a percentage point."""
+    from repro.eval.measure import run_benchmark
+
+    def sweep():
+        overheads = {}
+        for scale in (0.05, 0.1, 0.2):
+            run = run_benchmark("471.omnetpp", ("base", "vcall"),
+                                scale=scale)
+            overheads[scale] = run.overhead("vcall")
+        return overheads
+
+    overheads = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Scale-stability ablation (471.omnetpp, VCall overhead):"]
+    for scale, value in overheads.items():
+        lines.append(f"  scale {scale:>5.2f}: {value:+.3f}%")
+    save(results_dir, "ablation_scale_stability.txt", "\n".join(lines))
+    values = list(overheads.values())
+    assert max(values) - min(values) < 0.75, values

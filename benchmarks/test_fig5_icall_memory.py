@@ -1,0 +1,40 @@
+"""Figure 5: ICall vs label CFI, memory overhead across CINT2006.
+
+Paper averages: 0.0859% (ICall) vs 0.0500% (CFI) — ICall costs slightly
+MORE memory because "we store extra function pointers into pages with
+different keys" (each key needs its own page). Shape asserted: both stay
+in the ~small-percent band, ICall's average is at least comparable to
+CFI's, and on pure-C icall benchmarks (where GFPT pages dominate and CFI
+adds only sub-page code bloat) ICall is strictly higher.
+"""
+
+from repro.eval.figures import fig5
+from repro.workloads.profiles import PROFILES
+
+from benchmarks.conftest import SCALE, ensure_run, save
+
+C_ICALL_BENCHMARKS = tuple(p.name for p in PROFILES
+                           if p.language == "c" and p.icalls_per_iter)
+
+
+def test_fig5_icall_memory(benchmark, results_dir, run_cache):
+    def sweep():
+        for profile in PROFILES:
+            ensure_run(run_cache, profile.name, ("icall", "cfi"))
+        return fig5(SCALE, run_cache)
+
+    fig = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save(results_dir, "fig5_icall_memory.txt", fig.render())
+
+    icall_avg = fig.average("icall")
+    cfi_avg = fig.average("cfi")
+    # Both negligible (paper: <0.1%; ours is page-granular on smaller
+    # footprints, so the band is wider but still ~1%).
+    assert icall_avg < 2.0 and cfi_avg < 2.0
+    # The paper's ordering: ICall's keyed GFPT pages cost at least as
+    # much as CFI's code bloat on average.
+    assert icall_avg >= cfi_avg * 0.9
+    # On C benchmarks with icalls the effect is unambiguous.
+    for row, name in enumerate(fig.benchmarks):
+        if name in C_ICALL_BENCHMARKS:
+            assert fig.series["icall"][row] >= fig.series["cfi"][row]

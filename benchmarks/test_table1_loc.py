@@ -1,0 +1,18 @@
+"""Table I: lines of code of each ROLoad component."""
+
+from repro.eval.tables import table1
+from repro.hw.loc import scan_tree
+
+from benchmarks.conftest import save
+
+
+def test_table1_loc(benchmark, results_dir):
+    totals = benchmark.pedantic(scan_tree, rounds=1, iterations=1)
+    text = table1()
+    save(results_dir, "table1_loc.txt", text)
+    # The paper's claim: a small, few-hundred-line mechanism whose bulk
+    # is in the compiler, with a very small processor change.
+    assert 0 < totals["processor"].lines < 200
+    assert 0 < totals["kernel"].lines < 200
+    assert totals["compiler"].lines > 0
+    assert sum(e.lines for e in totals.values()) < 1000

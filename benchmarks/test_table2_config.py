@@ -1,0 +1,21 @@
+"""Table II: configuration of the prototype computer system."""
+
+from repro.eval.tables import table2
+from repro.soc import SoCConfig, build_system
+
+from benchmarks.conftest import save
+
+
+def test_table2_config(benchmark, results_dir):
+    system = benchmark.pedantic(build_system, rounds=1, iterations=1)
+    text = table2()
+    save(results_dir, "table2_config.txt", text)
+    config = SoCConfig()
+    assert config.isa == "RV64IMAC"
+    assert "RV64IMAC" in text
+    assert "32-entry I-TLB" in text
+    assert system.icache.size == 32 * 1024 and system.icache.ways == 8
+    assert system.dcache.size == 32 * 1024 and system.dcache.ways == 8
+    assert system.mmu.itlb.capacity == 32
+    assert system.mmu.dtlb.capacity == 32
+    assert config.memory_size == 4 << 30

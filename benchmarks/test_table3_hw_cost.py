@@ -1,0 +1,23 @@
+"""Table III: FPGA resource cost without and with ld.ro."""
+
+from repro.eval.tables import table3_text
+from repro.hw import table3
+
+from benchmarks.conftest import save
+
+
+def test_table3_hw_cost(benchmark, results_dir):
+    rows = benchmark.pedantic(table3, rounds=1, iterations=1)
+    save(results_dir, "table3_hw_cost.txt", table3_text())
+    base, ro = rows
+    # Paper headline: all extra hardware cost < 3.32%.
+    assert 0 < ro.core_lut_pct < 3.32
+    assert 0 < ro.core_ff_pct <= 3.33
+    assert 0 < ro.system_lut_pct < 3.32
+    assert 0 < ro.system_ff_pct < 3.32
+    # FF growth > LUT growth (key storage dominates), as in the paper
+    # (+3.32% FF vs +1.44% LUT on the core).
+    assert ro.core_ff_pct > ro.core_lut_pct
+    # Fmax approximately unaffected (paper: 126.89 -> 126.57 MHz).
+    assert abs(ro.fmax_mhz - base.fmax_mhz) < 1.0
+    assert ro.slack_ns > 0  # still meets the 125 MHz target

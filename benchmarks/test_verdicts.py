@@ -1,0 +1,22 @@
+"""The capstone experiment: every reproduced claim, checked at once."""
+
+from repro.eval.verdicts import check_claims, render_verdicts
+
+from benchmarks.conftest import SCALE, ensure_run, run_cache, save
+from repro.workloads.profiles import PROFILES
+
+
+def test_all_claims_hold(benchmark, results_dir, run_cache):
+    def evaluate():
+        # Warm the shared cache so figures reuse earlier runs.
+        for profile in PROFILES:
+            ensure_run(run_cache, profile.name, ("icall", "cfi"))
+        for name in ("471.omnetpp", "473.astar", "483.xalancbmk"):
+            ensure_run(run_cache, name, ("vcall", "vtint"))
+        return check_claims(SCALE, run_cache)
+
+    verdicts = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    save(results_dir, "verdicts.txt", render_verdicts(verdicts))
+    failing = [v for v in verdicts if not v.holds]
+    assert not failing, "\n".join(str(v) for v in failing)
+    assert len(verdicts) >= 12

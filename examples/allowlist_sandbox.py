@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The generic allowlist recipe (§IV-C) beyond control flow.
+
+The paper: "We believe that all allowlist-based defenses can be enhanced
+by ROLoad." Here the sensitive operation is a logging routine that must
+only ever be fed one of three approved format strings (format-string bugs
+being a classic corruption target). The allowlist is a keyed read-only
+table of string addresses; the logger dereferences its argument with
+``ld.ro``, so a corrupted pointer can only ever select an approved string
+— anything else faults.
+
+Run:  python examples/allowlist_sandbox.py
+"""
+
+from repro.attacks import MemoryCorruption
+from repro.compiler import (
+    GlobalVar,
+    IRBuilder,
+    Module,
+    compile_module,
+)
+from repro.defenses import KeyedAllowlist
+from repro.kernel import Kernel
+from repro.soc import build_system
+
+
+def build_program():
+    m = Module("fmt_demo")
+    allowlist = KeyedAllowlist(m, "formats")
+
+    # Three approved "format strings".
+    for index, text in enumerate(("INFO: %s", "WARN: %s", "ERR:  %s")):
+        m.global_var(GlobalVar(
+            f"fmt{index}", section=".rodata", width=1,
+            init=list(text.encode()) + [0]))
+    slots = [allowlist.add_symbol(f"fmt{i}") for i in range(3)]
+    allowlist.seal()
+
+    # A writable global holding "which format to use" — the corruption
+    # target. It stores a *slot pointer*, not a raw string pointer.
+    m.global_var(GlobalVar("current_fmt", section=".data",
+                           init=[("quad", slots[0].split("+")[0])]))
+
+    # log_first_byte(): returns the first byte of the selected format,
+    # after the ld.ro check proves it came from the allowlist.
+    logger = m.function("log_first_byte")
+    b = IRBuilder(logger)
+    slot_ptr = b.load(b.la("current_fmt"))
+    fmt_addr = allowlist.load_checked(b, slot_ptr)   # the ld.ro
+    b.ret(b.load(fmt_addr, 0, width=1, signed=False))
+
+    main = m.function("main")
+    b = IRBuilder(main)
+    b.ret(b.call("log_first_byte"))
+    return m, allowlist
+
+
+def run_with(corrupt):
+    module, allowlist = build_program()
+    image = compile_module(module)
+    kernel = Kernel(build_system())
+    process = kernel.create_process(image, name="fmt_demo")
+    attacker = MemoryCorruption(kernel, process, image)
+    corrupt(attacker, image, allowlist)
+    kernel.run(process)
+    return process, kernel
+
+
+def main() -> None:
+    process, __ = run_with(lambda a, img, al: None)
+    print(f"benign: exit={process.exit_code} "
+          f"(= ord('I') of 'INFO: %s' -> {ord('I')})")
+
+    def pick_warn(attacker, image, allowlist):
+        # Legitimate in-allowlist selection: slot 1 ("WARN").
+        attacker.write_symbol("current_fmt",
+                              image.symbol(allowlist.symbol) + 8)
+
+    process, __ = run_with(pick_warn)
+    print(f"slot 1: exit={process.exit_code} (= ord('W') -> {ord('W')})")
+
+    def inject_evil(attacker, image, allowlist):
+        # Classic attack: point at an attacker-controlled "%n%n%n..."
+        # string in writable memory. The pointee check must fire.
+        evil = image.symbol("current_fmt") + 64  # some writable bytes
+        attacker.write_symbol("current_fmt", evil)
+
+    process, kernel = run_with(inject_evil)
+    print(f"attack: {process.status()}")
+    for event in kernel.security_log:
+        print(f"        kernel log: {event}")
+
+
+if __name__ == "__main__":
+    main()

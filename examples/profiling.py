@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Profiling a hardened workload: where do the cycles go, and which
+allowlists does the program actually exercise?
+
+Uses the library's tracing tools (repro.cpu.tracer) on the xalancbmk-like
+benchmark hardened with the ICall defense, then prints:
+
+* the hottest program counters (with symbol attribution),
+* per-key ROLoad execution counts (allowlist coverage),
+* the timing breakdown the cycle model collected.
+
+Run:  python examples/profiling.py
+"""
+
+from repro.compiler import compile_module
+from repro.cpu.tracer import Profiler, ROLoadMonitor
+from repro.defenses import TypeBasedCFI
+from repro.kernel import Kernel
+from repro.soc import build_system
+from repro.workloads import build_workload, profile
+
+
+def main() -> None:
+    program = build_workload(profile("483.xalancbmk"), scale=0.05)
+    defense = TypeBasedCFI()
+    image = compile_module(program.module, hardening=[defense])
+
+    kernel = Kernel(build_system())
+    process = kernel.create_process(image, name="xalancbmk")
+    core = kernel.system.core
+
+    with Profiler(core) as profiler, ROLoadMonitor(core) as monitor:
+        kernel.run(process, max_instructions=50_000_000)
+
+    print(f"status: {process.status()}")
+    stats = kernel.system.timing.stats
+    print(f"\n{stats.instructions:,} instructions in "
+          f"{stats.cycles:,} cycles "
+          f"(CPI {stats.cycles / stats.instructions:.2f})")
+    print(f"cycle breakdown: icache misses {stats.icache_misses:,}, "
+          f"dcache misses {stats.dcache_misses:,}, "
+          f"TLB walks {stats.itlb_walk_cycles + stats.dtlb_walk_cycles:,}"
+          f" cycles, branches {stats.branch_penalty_cycles:,} cycles")
+
+    print("\nHottest locations:")
+    print(profiler.format(8, symbols=image.symbols))
+
+    print("\nROLoad (allowlist) coverage by key:")
+    print(monitor.format())
+    print("\nkey meanings:")
+    for signature, key in sorted(defense.key_of_type.items(),
+                                 key=lambda kv: kv[1]):
+        print(f"  key {key}: GFPT for function type {signature}")
+    if defense.vtable_key is not None:
+        print(f"  key {defense.vtable_key}: unified vtable key")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package and no network access, so pip
+cannot perform a PEP 660 editable install; this file lets
+``pip install -e .`` fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

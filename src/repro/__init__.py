@@ -1,0 +1,82 @@
+"""repro — reproduction of ROLoad (DAC 2021): pointee integrity for
+sensitive operations, as a full-stack RISC-V simulation.
+
+The package is layered exactly like the paper's prototype:
+
+* :mod:`repro.isa`, :mod:`repro.mem`, :mod:`repro.cpu`, :mod:`repro.soc` —
+  the hardware (RV64IMAC core + ROLoad instructions, MMU with page keys).
+* :mod:`repro.kernel` — the operating-system model (loader, ``mmap``/
+  ``mprotect`` with keys, ROLoad-aware fault handling).
+* :mod:`repro.asm`, :mod:`repro.compiler` — the toolchain (assembler,
+  linker, LLVM-lite IR with ``ROLoad-md`` metadata).
+* :mod:`repro.defenses`, :mod:`repro.attacks` — the two defense
+  applications (VCall, type-based forward-edge CFI), their baselines
+  (VTint, label CFI), and attack simulations.
+* :mod:`repro.hw`, :mod:`repro.workloads`, :mod:`repro.eval` — the
+  evaluation: hardware cost model (Table III), synthetic SPEC-like suite,
+  and harnesses regenerating every table and figure.
+
+The most commonly used entry points are re-exported here; see README.md
+for a quickstart and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+# Hardware.
+from repro.soc import SoCConfig, System, build_embedded_system, \
+    build_system
+
+# Operating system.
+from repro.kernel import Kernel, Process, run_program
+
+# Toolchain.
+from repro.asm import Assembler, Executable, Linker, assemble, link
+from repro.compiler import (
+    FuncType,
+    IRBuilder,
+    Module,
+    ROLoadMD,
+    compile_module,
+    compile_to_assembly,
+    func_type,
+)
+
+# Defenses and attacks.
+from repro.defenses import (
+    KeyedAllowlist,
+    LabelCFIBaseline,
+    TypeBasedCFI,
+    VCallProtection,
+    VTintBaseline,
+)
+from repro.attacks import MemoryCorruption, run_attack
+
+# Evaluation.
+from repro.eval import (
+    fig3,
+    fig4,
+    fig5,
+    full_report,
+    run_benchmark,
+    table1,
+    table2,
+    table3_text,
+)
+from repro.workloads import PROFILES, build_workload, profile
+
+__all__ = [
+    "ReproError", "__version__",
+    "SoCConfig", "System", "build_embedded_system", "build_system",
+    "Kernel", "Process", "run_program",
+    "Assembler", "Executable", "Linker", "assemble", "link",
+    "FuncType", "IRBuilder", "Module", "ROLoadMD", "compile_module",
+    "compile_to_assembly", "func_type",
+    "KeyedAllowlist", "LabelCFIBaseline", "TypeBasedCFI",
+    "VCallProtection", "VTintBaseline",
+    "MemoryCorruption", "run_attack",
+    "fig3", "fig4", "fig5", "full_report", "run_benchmark", "table1",
+    "table2", "table3_text",
+    "PROFILES", "build_workload", "profile",
+]

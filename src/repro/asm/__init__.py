@@ -1,0 +1,23 @@
+"""Toolchain back half: assembler, linker, and the REX object format."""
+
+from repro.asm.assembler import Assembler, assemble
+from repro.asm.audit import Finding, audit_image, collect_roload_keys, \
+    is_sound
+from repro.asm.linker import DEFAULT_BASE, Linker, link
+from repro.asm.objfile import (
+    Executable,
+    ObjectFile,
+    Relocation,
+    RelocType,
+    Section,
+    Segment,
+    Symbol,
+    section_kind,
+)
+
+__all__ = [
+    "Assembler", "assemble", "Finding", "audit_image",
+    "collect_roload_keys", "is_sound", "DEFAULT_BASE", "Linker", "link",
+    "Executable", "ObjectFile", "Relocation", "RelocType", "Section",
+    "Segment", "Symbol", "section_kind",
+]

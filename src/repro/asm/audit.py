@@ -1,0 +1,147 @@
+"""Static auditor for ROLoad deployment invariants in linked images.
+
+A hardened binary is only as good as its layout. This auditor checks an
+:class:`~repro.asm.objfile.Executable` for the properties the paper's
+design depends on, before it ever runs:
+
+* **E1 keyed-writable**: a segment with a non-zero key must be read-only
+  (a writable "allowlist" is no allowlist).
+* **E2 key page-sharing**: no two segments with different keys (or a
+  keyed and an unkeyed segment) may share a 4 KiB page — a page has
+  exactly one key in its PTE.
+* **E3 separate-code**: executable bytes must not share a page with
+  non-executable read-only data (the ``-z separate-code`` requirement the
+  paper calls out explicitly).
+* **E4 dangling key**: every key used by an ``ld.ro``/``c.ld.ro`` in the
+  code must correspond to some keyed read-only segment, else the load
+  can never succeed.
+* **W1 unused key**: a keyed segment no instruction references is
+  suspicious (dead allowlist or missed instrumentation).
+* **E5 entry**: the entry point must be inside an executable segment.
+
+Returns :class:`Finding` records; ``audit_image(...)`` raises nothing —
+callers decide what is fatal (the linker already prevents E1-E3 for
+images it produced; the auditor exists for third-party/foreign images
+and as a regression tripwire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from repro.asm.objfile import Executable, Segment
+from repro.isa.compressed import decode_compressed
+from repro.isa.encoding import decode, instruction_length
+
+PAGE = 4096
+
+
+@dataclass(frozen=True)
+class Finding:
+    code: str          # E1..E5, W1
+    severity: str      # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}/{self.severity}] {self.message}"
+
+
+def _pages(segment: Segment):
+    return range(segment.vaddr // PAGE,
+                 (segment.end + PAGE - 1) // PAGE)
+
+
+def collect_roload_keys(image: Executable) -> "Set[int]":
+    """Keys referenced by ROLoad instructions in executable segments."""
+    keys: "Set[int]" = set()
+    for segment in image.segments:
+        if not segment.executable:
+            continue
+        data = segment.data
+        offset = 0
+        while offset + 2 <= len(data):
+            half = int.from_bytes(data[offset:offset + 2], "little")
+            length = instruction_length(half)
+            if offset + length > len(data):
+                break
+            try:
+                if length == 2:
+                    insn = decode_compressed(half)
+                else:
+                    word = int.from_bytes(data[offset:offset + 4],
+                                          "little")
+                    insn = decode(word)
+                if insn.is_roload:
+                    keys.add(insn.key)
+            except Exception:
+                pass  # data islands inside .text
+            offset += length
+    return keys
+
+
+def audit_image(image: Executable) -> "List[Finding]":
+    """Run all checks; returns findings sorted errors-first."""
+    findings: "List[Finding]" = []
+
+    # E1: keyed segments must be read-only.
+    for segment in image.segments:
+        if segment.key and segment.writable:
+            findings.append(Finding(
+                "E1", "error",
+                f"segment {segment.name!r} has key {segment.key} but is "
+                f"writable"))
+
+    # E2/E3: page-sharing rules.
+    page_owner: "dict[int, Segment]" = {}
+    for segment in image.segments:
+        for page in _pages(segment):
+            other = page_owner.get(page)
+            if other is None:
+                page_owner[page] = segment
+                continue
+            if other.key != segment.key:
+                findings.append(Finding(
+                    "E2", "error",
+                    f"page {page * PAGE:#x} shared by {other.name!r} "
+                    f"(key {other.key}) and {segment.name!r} "
+                    f"(key {segment.key})"))
+            if other.executable != segment.executable and (
+                    not other.writable and not segment.writable):
+                findings.append(Finding(
+                    "E3", "error",
+                    f"page {page * PAGE:#x} mixes code and read-only "
+                    f"data ({other.name!r} / {segment.name!r})"))
+
+    # E4/W1: key cross-reference.
+    used_keys = collect_roload_keys(image)
+    provided_keys = {s.key for s in image.segments
+                     if s.key and not s.writable}
+    for key in sorted(used_keys - provided_keys):
+        if key == 0:
+            continue  # key 0 matches any unkeyed read-only page
+        findings.append(Finding(
+            "E4", "error",
+            f"ld.ro uses key {key} but no segment provides it — the "
+            f"load can never succeed"))
+    for key in sorted(provided_keys - used_keys):
+        findings.append(Finding(
+            "W1", "warning",
+            f"keyed segment (key {key}) is never referenced by any "
+            f"ROLoad instruction"))
+
+    # E5: entry point must be executable.
+    entry_segment = image.find_segment(image.entry)
+    if entry_segment is None or not entry_segment.executable:
+        findings.append(Finding(
+            "E5", "error",
+            f"entry point {image.entry:#x} is not in an executable "
+            f"segment"))
+
+    findings.sort(key=lambda f: (f.severity != "error", f.code))
+    return findings
+
+
+def is_sound(image: Executable) -> bool:
+    """True when the image has no error-severity findings."""
+    return not any(f.severity == "error" for f in audit_image(image))

@@ -1,0 +1,237 @@
+"""Object and executable formats (the "REX" format).
+
+The paper's toolchain emits ELF with ``.rodata.key.N`` sections and links
+with ``-z separate-code``. We define a minimal equivalent:
+
+* :class:`Section` — named byte container with alloc/write/exec flags and a
+  **page key** (non-zero only for ``.rodata.key.N`` sections).
+* :class:`ObjectFile` — sections + symbols + relocations, produced by the
+  assembler.
+* :class:`Executable` — the linked image: page-aligned segments, each with
+  R/W/X permissions and a key, plus an entry point and a symbol table
+  (kept for the attack tooling and debuggers).
+
+``Executable.to_bytes``/``from_bytes`` give a simple serialized form so
+examples can save/load hardened binaries.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import LinkError, LoaderError
+from repro.isa.opcodes import KEY_MAX
+
+RODATA_KEY_PREFIX = ".rodata.key."
+
+
+def section_kind(name: str) -> "tuple[bool, bool, bool, int]":
+    """Infer (write, exec, nobits, key) from a section name."""
+    if name == ".text" or name.startswith(".text."):
+        return False, True, False, 0
+    if name == ".bss" or name.startswith(".bss."):
+        return True, False, True, 0
+    if name.startswith(RODATA_KEY_PREFIX):
+        try:
+            key = int(name[len(RODATA_KEY_PREFIX):], 0)
+        except ValueError:
+            raise LinkError(f"bad keyed section name {name!r}") from None
+        if not 0 <= key <= KEY_MAX:
+            raise LinkError(f"section {name!r}: key out of range")
+        return False, False, False, key
+    if name == ".rodata" or name.startswith(".rodata."):
+        return False, False, False, 0
+    if name == ".data" or name.startswith(".data."):
+        return True, False, False, 0
+    # Unknown sections default to read-only data.
+    return False, False, False, 0
+
+
+@dataclass
+class Section:
+    """One named section inside an object file."""
+
+    name: str
+    data: bytearray = field(default_factory=bytearray)
+    writable: bool = False
+    executable: bool = False
+    nobits: bool = False      # .bss-style: occupies memory, no file bytes
+    key: int = 0
+    align: int = 8
+    size: int = 0             # for nobits sections
+
+    @classmethod
+    def named(cls, name: str) -> "Section":
+        writable, executable, nobits, key = section_kind(name)
+        return cls(name=name, writable=writable, executable=executable,
+                   nobits=nobits, key=key)
+
+    @property
+    def readable(self) -> bool:
+        return True
+
+    @property
+    def length(self) -> int:
+        return self.size if self.nobits else len(self.data)
+
+    def reserve(self, nbytes: int) -> int:
+        """Append ``nbytes`` (zeroed or nobits); return the prior offset."""
+        offset = self.length
+        if self.nobits:
+            self.size += nbytes
+        else:
+            self.data += bytes(nbytes)
+        return offset
+
+    def align_to(self, alignment: int) -> None:
+        if alignment & (alignment - 1):
+            raise LinkError(f"alignment {alignment} not a power of two")
+        remainder = self.length % alignment
+        if remainder:
+            self.reserve(alignment - remainder)
+        self.align = max(self.align, alignment)
+
+
+@dataclass
+class Symbol:
+    name: str
+    section: str
+    offset: int
+    is_global: bool = False
+
+
+class RelocType:
+    """Relocation kinds understood by the linker."""
+
+    ABS64 = "abs64"      # 8-byte absolute address (.quad symbol)
+    HI20 = "hi20"        # lui: upper 20 bits (with lo12 carry)
+    LO12_I = "lo12_i"    # I-type immediate: lower 12 bits
+    LO12_S = "lo12_s"    # S-type immediate: lower 12 bits
+    BRANCH = "branch"    # B-type pc-relative
+    JAL = "jal"          # J-type pc-relative
+
+
+@dataclass
+class Relocation:
+    section: str
+    offset: int
+    rtype: str
+    symbol: str
+    addend: int = 0
+
+
+@dataclass
+class ObjectFile:
+    """Assembler output: sections with symbols and pending relocations."""
+
+    sections: "Dict[str, Section]" = field(default_factory=dict)
+    symbols: "Dict[str, Symbol]" = field(default_factory=dict)
+    relocations: "List[Relocation]" = field(default_factory=list)
+    source: str = "<asm>"
+
+    def section(self, name: str) -> Section:
+        sec = self.sections.get(name)
+        if sec is None:
+            sec = Section.named(name)
+            self.sections[name] = sec
+        return sec
+
+    def define_symbol(self, name: str, section: str, offset: int,
+                      is_global: bool = False) -> None:
+        if name in self.symbols:
+            raise LinkError(f"duplicate symbol {name!r} in {self.source}")
+        self.symbols[name] = Symbol(name, section, offset, is_global)
+
+
+@dataclass
+class Segment:
+    """One loadable piece of the final image."""
+
+    vaddr: int
+    data: bytes
+    memsize: int          # >= len(data); excess is zero-filled (.bss)
+    readable: bool = True
+    writable: bool = False
+    executable: bool = False
+    key: int = 0
+    name: str = ""
+
+    def __post_init__(self):
+        if self.memsize < len(self.data):
+            raise LinkError(f"segment {self.name!r}: memsize < filesize")
+
+    @property
+    def end(self) -> int:
+        return self.vaddr + self.memsize
+
+
+@dataclass
+class Executable:
+    """A linked, loadable program image."""
+
+    entry: int
+    segments: "List[Segment]"
+    symbols: "Dict[str, int]" = field(default_factory=dict)
+    metadata: "Dict[str, str]" = field(default_factory=dict)
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise LoaderError(f"symbol {name!r} not in image") from None
+
+    def find_segment(self, vaddr: int) -> Optional[Segment]:
+        for segment in self.segments:
+            if segment.vaddr <= vaddr < segment.end:
+                return segment
+        return None
+
+    # -- serialization -------------------------------------------------------
+
+    MAGIC = b"REX1"
+
+    def to_bytes(self) -> bytes:
+        """Serialize: JSON header + concatenated segment payloads."""
+        header = {
+            "entry": self.entry,
+            "symbols": self.symbols,
+            "metadata": self.metadata,
+            "segments": [
+                {"vaddr": s.vaddr, "filesize": len(s.data),
+                 "memsize": s.memsize, "r": s.readable, "w": s.writable,
+                 "x": s.executable, "key": s.key, "name": s.name}
+                for s in self.segments
+            ],
+        }
+        blob = json.dumps(header).encode()
+        out = bytearray(self.MAGIC)
+        out += struct.pack("<I", len(blob))
+        out += blob
+        for segment in self.segments:
+            out += segment.data
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Executable":
+        if raw[:4] != cls.MAGIC:
+            raise LoaderError("bad executable magic")
+        (header_len,) = struct.unpack_from("<I", raw, 4)
+        header = json.loads(raw[8:8 + header_len].decode())
+        cursor = 8 + header_len
+        segments = []
+        for meta in header["segments"]:
+            data = raw[cursor:cursor + meta["filesize"]]
+            if len(data) != meta["filesize"]:
+                raise LoaderError("truncated segment payload")
+            cursor += meta["filesize"]
+            segments.append(Segment(
+                vaddr=meta["vaddr"], data=bytes(data),
+                memsize=meta["memsize"], readable=meta["r"],
+                writable=meta["w"], executable=meta["x"], key=meta["key"],
+                name=meta["name"]))
+        return cls(entry=header["entry"], segments=segments,
+                   symbols=dict(header["symbols"]),
+                   metadata=dict(header.get("metadata", {})))

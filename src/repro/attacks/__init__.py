@@ -1,0 +1,34 @@
+"""Attack simulations: threat-model-faithful corruption primitives, the
+classic VTable/function-pointer hijacks, and the §V-D pointee-reuse
+residual."""
+
+from repro.attacks.fptr_hijack import (
+    point_at_attacker_data,
+    point_at_gadget_code,
+    point_at_wrong_type_slot,
+)
+from repro.attacks.primitives import (
+    AttackError,
+    AttackOutcome,
+    CorruptionLogEntry,
+    HIJACK_EXIT_CODE,
+    MemoryCorruption,
+    run_attack,
+)
+from repro.attacks.reuse import same_class_vtable_reuse, \
+    same_type_slot_reuse
+from repro.attacks.victims import BENIGN_EXIT, build_victim_module
+from repro.attacks.vtable_hijack import (
+    corrupt_vtable_in_place,
+    cross_type_vtable_reuse,
+    inject_fake_vtable,
+)
+
+__all__ = [
+    "point_at_attacker_data", "point_at_gadget_code",
+    "point_at_wrong_type_slot", "AttackError", "AttackOutcome",
+    "CorruptionLogEntry", "HIJACK_EXIT_CODE", "MemoryCorruption",
+    "run_attack", "same_class_vtable_reuse", "same_type_slot_reuse",
+    "BENIGN_EXIT", "build_victim_module", "corrupt_vtable_in_place",
+    "cross_type_vtable_reuse", "inject_fake_vtable",
+]

@@ -1,0 +1,40 @@
+"""Function-pointer hijacking attacks against the icall path (§IV-B).
+
+The victim keeps a function pointer in the writable global ``fp_slot``.
+Under the ICall defense that slot holds a *GFPT-slot pointer*; either
+way, the attacker overwrites it:
+
+* **direct code address** — point it at ``gadget``'s entry. Unprotected:
+  instant hijack. ICall: the ``ld.ro`` dereferences the value, so it must
+  point into the right keyed GFPT page — a code address fails the key
+  check. Label CFI: blocked only if the ID at the target mismatches.
+* **attacker data** — point it at writable attacker memory containing a
+  code address. ICall: not read-only => blocked.
+* **wrong-type GFPT slot** — point it at a genuine GFPT slot of a
+  *different* function type. ICall: key mismatch => blocked. This is the
+  policy strength: only matching-type, address-taken functions remain.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.primitives import MemoryCorruption
+from repro.defenses.icall import gfpt_symbol
+
+
+def point_at_gadget_code(attacker: MemoryCorruption) -> None:
+    attacker.write_symbol("fp_slot", attacker.symbol("gadget"),
+                          note="fp_slot -> gadget code address")
+
+
+def point_at_attacker_data(attacker: MemoryCorruption) -> None:
+    buf = attacker.symbol("attacker_buf")
+    attacker.write(buf, attacker.symbol("gadget"),
+                   note="attacker_buf[0] -> gadget")
+    attacker.write_symbol("fp_slot", buf, note="fp_slot -> attacker_buf")
+
+
+def point_at_wrong_type_slot(attacker: MemoryCorruption,
+                             wrong_key: int) -> None:
+    """Redirect to a genuine GFPT slot of a different function type."""
+    attacker.write_symbol("fp_slot", attacker.symbol(gfpt_symbol(wrong_key)),
+                          note=f"fp_slot -> GFPT key {wrong_key}")

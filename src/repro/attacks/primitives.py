@@ -1,0 +1,141 @@
+"""Attacker primitives matching the paper's threat model (§II-B).
+
+"We assume that one or more memory-corruption vulnerabilities exist in
+victim programs, allowing adversaries to repeatedly read from or write to
+arbitrary readable/writable addresses. We assume that DEP is deployed and
+code is immutable."
+
+So the attacker here can read any readable mapping and write any
+*writable* mapping of the victim — but not read-only pages (vtables,
+GFPTs, code). Attempts to do so raise :class:`AttackError`, making tests
+that accidentally step outside the threat model fail loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.asm.objfile import Executable
+from repro.errors import ReproError
+from repro.kernel.address_space import PROT_READ, PROT_WRITE
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+
+
+class AttackError(ReproError):
+    """The attempted primitive falls outside the threat model."""
+
+
+@dataclass
+class CorruptionLogEntry:
+    vaddr: int
+    size: int
+    value: int
+    note: str = ""
+
+
+class MemoryCorruption:
+    """Arbitrary read/write primitives over a loaded (not yet running, or
+    paused) victim process."""
+
+    def __init__(self, kernel: Kernel, process: Process,
+                 image: "Optional[Executable]" = None):
+        self.kernel = kernel
+        self.process = process
+        self.image = image
+        self.log: "List[CorruptionLogEntry]" = []
+
+    # -- address helpers -----------------------------------------------------
+
+    def symbol(self, name: str) -> int:
+        if self.image is None:
+            raise AttackError("no image symbols available")
+        return self.image.symbol(name)
+
+    def _require(self, vaddr: int, size: int, prot: int, what: str) -> None:
+        space = self.process.address_space
+        for addr in (vaddr, vaddr + size - 1):
+            vma = space.vma_at(addr)
+            if vma is None:
+                raise AttackError(f"{what} of unmapped address {addr:#x}")
+            if not vma.prot & prot:
+                raise AttackError(
+                    f"{what} of {addr:#x} denied: page is "
+                    f"{'read-only' if prot == PROT_WRITE else 'unreadable'}"
+                    f" (threat model: DEP + immutable code/rodata)")
+
+    # -- primitives -------------------------------------------------------------
+
+    def read(self, vaddr: int, size: int = 8) -> int:
+        """Arbitrary read of readable memory."""
+        self._require(vaddr, size, PROT_READ, "read")
+        data = self.process.address_space.read_memory(vaddr, size)
+        return int.from_bytes(data, "little")
+
+    def write(self, vaddr: int, value: int, size: int = 8,
+              note: str = "") -> None:
+        """Arbitrary write of writable memory (the corruption)."""
+        self._require(vaddr, size, PROT_WRITE, "write")
+        space = self.process.address_space
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        offset = 0
+        while offset < len(data):
+            paddr = space.phys_addr(vaddr + offset)
+            chunk = min(len(data) - offset,
+                        4096 - ((vaddr + offset) & 0xFFF))
+            space.memory.write_bytes(paddr, data[offset:offset + chunk])
+            offset += chunk
+        self.log.append(CorruptionLogEntry(vaddr, size, value, note))
+
+    def write_symbol(self, name: str, value: int, size: int = 8,
+                     note: str = "") -> None:
+        self.write(self.symbol(name), value, size, note=note)
+
+    def read_symbol(self, name: str, size: int = 8) -> int:
+        return self.read(self.symbol(name), size)
+
+
+@dataclass
+class AttackOutcome:
+    """What happened when the victim ran after corruption."""
+
+    status: str
+    exit_code: "Optional[int]"
+    blocked: bool               # the defense (or memory protection) fired
+    hijacked: bool              # attacker-chosen code executed
+    roload_violation: bool      # the kernel logged a ROLoad event
+    security_events: list = field(default_factory=list)
+
+
+HIJACK_EXIT_CODE = 66  # the attacker payload's distinctive exit code
+
+
+def run_attack(image: Executable, corrupt, *,
+               profile: str = "processor+kernel",
+               max_instructions: int = 5_000_000) -> AttackOutcome:
+    """Load the victim, apply ``corrupt(attacker)``, run, classify.
+
+    ``corrupt`` receives a :class:`MemoryCorruption` over the loaded (not
+    yet started) process — modelling a vulnerability exploited before the
+    sensitive operation executes.
+    """
+    from repro.soc.system import build_system
+    system = build_system(profile)
+    kernel = Kernel(system)
+    process = kernel.create_process(image, name="victim")
+    attacker = MemoryCorruption(kernel, process, image)
+    corrupt(attacker)
+    kernel.run(process, max_instructions=max_instructions)
+    # Hijack detection: the gadget sets the 'pwned' marker if it ran.
+    try:
+        hijacked = bool(attacker.read_symbol("pwned"))
+    except (AttackError, ReproError):
+        hijacked = (process.exit_code == HIJACK_EXIT_CODE
+                    and process.state.value == "exited")
+    blocked = process.state.value == "killed"
+    return AttackOutcome(
+        status=process.status(), exit_code=process.exit_code,
+        blocked=blocked, hijacked=hijacked,
+        roload_violation=bool(kernel.security_log),
+        security_events=list(kernel.security_log))

@@ -1,0 +1,41 @@
+"""Pointee-reuse: the residual attack surface ROLoad admits (§V-D).
+
+"Like prior lightweight hardware-based solutions ... our ROLoad solution
+could also suffer from pointee reuse attacks as pointees in read-only
+pages with keys could be reused by adversaries. For example, a
+sophisticated adversary can corrupt pointers to reuse existing data in
+any read-only memory pages with matching keys ... However, the remaining
+attack surface is minimal, as attackers can only feed values in the
+specific allowlists to sensitive operations."
+
+Under the ICall defense, every address-taken function of type T has a
+slot in T's GFPT. Redirecting a T-typed function pointer to a *different
+slot of the same GFPT* passes the check — the call still lands on a
+legitimate, matching-type function. If ``gadget`` shares the victim's
+function type, the attacker reaches it. These scenarios demonstrate (and
+the tests pin down) exactly that boundary.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.primitives import MemoryCorruption
+from repro.defenses.icall import TypeBasedCFI
+
+
+def same_type_slot_reuse(attacker: MemoryCorruption,
+                         defense: TypeBasedCFI,
+                         target_function: str = "gadget") -> None:
+    """Redirect fp_slot to ``target_function``'s own GFPT slot — a
+    matching-type pointee the check must accept."""
+    symbol, index = defense.slot_of[target_function]
+    attacker.write_symbol(
+        "fp_slot", attacker.symbol(symbol) + 8 * index,
+        note=f"fp_slot -> {target_function}'s GFPT slot (same type)")
+
+
+def same_class_vtable_reuse(attacker: MemoryCorruption,
+                            other_class_vtable: str) -> None:
+    """VCall analogue: with hierarchy-grouped keys, vptr may be swung to
+    another vtable *in the same hierarchy group* and still pass."""
+    attacker.write_symbol("obj", attacker.symbol(other_class_vtable),
+                          note=f"vptr -> {other_class_vtable} (same key)")

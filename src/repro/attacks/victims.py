@@ -1,0 +1,83 @@
+"""Victim program builders shared by the attack scenarios.
+
+The victim is a small C++-like program with:
+
+* a class ``Benign`` whose method returns a benign value,
+* a second class ``Other`` (different type/hierarchy) for cross-type
+  reuse attacks,
+* a ``gadget`` function representing existing code the attacker wants to
+  reach (COOP-style reuse — DEP forbids injecting new code). When it runs
+  it sets the writable ``pwned`` marker, making hijack detection
+  unambiguous,
+* a writable global ``attacker_buf`` standing in for heap memory the
+  attacker fully controls (fake-vtable storage),
+* a writable function-pointer global ``fp_slot`` used by the icall path.
+
+``main`` performs one vcall through ``obj`` and one icall through
+``fp_slot`` and exits with their sum — 42 when uncorrupted.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import (
+    GlobalVar,
+    I64,
+    IRBuilder,
+    Module,
+    VTable,
+    func_type,
+    static_object,
+)
+
+SIG = func_type(ret=I64)
+BENIGN_VCALL = 13
+BENIGN_ICALL = 29
+BENIGN_EXIT = BENIGN_VCALL + BENIGN_ICALL  # 42
+OTHER_VCALL = 21
+GADGET_RETURN = 66
+
+
+def build_victim_module() -> Module:
+    m = Module("victim")
+
+    benign = m.function("Benign_get", func_type=SIG, address_taken=True)
+    b = IRBuilder(benign)
+    b.ret(b.li(BENIGN_VCALL))
+
+    other = m.function("Other_get", func_type=SIG, address_taken=True)
+    b = IRBuilder(other)
+    b.ret(b.li(OTHER_VCALL))
+
+    callee = m.function("benign_callee", func_type=SIG, address_taken=True)
+    b = IRBuilder(callee)
+    b.ret(b.li(BENIGN_ICALL))
+
+    # The attacker's target: existing code of the same function type
+    # (code-reuse — DEP forbids injection). Running it sets the marker.
+    gadget = m.function("gadget", func_type=SIG, address_taken=True)
+    b = IRBuilder(gadget)
+    marker = b.la("pwned")
+    b.store(b.li(1), marker)
+    b.ret(b.li(GADGET_RETURN))
+
+    m.vtable(VTable("Benign", entries=["Benign_get"]))
+    m.vtable(VTable("Other", entries=["Other_get"]))
+    static_object(m, "obj", "Benign")
+    static_object(m, "other_obj", "Other")
+
+    m.global_var(GlobalVar("pwned", section=".data", init=[0]))
+    # Attacker-writable scratch: a fake vtable area ("heap").
+    m.global_var(GlobalVar("attacker_buf", section=".data", size=64))
+    # Writable function-pointer slot, initialised to benign_callee.
+    m.global_var(GlobalVar("fp_slot", section=".data",
+                           init=[("quad", "benign_callee")]))
+
+    main = m.function("main")
+    b = IRBuilder(main)
+    obj = b.la("obj")
+    vcall_result = b.vcall(obj, 0, "Benign", func_type=SIG)
+    slot = b.la("fp_slot")
+    fptr = b.load_fptr(slot, SIG)
+    icall_result = b.icall(fptr, func_type=SIG)
+    b.ret(b.add(vcall_result, icall_result))
+    return m

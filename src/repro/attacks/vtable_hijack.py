@@ -1,0 +1,41 @@
+"""VTable hijacking attacks (§IV-A's motivating threat).
+
+Three classic variants, each a ``corrupt(attacker)`` function for
+:func:`repro.attacks.primitives.run_attack`:
+
+* **injection** — build a fake vtable in attacker-controlled writable
+  memory and point the object's vptr at it. VTint and VCall both stop
+  this (the fake table is not read-only).
+* **corruption** — overwrite the real vtable in place. Stopped by the
+  hardware W^X mapping alone (vtables are read-only), defense or not.
+* **cross-type reuse** — point the vptr at a *different class's* genuine
+  vtable (a COOP building block). VTint cannot stop this (the other
+  vtable is read-only too); VCall's per-class keys do — the security
+  delta the paper claims over VTint.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.primitives import MemoryCorruption
+
+
+def inject_fake_vtable(attacker: MemoryCorruption) -> None:
+    """Fake vtable in writable memory; vptr redirected to it."""
+    fake_table = attacker.symbol("attacker_buf")
+    gadget = attacker.symbol("gadget")
+    attacker.write(fake_table, gadget, note="fake vtable slot 0 -> gadget")
+    attacker.write_symbol("obj", fake_table, note="vptr -> fake vtable")
+
+
+def corrupt_vtable_in_place(attacker: MemoryCorruption) -> None:
+    """Directly overwrite the genuine vtable (must be impossible)."""
+    vtable = attacker.symbol("_ZTV_Benign")
+    gadget = attacker.symbol("gadget")
+    attacker.write(vtable, gadget, note="vtable[0] -> gadget")
+
+
+def cross_type_vtable_reuse(attacker: MemoryCorruption) -> None:
+    """Point obj's vptr at Other's genuine (read-only) vtable."""
+    other_vtable = attacker.symbol("_ZTV_Other")
+    attacker.write_symbol("obj", other_vtable,
+                          note="vptr -> Other's vtable")

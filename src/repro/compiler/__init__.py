@@ -1,0 +1,49 @@
+"""LLVM-lite compiler: IR with ROLoad-md metadata, builder, codegen."""
+
+from repro.compiler.builder import IRBuilder, static_object
+from repro.compiler.codegen import CodeGenerator, generate_assembly
+from repro.compiler.ir import (
+    Bin,
+    Br,
+    Call,
+    CondBr,
+    Function,
+    GlobalVar,
+    ICall,
+    La,
+    Label,
+    Lea,
+    Li,
+    Load,
+    Module,
+    Mv,
+    Ret,
+    StackLocal,
+    Store,
+    VTable,
+    vtable_symbol,
+)
+from repro.compiler.metadata import KeyAllocator, ROLoadMD
+from repro.compiler.pipeline import compile_module, compile_to_assembly
+from repro.compiler.passes.verify import verify_function, verify_module
+from repro.compiler.types import (
+    FuncType,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PTR,
+    PtrType,
+    func_type,
+)
+
+__all__ = [
+    "IRBuilder", "static_object", "CodeGenerator", "generate_assembly",
+    "Bin", "Br", "Call", "CondBr", "Function", "GlobalVar", "ICall", "La",
+    "Label", "Lea", "Li", "Load", "Module", "Mv", "Ret", "StackLocal",
+    "Store", "VTable", "vtable_symbol", "KeyAllocator", "ROLoadMD",
+    "compile_module", "compile_to_assembly", "verify_function",
+    "verify_module", "FuncType", "I8", "I16", "I32", "I64", "IntType",
+    "PTR", "PtrType", "func_type",
+]

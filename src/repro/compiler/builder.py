@@ -1,0 +1,178 @@
+"""IRBuilder: ergonomic construction of IR function bodies.
+
+The vcall/fptr helpers emit the *tagged* load sequences the defense
+passes look for, mirroring how Clang emits recognisable vtable-dispatch
+patterns that LLVM passes instrument.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CompilerError
+from repro.compiler.ir import (
+    Bin,
+    Br,
+    Call,
+    CondBr,
+    Function,
+    GlobalVar,
+    ICall,
+    La,
+    Label,
+    Lea,
+    Li,
+    Load,
+    Module,
+    Mv,
+    Op,
+    Ret,
+    StackLocal,
+    Store,
+    vtable_symbol,
+)
+from repro.compiler.types import FuncType
+
+
+class IRBuilder:
+    """Appends ops to one function, minting fresh virtual registers."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self._temp = 0
+        self._label = 0
+
+    # -- registers and labels --------------------------------------------------
+
+    def temp(self) -> str:
+        name = f"v{self._temp}"
+        self._temp += 1
+        return name
+
+    def param(self, index: int) -> str:
+        """The vreg holding the ``index``-th argument (codegen binds it)."""
+        if not 0 <= index < self.function.num_params:
+            raise CompilerError(
+                f"function {self.function.name} has "
+                f"{self.function.num_params} params; no index {index}")
+        return f"p{index}"
+
+    def fresh_label(self, stem: str = "L") -> str:
+        name = f".{stem}{self._label}_{self.function.name}"
+        self._label += 1
+        return name
+
+    def _emit(self, op: Op):
+        self.function.ops.append(op)
+        return op
+
+    # -- straight-line ops -------------------------------------------------------
+
+    def li(self, value: int) -> str:
+        dst = self.temp()
+        self._emit(Li(dst, value))
+        return dst
+
+    def la(self, symbol: str) -> str:
+        dst = self.temp()
+        self._emit(La(dst, symbol))
+        return dst
+
+    def mv(self, src: str) -> str:
+        dst = self.temp()
+        self._emit(Mv(dst, src))
+        return dst
+
+    def bin(self, op: str, a: str, b: str) -> str:
+        dst = self.temp()
+        self._emit(Bin(op, dst, a, b))
+        return dst
+
+    def add(self, a, b):
+        return self.bin("add", a, b)
+
+    def sub(self, a, b):
+        return self.bin("sub", a, b)
+
+    def mul(self, a, b):
+        return self.bin("mul", a, b)
+
+    def addi(self, a: str, imm: int) -> str:
+        return self.add(a, self.li(imm))
+
+    def load(self, base: str, offset: int = 0, width: int = 8,
+             signed: bool = True, **tags) -> str:
+        dst = self.temp()
+        self._emit(Load(dst, base, offset, width, signed, **tags))
+        return dst
+
+    def store(self, src: str, base: str, offset: int = 0,
+              width: int = 8) -> None:
+        self._emit(Store(src, base, offset, width))
+
+    def local(self, name: str, size: int, align: int = 8) -> None:
+        self.function.locals.append(StackLocal(name, size, align))
+
+    def lea(self, local: str) -> str:
+        dst = self.temp()
+        self._emit(Lea(dst, local))
+        return dst
+
+    # -- control flow --------------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        self._emit(Label(name))
+
+    def br(self, target: str) -> None:
+        self._emit(Br(target))
+
+    def cbr(self, cond: str, a: str, b: str, target: str) -> None:
+        self._emit(CondBr(cond, a, b, target))
+
+    def ret(self, src: "Optional[str]" = None) -> None:
+        self._emit(Ret(src))
+
+    # -- calls ------------------------------------------------------------------------
+
+    def call(self, callee: str, args: "Optional[List[str]]" = None,
+             want_result: bool = True) -> "Optional[str]":
+        dst = self.temp() if want_result else None
+        self._emit(Call(dst, callee, list(args or [])))
+        return dst
+
+    def icall(self, target: str, args: "Optional[List[str]]" = None,
+              func_type: "Optional[FuncType]" = None,
+              want_result: bool = True) -> "Optional[str]":
+        dst = self.temp() if want_result else None
+        self._emit(ICall(dst, target, list(args or []), func_type))
+        return dst
+
+    def load_fptr(self, slot_addr: str, func_type: FuncType,
+                  offset: int = 0) -> str:
+        """Load a function pointer from memory — the ICall defense's
+        sensitive load (purpose="fptr")."""
+        return self.load(slot_addr, offset, 8, purpose="fptr",
+                         func_type=func_type)
+
+    def vcall(self, obj: str, slot: int, class_name: str,
+              args: "Optional[List[str]]" = None,
+              func_type: "Optional[FuncType]" = None,
+              want_result: bool = True) -> "Optional[str]":
+        """Emit a virtual dispatch: vptr load, vtable-entry load, icall.
+
+        The two loads carry purpose tags so the VCall defense can find and
+        instrument them (§IV-A).
+        """
+        vptr = self.load(obj, 0, 8, purpose="vptr", class_name=class_name)
+        fn = self.load(vptr, 8 * slot, 8, purpose="vtable_entry",
+                       class_name=class_name)
+        return self.icall(fn, args, func_type, want_result)
+
+
+def static_object(module: Module, name: str, class_name: str,
+                  payload_words: int = 2) -> GlobalVar:
+    """A statically-allocated C++-style object: word 0 is the vptr."""
+    return module.global_var(GlobalVar(
+        name=name, section=".data",
+        init=[("quad", vtable_symbol(class_name))],
+        size=8 * payload_words))

@@ -1,0 +1,380 @@
+"""Code generation: IR functions -> RISC-V assembly text.
+
+Register allocation is a simple usage-ranked scheme: the most-referenced
+virtual registers live in callee-saved registers (s1..s11), the rest in
+stack slots, with t0/t1/t2 as staging scratch. Naive but deterministic —
+and identical across hardened/unhardened builds, so measured overhead
+comes only from the instrumentation itself.
+
+This module also implements the paper's *instruction emission* machine
+pass: every load whose ``roload_md`` metadata is set is emitted as an
+``ld.ro``-family instruction. "Since ld.ro-family instructions no longer
+have any address offset encoded in their immediates, extra addi
+instructions may also be inserted."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CompilerError
+from repro.compiler.ir import (
+    Abort,
+    Bin,
+    Br,
+    Call,
+    CondBr,
+    Function,
+    ICall,
+    La,
+    Label,
+    Lea,
+    Li,
+    Load,
+    Module,
+    Mv,
+    Op,
+    Ret,
+    Store,
+)
+from repro.utils.bits import align_up, fits_signed
+
+# Callee-saved registers available to the allocator (s0 reserved: frame).
+_S_REGS = ("s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10",
+           "s11")
+_ARG_REGS = ("a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7")
+
+_LOAD_MNEMONIC = {(1, True): "lb", (2, True): "lh", (4, True): "lw",
+                  (8, True): "ld", (1, False): "lbu", (2, False): "lhu",
+                  (4, False): "lwu", (8, False): "ld"}
+_RO_MNEMONIC = {(1, True): "lb.ro", (2, True): "lh.ro", (4, True): "lw.ro",
+                (8, True): "ld.ro", (1, False): "lbu.ro",
+                (2, False): "lhu.ro", (4, False): "lwu.ro",
+                (8, False): "ld.ro"}
+_STORE_MNEMONIC = {1: "sb", 2: "sh", 4: "sw", 8: "sd"}
+_BIN_MNEMONIC = {"add": "add", "sub": "sub", "mul": "mul", "div": "div",
+                 "divu": "divu", "rem": "rem", "remu": "remu",
+                 "and": "and", "or": "or", "xor": "xor", "sll": "sll",
+                 "srl": "srl", "sra": "sra", "slt": "slt", "sltu": "sltu"}
+_COND_BRANCH = {"eq": "beq", "ne": "bne", "lt": "blt", "ge": "bge",
+                "ltu": "bltu", "geu": "bgeu"}
+
+
+class _Frame:
+    """Per-function allocation state."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        uses: "Dict[str, int]" = {}
+
+        def touch(*vregs):
+            for vreg in vregs:
+                if vreg:
+                    uses[vreg] = uses.get(vreg, 0) + 1
+
+        for index in range(function.num_params):
+            touch(f"p{index}")
+        for op in function.ops:
+            if isinstance(op, (Li, La)):
+                touch(op.dst)
+            elif isinstance(op, Mv):
+                touch(op.dst, op.src)
+            elif isinstance(op, Bin):
+                touch(op.dst, op.a, op.b)
+            elif isinstance(op, Load):
+                touch(op.dst, op.base)
+            elif isinstance(op, Store):
+                touch(op.src, op.base)
+            elif isinstance(op, Lea):
+                touch(op.dst)
+            elif isinstance(op, CondBr):
+                touch(op.a, op.b)
+            elif isinstance(op, Call):
+                touch(op.dst, *op.args)
+            elif isinstance(op, ICall):
+                touch(op.dst, op.target, *op.args)
+            elif isinstance(op, Ret):
+                touch(op.src)
+        ranked = sorted(uses, key=lambda v: (-uses[v], v))
+        self.reg_home: "Dict[str, str]" = {}
+        self.slot_home: "Dict[str, int]" = {}
+        for vreg, sreg in zip(ranked, _S_REGS):
+            self.reg_home[vreg] = sreg
+        spill_offset = 0
+        for vreg in ranked[len(_S_REGS):]:
+            self.slot_home[vreg] = spill_offset
+            spill_offset += 8
+        self.spill_bytes = spill_offset
+        # Stack locals above the spill area.
+        self.local_offset: "Dict[str, int]" = {}
+        cursor = spill_offset
+        for local in function.locals:
+            cursor = align_up(cursor, local.align)
+            self.local_offset[local.name] = cursor
+            cursor += local.size
+        self.locals_end = cursor
+        self.used_sregs = sorted(set(self.reg_home.values()),
+                                 key=_S_REGS.index)
+        # Layout: [spills][locals][saved s-regs][ra]; 16-byte aligned.
+        save_area = 8 * (len(self.used_sregs) + 1)
+        self.frame_size = align_up(self.locals_end + save_area, 16)
+        self.ra_offset = self.frame_size - 8
+        self.sreg_offsets = {
+            sreg: self.frame_size - 16 - 8 * index
+            for index, sreg in enumerate(self.used_sregs)
+        }
+
+    def slot(self, vreg: str) -> int:
+        return self.slot_home[vreg]
+
+
+class CodeGenerator:
+    """Lower a module to assembly text."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.lines: "List[str]" = []
+        self.stats = {"roload_emitted": 0, "addi_inserted": 0}
+
+    # -- output helpers ----------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def _raw(self, text: str) -> None:
+        self.lines.append(text)
+
+    # -- entry --------------------------------------------------------------------
+
+    def generate(self) -> str:
+        self._raw("# generated by repro.compiler.codegen")
+        self._raw(".section .text")
+        for function in self.module.functions.values():
+            self._function(function)
+        self._globals()
+        self._vtables()
+        return "\n".join(self.lines) + "\n"
+
+    # -- data ------------------------------------------------------------------------
+
+    def _globals(self) -> None:
+        for var in self.module.globals.values():
+            self._raw(f".section {var.section}")
+            self._raw(f".align {var.align}")
+            self._raw(f".globl {var.name}")
+            self._raw(f"{var.name}:")
+            for item in var.init:
+                if isinstance(item, tuple):
+                    kind, symbol = item
+                    if kind != "quad":
+                        raise CompilerError(
+                            f"global {var.name}: only quad symbol "
+                            f"initializers supported")
+                    self._emit(f".quad {symbol}")
+                else:
+                    directive = {1: ".byte", 2: ".half", 4: ".word",
+                                 8: ".quad"}[var.width]
+                    self._emit(f"{directive} {item}")
+            if var.size:
+                self._emit(f".zero {var.size}")
+
+    def _vtables(self) -> None:
+        for table in self.module.vtables.values():
+            self._raw(f".section {table.section}")
+            self._raw(".align 8")
+            self._raw(f".globl {table.symbol}")
+            self._raw(f"{table.symbol}:")
+            for entry in table.entries:
+                self._emit(f".quad {entry}")
+
+    # -- functions --------------------------------------------------------------------
+
+    def _function(self, function: Function) -> None:
+        if function.num_params > len(_ARG_REGS):
+            raise CompilerError(
+                f"{function.name}: more than {len(_ARG_REGS)} parameters "
+                f"unsupported")
+        frame = _Frame(function)
+        self._raw(".section .text")
+        # 4-byte entry alignment: label-CFI reads the entry word with a
+        # 32-bit load, and aligned entries are standard ABI practice.
+        self._raw(".p2align 2")
+        if function.is_global:
+            self._raw(f".globl {function.name}")
+        self._raw(f"{function.name}:")
+        self._prologue(function, frame)
+        epilogue = f".Lepilogue_{function.name}"
+        for op in function.ops:
+            self._op(op, frame, epilogue)
+        self._raw(f"{epilogue}:")
+        self._epilogue(frame)
+
+    def _prologue(self, function: Function, frame: _Frame) -> None:
+        self._emit(f"addi sp, sp, -{frame.frame_size}")
+        self._emit(f"sd ra, {frame.ra_offset}(sp)")
+        for sreg, offset in frame.sreg_offsets.items():
+            self._emit(f"sd {sreg}, {offset}(sp)")
+        for index in range(function.num_params):
+            self._write_from(f"p{index}", _ARG_REGS[index], frame)
+
+    def _epilogue(self, frame: _Frame) -> None:
+        for sreg, offset in frame.sreg_offsets.items():
+            self._emit(f"ld {sreg}, {offset}(sp)")
+        self._emit(f"ld ra, {frame.ra_offset}(sp)")
+        self._emit(f"addi sp, sp, {frame.frame_size}")
+        if frame.function.return_table is not None:
+            # Backward-edge protection (§IV-C): return through the keyed
+            # read-only return-site table, indexed by the caller's cookie
+            # in t6. The on-stack ra is never trusted.
+            symbol, key = frame.function.return_table
+            self._emit(f"la t5, {symbol}")
+            self._emit("slli t6, t6, 3")
+            self._emit("add t5, t5, t6")
+            self._emit(f"ld.ro t5, (t5), {key}")
+            self._emit("jr t5")
+            self.stats["roload_emitted"] += 1
+        else:
+            self._emit("ret")
+
+    # -- vreg access ----------------------------------------------------------------
+
+    def _read_into(self, vreg: str, scratch: str, frame: _Frame) -> str:
+        """Materialise a vreg; returns the register actually holding it."""
+        home = frame.reg_home.get(vreg)
+        if home is not None:
+            return home
+        self._emit(f"ld {scratch}, {frame.slot(vreg)}(sp)")
+        return scratch
+
+    def _write_from(self, vreg: str, src_reg: str, frame: _Frame) -> None:
+        home = frame.reg_home.get(vreg)
+        if home is not None:
+            if home != src_reg:
+                self._emit(f"mv {home}, {src_reg}")
+            return
+        self._emit(f"sd {src_reg}, {frame.slot(vreg)}(sp)")
+
+    def _dest_reg(self, vreg: str, frame: _Frame, scratch: str = "t2") \
+            -> "tuple[str, bool]":
+        """Register to compute a result into, and whether a spill-store is
+        needed afterwards."""
+        home = frame.reg_home.get(vreg)
+        if home is not None:
+            return home, False
+        return scratch, True
+
+    def _finish_dest(self, vreg: str, reg: str, needs_store: bool,
+                     frame: _Frame) -> None:
+        if needs_store:
+            self._emit(f"sd {reg}, {frame.slot(vreg)}(sp)")
+
+    # -- op lowering ------------------------------------------------------------------
+
+    def _op(self, op: Op, frame: _Frame, epilogue: str) -> None:
+        if isinstance(op, Label):
+            self._raw(f"{op.name}:")
+        elif isinstance(op, Li):
+            dest, store = self._dest_reg(op.dst, frame)
+            self._emit(f"li {dest}, {op.value}")
+            self._finish_dest(op.dst, dest, store, frame)
+        elif isinstance(op, La):
+            dest, store = self._dest_reg(op.dst, frame)
+            self._emit(f"la {dest}, {op.symbol}")
+            self._finish_dest(op.dst, dest, store, frame)
+        elif isinstance(op, Mv):
+            src = self._read_into(op.src, "t0", frame)
+            self._write_from(op.dst, src, frame)
+        elif isinstance(op, Bin):
+            a = self._read_into(op.a, "t0", frame)
+            b = self._read_into(op.b, "t1", frame)
+            dest, store = self._dest_reg(op.dst, frame)
+            self._emit(f"{_BIN_MNEMONIC[op.op]} {dest}, {a}, {b}")
+            self._finish_dest(op.dst, dest, store, frame)
+        elif isinstance(op, Load):
+            self._load(op, frame)
+        elif isinstance(op, Store):
+            src = self._read_into(op.src, "t0", frame)
+            base = self._read_into(op.base, "t1", frame)
+            if not fits_signed(op.offset, 12):
+                raise CompilerError(f"store offset {op.offset} too large")
+            self._emit(f"{_STORE_MNEMONIC[op.width]} {src}, "
+                       f"{op.offset}({base})")
+        elif isinstance(op, Lea):
+            offset = frame.local_offset.get(op.local)
+            if offset is None:
+                raise CompilerError(f"unknown local {op.local!r}")
+            dest, store = self._dest_reg(op.dst, frame)
+            self._emit(f"addi {dest}, sp, {offset}")
+            self._finish_dest(op.dst, dest, store, frame)
+        elif isinstance(op, Br):
+            self._emit(f"j {op.target}")
+        elif isinstance(op, CondBr):
+            a = self._read_into(op.a, "t0", frame)
+            b = self._read_into(op.b, "t1", frame)
+            self._emit(f"{_COND_BRANCH[op.cond]} {a}, {b}, {op.target}")
+        elif isinstance(op, Call):
+            self._call_args(op.args, frame)
+            if op.cookie is not None:
+                self._emit(f"li t6, {op.cookie}")
+            self._emit(f"call {op.callee}")
+            if op.ret_label is not None:
+                # The table-verified return site: right after the call,
+                # before any result capture.
+                self._raw(f"{op.ret_label}:")
+            if op.dst is not None:
+                self._write_from(op.dst, "a0", frame)
+        elif isinstance(op, ICall):
+            target = self._read_into(op.target, "t0", frame)
+            if target != "t0":
+                self._emit(f"mv t0, {target}")
+            self._call_args(op.args, frame)
+            self._emit("jalr ra, 0(t0)")
+            if op.dst is not None:
+                self._write_from(op.dst, "a0", frame)
+        elif isinstance(op, Ret):
+            if op.src is not None:
+                src = self._read_into(op.src, "a0", frame)
+                if src != "a0":
+                    self._emit(f"mv a0, {src}")
+            self._emit(f"j {epilogue}")
+        elif isinstance(op, Abort):
+            self._emit("ebreak")
+        else:
+            raise CompilerError(f"cannot lower op {op!r}")
+
+    def _call_args(self, args, frame: _Frame) -> None:
+        if len(args) > len(_ARG_REGS):
+            raise CompilerError("too many call arguments")
+        for index, vreg in enumerate(args):
+            src = self._read_into(vreg, _ARG_REGS[index], frame)
+            if src != _ARG_REGS[index]:
+                self._emit(f"mv {_ARG_REGS[index]}, {src}")
+
+    def _load(self, op: Load, frame: _Frame) -> None:
+        base = self._read_into(op.base, "t0", frame)
+        dest, store = self._dest_reg(op.dst, frame)
+        # [roload-begin: compiler]
+        if op.roload_md is not None:
+            # The paper's machine pass: replace the ld with ld.ro. The key
+            # occupies the immediate field, so non-zero offsets need addi.
+            mnemonic = _RO_MNEMONIC[(op.width, op.signed)]
+            address = base
+            if op.offset:
+                self._emit(f"addi t1, {base}, {op.offset}")
+                address = "t1"
+                self.stats["addi_inserted"] += 1
+            self._emit(f"{mnemonic} {dest}, ({address}), "
+                       f"{op.roload_md.key}")
+            self.stats["roload_emitted"] += 1
+        # [roload-end]
+        else:
+            if not fits_signed(op.offset, 12):
+                raise CompilerError(f"load offset {op.offset} too large")
+            mnemonic = _LOAD_MNEMONIC[(op.width, op.signed)]
+            self._emit(f"{mnemonic} {dest}, {op.offset}({base})")
+        self._finish_dest(op.dst, dest, store, frame)
+
+
+def generate_assembly(module: Module) -> str:
+    """Lower ``module`` to assembly text."""
+    return CodeGenerator(module).generate()

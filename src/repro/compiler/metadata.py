@@ -1,0 +1,69 @@
+"""ROLoad-md: the metadata interface of the paper's LLVM extension.
+
+"The interfaces are a new type of metadata, namely ROLoad-md metadata.
+Users (e.g. defense solutions) associate LLVM IR load instructions of
+interest with this metadata to indicate that this IR load instruction
+needs to be further protected by a ROLoad-family instruction. Keys that
+will be encoded into ROLoad-family instructions are stored in the
+ROLoad-md metadata as well."
+
+Defense passes attach :class:`ROLoadMD` to IR ``load`` instructions; the
+back-end (in :mod:`repro.compiler.codegen`) replaces every annotated load
+with an ``ld.ro``-family instruction, inserting an ``addi`` when the load
+had a non-zero address offset.
+"""
+
+# [roload-file: compiler]
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompilerError
+from repro.isa.opcodes import KEY_MAX
+
+
+@dataclass(frozen=True)
+class ROLoadMD:
+    """Metadata marking a load for ROLoad protection, carrying its key."""
+
+    key: int
+
+    def __post_init__(self):
+        if not 0 <= self.key <= KEY_MAX:
+            raise CompilerError(f"ROLoad-md key {self.key} out of range "
+                                f"(0..{KEY_MAX})")
+
+
+class KeyAllocator:
+    """Deterministically assigns page keys to allowlist identities.
+
+    Identities are arbitrary strings: class names for the VCall defense,
+    function-type signatures for ICall. Key 0 is reserved (the default
+    "no key"); allocation fails when the 10-bit key space is exhausted.
+    """
+
+    def __init__(self, first_key: int = 1):
+        if not 1 <= first_key <= KEY_MAX:
+            raise CompilerError("first key must be in 1..KEY_MAX")
+        self._next = first_key
+        self._by_identity: "dict[str, int]" = {}
+
+    def key_for(self, identity: str) -> int:
+        key = self._by_identity.get(identity)
+        if key is None:
+            if self._next > KEY_MAX:
+                raise CompilerError(
+                    f"page-key space exhausted ({KEY_MAX} keys); "
+                    f"cannot key {identity!r}")
+            key = self._next
+            self._next += 1
+            self._by_identity[identity] = key
+        return key
+
+    @property
+    def assignments(self) -> "dict[str, int]":
+        return dict(self._by_identity)
+
+    def __len__(self) -> int:
+        return len(self._by_identity)

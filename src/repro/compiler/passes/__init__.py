@@ -1,0 +1,5 @@
+"""Compiler passes (verification; defense passes live in repro.defenses)."""
+
+from repro.compiler.passes.verify import verify_function, verify_module
+
+__all__ = ["verify_function", "verify_module"]

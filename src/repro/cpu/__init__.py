@@ -1,0 +1,13 @@
+"""CPU: the RV64IMAC core with ROLoad support, traps, CSRs, and timing."""
+
+from repro.cpu.core import Core, MMIORegion
+from repro.cpu.csr import CSR_CYCLE, CSR_INSTRET, CSR_TIME, CSRFile
+from repro.cpu.timing import TimingModel, TimingParams, TimingStats
+from repro.cpu.tracer import Profiler, ROLoadMonitor, Tracer
+from repro.cpu.trap import Cause, Trap
+
+__all__ = [
+    "Core", "MMIORegion", "CSRFile", "CSR_CYCLE", "CSR_INSTRET", "CSR_TIME",
+    "TimingModel", "TimingParams", "TimingStats", "Profiler",
+    "ROLoadMonitor", "Tracer", "Cause", "Trap",
+]

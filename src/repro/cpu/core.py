@@ -1,0 +1,798 @@
+"""In-order RV64IMAC core with ROLoad-family instruction support.
+
+The execute engine is a functional interpreter with a cycle-accounting
+timing model. ROLoad instructions (``ld.ro`` family and ``c.ld.ro``)
+decode into a new memory-operation type (:data:`MemOp.READ_RO`) carrying
+the instruction key, exactly as the paper adds a new entry to Rocket's
+``MemoryOpConstants``; the MMU performs the read-only + key check.
+
+When ``roload_enabled`` is False the core models the *baseline* (unmodified)
+processor: the custom-0 opcode space is unimplemented and raises an
+illegal-instruction trap. This is the hardware half of the three-system
+comparison in §V-B.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import DecodingError, SimulationError
+from repro.isa.compressed import decode_compressed
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import MemOp
+from repro.cpu.csr import CSRFile
+from repro.cpu.timing import TimingModel
+from repro.cpu.trap import Cause, Trap
+from repro.mem.cache import Cache
+from repro.mem.faults import PageFault
+from repro.utils.bits import (
+    MASK64,
+    sext,
+    sext32_to_u64,
+    to_s64,
+    to_u64,
+)
+
+# Width/signedness per load/store mnemonic (plain and ROLoad variants).
+_LOAD_INFO = {
+    "lb": (1, True), "lh": (2, True), "lw": (4, True), "ld": (8, True),
+    "lbu": (1, False), "lhu": (2, False), "lwu": (4, False),
+}
+_RO_INFO = {"lb.ro": (1, True), "lh.ro": (2, True), "lw.ro": (4, True),
+            "ld.ro": (8, True), "lbu.ro": (1, False), "lhu.ro": (2, False),
+            "lwu.ro": (4, False)}
+_STORE_INFO = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+
+
+class MMIORegion:
+    """A memory-mapped device window (physical addresses)."""
+
+    def __init__(self, base: int, size: int,
+                 read: "Optional[Callable[[int, int], int]]" = None,
+                 write: "Optional[Callable[[int, int, int], None]]" = None):
+        self.base = base
+        self.size = size
+        self.read = read
+        self.write = write
+
+    def contains(self, paddr: int) -> bool:
+        return self.base <= paddr < self.base + self.size
+
+
+class Core:
+    """Single-hart RV64IMAC core."""
+
+    def __init__(self, memory, mmu, *, icache: "Cache | None" = None,
+                 dcache: "Cache | None" = None,
+                 timing: "TimingModel | None" = None,
+                 roload_enabled: bool = True):
+        self.memory = memory
+        self.mmu = mmu
+        self.icache = icache
+        self.dcache = dcache
+        self.timing = timing or TimingModel()
+        self.roload_enabled = roload_enabled
+        self.regs = [0] * 32
+        self.pc = 0
+        self.csr = CSRFile(self)
+        self.reservation: "int | None" = None
+        self.mmio: "list[MMIORegion]" = []
+        self._decode_cache: "dict[int, Instruction]" = {}
+        self._decode_cache_c: "dict[int, Instruction]" = {}
+        self._current_pc = 0
+        # Fetch fast path: vpn -> physical page base, valid for one MMU
+        # generation (bounded by the I-TLB capacity to keep the reach
+        # realistic).
+        self._fetch_pages: "dict[int, int]" = {}
+        self._fetch_generation = -1
+        itlb = getattr(mmu, "itlb", None)
+        self._fetch_cache_cap = itlb.capacity if itlb is not None else 32
+        # Optional per-retired-instruction callback: (pc, insn) -> None.
+        # Used by repro.cpu.tracer; None costs one attribute test/step.
+        self.trace_hook = None
+
+    # -- architectural counters ---------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        return self.timing.stats.cycles
+
+    @property
+    def instret(self) -> int:
+        return self.timing.stats.instructions
+
+    # -- register helpers ----------------------------------------------------
+
+    def read_reg(self, index: int) -> int:
+        return self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index:
+            self.regs[index] = value & MASK64
+
+    # -- memory interface ----------------------------------------------------
+
+    def add_mmio(self, region: MMIORegion) -> None:
+        self.mmio.append(region)
+
+    def _mmio_for(self, paddr: int) -> "MMIORegion | None":
+        for region in self.mmio:
+            if region.contains(paddr):
+                return region
+        return None
+
+    def _translate(self, vaddr: int, memop: str, key: int = 0):
+        try:
+            return self.mmu.translate(vaddr, memop, key)
+        except PageFault as fault:
+            raise Trap(fault.scause, self._current_pc, tval=vaddr,
+                       roload=fault.roload, roload_reason=fault.reason,
+                       insn_key=fault.insn_key,
+                       page_key=fault.page_key) from None
+
+    def load(self, vaddr: int, width: int, signed: bool,
+             memop: str = MemOp.READ, key: int = 0) -> int:
+        if vaddr & (width - 1):
+            raise Trap(Cause.MISALIGNED_LOAD, self._current_pc, tval=vaddr)
+        tr = self._translate(vaddr, memop, key)
+        if tr.walk_accesses:
+            self.timing.tlb_walk(tr.walk_accesses, instruction_side=False)
+        region = self._mmio_for(tr.paddr)
+        if region is not None and region.read is not None:
+            value = region.read(tr.paddr, width)
+        else:
+            if self.dcache is not None:
+                self.timing.dcache(self.dcache.access(tr.paddr))
+            value = self.memory.read(tr.paddr, width)
+        if signed:
+            return to_u64(sext(value, width * 8))
+        return value
+
+    def store(self, vaddr: int, width: int, value: int,
+              memop: str = MemOp.WRITE) -> None:
+        if vaddr & (width - 1):
+            raise Trap(Cause.MISALIGNED_STORE, self._current_pc, tval=vaddr)
+        tr = self._translate(vaddr, memop)
+        if tr.walk_accesses:
+            self.timing.tlb_walk(tr.walk_accesses, instruction_side=False)
+        region = self._mmio_for(tr.paddr)
+        if region is not None and region.write is not None:
+            region.write(tr.paddr, width, value)
+            return
+        if self.dcache is not None:
+            self.timing.dcache(self.dcache.access(tr.paddr))
+        self.memory.write(tr.paddr, width, value)
+
+    # -- fetch/decode --------------------------------------------------------
+
+    def flush_decode_cache(self) -> None:
+        """Called on fence.i and address-space changes."""
+        self._decode_cache.clear()
+        self._decode_cache_c.clear()
+
+    def _fetch_paddr(self, vaddr: int) -> int:
+        """Translate a fetch address with a per-page fast path.
+
+        The first access to each code page goes through the full MMU path
+        (charging any TLB-walk cycles); later fetches from the same page
+        reuse the cached frame until an sfence/satp change bumps the MMU
+        generation. The cache is bounded by the I-TLB capacity so its
+        reach stays architecturally honest.
+        """
+        if self._fetch_generation != self.mmu.generation:
+            self._fetch_pages.clear()
+            self._fetch_generation = self.mmu.generation
+        vpn = vaddr >> 12
+        base = self._fetch_pages.get(vpn)
+        if base is None:
+            tr = self._translate(vaddr, MemOp.FETCH)
+            if tr.walk_accesses:
+                self.timing.tlb_walk(tr.walk_accesses,
+                                     instruction_side=True)
+            base = tr.paddr & ~0xFFF
+            if len(self._fetch_pages) >= self._fetch_cache_cap:
+                self._fetch_pages.clear()
+            self._fetch_pages[vpn] = base
+        return base | (vaddr & 0xFFF)
+
+    def _fetch_half(self, vaddr: int) -> int:
+        paddr = self._fetch_paddr(vaddr)
+        if self.icache is not None:
+            self.timing.icache(self.icache.access(paddr))
+        return self.memory.read(paddr, 2)
+
+    def fetch(self, pc: int) -> Instruction:
+        if pc & 1:
+            raise Trap(Cause.MISALIGNED_FETCH, pc, tval=pc)
+        if pc & 0xFFF <= 0xFFC:
+            # Fast path: the whole (possible) 4-byte fetch stays in one
+            # page — one translation, one read.
+            paddr = self._fetch_paddr(pc)
+            if self.icache is not None:
+                self.timing.icache(self.icache.access(paddr))
+            word = self.memory.read(paddr, 4)
+            low = word & 0xFFFF
+            compressed = (low & 0b11) != 0b11
+            if not compressed and self.icache is not None \
+                    and (pc & 63) == 62:
+                # 4-byte instruction straddling a cache line.
+                self.timing.icache(self.icache.access(paddr + 2))
+        else:
+            low = self._fetch_half(pc)
+            compressed = (low & 0b11) != 0b11
+            word = low if compressed else \
+                low | (self._fetch_half(pc + 2) << 16)
+        if compressed:
+            insn = self._decode_cache_c.get(low)
+            if insn is None:
+                try:
+                    insn = decode_compressed(low)
+                except DecodingError:
+                    raise Trap(Cause.ILLEGAL_INSTRUCTION, pc,
+                               tval=low) from None
+                self._decode_cache_c[low] = insn
+        else:
+            insn = self._decode_cache.get(word)
+            if insn is None:
+                try:
+                    insn = decode(word)
+                except DecodingError:
+                    raise Trap(Cause.ILLEGAL_INSTRUCTION, pc,
+                               tval=word) from None
+                self._decode_cache[word] = insn
+        if insn.semclass == "roload" and not self.roload_enabled:
+            self._check_roload_implemented(insn, pc)
+        return insn
+
+    # [roload-begin: processor]
+    def _check_roload_implemented(self, insn: Instruction, pc: int) -> None:
+        if insn.semclass == "roload" and not self.roload_enabled:
+            # Baseline processor: custom-0 space is not implemented.
+            raise Trap(Cause.ILLEGAL_INSTRUCTION, pc, tval=insn.raw)
+    # [roload-end]
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Fetch, decode, and execute one instruction.
+
+        Raises :class:`Trap` for any synchronous exception (including
+        ecall); the caller (the kernel model) handles it.
+        """
+        pc = self.pc
+        self._current_pc = pc
+        insn = self.fetch(pc)
+        handler = _HANDLERS.get(insn.name)
+        if handler is None:  # pragma: no cover - table is total
+            raise Trap(Cause.ILLEGAL_INSTRUCTION, pc, tval=insn.raw)
+        next_pc = handler(self, insn, pc)
+        # Retirement is counted only for instructions that did not trap.
+        self.timing.instruction()
+        if self.trace_hook is not None:
+            self.trace_hook(pc, insn)
+        self.pc = next_pc if next_pc is not None else \
+            (pc + insn.length) & MASK64
+
+    def run(self, max_instructions: int,
+            trap_handler: "Optional[Callable[[Trap], bool]]" = None) -> int:
+        """Run until a trap goes unhandled or the budget is exhausted.
+
+        ``trap_handler`` returns True to resume (it must fix up ``pc``) or
+        False to stop. Returns the number of instructions retired.
+        """
+        start = self.instret
+        while self.instret - start < max_instructions:
+            try:
+                self.step()
+            except Trap as trap:
+                if trap_handler is None or not trap_handler(trap):
+                    return self.instret - start
+        raise SimulationError(
+            f"instruction budget ({max_instructions}) exhausted at "
+            f"pc={self.pc:#x}")
+
+
+# ---------------------------------------------------------------------------
+# Instruction handlers. Each takes (core, insn, pc) and returns the next pc
+# (or None for pc + length).
+# ---------------------------------------------------------------------------
+
+
+def _h_lui(core, insn, pc):
+    core.write_reg(insn.rd, to_u64(sext(insn.imm << 12, 32)))
+
+
+def _h_auipc(core, insn, pc):
+    core.write_reg(insn.rd, to_u64(pc + sext(insn.imm << 12, 32)))
+
+
+def _h_jal(core, insn, pc):
+    core.write_reg(insn.rd, pc + insn.length)
+    core.timing.jump()
+    return to_u64(pc + insn.imm)
+
+
+def _h_jalr(core, insn, pc):
+    target = (core.regs[insn.rs1] + insn.imm) & MASK64 & ~1
+    core.write_reg(insn.rd, pc + insn.length)
+    core.timing.jump()
+    return target
+
+
+def _branch(core, insn, pc, taken):
+    if taken:
+        core.timing.taken_branch()
+        return to_u64(pc + insn.imm)
+    return None
+
+
+def _h_beq(core, insn, pc):
+    return _branch(core, insn, pc,
+                   core.regs[insn.rs1] == core.regs[insn.rs2])
+
+
+def _h_bne(core, insn, pc):
+    return _branch(core, insn, pc,
+                   core.regs[insn.rs1] != core.regs[insn.rs2])
+
+
+def _h_blt(core, insn, pc):
+    return _branch(core, insn, pc,
+                   to_s64(core.regs[insn.rs1]) < to_s64(core.regs[insn.rs2]))
+
+
+def _h_bge(core, insn, pc):
+    return _branch(core, insn, pc,
+                   to_s64(core.regs[insn.rs1]) >= to_s64(core.regs[insn.rs2]))
+
+
+def _h_bltu(core, insn, pc):
+    return _branch(core, insn, pc,
+                   core.regs[insn.rs1] < core.regs[insn.rs2])
+
+
+def _h_bgeu(core, insn, pc):
+    return _branch(core, insn, pc,
+                   core.regs[insn.rs1] >= core.regs[insn.rs2])
+
+
+def _make_load(name):
+    width, signed = _LOAD_INFO[name]
+
+    def handler(core, insn, pc):
+        vaddr = (core.regs[insn.rs1] + insn.imm) & MASK64
+        core.write_reg(insn.rd, core.load(vaddr, width, signed))
+    return handler
+
+
+# [roload-begin: processor]
+def _make_roload(name):
+    width, signed = _RO_INFO[name]
+
+    def handler(core, insn, pc):
+        # No offset: the immediate field carries the key (paper §III-A).
+        vaddr = core.regs[insn.rs1]
+        core.write_reg(insn.rd, core.load(vaddr, width, signed,
+                                          memop=MemOp.READ_RO,
+                                          key=insn.key))
+    return handler
+# [roload-end]
+
+
+def _make_store(name):
+    width = _STORE_INFO[name]
+
+    def handler(core, insn, pc):
+        vaddr = (core.regs[insn.rs1] + insn.imm) & MASK64
+        core.store(vaddr, width, core.regs[insn.rs2])
+    return handler
+
+
+# ALU — immediate forms.
+
+def _h_addi(core, insn, pc):
+    core.write_reg(insn.rd, (core.regs[insn.rs1] + insn.imm) & MASK64)
+
+
+def _h_slti(core, insn, pc):
+    core.write_reg(insn.rd,
+                   1 if to_s64(core.regs[insn.rs1]) < insn.imm else 0)
+
+
+def _h_sltiu(core, insn, pc):
+    core.write_reg(insn.rd,
+                   1 if core.regs[insn.rs1] < to_u64(insn.imm) else 0)
+
+
+def _h_xori(core, insn, pc):
+    core.write_reg(insn.rd, (core.regs[insn.rs1] ^ to_u64(insn.imm)))
+
+
+def _h_ori(core, insn, pc):
+    core.write_reg(insn.rd, (core.regs[insn.rs1] | to_u64(insn.imm)))
+
+
+def _h_andi(core, insn, pc):
+    core.write_reg(insn.rd, (core.regs[insn.rs1] & to_u64(insn.imm)))
+
+
+def _h_slli(core, insn, pc):
+    core.write_reg(insn.rd, (core.regs[insn.rs1] << insn.imm) & MASK64)
+
+
+def _h_srli(core, insn, pc):
+    core.write_reg(insn.rd, core.regs[insn.rs1] >> insn.imm)
+
+
+def _h_srai(core, insn, pc):
+    core.write_reg(insn.rd, to_u64(to_s64(core.regs[insn.rs1]) >> insn.imm))
+
+
+def _h_addiw(core, insn, pc):
+    core.write_reg(insn.rd, sext32_to_u64(core.regs[insn.rs1] + insn.imm))
+
+
+def _h_slliw(core, insn, pc):
+    core.write_reg(insn.rd, sext32_to_u64(core.regs[insn.rs1] << insn.imm))
+
+
+def _h_srliw(core, insn, pc):
+    value = core.regs[insn.rs1] & 0xFFFF_FFFF
+    core.write_reg(insn.rd, sext32_to_u64(value >> insn.imm))
+
+
+def _h_sraiw(core, insn, pc):
+    value = sext(core.regs[insn.rs1], 32)
+    core.write_reg(insn.rd, sext32_to_u64(value >> insn.imm))
+
+
+# ALU — register forms.
+
+def _h_add(core, insn, pc):
+    core.write_reg(insn.rd,
+                   (core.regs[insn.rs1] + core.regs[insn.rs2]) & MASK64)
+
+
+def _h_sub(core, insn, pc):
+    core.write_reg(insn.rd,
+                   (core.regs[insn.rs1] - core.regs[insn.rs2]) & MASK64)
+
+
+def _h_sll(core, insn, pc):
+    shamt = core.regs[insn.rs2] & 63
+    core.write_reg(insn.rd, (core.regs[insn.rs1] << shamt) & MASK64)
+
+
+def _h_slt(core, insn, pc):
+    core.write_reg(insn.rd, 1 if to_s64(core.regs[insn.rs1]) <
+                   to_s64(core.regs[insn.rs2]) else 0)
+
+
+def _h_sltu(core, insn, pc):
+    core.write_reg(insn.rd,
+                   1 if core.regs[insn.rs1] < core.regs[insn.rs2] else 0)
+
+
+def _h_xor(core, insn, pc):
+    core.write_reg(insn.rd, core.regs[insn.rs1] ^ core.regs[insn.rs2])
+
+
+def _h_srl(core, insn, pc):
+    shamt = core.regs[insn.rs2] & 63
+    core.write_reg(insn.rd, core.regs[insn.rs1] >> shamt)
+
+
+def _h_sra(core, insn, pc):
+    shamt = core.regs[insn.rs2] & 63
+    core.write_reg(insn.rd, to_u64(to_s64(core.regs[insn.rs1]) >> shamt))
+
+
+def _h_or(core, insn, pc):
+    core.write_reg(insn.rd, core.regs[insn.rs1] | core.regs[insn.rs2])
+
+
+def _h_and(core, insn, pc):
+    core.write_reg(insn.rd, core.regs[insn.rs1] & core.regs[insn.rs2])
+
+
+def _h_addw(core, insn, pc):
+    core.write_reg(insn.rd,
+                   sext32_to_u64(core.regs[insn.rs1] + core.regs[insn.rs2]))
+
+
+def _h_subw(core, insn, pc):
+    core.write_reg(insn.rd,
+                   sext32_to_u64(core.regs[insn.rs1] - core.regs[insn.rs2]))
+
+
+def _h_sllw(core, insn, pc):
+    shamt = core.regs[insn.rs2] & 31
+    core.write_reg(insn.rd, sext32_to_u64(core.regs[insn.rs1] << shamt))
+
+
+def _h_srlw(core, insn, pc):
+    shamt = core.regs[insn.rs2] & 31
+    value = core.regs[insn.rs1] & 0xFFFF_FFFF
+    core.write_reg(insn.rd, sext32_to_u64(value >> shamt))
+
+
+def _h_sraw(core, insn, pc):
+    shamt = core.regs[insn.rs2] & 31
+    value = sext(core.regs[insn.rs1], 32)
+    core.write_reg(insn.rd, sext32_to_u64(value >> shamt))
+
+
+# M extension.
+
+def _h_mul(core, insn, pc):
+    core.timing.muldiv(is_div=False)
+    core.write_reg(insn.rd,
+                   (core.regs[insn.rs1] * core.regs[insn.rs2]) & MASK64)
+
+
+def _h_mulh(core, insn, pc):
+    core.timing.muldiv(is_div=False)
+    product = to_s64(core.regs[insn.rs1]) * to_s64(core.regs[insn.rs2])
+    core.write_reg(insn.rd, to_u64(product >> 64))
+
+
+def _h_mulhsu(core, insn, pc):
+    core.timing.muldiv(is_div=False)
+    product = to_s64(core.regs[insn.rs1]) * core.regs[insn.rs2]
+    core.write_reg(insn.rd, to_u64(product >> 64))
+
+
+def _h_mulhu(core, insn, pc):
+    core.timing.muldiv(is_div=False)
+    product = core.regs[insn.rs1] * core.regs[insn.rs2]
+    core.write_reg(insn.rd, to_u64(product >> 64))
+
+
+def _trunc_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _h_div(core, insn, pc):
+    core.timing.muldiv(is_div=True)
+    a, b = to_s64(core.regs[insn.rs1]), to_s64(core.regs[insn.rs2])
+    if b == 0:
+        result = MASK64
+    elif a == -(1 << 63) and b == -1:
+        result = to_u64(a)
+    else:
+        result = to_u64(_trunc_div(a, b))
+    core.write_reg(insn.rd, result)
+
+
+def _h_divu(core, insn, pc):
+    core.timing.muldiv(is_div=True)
+    a, b = core.regs[insn.rs1], core.regs[insn.rs2]
+    core.write_reg(insn.rd, MASK64 if b == 0 else a // b)
+
+
+def _h_rem(core, insn, pc):
+    core.timing.muldiv(is_div=True)
+    a, b = to_s64(core.regs[insn.rs1]), to_s64(core.regs[insn.rs2])
+    if b == 0:
+        result = to_u64(a)
+    elif a == -(1 << 63) and b == -1:
+        result = 0
+    else:
+        result = to_u64(a - _trunc_div(a, b) * b)
+    core.write_reg(insn.rd, result)
+
+
+def _h_remu(core, insn, pc):
+    core.timing.muldiv(is_div=True)
+    a, b = core.regs[insn.rs1], core.regs[insn.rs2]
+    core.write_reg(insn.rd, a if b == 0 else a % b)
+
+
+def _h_mulw(core, insn, pc):
+    core.timing.muldiv(is_div=False)
+    core.write_reg(insn.rd,
+                   sext32_to_u64(core.regs[insn.rs1] * core.regs[insn.rs2]))
+
+
+def _h_divw(core, insn, pc):
+    core.timing.muldiv(is_div=True)
+    a, b = sext(core.regs[insn.rs1], 32), sext(core.regs[insn.rs2], 32)
+    if b == 0:
+        result = MASK64
+    elif a == -(1 << 31) and b == -1:
+        result = to_u64(a)
+    else:
+        result = sext32_to_u64(_trunc_div(a, b))
+    core.write_reg(insn.rd, result)
+
+
+def _h_divuw(core, insn, pc):
+    core.timing.muldiv(is_div=True)
+    a = core.regs[insn.rs1] & 0xFFFF_FFFF
+    b = core.regs[insn.rs2] & 0xFFFF_FFFF
+    core.write_reg(insn.rd, MASK64 if b == 0 else sext32_to_u64(a // b))
+
+
+def _h_remw(core, insn, pc):
+    core.timing.muldiv(is_div=True)
+    a, b = sext(core.regs[insn.rs1], 32), sext(core.regs[insn.rs2], 32)
+    if b == 0:
+        result = sext32_to_u64(a)
+    elif a == -(1 << 31) and b == -1:
+        result = 0
+    else:
+        result = sext32_to_u64(a - _trunc_div(a, b) * b)
+    core.write_reg(insn.rd, result)
+
+
+def _h_remuw(core, insn, pc):
+    core.timing.muldiv(is_div=True)
+    a = core.regs[insn.rs1] & 0xFFFF_FFFF
+    b = core.regs[insn.rs2] & 0xFFFF_FFFF
+    core.write_reg(insn.rd,
+                   sext32_to_u64(a) if b == 0 else sext32_to_u64(a % b))
+
+
+# A extension.
+
+def _amo_width(name: str) -> int:
+    return 4 if name.endswith(".w") else 8
+
+
+def _make_lr(name):
+    width = _amo_width(name)
+
+    def handler(core, insn, pc):
+        core.timing.amo()
+        vaddr = core.regs[insn.rs1]
+        value = core.load(vaddr, width, signed=True)
+        core.reservation = vaddr
+        core.write_reg(insn.rd, value)
+    return handler
+
+
+def _make_sc(name):
+    width = _amo_width(name)
+
+    def handler(core, insn, pc):
+        core.timing.amo()
+        vaddr = core.regs[insn.rs1]
+        if core.reservation == vaddr:
+            core.store(vaddr, width, core.regs[insn.rs2], memop=MemOp.AMO)
+            core.write_reg(insn.rd, 0)
+        else:
+            core.write_reg(insn.rd, 1)
+        core.reservation = None
+    return handler
+
+
+_AMO_OPS = {
+    "amoswap": lambda old, src, w: src,
+    "amoadd": lambda old, src, w: old + src,
+    "amoxor": lambda old, src, w: old ^ src,
+    "amoand": lambda old, src, w: old & src,
+    "amoor": lambda old, src, w: old | src,
+    "amomin": lambda old, src, w: min(sext(old, w * 8), sext(src, w * 8)),
+    "amomax": lambda old, src, w: max(sext(old, w * 8), sext(src, w * 8)),
+    "amominu": lambda old, src, w: min(old, src),
+    "amomaxu": lambda old, src, w: max(old, src),
+}
+
+
+def _make_amo(base, name):
+    width = _amo_width(name)
+    op = _AMO_OPS[base]
+
+    def handler(core, insn, pc):
+        core.timing.amo()
+        vaddr = core.regs[insn.rs1]
+        if vaddr & (width - 1):
+            raise Trap(Cause.MISALIGNED_STORE, pc, tval=vaddr)
+        old_raw = core.load(vaddr, width, signed=False, memop=MemOp.AMO)
+        src = core.regs[insn.rs2] & ((1 << (width * 8)) - 1)
+        new = op(old_raw, src, width) & ((1 << (width * 8)) - 1)
+        core.store(vaddr, width, new, memop=MemOp.AMO)
+        result = sext(old_raw, width * 8) if width == 4 else old_raw
+        core.write_reg(insn.rd, to_u64(result))
+    return handler
+
+
+# System.
+
+def _h_ecall(core, insn, pc):
+    raise Trap(Cause.ECALL_FROM_U, pc)
+
+
+def _h_ebreak(core, insn, pc):
+    raise Trap(Cause.BREAKPOINT, pc)
+
+
+def _h_fence(core, insn, pc):
+    return None
+
+
+def _h_fence_i(core, insn, pc):
+    core.flush_decode_cache()
+
+
+def _h_csrrw(core, insn, pc):
+    old = core.csr.read(insn.csr, pc) if insn.rd else 0
+    core.csr.write(insn.csr, core.regs[insn.rs1], pc)
+    core.write_reg(insn.rd, old)
+
+
+def _h_csrrs(core, insn, pc):
+    old = core.csr.read(insn.csr, pc)
+    if insn.rs1:
+        core.csr.write(insn.csr, old | core.regs[insn.rs1], pc)
+    core.write_reg(insn.rd, old)
+
+
+def _h_csrrc(core, insn, pc):
+    old = core.csr.read(insn.csr, pc)
+    if insn.rs1:
+        core.csr.write(insn.csr, old & ~core.regs[insn.rs1], pc)
+    core.write_reg(insn.rd, old)
+
+
+def _h_csrrwi(core, insn, pc):
+    old = core.csr.read(insn.csr, pc) if insn.rd else 0
+    core.csr.write(insn.csr, insn.imm, pc)
+    core.write_reg(insn.rd, old)
+
+
+def _h_csrrsi(core, insn, pc):
+    old = core.csr.read(insn.csr, pc)
+    if insn.imm:
+        core.csr.write(insn.csr, old | insn.imm, pc)
+    core.write_reg(insn.rd, old)
+
+
+def _h_csrrci(core, insn, pc):
+    old = core.csr.read(insn.csr, pc)
+    if insn.imm:
+        core.csr.write(insn.csr, old & ~insn.imm, pc)
+    core.write_reg(insn.rd, old)
+
+
+def _build_handlers():
+    handlers = {
+        "lui": _h_lui, "auipc": _h_auipc, "jal": _h_jal, "jalr": _h_jalr,
+        "beq": _h_beq, "bne": _h_bne, "blt": _h_blt, "bge": _h_bge,
+        "bltu": _h_bltu, "bgeu": _h_bgeu,
+        "addi": _h_addi, "slti": _h_slti, "sltiu": _h_sltiu,
+        "xori": _h_xori, "ori": _h_ori, "andi": _h_andi,
+        "slli": _h_slli, "srli": _h_srli, "srai": _h_srai,
+        "addiw": _h_addiw, "slliw": _h_slliw, "srliw": _h_srliw,
+        "sraiw": _h_sraiw,
+        "add": _h_add, "sub": _h_sub, "sll": _h_sll, "slt": _h_slt,
+        "sltu": _h_sltu, "xor": _h_xor, "srl": _h_srl, "sra": _h_sra,
+        "or": _h_or, "and": _h_and,
+        "addw": _h_addw, "subw": _h_subw, "sllw": _h_sllw,
+        "srlw": _h_srlw, "sraw": _h_sraw,
+        "mul": _h_mul, "mulh": _h_mulh, "mulhsu": _h_mulhsu,
+        "mulhu": _h_mulhu, "div": _h_div, "divu": _h_divu, "rem": _h_rem,
+        "remu": _h_remu, "mulw": _h_mulw, "divw": _h_divw,
+        "divuw": _h_divuw, "remw": _h_remw, "remuw": _h_remuw,
+        "ecall": _h_ecall, "ebreak": _h_ebreak,
+        "fence": _h_fence, "fence.i": _h_fence_i,
+        "csrrw": _h_csrrw, "csrrs": _h_csrrs, "csrrc": _h_csrrc,
+        "csrrwi": _h_csrrwi, "csrrsi": _h_csrrsi, "csrrci": _h_csrrci,
+    }
+    for name in _LOAD_INFO:
+        handlers[name] = _make_load(name)
+    for name in _RO_INFO:
+        handlers[name] = _make_roload(name)
+    for name in _STORE_INFO:
+        handlers[name] = _make_store(name)
+    for sfx in (".w", ".d"):
+        handlers["lr" + sfx] = _make_lr("lr" + sfx)
+        handlers["sc" + sfx] = _make_sc("sc" + sfx)
+        for base in _AMO_OPS:
+            handlers[base + sfx] = _make_amo(base, base + sfx)
+    return handlers
+
+
+_HANDLERS = _build_handlers()

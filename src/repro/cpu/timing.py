@@ -1,0 +1,112 @@
+"""Cycle-accounting model for the in-order Rocket-like core.
+
+The model is deliberately simple (the paper's performance claims are about
+*relative* overheads): one cycle per instruction, plus penalties for the
+events an in-order single-issue pipeline actually stalls on. Crucially,
+``ld.ro`` costs exactly what ``ld`` costs — the key comparison happens in
+parallel with the normal TLB permission check ("the conventional page
+permission check and the newly introduced ROLoad checks are done in
+parallel") — so any overhead measured for hardened binaries comes from
+*added instructions and locality effects*, never from an assumed per-check
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Latency parameters, roughly calibrated to the paper's prototype
+    (Rocket @ 125 MHz against a DDR3 SO-DIMM)."""
+
+    base_cpi: int = 1
+    cache_miss_penalty: int = 40   # L1 miss to DRAM, in cycles
+    tlb_walk_access: int = 8       # per page-table access (PTW via L1D)
+    taken_branch_penalty: int = 1
+    jump_penalty: int = 2          # jal/jalr redirect
+    mul_latency: int = 4
+    div_latency: int = 32
+    amo_latency: int = 2
+
+
+@dataclass
+class TimingStats:
+    """Cycle breakdown, kept separately from the core's architectural
+    state so evaluations can attribute overhead."""
+
+    instructions: int = 0
+    cycles: int = 0
+    icache_misses: int = 0
+    dcache_misses: int = 0
+    itlb_walk_cycles: int = 0
+    dtlb_walk_cycles: int = 0
+    branch_penalty_cycles: int = 0
+    muldiv_cycles: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class TimingModel:
+    """Accumulates cycles for the events the core reports."""
+
+    def __init__(self, params: "TimingParams | None" = None):
+        self.params = params or TimingParams()
+        self.stats = TimingStats()
+
+    def reset(self) -> None:
+        self.stats = TimingStats()
+
+    # -- per-event charging (called by the core) ----------------------------
+
+    def instruction(self) -> int:
+        self.stats.instructions += 1
+        self.stats.cycles += self.params.base_cpi
+        return self.params.base_cpi
+
+    def icache(self, hit: bool) -> int:
+        if hit:
+            return 0
+        self.stats.icache_misses += 1
+        self.stats.cycles += self.params.cache_miss_penalty
+        return self.params.cache_miss_penalty
+
+    def dcache(self, hit: bool) -> int:
+        if hit:
+            return 0
+        self.stats.dcache_misses += 1
+        self.stats.cycles += self.params.cache_miss_penalty
+        return self.params.cache_miss_penalty
+
+    def tlb_walk(self, accesses: int, instruction_side: bool) -> int:
+        """A page-table walk: each level costs one (usually L1-resident)
+        memory access; ``tlb_walk_access`` is the averaged per-level cost."""
+        cycles = accesses * self.params.tlb_walk_access
+        self.stats.cycles += cycles
+        if instruction_side:
+            self.stats.itlb_walk_cycles += cycles
+        else:
+            self.stats.dtlb_walk_cycles += cycles
+        return cycles
+
+    def taken_branch(self) -> int:
+        self.stats.branch_penalty_cycles += self.params.taken_branch_penalty
+        self.stats.cycles += self.params.taken_branch_penalty
+        return self.params.taken_branch_penalty
+
+    def jump(self) -> int:
+        self.stats.branch_penalty_cycles += self.params.jump_penalty
+        self.stats.cycles += self.params.jump_penalty
+        return self.params.jump_penalty
+
+    def muldiv(self, is_div: bool) -> int:
+        extra = self.params.div_latency if is_div else self.params.mul_latency
+        self.stats.muldiv_cycles += extra
+        self.stats.cycles += extra
+        return extra
+
+    def amo(self) -> int:
+        self.stats.cycles += self.params.amo_latency
+        return self.params.amo_latency

@@ -1,0 +1,170 @@
+"""Execution tracing and lightweight profiling over the core.
+
+Attach a :class:`Tracer` (full instruction log, bounded), a
+:class:`Profiler` (per-pc cycle/instruction attribution), or a
+:class:`ROLoadMonitor` (every executed ROLoad check with its key) via
+their ``attach(core)`` context-manager interface:
+
+    with Tracer(core, limit=100) as tracer:
+        kernel.run(process)
+    print(tracer.format())
+
+The hook costs one attribute test per retired instruction when detached.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.disasm import format_instruction
+from repro.isa.instruction import Instruction
+
+
+class _Attachable:
+    """Shared attach/detach logic (exclusive use of the core's hook)."""
+
+    def __init__(self, core):
+        self.core = core
+        self._previous = None
+
+    def attach(self) -> "_Attachable":
+        self._previous = self.core.trace_hook
+        if self._previous is not None:
+            # Chain: call the previous hook too.
+            previous = self._previous
+
+            def chained(pc, insn):
+                previous(pc, insn)
+                self._on_instruction(pc, insn)
+            self.core.trace_hook = chained
+        else:
+            self.core.trace_hook = self._on_instruction
+        return self
+
+    def detach(self) -> None:
+        self.core.trace_hook = self._previous
+        self._previous = None
+
+    def __enter__(self):
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def _on_instruction(self, pc: int, insn: Instruction) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+
+@dataclass
+class TraceEntry:
+    index: int
+    pc: int
+    text: str
+    cycles: int
+
+    def __str__(self) -> str:
+        return f"{self.index:8d}  {self.pc:#010x}  {self.text}"
+
+
+class Tracer(_Attachable):
+    """Bounded instruction trace (keeps the most recent ``limit``)."""
+
+    def __init__(self, core, limit: int = 10_000,
+                 only: "Optional[str]" = None):
+        super().__init__(core)
+        self.limit = limit
+        self.only = only          # keep only instructions whose name
+        self.entries: "List[TraceEntry]" = []
+        self._index = 0
+
+    def _on_instruction(self, pc, insn) -> None:
+        self._index += 1
+        if self.only is not None and insn.name != self.only:
+            return
+        self.entries.append(TraceEntry(
+            self._index, pc, format_instruction(insn),
+            self.core.timing.stats.cycles))
+        if len(self.entries) > self.limit:
+            del self.entries[:len(self.entries) - self.limit]
+
+    def format(self, last: "Optional[int]" = None) -> str:
+        entries = self.entries[-last:] if last else self.entries
+        return "\n".join(str(entry) for entry in entries)
+
+
+class Profiler(_Attachable):
+    """Per-pc instruction counts and cycle attribution.
+
+    Cycle deltas between consecutive retirements are attributed to the
+    retiring pc — exact for this in-order, one-at-a-time model.
+    """
+
+    def __init__(self, core):
+        super().__init__(core)
+        self.instruction_counts: Counter = Counter()
+        self.cycle_counts: Counter = Counter()
+        self._last_cycles = core.timing.stats.cycles
+
+    def _on_instruction(self, pc, insn) -> None:
+        now = self.core.timing.stats.cycles
+        self.instruction_counts[pc] += 1
+        self.cycle_counts[pc] += now - self._last_cycles
+        self._last_cycles = now
+
+    def hottest(self, n: int = 10) -> "List[tuple[int, int, int]]":
+        """Top-n pcs by cycles: (pc, cycles, instructions)."""
+        return [(pc, cycles, self.instruction_counts[pc])
+                for pc, cycles in self.cycle_counts.most_common(n)]
+
+    def format(self, n: int = 10,
+               symbols: "Optional[dict]" = None) -> str:
+        reverse = {}
+        if symbols:
+            reverse = dict(sorted((addr, name)
+                                  for name, addr in symbols.items()))
+        lines = [f"{'pc':>12s} {'cycles':>10s} {'count':>8s}  location"]
+        addresses = sorted(reverse)
+        for pc, cycles, count in self.hottest(n):
+            location = ""
+            if addresses:
+                import bisect
+                slot = bisect.bisect_right(addresses, pc) - 1
+                if slot >= 0:
+                    base = addresses[slot]
+                    location = f"{reverse[base]}+{pc - base:#x}"
+            lines.append(f"{pc:#12x} {cycles:>10d} {count:>8d}  "
+                         f"{location}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ROLoadEvent:
+    pc: int
+    key: int
+    mnemonic: str
+
+
+class ROLoadMonitor(_Attachable):
+    """Records every executed ROLoad instruction (pc, key).
+
+    Useful for coverage questions: which allowlists does this workload
+    actually exercise, and how often?
+    """
+
+    def __init__(self, core):
+        super().__init__(core)
+        self.events: "List[ROLoadEvent]" = []
+        self.by_key: Counter = Counter()
+
+    def _on_instruction(self, pc, insn) -> None:
+        if insn.is_roload:
+            self.events.append(ROLoadEvent(pc, insn.key, insn.name))
+            self.by_key[insn.key] += 1
+
+    def format(self) -> str:
+        lines = [f"{'key':>6s} {'executions':>12s}"]
+        for key, count in self.by_key.most_common():
+            lines.append(f"{key:>6d} {count:>12d}")
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Architectural traps raised by the core and handled by the kernel model.
+
+The ROLoad-specific fields mirror what the modified Linux kernel needs in
+``arch/riscv/mm/fault.c``: enough information to *distinguish load page
+faults raised by ROLoad-family instructions from benign load page faults*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mem.faults import ROLoadFailure
+
+
+class Cause:
+    """RISC-V synchronous exception cause numbers (scause)."""
+
+    MISALIGNED_FETCH = 0
+    FETCH_ACCESS = 1
+    ILLEGAL_INSTRUCTION = 2
+    BREAKPOINT = 3
+    MISALIGNED_LOAD = 4
+    LOAD_ACCESS = 5
+    MISALIGNED_STORE = 6
+    STORE_ACCESS = 7
+    ECALL_FROM_U = 8
+    FETCH_PAGE_FAULT = 12
+    LOAD_PAGE_FAULT = 13
+    STORE_PAGE_FAULT = 15
+
+    NAMES = {
+        0: "misaligned fetch", 1: "fetch access", 2: "illegal instruction",
+        3: "breakpoint", 4: "misaligned load", 5: "load access",
+        6: "misaligned store", 7: "store access", 8: "ecall (U-mode)",
+        12: "instruction page fault", 13: "load page fault",
+        15: "store/AMO page fault",
+    }
+
+
+@dataclass
+class Trap(Exception):
+    """A synchronous trap: delivered to the kernel's handler."""
+
+    cause: int
+    pc: int
+    tval: int = 0
+    # ROLoad discrimination (valid when cause == LOAD_PAGE_FAULT):
+    roload: bool = False
+    roload_reason: Optional[ROLoadFailure] = None
+    insn_key: Optional[int] = None
+    page_key: Optional[int] = None
+
+    def __str__(self) -> str:
+        name = Cause.NAMES.get(self.cause, f"cause {self.cause}")
+        text = f"trap: {name} at pc={self.pc:#x} tval={self.tval:#x}"
+        if self.roload:
+            text += f" (ROLoad {self.roload_reason.value})"
+        return text
+
+    @property
+    def is_roload_fault(self) -> bool:
+        return self.roload

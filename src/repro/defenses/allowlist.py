@@ -1,0 +1,82 @@
+"""Generic allowlist framework (§IV-C: "Other Application Scenarios").
+
+"Given an allowlist check, we could first place allowlists into read-only
+memory pages tagged with unique keys, and then transform the allowlist
+check to a ROLoad check, i.e. ensuring the targets are in allowlists."
+
+:class:`KeyedAllowlist` packages the recipe: register the legitimate
+values (symbols or constants), get back slot addresses to hand out in
+place of raw values, and emit ``ld.ro``-checked dereferences at the
+sensitive operation. Both paper applications are instances of this
+pattern; the examples use it for format strings and operation tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import CompilerError
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import GlobalVar, Module
+from repro.compiler.metadata import KeyAllocator, ROLoadMD
+
+
+class KeyedAllowlist:
+    """One allowlist: a keyed read-only table of legitimate values."""
+
+    def __init__(self, module: Module, name: str,
+                 allocator: "Optional[KeyAllocator]" = None):
+        self.module = module
+        self.name = name
+        self.allocator = allocator if allocator is not None else KeyAllocator()
+        self.key = self.allocator.key_for(f"allowlist:{name}")
+        self.symbol = f"__allowlist_{name}"
+        self._entries: "List[Union[int, Tuple[str, str]]]" = []
+        self._sealed = False
+
+    # -- building ------------------------------------------------------------
+
+    def add_symbol(self, symbol: str) -> str:
+        """Allow the address of ``symbol``; returns the slot's address
+        expression (``table+offset``) to use instead of the raw symbol."""
+        return self._add(("quad", symbol))
+
+    def add_value(self, value: int) -> str:
+        """Allow a constant value; returns the slot address expression."""
+        return self._add(int(value))
+
+    def _add(self, item) -> str:
+        if self._sealed:
+            raise CompilerError(f"allowlist {self.name!r} already sealed")
+        index = len(self._entries)
+        self._entries.append(item)
+        return self.slot(index)
+
+    def slot(self, index: int) -> str:
+        if index == 0:
+            return self.symbol
+        return f"{self.symbol}+{8 * index}"
+
+    def seal(self) -> GlobalVar:
+        """Emit the table into a keyed read-only section."""
+        if self._sealed:
+            raise CompilerError(f"allowlist {self.name!r} already sealed")
+        self._sealed = True
+        if not self._entries:
+            raise CompilerError(f"allowlist {self.name!r} is empty")
+        return self.module.global_var(GlobalVar(
+            name=self.symbol, section=f".rodata.key.{self.key}",
+            init=list(self._entries)))
+
+    # -- checked use -----------------------------------------------------------
+
+    def load_checked(self, builder: IRBuilder, slot_ptr: str,
+                     width: int = 8, signed: bool = True) -> str:
+        """Emit the ROLoad check: dereference a (possibly corrupted) slot
+        pointer; the MMU guarantees the result came from this allowlist's
+        keyed read-only page."""
+        return builder.load(slot_ptr, 0, width, signed,
+                            roload_md=ROLoadMD(self.key))
+
+    def __len__(self) -> int:
+        return len(self._entries)

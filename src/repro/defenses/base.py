@@ -1,0 +1,37 @@
+"""Common protocol for defenses (hardening passes).
+
+A defense is an object with:
+
+* ``name`` — short identifier used in reports,
+* ``apply(module)`` — an IR-level pass (annotate loads with ROLoad-md,
+  re-section allowlists, rewrite address-taken references, ...),
+* optionally ``asm_transform(text) -> text`` — an assembly-level rewrite
+  used by the software baselines (label CFI's function-entry IDs).
+
+Defenses are handed to :func:`repro.compiler.compile_module` via the
+``hardening`` argument, mirroring how the paper's defenses hook into
+LLVM.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Module
+
+
+class Defense:
+    """Base class; concrete defenses override :meth:`apply`."""
+
+    name = "defense"
+
+    def apply(self, module: Module) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+def fresh_temp(prefix: str, counter: "list[int]") -> str:
+    """Mint pass-private vreg names that cannot collide with the builder's
+    ``v<N>`` namespace."""
+    counter[0] += 1
+    return f"{prefix}{counter[0]}"

@@ -1,0 +1,59 @@
+"""Composing ROLoad defenses into one hardening configuration.
+
+The paper's two applications (plus the backward-edge extension) are
+independent passes, but deploying them together needs one shared key
+space so no allowlist types collide. :func:`full_hardening` builds the
+canonical "everything on" stack:
+
+* per-hierarchy VCall keys (pass ``hierarchies`` from your class model),
+* GFPT type keys for indirect calls,
+* optional return-site tables for selected leaf functions,
+
+all drawing from a single :class:`KeyAllocator`. The resulting list plugs
+straight into ``compile_module(..., hardening=...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.compiler.metadata import KeyAllocator
+from repro.defenses.base import Defense
+from repro.defenses.icall import TypeBasedCFI
+from repro.defenses.retprotect import ReturnProtection
+from repro.defenses.vcall import VCallProtection
+
+
+def full_hardening(*, hierarchies: "Optional[Dict[str, str]]" = None,
+                   protect_returns: "Sequence[str]" = (),
+                   allocator: "Optional[KeyAllocator]" = None) \
+        -> "List[Defense]":
+    """The complete ROLoad defense stack with a shared key space."""
+    allocator = allocator if allocator is not None else KeyAllocator()
+    stack: "List[Defense]" = [
+        VCallProtection(allocator, key_by_hierarchy=hierarchies or {}),
+        TypeBasedCFI(allocator),
+    ]
+    if protect_returns:
+        stack.append(ReturnProtection(list(protect_returns), allocator))
+    return stack
+
+
+def describe_keys(stack: "Sequence[Defense]") -> str:
+    """Human-readable key assignment across a composed stack."""
+    lines = ["key assignment:"]
+    for defense in stack:
+        if isinstance(defense, VCallProtection):
+            for class_name, key in sorted(defense.keys.items()):
+                lines.append(f"  key {key:4d}  vtable  {class_name}")
+        elif isinstance(defense, TypeBasedCFI):
+            for signature, key in sorted(defense.key_of_type.items(),
+                                         key=lambda kv: kv[1]):
+                lines.append(f"  key {key:4d}  gfpt    {signature}")
+            if defense.vtable_key is not None:
+                lines.append(f"  key {defense.vtable_key:4d}  vtable  "
+                             f"(unified)")
+        elif isinstance(defense, ReturnProtection):
+            for name, key in sorted(defense.keys.items()):
+                lines.append(f"  key {key:4d}  retsite {name}")
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""ICall: type-based forward-edge CFI via GFPTs (§IV-B, Listings 1-3).
+
+The transformation:
+
+1. **GFPT construction.** Address-taken functions are grouped by function
+   type (signature). Each type gets a *global function pointer table* in
+   a read-only page keyed by that type: ``.rodata.key.<k>`` containing
+   one ``.quad function`` per member (Listing 3 lines 7-10).
+2. **Pointer indirection.** Every place the program takes a function's
+   address (``La`` of an address-taken function) is rewritten to take the
+   address of that function's *GFPT slot* instead (Listing 2: ``lui/addi
+   gfpt_foo`` replaces ``lui/addi foo``).
+3. **Call-site check.** Every indirect call's target — now a GFPT-slot
+   pointer — is dereferenced with ``ld.ro`` carrying the type's key
+   immediately before the ``jalr`` (Listing 3 lines 2 and 5). The MMU
+   enforces that the slot lives in the right keyed read-only page, so the
+   call can only reach address-taken functions of the matching type.
+
+Virtual calls are also covered, with **a unified key for all VTables**
+("our ICall has lower execution time overheads than our VCall, because
+ICall uses a unified key for all VTables and uses other keys for other
+function pointers, and thus has better TLB and cache locality").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CompilerError
+from repro.compiler.ir import (
+    GlobalVar,
+    ICall,
+    La,
+    Load,
+    Module,
+    Op,
+)
+from repro.compiler.metadata import KeyAllocator, ROLoadMD
+from repro.compiler.types import FuncType
+from repro.defenses.base import Defense, fresh_temp
+
+UNIFIED_VTABLE_IDENTITY = "icall:__all_vtables__"
+
+
+def gfpt_symbol(key: int) -> str:
+    return f"__gfpt_{key}"
+
+
+class TypeBasedCFI(Defense):
+    """The paper's second defense application ("ICall")."""
+
+    name = "icall"
+
+    def __init__(self, allocator: "Optional[KeyAllocator]" = None):
+        self.allocator = allocator if allocator is not None else KeyAllocator()
+        self.slot_of: "Dict[str, tuple[str, int]]" = {}  # func -> (sym, idx)
+        self.key_of_type: "Dict[str, int]" = {}
+        self.vtable_key: "Optional[int]" = None
+        self.icalls_transformed = 0
+        self._counter = [0]
+
+    # -- key/GFPT construction --------------------------------------------------
+
+    def _type_key(self, func_type: "FuncType | None") -> int:
+        if func_type is None:
+            raise CompilerError(
+                "icall without a function type cannot be protected by the "
+                "type-based CFI policy (annotate the ICall/function)")
+        signature = func_type.signature()
+        key = self.allocator.key_for(f"icall:{signature}")
+        self.key_of_type[signature] = key
+        return key
+
+    def _build_gfpts(self, module: Module) -> None:
+        by_type: "Dict[str, List[str]]" = {}
+        for function in sorted(module.address_taken_functions(),
+                               key=lambda f: f.name):
+            if function.func_type is None:
+                raise CompilerError(
+                    f"address-taken function {function.name!r} has no "
+                    f"function type")
+            by_type.setdefault(function.func_type.signature(),
+                               []).append(function.name)
+        for signature in sorted(by_type):
+            key = self.allocator.key_for(f"icall:{signature}")
+            self.key_of_type[signature] = key
+            symbol = gfpt_symbol(key)
+            entries = by_type[signature]
+            module.global_var(GlobalVar(
+                name=symbol, section=f".rodata.key.{key}",
+                init=[("quad", name) for name in entries]))
+            for index, name in enumerate(entries):
+                self.slot_of[name] = (symbol, index)
+
+    # -- the pass -----------------------------------------------------------------
+
+    def apply(self, module: Module) -> None:
+        pre_existing_globals = list(module.globals.values())
+        self._build_gfpts(module)
+        # Listing 2 also covers static initializers: a global initialised
+        # with &foo must now hold the address of foo's GFPT slot.
+        for var in pre_existing_globals:
+            var.init = [self._rewrite_init(item) for item in var.init]
+        # Unified key for every vtable (locality optimization from §V-C1).
+        # Vtables already re-sectioned by an earlier pass (e.g. VCall's
+        # per-class keys) are left alone — the finer policy wins.
+        unkeyed = [t for t in module.vtables.values()
+                   if not t.section.startswith(".rodata.key.")]
+        if unkeyed:
+            self.vtable_key = self.allocator.key_for(
+                UNIFIED_VTABLE_IDENTITY)
+            for table in unkeyed:
+                table.section = f".rodata.key.{self.vtable_key}"
+        for function in module.functions.values():
+            function.ops = self._transform_ops(function.ops)
+
+    def _rewrite_init(self, item):
+        if isinstance(item, tuple) and item[1] in self.slot_of:
+            symbol, index = self.slot_of[item[1]]
+            return ("quad", symbol if index == 0
+                    else f"{symbol}+{8 * index}")
+        return item
+
+    def _transform_ops(self, ops: "List[Op]") -> "List[Op]":
+        new_ops: "List[Op]" = []
+        vtable_loaded: set = set()  # vregs produced by vtable-entry ld.ro
+        for op in ops:
+            if isinstance(op, La) and op.symbol in self.slot_of:
+                # Listing 2: the "address of foo" becomes the address of
+                # foo's GFPT slot.
+                symbol, index = self.slot_of[op.symbol]
+                rewritten = symbol if index == 0 else \
+                    f"{symbol}+{8 * index}"
+                new_ops.append(La(op.dst, rewritten))
+                continue
+            if isinstance(op, Load) and op.purpose == "vtable_entry":
+                if op.roload_md is None:
+                    if self.vtable_key is None:  # pragma: no cover
+                        raise CompilerError("vcall present but no "
+                                            "unified vtable key")
+                    op.roload_md = ROLoadMD(self.vtable_key)
+                vtable_loaded.add(op.dst)
+                new_ops.append(op)
+                continue
+            if isinstance(op, ICall) and op.target not in vtable_loaded:
+                # Listing 3 lines 2/5: dereference the GFPT slot with the
+                # type's key right before the jalr.
+                key = self._type_key(op.func_type)
+                real = fresh_temp("gf", self._counter)
+                new_ops.append(Load(real, op.target, 0, 8,
+                                    roload_md=ROLoadMD(key)))
+                new_ops.append(ICall(op.dst, real, op.args, op.func_type))
+                self.icalls_transformed += 1
+                continue
+            new_ops.append(op)
+        return new_ops

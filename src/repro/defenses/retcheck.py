@@ -1,0 +1,62 @@
+"""Backward-edge (return) protection sketch from §IV-C.
+
+"For instance, it can be applied to backward control-flow transfers (i.e.
+return instructions) too, where the allowlists are sets of legitimate
+return sites."
+
+Construction: a protected function returns through a keyed read-only
+*return-site table* instead of trusting the on-stack return address. The
+caller passes the index of its return site (a small cookie); the callee
+loads ``table[cookie]`` with ``ld.ro`` and jumps there. A corrupted stack
+cannot redirect the return anywhere outside the table's page — the
+remaining surface is choosing *which* legitimate return site (the pointee
+reuse residue of §V-D, same as for forward edges).
+
+This is provided as assembly-level building blocks plus a tiny IR-free
+helper, since the general transformation (rewriting every call) is out of
+the paper's prototype scope too.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.metadata import KeyAllocator
+
+
+class ReturnSiteTable:
+    """Builds the .rodata.key section + call/return assembly snippets."""
+
+    def __init__(self, function: str,
+                 allocator: "KeyAllocator | None" = None):
+        self.function = function
+        self.allocator = allocator if allocator is not None else KeyAllocator(first_key=900)
+        self.key = self.allocator.key_for(f"retsites:{function}")
+        self.symbol = f"__retsites_{function}"
+        self.sites: "List[str]" = []
+
+    def call_snippet(self, site_label: str, cookie_reg: str = "t6") -> str:
+        """Assembly for one protected call site: pass the cookie, call,
+        and define the return-site label the table points at."""
+        index = len(self.sites)
+        self.sites.append(site_label)
+        return (f"    li {cookie_reg}, {index}\n"
+                f"    call {self.function}\n"
+                f"{site_label}:\n")
+
+    def return_snippet(self, cookie_reg: str = "t6",
+                       scratch: str = "t5") -> str:
+        """Assembly replacing ``ret`` in the protected function: return
+        through the keyed table, ignoring the on-stack ra."""
+        return (f"    la {scratch}, {self.symbol}\n"
+                f"    slli {cookie_reg}, {cookie_reg}, 3\n"
+                f"    add {scratch}, {scratch}, {cookie_reg}\n"
+                f"    ld.ro {scratch}, ({scratch}), {self.key}\n"
+                f"    jr {scratch}\n")
+
+    def table_section(self) -> str:
+        """The keyed read-only return-site table."""
+        lines = [f".section .rodata.key.{self.key}",
+                 f".globl {self.symbol}", f"{self.symbol}:"]
+        lines += [f"    .quad {site}" for site in self.sites]
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,69 @@
+"""VCall: virtual-function-call protection with per-class keys (§IV-A).
+
+"We first classify VTables based on class types and move them into
+read-only pages with corresponding keys. Then, we can replace VTable
+loading instructions with ROLoad-family load instructions, to enforce
+that virtual function pointers are read from read-only memory pages with
+matching keys and stop most VTable hijacking attacks."
+
+Concretely:
+
+1. every class's vtable moves from ``.rodata`` to ``.rodata.key.<k>``
+   where ``k`` is the class's key;
+2. every ``vtable_entry`` load (the load of the function pointer out of
+   the vtable) gets ``ROLoad-md`` metadata with that key, so the back-end
+   emits it as ``ld.ro``.
+
+The vptr load itself is untouched — objects live in writable memory. The
+security comes from validating the *pointee*: whatever the (possibly
+corrupted) vptr points at must be a read-only page holding this class
+hierarchy's vtables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CompilerError
+from repro.compiler.ir import Load, Module
+from repro.compiler.metadata import KeyAllocator, ROLoadMD
+from repro.defenses.base import Defense
+
+
+class VCallProtection(Defense):
+    """The paper's first defense application."""
+
+    name = "vcall"
+
+    def __init__(self, allocator: "Optional[KeyAllocator]" = None, *,
+                 key_by_hierarchy: "Optional[dict]" = None):
+        """``key_by_hierarchy`` optionally maps class name -> group name;
+        classes in one hierarchy group share a key (base-class dispatch
+        may legally observe derived vtables)."""
+        self.allocator = allocator if allocator is not None else KeyAllocator()
+        self.key_by_hierarchy = key_by_hierarchy or {}
+        self.keys: "dict[str, int]" = {}
+        self.loads_annotated = 0
+
+    def _class_key(self, class_name: str) -> int:
+        group = self.key_by_hierarchy.get(class_name, class_name)
+        key = self.allocator.key_for(f"vtable:{group}")
+        self.keys[class_name] = key
+        return key
+
+    def apply(self, module: Module) -> None:
+        for table in module.vtables.values():
+            key = self._class_key(table.class_name)
+            table.section = f".rodata.key.{key}"
+        for __fn, __index, load in module.loads():
+            if load.purpose != "vtable_entry":
+                continue
+            if load.class_name is None:
+                raise CompilerError(
+                    "vtable_entry load without a class name")
+            if load.class_name not in module.vtables:
+                raise CompilerError(
+                    f"vcall of unknown class {load.class_name!r}")
+            key = self._class_key(load.class_name)
+            load.roload_md = ROLoadMD(key)
+            self.loads_annotated += 1

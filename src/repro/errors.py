@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ROLoad reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller embedding the simulator can catch a single type. Subsystems define
+narrower subclasses below; hardware *traps* (page faults, illegal
+instructions, environment calls) are intentionally **not** Python
+exceptions raised to the user — they are architectural events modelled by
+:class:`repro.cpu.trap.Trap` and handled by the simulated kernel. The
+exceptions here signal misuse of the library or malformed inputs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded (bad operands, field overflow)."""
+
+
+class DecodingError(ReproError):
+    """A machine word does not decode to a known instruction."""
+
+
+class MemoryError_(ReproError):
+    """Physical memory misuse (out-of-range address, bad size)."""
+
+
+class PageTableError(ReproError):
+    """Malformed page-table structure or invalid mapping request."""
+
+
+class AssemblerError(ReproError):
+    """Syntax or semantic error in assembly source."""
+
+    def __init__(self, message: str, line: int = 0, source: str = "<asm>"):
+        self.line = line
+        self.source = source
+        if line:
+            message = f"{source}:{line}: {message}"
+        super().__init__(message)
+
+
+class LinkError(ReproError):
+    """Unresolved symbol, overlapping segments, or layout violation."""
+
+
+class LoaderError(ReproError):
+    """Malformed executable image or unloadable segment."""
+
+
+class CompilerError(ReproError):
+    """Invalid IR, type error, or failed lowering."""
+
+
+class KernelError(ReproError):
+    """Invalid system-call usage or kernel-model misconfiguration."""
+
+
+class SimulationError(ReproError):
+    """The simulated machine reached a state the model cannot continue from
+    (e.g. double fault with no handler, runaway execution past the
+    instruction budget)."""
+
+
+class ConfigError(ReproError):
+    """Invalid SoC, cache, or TLB configuration."""

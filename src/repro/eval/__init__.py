@@ -1,0 +1,23 @@
+"""Evaluation harness: measurements, overhead figures, tables, report."""
+
+from repro.eval.figures import FigureData, fig3, fig4, fig5
+from repro.eval.measure import (
+    BenchmarkRun,
+    Measurement,
+    VARIANTS,
+    make_hardening,
+    run_benchmark,
+    run_system_comparison,
+    run_variant,
+)
+from repro.eval.report import full_report, section_5b
+from repro.eval.tables import table1, table2, table3_text
+from repro.eval.verdicts import Verdict, check_claims, render_verdicts
+
+__all__ = [
+    "FigureData", "fig3", "fig4", "fig5", "BenchmarkRun", "Measurement",
+    "VARIANTS", "make_hardening", "run_benchmark",
+    "run_system_comparison", "run_variant", "full_report", "section_5b",
+    "table1", "table2", "table3_text", "Verdict", "check_claims",
+    "render_verdicts",
+]

@@ -1,0 +1,125 @@
+"""Figure 3/4/5 regeneration: per-benchmark overhead series + rendering.
+
+Each ``figN()`` returns a :class:`FigureData` whose series mirror the
+paper's bars; ``render()`` prints them as an ASCII table with the same
+averages the paper quotes in the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.measure import BenchmarkRun, run_benchmark
+from repro.workloads.profiles import CPP_BENCHMARKS, PROFILES
+
+
+@dataclass
+class FigureData:
+    """One reproduced figure: benchmarks x series of overhead %."""
+
+    title: str
+    metric: str                       # "cycles" or "memory_kib"
+    benchmarks: "List[str]"
+    series: "Dict[str, List[float]]"  # variant -> per-benchmark overhead %
+    paper_averages: "Dict[str, float]" = field(default_factory=dict)
+
+    def average(self, variant: str) -> float:
+        values = self.series[variant]
+        return sum(values) / len(values) if values else 0.0
+
+    def render(self) -> str:
+        width = max(len(b) for b in self.benchmarks) + 2
+        names = list(self.series)
+        lines = [self.title,
+                 "".join([f"{'benchmark':{width}s}"]
+                         + [f"{n:>12s}" for n in names])]
+        for row, benchmark in enumerate(self.benchmarks):
+            cells = "".join(f"{self.series[n][row]:>11.3f}%"
+                            for n in names)
+            lines.append(f"{benchmark:{width}s}{cells}")
+        lines.append("-" * (width + 12 * len(names)))
+        avg_cells = "".join(f"{self.average(n):>11.3f}%" for n in names)
+        lines.append(f"{'average':{width}s}{avg_cells}")
+        if self.paper_averages:
+            paper_cells = "".join(
+                f"{self.paper_averages.get(n, float('nan')):>11.3f}%"
+                for n in names)
+            lines.append(f"{'paper avg':{width}s}{paper_cells}")
+        return "\n".join(lines)
+
+
+def _collect(benchmarks: "Sequence[str]", variants: "Sequence[str]",
+             metric: str, scale: float,
+             runs: "Optional[Dict[str, BenchmarkRun]]" = None) \
+        -> "Dict[str, List[float]]":
+    series: "Dict[str, List[float]]" = {v: [] for v in variants}
+    for name in benchmarks:
+        run = (runs or {}).get(name)
+        if run is None or any(v not in run.measurements
+                              for v in variants):
+            run = run_benchmark(name, ("base",) + tuple(variants),
+                                scale=scale)
+            if runs is not None and name in runs:
+                # Merge with previously measured variants.
+                run.measurements.update(
+                    {v: m for v, m in runs[name].measurements.items()
+                     if v not in run.measurements})
+        if runs is not None:
+            runs[name] = run
+        for variant in variants:
+            series[variant].append(run.overhead(variant, metric))
+    return series
+
+
+def fig3(scale: float = 0.2,
+         runs: "Optional[Dict[str, BenchmarkRun]]" = None) \
+        -> "tuple[FigureData, FigureData]":
+    """Figure 3: VCall vs VTint runtime AND memory overheads on the
+    3 C++ CINT2006 benchmarks."""
+    benchmarks = list(CPP_BENCHMARKS)
+    variants = ("vcall", "vtint")
+    local_runs = runs if runs is not None else {}
+    for name in benchmarks:
+        if name not in local_runs:
+            local_runs[name] = run_benchmark(
+                name, ("base",) + variants, scale=scale)
+    time_fig = FigureData(
+        title="Fig. 3a: relative runtime overhead (%), VCall vs VTint",
+        metric="cycles", benchmarks=benchmarks,
+        series=_collect(benchmarks, variants, "cycles", scale,
+                        local_runs),
+        paper_averages={"vcall": 0.303, "vtint": 2.750})
+    mem_fig = FigureData(
+        title="Fig. 3b: relative memory overhead (%), VCall vs VTint",
+        metric="memory_kib", benchmarks=benchmarks,
+        series=_collect(benchmarks, variants, "memory_kib", scale,
+                        local_runs),
+        paper_averages={"vcall": 0.0347, "vtint": 0.0644})
+    return time_fig, mem_fig
+
+
+def fig4(scale: float = 0.2,
+         runs: "Optional[Dict[str, BenchmarkRun]]" = None) -> FigureData:
+    """Figure 4: ICall vs CFI runtime overheads across CINT2006."""
+    benchmarks = [p.name for p in PROFILES]
+    local_runs = runs if runs is not None else {}
+    return FigureData(
+        title="Fig. 4: relative runtime overhead (%), ICall vs CFI",
+        metric="cycles", benchmarks=benchmarks,
+        series=_collect(benchmarks, ("icall", "cfi"), "cycles", scale,
+                        local_runs),
+        paper_averages={"icall": 0.0, "cfi": 9.073})
+
+
+def fig5(scale: float = 0.2,
+         runs: "Optional[Dict[str, BenchmarkRun]]" = None) -> FigureData:
+    """Figure 5: ICall vs CFI memory overheads across CINT2006."""
+    benchmarks = [p.name for p in PROFILES]
+    local_runs = runs if runs is not None else {}
+    return FigureData(
+        title="Fig. 5: relative memory overhead (%), ICall vs CFI",
+        metric="memory_kib", benchmarks=benchmarks,
+        series=_collect(benchmarks, ("icall", "cfi"), "memory_kib",
+                        scale, local_runs),
+        paper_averages={"icall": 0.0859, "cfi": 0.0500})

@@ -1,0 +1,130 @@
+"""Measurement core: run one benchmark variant on one system profile.
+
+Execution time is reported in *clock cycles* and memory in KiB — the
+paper's units ("Execution time and memory usages are both measured, in
+terms of the number of clock cycles and KiB respectively").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.compiler import compile_module
+from repro.defenses import (
+    LabelCFIBaseline,
+    TypeBasedCFI,
+    VCallProtection,
+    VTintBaseline,
+)
+from repro.errors import ReproError
+from repro.kernel import Kernel
+from repro.soc import build_system
+from repro.workloads import WorkloadProgram, build_workload, profile
+
+VARIANTS = ("base", "vcall", "vtint", "icall", "cfi")
+
+
+def make_hardening(variant: str, program: WorkloadProgram):
+    """Defense objects for a variant (fresh per compile)."""
+    if variant == "base":
+        return None
+    if variant == "vcall":
+        return [VCallProtection(key_by_hierarchy=program.hierarchies)]
+    if variant == "vtint":
+        return [VTintBaseline()]
+    if variant == "icall":
+        return [TypeBasedCFI()]
+    if variant == "cfi":
+        return [LabelCFIBaseline()]
+    raise ReproError(f"unknown variant {variant!r}")
+
+
+@dataclass
+class Measurement:
+    benchmark: str
+    variant: str
+    system_profile: str
+    cycles: int
+    instructions: int
+    memory_kib: float
+    exit_code: int
+    dcache_miss_rate: float
+    dtlb_miss_rate: float
+    code_bytes: int
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+def run_variant(program: WorkloadProgram, variant: str, *,
+                system_profile: str = "processor+kernel",
+                max_instructions: int = 100_000_000) -> Measurement:
+    """Compile one variant of a generated workload and run it."""
+    image = compile_module(program.module,
+                           hardening=make_hardening(variant, program))
+    system = build_system(system_profile)
+    kernel = Kernel(system)
+    process = kernel.create_process(image, name=program.profile.name)
+    kernel.run(process, max_instructions=max_instructions)
+    if process.state.value != "exited":
+        raise ReproError(
+            f"{program.profile.name}/{variant} did not exit cleanly: "
+            f"{process.status()}")
+    stats = system.timing.stats
+    dcache = system.dcache
+    dtlb = system.mmu.dtlb
+    code_bytes = sum(len(s.data) for s in image.segments if s.executable)
+    return Measurement(
+        benchmark=program.profile.name, variant=variant,
+        system_profile=system_profile, cycles=stats.cycles,
+        instructions=stats.instructions,
+        memory_kib=process.memory_kib(), exit_code=process.exit_code,
+        dcache_miss_rate=1.0 - dcache.hit_rate,
+        dtlb_miss_rate=1.0 - dtlb.hit_rate,
+        code_bytes=code_bytes)
+
+
+@dataclass
+class BenchmarkRun:
+    """All requested variants of one benchmark, plus integrity checks."""
+
+    benchmark: str
+    measurements: "Dict[str, Measurement]"
+
+    def overhead(self, variant: str, metric: str = "cycles") -> float:
+        """Relative overhead (%) of a variant versus base."""
+        base = getattr(self.measurements["base"], metric)
+        value = getattr(self.measurements[variant], metric)
+        return 100.0 * (value - base) / base
+
+
+def run_benchmark(name: str, variants=VARIANTS, *, scale: float = 0.2,
+                  system_profile: str = "processor+kernel") -> BenchmarkRun:
+    """Generate, compile, and run all variants of one benchmark.
+
+    Raises if any variant's exit code differs from base — a hardened
+    binary must be functionally identical.
+    """
+    program = build_workload(profile(name), scale=scale)
+    measurements: "Dict[str, Measurement]" = {}
+    for variant in variants:
+        measurements[variant] = run_variant(
+            program, variant, system_profile=system_profile)
+    codes = {m.exit_code for m in measurements.values()}
+    if len(codes) != 1:
+        raise ReproError(f"{name}: variants disagree on output: "
+                         f"{ {v: m.exit_code for v, m in measurements.items()} }")
+    return BenchmarkRun(name, measurements)
+
+
+def run_system_comparison(name: str, *, scale: float = 0.2) \
+        -> "Dict[str, Measurement]":
+    """§V-B: the same unhardened binary on the three system profiles."""
+    program = build_workload(profile(name), scale=scale)
+    out: "Dict[str, Measurement]" = {}
+    for system_profile in ("baseline", "processor", "processor+kernel"):
+        out[system_profile] = run_variant(
+            program, "base", system_profile=system_profile)
+    return out

@@ -1,0 +1,96 @@
+"""Full evaluation report: every table and figure in one run.
+
+``python -m repro.eval.report [scale]`` regenerates Tables I-III, the
+§V-B system-overhead comparison, and Figures 3-5, printing them in paper
+order. ``scale`` (default 0.2) multiplies every benchmark's iteration
+count — the benchmark suite uses the same entry points.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict
+
+from repro.eval.figures import fig3, fig4, fig5
+from repro.eval.measure import BenchmarkRun, run_system_comparison
+from repro.eval.tables import table1, table2, table3_text
+from repro.workloads.profiles import PROFILES
+
+
+def section_5b(scale: float = 0.2, benchmarks=None) -> str:
+    """§V-B: unhardened suite on baseline / processor / processor+kernel.
+
+    The claim: both modifications introduce ~0% runtime and memory
+    overhead (full backward compatibility).
+    """
+    names = benchmarks or [p.name for p in PROFILES[:4]]
+    lines = ["Section V-B: system-modification overhead "
+             "(unhardened binaries)",
+             f"{'benchmark':16s} {'baseline':>12s} {'processor':>12s} "
+             f"{'proc+kernel':>12s} {'overhead':>10s}"]
+    for name in names:
+        rows = run_system_comparison(name, scale=scale)
+        base = rows["baseline"].cycles
+        worst = max(abs(rows[p].cycles - base) / base
+                    for p in ("processor", "processor+kernel"))
+        lines.append(
+            f"{name:16s} {rows['baseline'].cycles:>12,d} "
+            f"{rows['processor'].cycles:>12,d} "
+            f"{rows['processor+kernel'].cycles:>12,d} "
+            f"{100 * worst:>9.3f}%")
+    return "\n".join(lines)
+
+
+def full_report(scale: float = 0.2, verdicts: bool = True) -> str:
+    """Regenerate every table and figure; returns the printable report."""
+    runs: "Dict[str, BenchmarkRun]" = {}
+    parts = [
+        table1(), "", table2(), "", table3_text(), "",
+        section_5b(scale), "",
+    ]
+    fig3_time, fig3_mem = fig3(scale, runs)
+    parts += [fig3_time.render(), "", fig3_mem.render(), "",
+              fig4(scale, runs).render(), "", fig5(scale, runs).render()]
+    if verdicts:
+        from repro.eval.verdicts import check_claims, render_verdicts
+        parts += ["", render_verdicts(check_claims(scale, runs))]
+    return "\n".join(parts)
+
+
+def write_markdown(path, scale: float = 0.2) -> None:
+    """Write the full report as a Markdown document (RESULTS.md)."""
+    from pathlib import Path
+    body = full_report(scale)
+    text = "\n".join([
+        "# RESULTS — regenerated tables, figures, and verdicts",
+        "",
+        f"Produced by `python -m repro.eval.report {scale} --markdown "
+        f"<path>`.",
+        "See EXPERIMENTS.md for the paper-vs-measured discussion.",
+        "",
+        "```text",
+        body,
+        "```",
+        "",
+    ])
+    Path(path).write_text(text)
+
+
+def main(argv=None) -> int:
+    argv = list(argv if argv is not None else sys.argv[1:])
+    markdown_path = None
+    if "--markdown" in argv:
+        index = argv.index("--markdown")
+        markdown_path = argv[index + 1]
+        del argv[index:index + 2]
+    scale = float(argv[0]) if argv else 0.2
+    if markdown_path:
+        write_markdown(markdown_path, scale)
+        print(f"wrote {markdown_path}")
+    else:
+        print(full_report(scale))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

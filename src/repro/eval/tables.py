@@ -1,0 +1,45 @@
+"""Table I/II/III regeneration as printable text."""
+
+from __future__ import annotations
+
+from repro.hw.loc import PAPER_TABLE1, scan_tree
+from repro.hw.synthesis import format_table3, table3
+from repro.soc.config import SoCConfig
+
+
+def table1() -> str:
+    """Table I analogue: ROLoad-specific lines of code per component."""
+    totals = scan_tree()
+    lines = [
+        "TABLE I: Lines of code of each ROLoad component.",
+        f"{'Component':18s} {'Language':10s} {'This repo (lines)':>18s} "
+        f"{'sites':>6s} {'Paper (total)':>14s}",
+    ]
+    label = {"processor": "RISC-V Processor", "kernel": "Linux Kernel",
+             "compiler": "LLVM Back-end"}
+    total_lines = 0
+    for component in ("processor", "kernel", "compiler"):
+        entry = totals[component]
+        total_lines += entry.lines
+        paper = PAPER_TABLE1[component]["total"]
+        lines.append(
+            f"{label[component]:18s} {'Python':10s} {entry.lines:>18d} "
+            f"{entry.sites:>6d} {paper:>14d}")
+    lines.append(f"{'Total':18s} {'-':10s} {total_lines:>18d} "
+                 f"{'':>6s} {450:>14d}")
+    return "\n".join(lines)
+
+
+def table2(config: "SoCConfig | None" = None) -> str:
+    """Table II: configuration of the prototype computer system."""
+    config = config or SoCConfig()
+    lines = ["TABLE II: Configuration of our prototype computer system.",
+             f"{'Components':16s} Configurations"]
+    for component, value in config.describe():
+        lines.append(f"{component:16s} {value}")
+    return "\n".join(lines)
+
+
+def table3_text(config: "SoCConfig | None" = None) -> str:
+    """Table III via the structural hardware cost model."""
+    return format_table3(table3(config))

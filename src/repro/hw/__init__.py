@@ -1,0 +1,35 @@
+"""Hardware cost modelling (Table III) and LoC accounting (Table I)."""
+
+from repro.hw.loc import PAPER_TABLE1, ComponentLoC, scan_file, scan_tree
+from repro.hw.resources import (
+    ResourceCount,
+    and_gate_luts,
+    decoder_luts,
+    equality_comparator_luts,
+    mux_luts,
+    register_ffs,
+)
+from repro.hw.rocket import (
+    BASELINE_CORE_FF,
+    BASELINE_CORE_LUT,
+    SynthesisResult,
+    roload_delta,
+    synthesize,
+)
+from repro.hw.synthesis import (
+    AblationPoint,
+    Table3Row,
+    ablate_dtlb_entries,
+    ablate_key_width,
+    format_table3,
+    table3,
+)
+
+__all__ = [
+    "PAPER_TABLE1", "ComponentLoC", "scan_file", "scan_tree",
+    "ResourceCount", "and_gate_luts", "decoder_luts",
+    "equality_comparator_luts", "mux_luts", "register_ffs",
+    "BASELINE_CORE_FF", "BASELINE_CORE_LUT", "SynthesisResult",
+    "roload_delta", "synthesize", "AblationPoint", "Table3Row",
+    "ablate_dtlb_entries", "ablate_key_width", "format_table3", "table3",
+]

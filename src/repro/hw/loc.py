@@ -1,0 +1,108 @@
+"""Lines-of-code accounting for Table I.
+
+The paper reports how many lines each ROLoad component took (Chisel
+processor: 59; Linux kernel: 121; LLVM back-end: 270). We reproduce the
+*accounting*, not the numbers: ROLoad-specific code in this repository is
+delimited by machine-readable markers —
+
+    # [roload-begin: processor|kernel|compiler]
+    ...
+    # [roload-end]
+
+or a whole-file tag ``# [roload-file: <component>]`` — and this module
+counts the non-blank, non-comment lines inside them per component. The
+absolute counts differ from the paper's (Python vs Chisel/C/C++ and a
+simulator vs RTL), but the claim Table I supports — *the mechanism is a
+few-hundred-line change, concentrated in the compiler, with a tiny
+processor diff* — is checkable against the same kind of evidence.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+COMPONENTS = ("processor", "kernel", "compiler")
+
+_BEGIN = re.compile(r"#\s*\[roload-begin:\s*(\w+)\]")
+_END = re.compile(r"#\s*\[roload-end\]")
+_FILE = re.compile(r"#\s*\[roload-file:\s*(\w+)\]")
+
+
+@dataclass
+class ComponentLoC:
+    component: str
+    lines: int = 0
+    sites: int = 0                     # number of marked regions/files
+    files: "List[str]" = field(default_factory=list)
+
+
+def _countable(line: str) -> bool:
+    stripped = line.strip()
+    return bool(stripped) and not stripped.startswith("#")
+
+
+def scan_file(path: Path) -> "Dict[str, tuple[int, int]]":
+    """Return {component: (lines, sites)} for one source file."""
+    text = path.read_text()
+    results: "Dict[str, tuple[int, int]]" = {}
+
+    def bump(component: str, lines: int, sites: int = 1) -> None:
+        old = results.get(component, (0, 0))
+        results[component] = (old[0] + lines, old[1] + sites)
+
+    file_match = _FILE.search(text)
+    lines = text.splitlines()
+    if file_match:
+        component = file_match.group(1)
+        bump(component, sum(1 for ln in lines if _countable(ln)))
+        return results
+
+    current = None
+    count = 0
+    for line in lines:
+        begin = _BEGIN.search(line)
+        if begin:
+            current = begin.group(1)
+            count = 0
+            continue
+        if _END.search(line):
+            if current is not None:
+                bump(current, count)
+            current = None
+            continue
+        if current is not None and _countable(line):
+            count += 1
+    return results
+
+
+def scan_tree(root: "Path | str | None" = None) \
+        -> "Dict[str, ComponentLoC]":
+    """Scan the repro source tree; returns per-component totals."""
+    if root is None:
+        import repro
+        root = Path(repro.__file__).parent
+    root = Path(root)
+    totals = {name: ComponentLoC(name) for name in COMPONENTS}
+    for path in sorted(root.rglob("*.py")):
+        for component, (lines, sites) in scan_file(path).items():
+            if component not in totals:
+                totals[component] = ComponentLoC(component)
+            entry = totals[component]
+            entry.lines += lines
+            entry.sites += sites
+            entry.files.append(str(path.relative_to(root)))
+    return totals
+
+
+# The paper's Table I, for side-by-side reporting.
+PAPER_TABLE1 = {
+    "processor": {"language": "Chisel", "added": 29, "modified": 30,
+                  "total": 59},
+    "kernel": {"language": "C", "added": 118, "modified": 3, "total": 121},
+    "compiler": {"language": "C++ and TableGen", "added": 268,
+                 "modified": 2, "total": 270},
+}
+PAPER_TOTAL = 450

@@ -1,0 +1,76 @@
+"""FPGA resource estimation primitives (6-input-LUT fabric).
+
+We cannot run Vivado, so Table III is regenerated from a *structural*
+model: count the flip-flops and LUTs each added hardware structure needs
+on a Xilinx 7-series-style fabric. The formulas below are standard
+first-order estimates:
+
+* an N-bit register costs N FFs;
+* an N-bit equality comparator costs ceil(N/3) LUT6 (3 bit-pairs per
+  LUT) plus a ceil/6 reduction tree;
+* an N-bit W-way one-hot mux costs roughly N * ceil(W/4) LUTs (a LUT6
+  packs ~4 mux inputs with the select logic);
+* a decoder match of one instruction pattern (opcode[7] + funct3[3])
+  costs ~2 LUTs.
+
+Absolute truth varies by tool and seed; what matters for the paper's
+claim is the *ratio* against the known Rocket-core baseline, which the
+model anchors to the paper's own measured baseline numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+def register_ffs(bits: int) -> int:
+    """Flip-flops for a ``bits``-wide register."""
+    return bits
+
+
+def equality_comparator_luts(bits: int) -> int:
+    """LUT6s for an N-bit equality comparator with AND reduction."""
+    pair_luts = math.ceil(bits / 3)
+    reduce_luts = math.ceil(pair_luts / 6) if pair_luts > 1 else 0
+    return pair_luts + reduce_luts
+
+
+def mux_luts(bits: int, ways: int) -> int:
+    """LUT6s for a ``ways``-to-1 mux of ``bits``-wide values."""
+    if ways <= 1:
+        return 0
+    per_bit = math.ceil(ways / 4)
+    return bits * per_bit
+
+
+def decoder_luts(patterns: int) -> int:
+    """LUT6s to match ``patterns`` instruction encodings (opcode+funct)."""
+    return 2 * patterns
+
+
+def and_gate_luts(inputs: int) -> int:
+    """LUT6s for a wide AND (the permission-check combiner)."""
+    return max(1, math.ceil(inputs / 6))
+
+
+@dataclass
+class ResourceCount:
+    """A LUT/FF tally with an itemised breakdown."""
+
+    luts: int = 0
+    ffs: int = 0
+    items: "List[tuple[str, int, int]]" = field(default_factory=list)
+
+    def add(self, name: str, luts: int = 0, ffs: int = 0) -> None:
+        self.luts += luts
+        self.ffs += ffs
+        self.items.append((name, luts, ffs))
+
+    def merge(self, other: "ResourceCount", prefix: str = "") -> None:
+        for name, luts, ffs in other.items:
+            self.add(prefix + name, luts, ffs)
+
+    def breakdown(self) -> "Dict[str, tuple[int, int]]":
+        return {name: (luts, ffs) for name, luts, ffs in self.items}

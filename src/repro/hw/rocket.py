@@ -1,0 +1,119 @@
+"""Rocket-core cost model: baseline anchors + the structural ROLoad delta.
+
+Baselines (the "without ld.ro" row of Table III) are the paper's own
+measured numbers for a Rocket core and the full SoC on a Kintex-7 — we
+anchor to them because re-deriving a whole core's LUT count from first
+principles is meaningless. The *delta* is computed structurally from the
+actual configuration (what the ROLoad modification adds):
+
+* decoder entries for the 7 ``ld.ro``-family encodings + ``c.ld.ro``;
+* a ``key`` field travelling with the memory operation through the
+  pipeline stages between decode and the TLB lookup;
+* a ``key`` field in every D-TLB entry (the I-TLB never serves data
+  loads, so it is untouched) plus the mux that reads the hit entry's key;
+* the key-equality comparator and read-only check, ANDed with the
+  existing permission logic (one extra gate — this parallelism is why
+  Fmax is essentially unchanged);
+* key extraction from the PTE on refill (wiring + a few LUTs of masking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import KEY_BITS
+from repro.soc.config import SoCConfig
+from repro.hw.resources import (
+    ResourceCount,
+    and_gate_luts,
+    decoder_luts,
+    equality_comparator_luts,
+    mux_luts,
+    register_ffs,
+)
+
+# Paper-measured anchors (Table III, "without ld.ro").
+BASELINE_CORE_LUT = 20_722
+BASELINE_CORE_FF = 11_855
+BASELINE_SYSTEM_LUT = 37_428
+BASELINE_SYSTEM_FF = 29_913
+BASELINE_SLACK_NS = 0.119
+TARGET_FREQUENCY_MHZ = 125.0
+
+# Pipeline stages a load's key must ride through (decode -> mem in the
+# 5-stage Rocket pipeline).
+KEY_PIPELINE_STAGES = 2
+
+# Placement/routing congestion: empirical slack loss per 1% core LUT
+# growth (fitted to the paper's 0.119 -> 0.099 ns at +1.44% core LUTs).
+SLACK_LOSS_NS_PER_PCT_LUT = 0.014
+
+N_ROLOAD_ENCODINGS = 7   # lb.ro .. lwu.ro, ld.ro
+N_RVC_ENCODINGS = 1      # c.ld.ro
+
+
+def roload_delta(config: "SoCConfig | None" = None,
+                 key_bits: int = KEY_BITS) -> ResourceCount:
+    """Structural LUT/FF cost of adding ROLoad to the configured core."""
+    config = config or SoCConfig()
+    delta = ResourceCount()
+    delta.add("decoder: ld.ro family",
+              luts=decoder_luts(N_ROLOAD_ENCODINGS))
+    delta.add("decoder: c.ld.ro (RVC expander)",
+              luts=decoder_luts(N_RVC_ENCODINGS) + 4)
+    delta.add("pipeline: key field latches",
+              luts=2,
+              ffs=register_ffs(key_bits * KEY_PIPELINE_STAGES))
+    delta.add("pipeline: new memory-op type bit",
+              ffs=register_ffs(KEY_PIPELINE_STAGES))
+    delta.add("d-tlb: key field per entry",
+              ffs=register_ffs(key_bits * config.dtlb_entries))
+    delta.add("d-tlb: key read mux",
+              luts=mux_luts(key_bits, config.dtlb_entries))
+    delta.add("d-tlb: key comparator",
+              luts=equality_comparator_luts(key_bits))
+    delta.add("d-tlb: read-only check (R & ~W)", luts=1)
+    delta.add("d-tlb: AND with permission logic",
+              luts=and_gate_luts(3))
+    delta.add("ptw: key extraction from PTE",
+              luts=4, ffs=register_ffs(key_bits))
+    delta.add("fault path: ROLoad cause wiring", luts=6, ffs=2)
+    return delta
+
+
+@dataclass
+class SynthesisResult:
+    """One row of Table III."""
+
+    name: str
+    core_lut: int
+    core_ff: int
+    system_lut: int
+    system_ff: int
+    slack_ns: float
+
+    @property
+    def fmax_mhz(self) -> float:
+        period_ns = 1000.0 / TARGET_FREQUENCY_MHZ
+        return 1000.0 / (period_ns - self.slack_ns)
+
+
+def synthesize(with_roload: bool,
+               config: "SoCConfig | None" = None,
+               key_bits: int = KEY_BITS) -> SynthesisResult:
+    """Produce a Table III row for the core and whole system."""
+    if not with_roload:
+        return SynthesisResult(
+            name="without ld.ro", core_lut=BASELINE_CORE_LUT,
+            core_ff=BASELINE_CORE_FF, system_lut=BASELINE_SYSTEM_LUT,
+            system_ff=BASELINE_SYSTEM_FF, slack_ns=BASELINE_SLACK_NS)
+    delta = roload_delta(config, key_bits=key_bits)
+    lut_growth_pct = 100.0 * delta.luts / BASELINE_CORE_LUT
+    slack = BASELINE_SLACK_NS - SLACK_LOSS_NS_PER_PCT_LUT * lut_growth_pct
+    return SynthesisResult(
+        name="with ld.ro",
+        core_lut=BASELINE_CORE_LUT + delta.luts,
+        core_ff=BASELINE_CORE_FF + delta.ffs,
+        system_lut=BASELINE_SYSTEM_LUT + delta.luts,
+        system_ff=BASELINE_SYSTEM_FF + delta.ffs,
+        slack_ns=round(slack, 3))

@@ -1,0 +1,126 @@
+"""Table III regeneration and hardware-cost ablations.
+
+:func:`table3` produces the two rows of the paper's Table III from the
+structural cost model; the ablation sweeps quantify how the delta scales
+with key width and D-TLB size — the design-space questions the paper's
+fixed prototype leaves open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.soc.config import SoCConfig
+from repro.hw.rocket import (
+    BASELINE_CORE_FF,
+    BASELINE_CORE_LUT,
+    BASELINE_SYSTEM_FF,
+    BASELINE_SYSTEM_LUT,
+    roload_delta,
+    synthesize,
+)
+
+
+@dataclass
+class Table3Row:
+    name: str
+    core_lut: int
+    core_lut_pct: "float | None"
+    core_ff: int
+    core_ff_pct: "float | None"
+    system_lut: int
+    system_lut_pct: "float | None"
+    system_ff: int
+    system_ff_pct: "float | None"
+    slack_ns: float
+    fmax_mhz: float
+
+
+def _pct(new: int, base: int) -> float:
+    return 100.0 * (new - base) / base
+
+
+def table3(config: "SoCConfig | None" = None) -> "List[Table3Row]":
+    """The two rows of Table III (without/with ld.ro)."""
+    rows = []
+    for with_roload in (False, True):
+        result = synthesize(with_roload, config)
+        rows.append(Table3Row(
+            name=result.name,
+            core_lut=result.core_lut,
+            core_lut_pct=None if not with_roload else
+            _pct(result.core_lut, BASELINE_CORE_LUT),
+            core_ff=result.core_ff,
+            core_ff_pct=None if not with_roload else
+            _pct(result.core_ff, BASELINE_CORE_FF),
+            system_lut=result.system_lut,
+            system_lut_pct=None if not with_roload else
+            _pct(result.system_lut, BASELINE_SYSTEM_LUT),
+            system_ff=result.system_ff,
+            system_ff_pct=None if not with_roload else
+            _pct(result.system_ff, BASELINE_SYSTEM_FF),
+            slack_ns=result.slack_ns,
+            fmax_mhz=result.fmax_mhz,
+        ))
+    return rows
+
+
+@dataclass
+class AblationPoint:
+    parameter: str
+    value: int
+    delta_lut: int
+    delta_ff: int
+    core_lut_pct: float
+    core_ff_pct: float
+
+
+def ablate_key_width(widths=(4, 6, 8, 10, 12, 16)) -> "List[AblationPoint]":
+    """How the hardware delta scales with the key width (bits 63:54 give
+    the paper 10 bits; narrower keys buy cheaper TLBs, fewer allowlists)."""
+    points = []
+    for width in widths:
+        delta = roload_delta(key_bits=width)
+        points.append(AblationPoint(
+            "key_bits", width, delta.luts, delta.ffs,
+            100.0 * delta.luts / BASELINE_CORE_LUT,
+            100.0 * delta.ffs / BASELINE_CORE_FF))
+    return points
+
+
+def ablate_dtlb_entries(sizes=(16, 32, 64, 128)) -> "List[AblationPoint]":
+    """How the delta scales with D-TLB capacity (the dominant FF term)."""
+    points = []
+    for entries in sizes:
+        config = SoCConfig(dtlb_entries=entries)
+        delta = roload_delta(config)
+        points.append(AblationPoint(
+            "dtlb_entries", entries, delta.luts, delta.ffs,
+            100.0 * delta.luts / BASELINE_CORE_LUT,
+            100.0 * delta.ffs / BASELINE_CORE_FF))
+    return points
+
+
+def format_table3(rows: "List[Table3Row]") -> str:
+    """Render Table III in the paper's layout."""
+    def pct(value):
+        return f"+{value:.5f}" if value is not None else "-"
+
+    lines = [
+        "TABLE III: Hardware resource cost of systems without and with "
+        "ROLoad (structural model).",
+        f"{'':14s} {'#LUT':>8s} {'%':>10s} {'#FF':>8s} {'%':>10s} "
+        f"{'#LUT':>8s} {'%':>10s} {'#FF':>8s} {'%':>10s} "
+        f"{'Slack(ns)':>10s} {'Fmax(MHz)':>10s}",
+        f"{'':14s} {'----- RISC-V Rocket Cores -----':>38s} "
+        f"{'--------- Whole Systems ---------':>38s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:14s} {row.core_lut:8,d} {pct(row.core_lut_pct):>10s} "
+            f"{row.core_ff:8,d} {pct(row.core_ff_pct):>10s} "
+            f"{row.system_lut:8,d} {pct(row.system_lut_pct):>10s} "
+            f"{row.system_ff:8,d} {pct(row.system_ff_pct):>10s} "
+            f"{row.slack_ns:10.3f} {row.fmax_mhz:10.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""RISC-V RV64IMAC instruction set with the ROLoad extension.
+
+Public surface:
+
+* :class:`~repro.isa.instruction.Instruction` — decoded instruction.
+* :func:`~repro.isa.encoding.encode` / :func:`~repro.isa.encoding.decode`
+  — 32-bit encodings (including the ``ld.ro`` family in custom-0).
+* :func:`~repro.isa.compressed.decode_compressed` /
+  :func:`~repro.isa.compressed.try_compress` — RVC, including ``c.ld.ro``.
+* :func:`~repro.isa.disasm.disassemble_bytes` — byte stream to text.
+* :mod:`~repro.isa.registers` — ABI names and calling-convention groups.
+"""
+
+from repro.isa.instruction import Instruction, make_nop
+from repro.isa.encoding import decode, encode, instruction_length
+from repro.isa.compressed import decode_compressed, try_compress
+from repro.isa.disasm import disassemble_bytes, disassemble_word, \
+    format_instruction
+from repro.isa.opcodes import (
+    KEY_BITS,
+    KEY_MAX,
+    MemOp,
+    PLAIN_TO_RO,
+    RO_TO_PLAIN,
+    RVC_KEY_MAX,
+    SPECS,
+    is_roload,
+    spec_for,
+)
+
+__all__ = [
+    "Instruction", "make_nop", "decode", "encode", "instruction_length",
+    "decode_compressed", "try_compress", "disassemble_bytes",
+    "disassemble_word", "format_instruction", "KEY_BITS", "KEY_MAX",
+    "MemOp", "PLAIN_TO_RO", "RO_TO_PLAIN", "RVC_KEY_MAX", "SPECS",
+    "is_roload", "spec_for",
+]

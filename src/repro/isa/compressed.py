@@ -1,0 +1,359 @@
+"""RVC (compressed, 16-bit) instruction support, including ``c.ld.ro``.
+
+The paper extends the RISC-V C extension with a compressed encoding of
+``ld.ro`` to optimise program size. The standard C extension leaves the
+quadrant-0 ``funct3 = 100`` slot reserved; we place ``c.ld.ro`` there:
+
+    15  13 12  10 9  7 6  5 4  2 1 0
+    [ 100 ][key h][rs1'][keyl][rd'][00]
+
+with ``key = key[4:2] << 2 | key[1:0]`` giving a 5-bit key (0..31). Loads
+with larger keys must use the 32-bit ``ld.ro``. Decoding expands every
+compressed instruction to its 32-bit twin's semantics (same ``name``) with
+``length == 2`` so the executor needs no special cases; the auto-compressor
+:func:`try_compress` is used by the assembler to shrink code the way a real
+RVC-aware assembler would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DecodingError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import RVC_KEY_MAX, SPECS
+from repro.utils.bits import bits, sext
+
+_RVC_BASE = 8  # x8..x15 are the compressed-addressable registers
+
+
+def _rvc_reg(field: int) -> int:
+    return _RVC_BASE + field
+
+
+def _is_rvc_reg(reg: int) -> bool:
+    return 8 <= reg < 16
+
+
+def _mk(name: str, **fields) -> Instruction:
+    spec = SPECS[name]
+    return Instruction(name, semclass=spec.semclass, length=2, **fields)
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+def decode_compressed(halfword: int) -> Instruction:
+    """Decode a 16-bit compressed instruction into expanded semantics.
+
+    Raises :class:`DecodingError` for reserved/illegal encodings.
+    """
+    hw = halfword & 0xFFFF
+    if hw & 0b11 == 0b11:
+        raise DecodingError(f"{hw:#06x} is not a compressed instruction")
+    if hw == 0:
+        raise DecodingError("illegal compressed instruction 0x0000")
+    op = hw & 0b11
+    f3 = bits(hw, 15, 13)
+
+    if op == 0b00:
+        return _decode_q0(hw, f3)
+    if op == 0b01:
+        return _decode_q1(hw, f3)
+    return _decode_q2(hw, f3)
+
+
+def _decode_q0(hw: int, f3: int) -> Instruction:
+    rdp = _rvc_reg(bits(hw, 4, 2))
+    rs1p = _rvc_reg(bits(hw, 9, 7))
+    if f3 == 0b000:  # c.addi4spn
+        imm = ((bits(hw, 10, 7) << 6) | (bits(hw, 12, 11) << 4)
+               | (bits(hw, 5, 5) << 3) | (bits(hw, 6, 6) << 2))
+        if imm == 0:
+            raise DecodingError("reserved c.addi4spn with zero immediate")
+        out = _mk("addi", rd=rdp, rs1=2, imm=imm, raw=hw)
+        return out
+    if f3 == 0b010:  # c.lw
+        imm = ((bits(hw, 5, 5) << 6) | (bits(hw, 12, 10) << 3)
+               | (bits(hw, 6, 6) << 2))
+        return _mk("lw", rd=rdp, rs1=rs1p, imm=imm, raw=hw)
+    if f3 == 0b011:  # c.ld
+        imm = (bits(hw, 6, 5) << 6) | (bits(hw, 12, 10) << 3)
+        return _mk("ld", rd=rdp, rs1=rs1p, imm=imm, raw=hw)
+    # [roload-begin: processor]
+    if f3 == 0b100:  # c.ld.ro — the ROLoad compressed extension
+        key = (bits(hw, 12, 10) << 2) | bits(hw, 6, 5)
+        return _mk("ld.ro", rd=rdp, rs1=rs1p, key=key, raw=hw)
+    # [roload-end]
+    if f3 == 0b110:  # c.sw
+        imm = ((bits(hw, 5, 5) << 6) | (bits(hw, 12, 10) << 3)
+               | (bits(hw, 6, 6) << 2))
+        return _mk("sw", rs1=rs1p, rs2=rdp, imm=imm, raw=hw)
+    if f3 == 0b111:  # c.sd
+        imm = (bits(hw, 6, 5) << 6) | (bits(hw, 12, 10) << 3)
+        return _mk("sd", rs1=rs1p, rs2=rdp, imm=imm, raw=hw)
+    raise DecodingError(f"reserved compressed encoding {hw:#06x}")
+
+
+def _decode_q1(hw: int, f3: int) -> Instruction:
+    rd = bits(hw, 11, 7)
+    imm6 = sext((bits(hw, 12, 12) << 5) | bits(hw, 6, 2), 6)
+    if f3 == 0b000:  # c.addi / c.nop
+        return _mk("addi", rd=rd, rs1=rd, imm=imm6, raw=hw)
+    if f3 == 0b001:  # c.addiw (RV64)
+        if rd == 0:
+            raise DecodingError("reserved c.addiw with rd=0")
+        return _mk("addiw", rd=rd, rs1=rd, imm=imm6, raw=hw)
+    if f3 == 0b010:  # c.li
+        return _mk("addi", rd=rd, rs1=0, imm=imm6, raw=hw)
+    if f3 == 0b011:
+        if rd == 2:  # c.addi16sp
+            imm = sext((bits(hw, 12, 12) << 9) | (bits(hw, 4, 3) << 7)
+                       | (bits(hw, 5, 5) << 6) | (bits(hw, 2, 2) << 5)
+                       | (bits(hw, 6, 6) << 4), 10)
+            if imm == 0:
+                raise DecodingError("reserved c.addi16sp with zero imm")
+            return _mk("addi", rd=2, rs1=2, imm=imm, raw=hw)
+        if rd == 0 or imm6 == 0:
+            raise DecodingError("reserved c.lui encoding")
+        return _mk("lui", rd=rd, imm=imm6 & 0xFFFFF, raw=hw)
+    if f3 == 0b100:
+        funct2 = bits(hw, 11, 10)
+        rdp = _rvc_reg(bits(hw, 9, 7))
+        if funct2 == 0b00:  # c.srli
+            shamt = (bits(hw, 12, 12) << 5) | bits(hw, 6, 2)
+            return _mk("srli", rd=rdp, rs1=rdp, imm=shamt, raw=hw)
+        if funct2 == 0b01:  # c.srai
+            shamt = (bits(hw, 12, 12) << 5) | bits(hw, 6, 2)
+            return _mk("srai", rd=rdp, rs1=rdp, imm=shamt, raw=hw)
+        if funct2 == 0b10:  # c.andi
+            return _mk("andi", rd=rdp, rs1=rdp, imm=imm6, raw=hw)
+        rs2p = _rvc_reg(bits(hw, 4, 2))
+        sel = (bits(hw, 12, 12) << 2) | bits(hw, 6, 5)
+        name = {0b000: "sub", 0b001: "xor", 0b010: "or", 0b011: "and",
+                0b100: "subw", 0b101: "addw"}.get(sel)
+        if name is None:
+            raise DecodingError(f"reserved compressed ALU encoding {sel}")
+        return _mk(name, rd=rdp, rs1=rdp, rs2=rs2p, raw=hw)
+    if f3 == 0b101:  # c.j
+        imm = sext((bits(hw, 12, 12) << 11) | (bits(hw, 8, 8) << 10)
+                   | (bits(hw, 10, 9) << 8) | (bits(hw, 6, 6) << 7)
+                   | (bits(hw, 7, 7) << 6) | (bits(hw, 2, 2) << 5)
+                   | (bits(hw, 11, 11) << 4) | (bits(hw, 5, 3) << 1), 12)
+        return _mk("jal", rd=0, imm=imm, raw=hw)
+    # c.beqz / c.bnez
+    rs1p = _rvc_reg(bits(hw, 9, 7))
+    imm = sext((bits(hw, 12, 12) << 8) | (bits(hw, 6, 5) << 6)
+               | (bits(hw, 2, 2) << 5) | (bits(hw, 11, 10) << 3)
+               | (bits(hw, 4, 3) << 1), 9)
+    name = "beq" if f3 == 0b110 else "bne"
+    return _mk(name, rs1=rs1p, rs2=0, imm=imm, raw=hw)
+
+
+def _decode_q2(hw: int, f3: int) -> Instruction:
+    rd = bits(hw, 11, 7)
+    rs2 = bits(hw, 6, 2)
+    if f3 == 0b000:  # c.slli
+        shamt = (bits(hw, 12, 12) << 5) | bits(hw, 6, 2)
+        return _mk("slli", rd=rd, rs1=rd, imm=shamt, raw=hw)
+    if f3 == 0b010:  # c.lwsp
+        if rd == 0:
+            raise DecodingError("reserved c.lwsp with rd=0")
+        imm = ((bits(hw, 3, 2) << 6) | (bits(hw, 12, 12) << 5)
+               | (bits(hw, 6, 4) << 2))
+        return _mk("lw", rd=rd, rs1=2, imm=imm, raw=hw)
+    if f3 == 0b011:  # c.ldsp
+        if rd == 0:
+            raise DecodingError("reserved c.ldsp with rd=0")
+        imm = ((bits(hw, 4, 2) << 6) | (bits(hw, 12, 12) << 5)
+               | (bits(hw, 6, 5) << 3))
+        return _mk("ld", rd=rd, rs1=2, imm=imm, raw=hw)
+    if f3 == 0b100:
+        if bits(hw, 12, 12) == 0:
+            if rs2 == 0:  # c.jr
+                if rd == 0:
+                    raise DecodingError("reserved c.jr with rs1=0")
+                return _mk("jalr", rd=0, rs1=rd, imm=0, raw=hw)
+            return _mk("add", rd=rd, rs1=0, rs2=rs2, raw=hw)  # c.mv
+        if rs2 == 0:
+            if rd == 0:  # c.ebreak
+                return _mk("ebreak", raw=hw)
+            return _mk("jalr", rd=1, rs1=rd, imm=0, raw=hw)  # c.jalr
+        return _mk("add", rd=rd, rs1=rd, rs2=rs2, raw=hw)  # c.add
+    if f3 == 0b110:  # c.swsp
+        imm = (bits(hw, 8, 7) << 6) | (bits(hw, 12, 9) << 2)
+        return _mk("sw", rs1=2, rs2=rs2, imm=imm, raw=hw)
+    if f3 == 0b111:  # c.sdsp
+        imm = (bits(hw, 9, 7) << 6) | (bits(hw, 12, 10) << 3)
+        return _mk("sd", rs1=2, rs2=rs2, imm=imm, raw=hw)
+    raise DecodingError(f"reserved compressed encoding {hw:#06x}")
+
+
+# ---------------------------------------------------------------------------
+# Compression (used by the assembler when .option rvc is active)
+# ---------------------------------------------------------------------------
+
+
+def try_compress(insn: Instruction) -> Optional[int]:
+    """Return the 16-bit encoding of ``insn`` if one exists, else ``None``.
+
+    ``insn`` is in expanded form (mnemonics like ``addi``/``ld``/``ld.ro``).
+    """
+    name = insn.name
+    rd, rs1, rs2, imm = insn.rd, insn.rs1, insn.rs2, insn.imm
+
+    # [roload-begin: processor]
+    if name == "ld.ro":
+        if (_is_rvc_reg(rd) and _is_rvc_reg(rs1)
+                and 0 <= insn.key <= RVC_KEY_MAX):
+            key = insn.key
+            return (0b100 << 13 | ((key >> 2) & 0b111) << 10
+                    | (rs1 - 8) << 7 | (key & 0b11) << 5 | (rd - 8) << 2)
+        return None
+    # [roload-end]
+
+    if name == "addi":
+        if rd == rs1 == 0 and imm == 0:  # c.nop
+            return 0x0001
+        if (rs1 == 2 and _is_rvc_reg(rd) and imm > 0 and imm % 4 == 0
+                and imm < 1024):  # c.addi4spn
+            return (0b000 << 13 | ((imm >> 4) & 0b11) << 11
+                    | ((imm >> 6) & 0b1111) << 7 | ((imm >> 2) & 1) << 6
+                    | ((imm >> 3) & 1) << 5 | (rd - 8) << 2)
+        if rd == rs1 == 2 and imm != 0 and imm % 16 == 0 and -512 <= imm < 512:
+            u = imm & 0x3FF  # c.addi16sp
+            return (0b011 << 13 | ((u >> 9) & 1) << 12 | 2 << 7
+                    | ((u >> 4) & 1) << 6 | ((u >> 6) & 1) << 5
+                    | ((u >> 7) & 0b11) << 3 | ((u >> 5) & 1) << 2 | 0b01)
+        if rd == rs1 and rd != 0 and imm != 0 and -32 <= imm < 32:  # c.addi
+            u = imm & 0x3F
+            return (0b000 << 13 | ((u >> 5) & 1) << 12 | rd << 7
+                    | (u & 0x1F) << 2 | 0b01)
+        if rs1 == 0 and rd != 0 and -32 <= imm < 32:  # c.li
+            u = imm & 0x3F
+            return (0b010 << 13 | ((u >> 5) & 1) << 12 | rd << 7
+                    | (u & 0x1F) << 2 | 0b01)
+        return None
+
+    if name == "addiw":
+        if rd == rs1 and rd != 0 and -32 <= imm < 32:
+            u = imm & 0x3F
+            return (0b001 << 13 | ((u >> 5) & 1) << 12 | rd << 7
+                    | (u & 0x1F) << 2 | 0b01)
+        return None
+
+    if name == "lui":
+        imm20 = imm & 0xFFFFF
+        signed = sext(imm20, 20)
+        if rd not in (0, 2) and signed != 0 and -32 <= signed < 32:
+            u = signed & 0x3F
+            return (0b011 << 13 | ((u >> 5) & 1) << 12 | rd << 7
+                    | (u & 0x1F) << 2 | 0b01)
+        return None
+
+    if name in ("lw", "ld", "sw", "sd"):
+        return _compress_mem(name, rd, rs1, rs2, imm)
+
+    if name in ("srli", "srai") and rd == rs1 and _is_rvc_reg(rd) \
+            and 0 < imm < 64:
+        funct2 = 0b00 if name == "srli" else 0b01
+        return (0b100 << 13 | ((imm >> 5) & 1) << 12 | funct2 << 10
+                | (rd - 8) << 7 | (imm & 0x1F) << 2 | 0b01)
+
+    if name == "andi" and rd == rs1 and _is_rvc_reg(rd) and -32 <= imm < 32:
+        u = imm & 0x3F
+        return (0b100 << 13 | ((u >> 5) & 1) << 12 | 0b10 << 10
+                | (rd - 8) << 7 | (u & 0x1F) << 2 | 0b01)
+
+    if name in ("sub", "xor", "or", "and", "subw", "addw") and rd == rs1 \
+            and _is_rvc_reg(rd) and _is_rvc_reg(rs2):
+        sel = {"sub": 0b000, "xor": 0b001, "or": 0b010, "and": 0b011,
+               "subw": 0b100, "addw": 0b101}[name]
+        return (0b100 << 13 | ((sel >> 2) & 1) << 12 | 0b11 << 10
+                | (rd - 8) << 7 | (sel & 0b11) << 5 | (rs2 - 8) << 2 | 0b01)
+
+    if name == "slli" and rd == rs1 and rd != 0 and 0 < imm < 64:
+        return (0b000 << 13 | ((imm >> 5) & 1) << 12 | rd << 7
+                | (imm & 0x1F) << 2 | 0b10)
+
+    if name == "add":
+        if rs1 == 0 and rd != 0 and rs2 != 0:  # c.mv
+            return 0b100 << 13 | rd << 7 | rs2 << 2 | 0b10
+        if rd == rs1 and rd != 0 and rs2 != 0:  # c.add
+            return 0b100 << 13 | 1 << 12 | rd << 7 | rs2 << 2 | 0b10
+        return None
+
+    if name == "jalr" and imm == 0 and rs1 != 0:
+        if rd == 0:  # c.jr
+            return 0b100 << 13 | rs1 << 7 | 0b10
+        if rd == 1:  # c.jalr
+            return 0b100 << 13 | 1 << 12 | rs1 << 7 | 0b10
+        return None
+
+    if name == "jal" and rd == 0 and imm % 2 == 0 and -2048 <= imm < 2048:
+        u = imm & 0xFFF
+        return (0b101 << 13 | ((u >> 11) & 1) << 12 | ((u >> 4) & 1) << 11
+                | ((u >> 8) & 0b11) << 9 | ((u >> 10) & 1) << 8
+                | ((u >> 6) & 1) << 7 | ((u >> 7) & 1) << 6
+                | ((u >> 1) & 0b111) << 3 | ((u >> 5) & 1) << 2 | 0b01)
+
+    if name in ("beq", "bne") and rs2 == 0 and _is_rvc_reg(rs1) \
+            and imm % 2 == 0 and -256 <= imm < 256:
+        u = imm & 0x1FF
+        f3 = 0b110 if name == "beq" else 0b111
+        return (f3 << 13 | ((u >> 8) & 1) << 12 | ((u >> 3) & 0b11) << 10
+                | (rs1 - 8) << 7 | ((u >> 6) & 0b11) << 5
+                | ((u >> 5) & 1) << 2 | ((u >> 1) & 0b11) << 3 | 0b01)
+
+    if name == "ebreak":
+        return 0b100 << 13 | 1 << 12 | 0b10
+
+    return None
+
+
+def _compress_mem(name, rd, rs1, rs2, imm) -> Optional[int]:
+    if name == "lw":
+        if rs1 == 2 and rd != 0 and imm % 4 == 0 and 0 <= imm < 256:
+            return (0b010 << 13 | ((imm >> 5) & 1) << 12 | rd << 7
+                    | ((imm >> 2) & 0b111) << 4 | ((imm >> 6) & 0b11) << 2
+                    | 0b10)
+        if _is_rvc_reg(rd) and _is_rvc_reg(rs1) and imm % 4 == 0 \
+                and 0 <= imm < 128:
+            return (0b010 << 13 | ((imm >> 3) & 0b111) << 10
+                    | (rs1 - 8) << 7 | ((imm >> 2) & 1) << 6
+                    | ((imm >> 6) & 1) << 5 | (rd - 8) << 2)
+        return None
+    if name == "ld":
+        if rs1 == 2 and rd != 0 and imm % 8 == 0 and 0 <= imm < 512:
+            return (0b011 << 13 | ((imm >> 5) & 1) << 12 | rd << 7
+                    | ((imm >> 3) & 0b11) << 5 | ((imm >> 6) & 0b111) << 2
+                    | 0b10)
+        if _is_rvc_reg(rd) and _is_rvc_reg(rs1) and imm % 8 == 0 \
+                and 0 <= imm < 256:
+            return (0b011 << 13 | ((imm >> 3) & 0b111) << 10
+                    | (rs1 - 8) << 7 | ((imm >> 6) & 0b11) << 5
+                    | (rd - 8) << 2)
+        return None
+    if name == "sw":
+        if rs1 == 2 and imm % 4 == 0 and 0 <= imm < 256:
+            return (0b110 << 13 | ((imm >> 2) & 0b1111) << 9
+                    | ((imm >> 6) & 0b11) << 7 | rs2 << 2 | 0b10)
+        if _is_rvc_reg(rs2) and _is_rvc_reg(rs1) and imm % 4 == 0 \
+                and 0 <= imm < 128:
+            return (0b110 << 13 | ((imm >> 3) & 0b111) << 10
+                    | (rs1 - 8) << 7 | ((imm >> 2) & 1) << 6
+                    | ((imm >> 6) & 1) << 5 | (rs2 - 8) << 2)
+        return None
+    if name == "sd":
+        if rs1 == 2 and imm % 8 == 0 and 0 <= imm < 512:
+            return (0b111 << 13 | ((imm >> 3) & 0b111) << 10
+                    | ((imm >> 6) & 0b111) << 7 | rs2 << 2 | 0b10)
+        if _is_rvc_reg(rs2) and _is_rvc_reg(rs1) and imm % 8 == 0 \
+                and 0 <= imm < 256:
+            return (0b111 << 13 | ((imm >> 3) & 0b111) << 10
+                    | (rs1 - 8) << 7 | ((imm >> 6) & 0b11) << 5
+                    | (rs2 - 8) << 2)
+        return None
+    return None

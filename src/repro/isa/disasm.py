@@ -1,0 +1,88 @@
+"""Disassembler: decoded instructions back to assembly text.
+
+The output is accepted verbatim by :mod:`repro.asm` (round-trip tested),
+using the paper's syntax for ROLoad loads: ``ld.ro rd, (rs1), key``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import decode, instruction_length
+from repro.isa.compressed import decode_compressed
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import SPECS
+from repro.isa.registers import reg_name
+
+# CSR numbers used by the toolchain (user-level counters).
+CSR_NAMES = {0xC00: "cycle", 0xC01: "time", 0xC02: "instret"}
+
+
+def format_instruction(insn: Instruction) -> str:
+    """Render one decoded instruction as assembly text."""
+    spec = SPECS.get(insn.name)
+    name = insn.name
+    rd, rs1, rs2 = reg_name(insn.rd), reg_name(insn.rs1), reg_name(insn.rs2)
+    if spec is None:
+        return f".word {insn.raw:#010x}"
+    fmt = spec.fmt
+    if fmt == "R" or fmt == "AMO":
+        return f"{name} {rd}, {rs1}, {rs2}"
+    if fmt == "RO":
+        return f"{name} {rd}, ({rs1}), {insn.key}"
+    if fmt in ("SHIFT64", "SHIFT32"):
+        return f"{name} {rd}, {rs1}, {insn.imm}"
+    if fmt == "I":
+        if spec.semclass == "load":
+            return f"{name} {rd}, {insn.imm}({rs1})"
+        if name == "jalr":
+            return f"{name} {rd}, {insn.imm}({rs1})"
+        if spec.semclass == "fence":
+            return name
+        return f"{name} {rd}, {rs1}, {insn.imm}"
+    if fmt == "S":
+        return f"{name} {rs2}, {insn.imm}({rs1})"
+    if fmt == "B":
+        return f"{name} {rs1}, {rs2}, {insn.imm}"
+    if fmt in ("U", "J"):
+        return f"{name} {rd}, {insn.imm}"
+    if fmt == "CSR":
+        csr = CSR_NAMES.get(insn.csr, f"{insn.csr:#x}")
+        return f"{name} {rd}, {csr}, {rs1}"
+    if fmt == "CSRI":
+        csr = CSR_NAMES.get(insn.csr, f"{insn.csr:#x}")
+        return f"{name} {rd}, {csr}, {insn.imm}"
+    if fmt == "SYS":
+        return name
+    return f".word {insn.raw:#010x}"
+
+
+def disassemble_word(word: int) -> str:
+    """Disassemble a 32-bit instruction word."""
+    return format_instruction(decode(word))
+
+
+def disassemble_bytes(data: bytes, base_address: int = 0):
+    """Yield ``(address, length, text)`` for a byte stream of instructions.
+
+    Stops at the first undecodable word, yielding it as ``.word``/``.half``.
+    """
+    offset = 0
+    while offset + 2 <= len(data):
+        half = int.from_bytes(data[offset:offset + 2], "little")
+        length = instruction_length(half)
+        if offset + length > len(data):
+            break
+        address = base_address + offset
+        try:
+            if length == 2:
+                insn = decode_compressed(half)
+            else:
+                word = int.from_bytes(data[offset:offset + 4], "little")
+                insn = decode(word)
+            yield address, length, format_instruction(insn)
+        except Exception:
+            if length == 2:
+                yield address, 2, f".half {half:#06x}"
+            else:
+                word = int.from_bytes(data[offset:offset + 4], "little")
+                yield address, 4, f".word {word:#010x}"
+        offset += length

@@ -1,0 +1,309 @@
+"""Encoder/decoder for 32-bit instructions (RV64IMA + ROLoad custom-0).
+
+Both directions are driven by the spec table in :mod:`repro.isa.opcodes`.
+Compressed (16-bit) encodings live in :mod:`repro.isa.compressed`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    KEY_MAX,
+    OP_AMO,
+    OP_BRANCH,
+    OP_CUSTOM0,
+    OP_IMM,
+    OP_IMM32,
+    OP_JAL,
+    OP_LOAD,
+    OP_MISC_MEM,
+    OP_REG,
+    OP_REG32,
+    OP_STORE,
+    OP_SYSTEM,
+    SPECS,
+    InsnSpec,
+)
+from repro.utils.bits import bits, fits_signed, sext
+
+# ---------------------------------------------------------------------------
+# Immediate packing/unpacking per format.
+# ---------------------------------------------------------------------------
+
+
+def _pack_i(imm: int) -> int:
+    if not fits_signed(imm, 12):
+        raise EncodingError(f"I-immediate {imm} out of range")
+    return (imm & 0xFFF) << 20
+
+
+def _unpack_i(word: int) -> int:
+    return sext(bits(word, 31, 20), 12)
+
+
+def _pack_s(imm: int) -> int:
+    if not fits_signed(imm, 12):
+        raise EncodingError(f"S-immediate {imm} out of range")
+    imm &= 0xFFF
+    return (bits(imm, 11, 5) << 25) | (bits(imm, 4, 0) << 7)
+
+
+def _unpack_s(word: int) -> int:
+    return sext((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
+
+
+def _pack_b(imm: int) -> int:
+    if imm % 2:
+        raise EncodingError(f"branch offset {imm} is odd")
+    if not fits_signed(imm, 13):
+        raise EncodingError(f"B-immediate {imm} out of range")
+    imm &= 0x1FFF
+    return ((bits(imm, 12, 12) << 31) | (bits(imm, 10, 5) << 25)
+            | (bits(imm, 4, 1) << 8) | (bits(imm, 11, 11) << 7))
+
+
+def _unpack_b(word: int) -> int:
+    imm = ((bits(word, 31, 31) << 12) | (bits(word, 7, 7) << 11)
+           | (bits(word, 30, 25) << 5) | (bits(word, 11, 8) << 1))
+    return sext(imm, 13)
+
+
+def _pack_u(imm: int) -> int:
+    if not 0 <= imm <= 0xFFFFF:
+        raise EncodingError(f"U-immediate {imm:#x} out of range (20 bits)")
+    return imm << 12
+
+
+def _unpack_u(word: int) -> int:
+    return bits(word, 31, 12)
+
+
+def _pack_j(imm: int) -> int:
+    if imm % 2:
+        raise EncodingError(f"jump offset {imm} is odd")
+    if not fits_signed(imm, 21):
+        raise EncodingError(f"J-immediate {imm} out of range")
+    imm &= 0x1FFFFF
+    return ((bits(imm, 20, 20) << 31) | (bits(imm, 10, 1) << 21)
+            | (bits(imm, 11, 11) << 20) | (bits(imm, 19, 12) << 12))
+
+
+def _unpack_j(word: int) -> int:
+    imm = ((bits(word, 31, 31) << 20) | (bits(word, 19, 12) << 12)
+           | (bits(word, 20, 20) << 11) | (bits(word, 30, 21) << 1))
+    return sext(imm, 21)
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def encode(insn: Instruction) -> int:
+    """Encode a decoded instruction back into its 32-bit word.
+
+    Compressed instructions must go through
+    :func:`repro.isa.compressed.encode_compressed` instead.
+    """
+    try:
+        spec: InsnSpec = SPECS[insn.name]
+    except KeyError:
+        raise EncodingError(f"unknown mnemonic {insn.name!r}") from None
+
+    op, f3, f7 = spec.opcode, spec.funct3, spec.funct7
+    rd, rs1, rs2 = insn.rd << 7, insn.rs1 << 15, insn.rs2 << 20
+    base = op | (f3 << 12)
+
+    if spec.fmt == "R":
+        return base | rd | rs1 | rs2 | (f7 << 25)
+    if spec.fmt == "I":
+        return base | rd | rs1 | _pack_i(insn.imm)
+    if spec.fmt == "S":
+        return base | rs1 | rs2 | _pack_s(insn.imm)
+    if spec.fmt == "B":
+        return base | rs1 | rs2 | _pack_b(insn.imm)
+    if spec.fmt == "U":
+        return base | rd | _pack_u(insn.imm)
+    if spec.fmt == "J":
+        return base | rd | _pack_j(insn.imm)
+    if spec.fmt == "SHIFT64":
+        if not 0 <= insn.imm < 64:
+            raise EncodingError(f"shift amount {insn.imm} out of range")
+        funct6 = f7 >> 1
+        return base | rd | rs1 | (insn.imm << 20) | (funct6 << 26)
+    if spec.fmt == "SHIFT32":
+        if not 0 <= insn.imm < 32:
+            raise EncodingError(f"shift amount {insn.imm} out of range")
+        return base | rd | rs1 | (insn.imm << 20) | (f7 << 25)
+    if spec.fmt == "CSR":
+        return base | rd | rs1 | ((insn.csr & 0xFFF) << 20)
+    if spec.fmt == "CSRI":
+        # rs1 field holds the 5-bit zero-extended immediate.
+        if not 0 <= insn.imm < 32:
+            raise EncodingError(f"CSR immediate {insn.imm} out of range")
+        return base | rd | (insn.imm << 15) | ((insn.csr & 0xFFF) << 20)
+    # [roload-begin: processor]
+    if spec.fmt == "RO":
+        if not 0 <= insn.key <= KEY_MAX:
+            raise EncodingError(
+                f"ROLoad key {insn.key} out of range (0..{KEY_MAX})")
+        return base | rd | rs1 | (insn.key << 20)
+    # [roload-end]
+    if spec.fmt == "AMO":
+        return base | rd | rs1 | rs2 | (f7 << 25)
+    if spec.fmt == "SYS":
+        if insn.name == "ecall":
+            return 0x00000073
+        if insn.name == "ebreak":
+            return 0x00100073
+    raise EncodingError(f"unhandled format {spec.fmt} for {insn.name}")
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+# Pre-built reverse indices.
+_R_INDEX = {}
+_I_INDEX = {}
+_AMO_INDEX = {}
+for _name, _s in SPECS.items():
+    if _s.fmt == "R":
+        _R_INDEX[(_s.opcode, _s.funct3, _s.funct7)] = _s
+    elif _s.fmt in ("I", "S", "B", "RO", "CSR", "CSRI"):
+        _I_INDEX[(_s.opcode, _s.funct3)] = _s
+    elif _s.fmt == "AMO":
+        _AMO_INDEX[(_s.funct3, _s.funct7 >> 2)] = _s
+
+
+def _mk(spec: InsnSpec, **fields) -> Instruction:
+    return Instruction(spec.name, semclass=spec.semclass, **fields)
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word.
+
+    Raises :class:`DecodingError` for unknown encodings (the core turns
+    that into an illegal-instruction trap).
+    """
+    word &= 0xFFFFFFFF
+    opcode = word & 0x7F
+    rd = bits(word, 11, 7)
+    rs1 = bits(word, 19, 15)
+    rs2 = bits(word, 24, 20)
+    f3 = bits(word, 14, 12)
+    f7 = bits(word, 31, 25)
+
+    if opcode == 0b0110111:  # lui
+        return _mk(SPECS["lui"], rd=rd, imm=_unpack_u(word), raw=word)
+    if opcode == 0b0010111:  # auipc
+        return _mk(SPECS["auipc"], rd=rd, imm=_unpack_u(word), raw=word)
+    if opcode == OP_JAL:
+        return _mk(SPECS["jal"], rd=rd, imm=_unpack_j(word), raw=word)
+    if opcode == 0b1100111:  # jalr
+        if f3 != 0:
+            raise DecodingError(f"bad jalr funct3 {f3}")
+        return _mk(SPECS["jalr"], rd=rd, rs1=rs1, imm=_unpack_i(word),
+                   raw=word)
+    if opcode == OP_BRANCH:
+        spec = _I_INDEX.get((opcode, f3))
+        if spec is None:
+            raise DecodingError(f"bad branch funct3 {f3}")
+        return _mk(spec, rs1=rs1, rs2=rs2, imm=_unpack_b(word), raw=word)
+    if opcode == OP_LOAD:
+        spec = _I_INDEX.get((opcode, f3))
+        if spec is None:
+            raise DecodingError(f"bad load funct3 {f3}")
+        return _mk(spec, rd=rd, rs1=rs1, imm=_unpack_i(word), raw=word)
+    # [roload-begin: processor]
+    if opcode == OP_CUSTOM0:
+        spec = _I_INDEX.get((opcode, f3))
+        if spec is None:
+            raise DecodingError(f"bad ROLoad funct3 {f3}")
+        key = bits(word, 31, 20)
+        if key > KEY_MAX:
+            raise DecodingError(f"ROLoad key field {key:#x} exceeds "
+                                f"{KEY_MAX:#x} (reserved bits set)")
+        return _mk(spec, rd=rd, rs1=rs1, key=key, raw=word)
+    # [roload-end]
+    if opcode == OP_STORE:
+        spec = _I_INDEX.get((opcode, f3))
+        if spec is None:
+            raise DecodingError(f"bad store funct3 {f3}")
+        return _mk(spec, rs1=rs1, rs2=rs2, imm=_unpack_s(word), raw=word)
+    if opcode == OP_IMM:
+        if f3 == 0b001:  # slli
+            if (f7 >> 1) != 0:
+                raise DecodingError("bad slli funct6")
+            return _mk(SPECS["slli"], rd=rd, rs1=rs1,
+                       imm=bits(word, 25, 20), raw=word)
+        if f3 == 0b101:
+            funct6 = f7 >> 1
+            name = {0b000000: "srli", 0b010000: "srai"}.get(funct6)
+            if name is None:
+                raise DecodingError(f"bad shift funct6 {funct6:#x}")
+            return _mk(SPECS[name], rd=rd, rs1=rs1,
+                       imm=bits(word, 25, 20), raw=word)
+        spec = _I_INDEX.get((opcode, f3))
+        if spec is None:
+            raise DecodingError(f"bad op-imm funct3 {f3}")
+        return _mk(spec, rd=rd, rs1=rs1, imm=_unpack_i(word), raw=word)
+    if opcode == OP_IMM32:
+        if f3 == 0b001:
+            if f7 != 0:
+                raise DecodingError("bad slliw funct7")
+            return _mk(SPECS["slliw"], rd=rd, rs1=rs1, imm=rs2, raw=word)
+        if f3 == 0b101:
+            name = {0b0000000: "srliw", 0b0100000: "sraiw"}.get(f7)
+            if name is None:
+                raise DecodingError(f"bad shiftw funct7 {f7:#x}")
+            return _mk(SPECS[name], rd=rd, rs1=rs1, imm=rs2, raw=word)
+        if f3 == 0b000:
+            return _mk(SPECS["addiw"], rd=rd, rs1=rs1, imm=_unpack_i(word),
+                       raw=word)
+        raise DecodingError(f"bad op-imm-32 funct3 {f3}")
+    if opcode in (OP_REG, OP_REG32):
+        spec = _R_INDEX.get((opcode, f3, f7))
+        if spec is None:
+            raise DecodingError(
+                f"bad R-type opcode={opcode:#x} f3={f3} f7={f7:#x}")
+        return _mk(spec, rd=rd, rs1=rs1, rs2=rs2, raw=word)
+    if opcode == OP_AMO:
+        funct5 = f7 >> 2
+        if f7 & 0b11:
+            # aq/rl ordering bits are meaningless on this single-hart,
+            # in-order model; the toolchain never emits them, so reject
+            # to keep encode(decode(w)) == w exact.
+            raise DecodingError("AMO aq/rl bits unsupported by this model")
+        spec = _AMO_INDEX.get((f3, funct5))
+        if spec is None:
+            raise DecodingError(f"bad AMO f3={f3} funct5={funct5:#x}")
+        return _mk(spec, rd=rd, rs1=rs1, rs2=rs2, raw=word)
+    if opcode == OP_MISC_MEM:
+        name = {0b000: "fence", 0b001: "fence.i"}.get(f3)
+        if name is None:
+            raise DecodingError(f"bad misc-mem funct3 {f3}")
+        return _mk(SPECS[name], rd=rd, rs1=rs1, imm=_unpack_i(word),
+                   raw=word)
+    if opcode == OP_SYSTEM:
+        if f3 == 0:
+            imm12 = bits(word, 31, 20)
+            if word == 0x00000073:
+                return _mk(SPECS["ecall"], raw=word)
+            if word == 0x00100073:
+                return _mk(SPECS["ebreak"], raw=word)
+            raise DecodingError(f"bad system instruction imm {imm12:#x}")
+        spec = _I_INDEX.get((opcode, f3))
+        if spec is None:
+            raise DecodingError(f"bad system funct3 {f3}")
+        csr = bits(word, 31, 20)
+        if spec.fmt == "CSRI":
+            return _mk(spec, rd=rd, imm=rs1, csr=csr, raw=word)
+        return _mk(spec, rd=rd, rs1=rs1, csr=csr, raw=word)
+    raise DecodingError(f"unknown opcode {opcode:#09b} (word {word:#010x})")
+
+
+def instruction_length(first_halfword: int) -> int:
+    """Instruction length in bytes from the low 16 bits (2 or 4)."""
+    return 4 if (first_halfword & 0b11) == 0b11 else 2

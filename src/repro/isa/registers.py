@@ -1,0 +1,70 @@
+"""RISC-V integer register file names and ABI aliases.
+
+The simulator stores registers by index (0..31); the assembler and
+disassembler speak ABI names (``a0``, ``sp``, ...). ``x0`` is hardwired to
+zero — the register-file model enforces that, not this table.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+
+NUM_REGS = 32
+
+# Index -> canonical ABI name.
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+# Registers encodable in compressed (RVC) 3-bit register fields: x8..x15.
+RVC_REG_BASE = 8
+RVC_REGS = tuple(range(8, 16))
+
+# Name -> index, accepting both xN and ABI spellings (plus fp for s0).
+_NAME_TO_INDEX = {}
+for _i, _name in enumerate(ABI_NAMES):
+    _NAME_TO_INDEX[_name] = _i
+    _NAME_TO_INDEX[f"x{_i}"] = _i
+_NAME_TO_INDEX["fp"] = 8
+
+
+def reg_index(name: str) -> int:
+    """Map a register name (``a0``, ``x10``, ``fp``) to its index.
+
+    Raises :class:`AssemblerError` for unknown names.
+    """
+    try:
+        return _NAME_TO_INDEX[name.lower()]
+    except KeyError:
+        raise AssemblerError(f"unknown register {name!r}") from None
+
+
+def reg_name(index: int) -> str:
+    """Map a register index to its canonical ABI name."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError(f"register index {index} out of range")
+    return ABI_NAMES[index]
+
+
+def is_rvc_reg(index: int) -> bool:
+    """True if the register is addressable by compressed instructions."""
+    return 8 <= index < 16
+
+
+# Convenient named constants for codegen.
+ZERO, RA, SP, GP, TP = 0, 1, 2, 3, 4
+T0, T1, T2 = 5, 6, 7
+S0, S1 = 8, 9
+A0, A1, A2, A3, A4, A5, A6, A7 = 10, 11, 12, 13, 14, 15, 16, 17
+S2, S3, S4, S5, S6, S7, S8, S9, S10, S11 = range(18, 28)
+T3, T4, T5, T6 = 28, 29, 30, 31
+
+# Calling convention groups used by the register allocator.
+ARG_REGS = (A0, A1, A2, A3, A4, A5, A6, A7)
+CALLER_SAVED = (RA, T0, T1, T2, A0, A1, A2, A3, A4, A5, A6, A7, T3, T4, T5, T6)
+CALLEE_SAVED = (S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11)

@@ -1,0 +1,33 @@
+"""Kernel model: loader with page-key setup, syscalls with key arguments,
+and ROLoad-aware page-fault handling."""
+
+from repro.kernel.address_space import (
+    PROT_EXEC,
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+    AddressSpace,
+    VMA,
+)
+from repro.kernel.fault import FaultHandler, SecurityEvent
+from repro.kernel.kernel import Kernel, run_program
+from repro.kernel.loader import load_executable, map_stack
+from repro.kernel.process import Process, ProcessState
+from repro.kernel.signals import SIGILL, SIGSEGV, SIGTRAP, SignalInfo
+from repro.kernel.syscalls import (
+    SYS_BRK,
+    SYS_EXIT,
+    SYS_MMAP,
+    SYS_MPROTECT,
+    SYS_MUNMAP,
+    SYS_WRITE,
+    SyscallDispatcher,
+)
+
+__all__ = [
+    "PROT_EXEC", "PROT_NONE", "PROT_READ", "PROT_WRITE", "AddressSpace",
+    "VMA", "FaultHandler", "SecurityEvent", "Kernel", "run_program",
+    "load_executable", "map_stack", "Process", "ProcessState", "SIGILL",
+    "SIGSEGV", "SIGTRAP", "SignalInfo", "SYS_BRK", "SYS_EXIT", "SYS_MMAP",
+    "SYS_MPROTECT", "SYS_MUNMAP", "SYS_WRITE", "SyscallDispatcher",
+]

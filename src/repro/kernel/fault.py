@@ -1,0 +1,76 @@
+"""Page-fault handling: the modified ``arch/riscv/mm/fault.c``.
+
+The paper's kernel change: "It first distinguishes load page faults raised
+by ROLoad-family instructions from benign load page faults raised by
+regular load instructions. If the load page faults are raised by
+ROLoad-family instructions because of read-only permission check failure
+or key check failure, the modified Linux kernel will send a segmentation
+fault (SIGSEGV) signal to the faulting process to warn and/or kill it."
+
+With ``roload_aware=False`` (the unmodified kernel of the ``processor``
+profile) the fault is handled generically: the process still dies with
+SIGSEGV, but the kernel records no ROLoad security event — the
+*diagnostic* capability is what the kernel modification buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cpu.trap import Cause, Trap
+from repro.kernel.signals import SIGSEGV, SignalInfo
+
+
+@dataclass
+class SecurityEvent:
+    """A ROLoad violation recorded by the modified kernel."""
+
+    pid: int
+    pc: int
+    fault_address: int
+    reason: str
+    insn_key: "int | None"
+    page_key: "int | None"
+
+    def __str__(self) -> str:
+        text = (f"pid {self.pid}: ROLoad violation ({self.reason}) at "
+                f"pc={self.pc:#x} addr={self.fault_address:#x}")
+        if self.reason == "key_mismatch":
+            text += f" (insn key {self.insn_key}, page key {self.page_key})"
+        return text
+
+
+@dataclass
+class FaultHandler:
+    """Kernel page-fault path."""
+
+    roload_aware: bool = True
+    security_log: "List[SecurityEvent]" = field(default_factory=list)
+
+    def handle(self, process, trap: Trap) -> SignalInfo:
+        """Handle a memory fault; returns the fatal signal delivered.
+
+        (This model has no demand paging or swapping: every valid page is
+        mapped up front, so any page fault is a genuine violation.)
+        """
+        # [roload-begin: kernel]
+        if (trap.cause == Cause.LOAD_PAGE_FAULT and trap.is_roload_fault
+                and self.roload_aware):
+            # The new discrimination path of the modified kernel.
+            reason = trap.roload_reason.value
+            self.security_log.append(SecurityEvent(
+                pid=process.pid, pc=trap.pc, fault_address=trap.tval,
+                reason=reason, insn_key=trap.insn_key,
+                page_key=trap.page_key))
+            signal = SignalInfo(SIGSEGV,
+                                f"pointee integrity violation: {reason}",
+                                pc=trap.pc, fault_address=trap.tval,
+                                roload=True, trap=trap)
+        # [roload-end]
+        else:
+            kind = Cause.NAMES.get(trap.cause, "memory fault")
+            signal = SignalInfo(SIGSEGV, kind, pc=trap.pc,
+                                fault_address=trap.tval, trap=trap)
+        process.kill(signal)
+        return signal

@@ -1,0 +1,148 @@
+"""The kernel model: process lifecycle, scheduling onto the core, traps.
+
+A deliberately small monolith mirroring only what the paper's Linux
+changes touch: executable loading (key setup), the syscall layer (key
+arguments on mmap/mprotect), and the page-fault path (ROLoad fault
+discrimination -> SIGSEGV).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.asm.objfile import Executable
+from repro.cpu.trap import Cause, Trap
+from repro.errors import KernelError, SimulationError
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.fault import FaultHandler
+from repro.kernel.loader import load_executable, map_stack
+from repro.kernel.process import Process, ProcessState
+from repro.kernel.signals import SIGILL, SIGTRAP, SignalInfo
+from repro.kernel.syscalls import SyscallDispatcher
+from repro.mem.pagetable import FrameAllocator
+from repro.soc.system import System
+
+# Physical layout: the kernel owns the low region; user frames above it.
+KERNEL_RESERVED = 16 << 20  # page tables, kernel text/data analogue
+
+
+class Kernel:
+    """Single-core kernel over a :class:`~repro.soc.system.System`."""
+
+    def __init__(self, system: System):
+        self.system = system
+        self.roload_enabled = system.config.roload_kernel
+        frame_pool_top = min(system.config.memory_size, 512 << 20)
+        self.allocator = FrameAllocator(KERNEL_RESERVED, frame_pool_top)
+        self.syscalls = SyscallDispatcher(self)
+        self.faults = FaultHandler(roload_aware=self.roload_enabled)
+        self.console = bytearray()
+        self.processes: "List[Process]" = []
+        self._next_pid = 1
+
+    # -- process lifecycle -----------------------------------------------------
+
+    def create_process(self, image: Executable,
+                       name: str = "a.out") -> Process:
+        """Load an executable into a fresh address space."""
+        space = AddressSpace(self.system.memory, self.allocator,
+                             honour_keys=self.roload_enabled)
+        entry = load_executable(image, space)
+        stack_pointer = map_stack(space)
+        process = Process(pid=self._next_pid, address_space=space,
+                          entry=entry, stack_pointer=stack_pointer,
+                          name=name)
+        self._next_pid += 1
+        self.processes.append(process)
+        return process
+
+    def _schedule(self, process: Process) -> None:
+        """Context switch: install the address space and register file."""
+        core = self.system.core
+        self.system.mmu.set_root(process.address_space.root_ppn)
+        core.flush_decode_cache()
+        core.regs[:] = process.saved_regs
+        core.pc = process.saved_pc
+        process.state = ProcessState.RUNNING
+
+    def _deschedule(self, process: Process) -> None:
+        core = self.system.core
+        process.saved_regs = list(core.regs)
+        process.saved_pc = core.pc
+
+    # -- the run loop ------------------------------------------------------------
+
+    def run(self, process: Process,
+            max_instructions: int = 200_000_000) -> Process:
+        """Run ``process`` until it exits, is killed, or the budget ends.
+
+        Raises :class:`SimulationError` on budget exhaustion (runaway
+        program) — never silently truncates a measurement.
+        """
+        if not process.alive:
+            raise KernelError(f"process {process.pid} is not runnable")
+        core = self.system.core
+        self._schedule(process)
+        executed_start = core.instret
+        try:
+            while process.alive:
+                if core.instret - executed_start >= max_instructions:
+                    raise SimulationError(
+                        f"pid {process.pid}: instruction budget "
+                        f"({max_instructions}) exhausted at "
+                        f"pc={core.pc:#x}")
+                try:
+                    core.step()
+                except Trap as trap:
+                    self._handle_trap(process, trap)
+        finally:
+            self._deschedule(process)
+        return process
+
+    def _handle_trap(self, process: Process, trap: Trap) -> None:
+        core = self.system.core
+        if trap.cause == Cause.ECALL_FROM_U:
+            resumed = self.syscalls.dispatch(process, core)
+            if resumed:
+                core.pc = trap.pc + 4  # sepc + 4: skip the ecall
+            return
+        if trap.cause in (Cause.LOAD_PAGE_FAULT, Cause.STORE_PAGE_FAULT,
+                          Cause.FETCH_PAGE_FAULT, Cause.MISALIGNED_LOAD,
+                          Cause.MISALIGNED_STORE, Cause.MISALIGNED_FETCH):
+            self.faults.handle(process, trap)
+            return
+        if trap.cause == Cause.ILLEGAL_INSTRUCTION:
+            process.kill(SignalInfo(SIGILL, "illegal instruction",
+                                    pc=trap.pc, fault_address=trap.tval,
+                                    trap=trap))
+            return
+        if trap.cause == Cause.BREAKPOINT:
+            process.kill(SignalInfo(SIGTRAP, "breakpoint", pc=trap.pc,
+                                    trap=trap))
+            return
+        raise KernelError(f"unhandled trap: {trap}")
+
+    # -- conveniences --------------------------------------------------------------
+
+    @property
+    def security_log(self):
+        """ROLoad violations recorded by the modified kernel."""
+        return self.faults.security_log
+
+    @property
+    def console_text(self) -> str:
+        return self.console.decode("utf-8", errors="replace")
+
+
+def run_program(image: Executable, *, profile: str = "processor+kernel",
+                max_instructions: int = 200_000_000,
+                system: "Optional[System]" = None,
+                name: str = "a.out") -> Process:
+    """One-shot helper: build a system, load, and run an executable."""
+    from repro.soc.system import build_system
+    if system is None:
+        system = build_system(profile)
+    kernel = Kernel(system)
+    process = kernel.create_process(image, name=name)
+    kernel.run(process, max_instructions=max_instructions)
+    return process

@@ -1,0 +1,73 @@
+"""Process model: state, exit/signal status, and I/O buffers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.signals import SignalInfo
+
+
+class ProcessState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    EXITED = "exited"
+    KILLED = "killed"
+
+
+@dataclass
+class Process:
+    """One user process (single-threaded)."""
+
+    pid: int
+    address_space: AddressSpace
+    entry: int
+    stack_pointer: int
+    name: str = "a.out"
+    state: ProcessState = ProcessState.READY
+    exit_code: "Optional[int]" = None
+    signal: "Optional[SignalInfo]" = None
+    stdout: bytearray = field(default_factory=bytearray)
+    stderr: bytearray = field(default_factory=bytearray)
+    stdin: bytes = b""
+    # Saved register file + pc (context for future runs; the single-core
+    # kernel loads these onto the core when scheduling the process).
+    saved_pc: int = 0
+    saved_regs: "list[int]" = field(default_factory=lambda: [0] * 32)
+
+    def __post_init__(self):
+        self.saved_pc = self.entry
+        self.saved_regs[2] = self.stack_pointer  # sp
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (ProcessState.READY, ProcessState.RUNNING)
+
+    @property
+    def stdout_text(self) -> str:
+        return self.stdout.decode("utf-8", errors="replace")
+
+    @property
+    def stderr_text(self) -> str:
+        return self.stderr.decode("utf-8", errors="replace")
+
+    def memory_kib(self) -> float:
+        """Resident memory in KiB (the unit Figures 3/5 report)."""
+        return self.address_space.memory_kib()
+
+    def exit(self, code: int) -> None:
+        self.state = ProcessState.EXITED
+        self.exit_code = code & 0xFF
+
+    def kill(self, signal: SignalInfo) -> None:
+        self.state = ProcessState.KILLED
+        self.signal = signal
+
+    def status(self) -> str:
+        if self.state is ProcessState.EXITED:
+            return f"exited with code {self.exit_code}"
+        if self.state is ProcessState.KILLED:
+            return f"killed by {self.signal}"
+        return self.state.value

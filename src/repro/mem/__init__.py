@@ -1,0 +1,27 @@
+"""Memory hierarchy: physical memory, Sv39 paging with ROLoad keys, TLBs,
+timing caches, the key-checking MMU, and the keyed-PMP embedded profile."""
+
+from repro.mem.physical import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, \
+    PhysicalMemory
+from repro.mem.pte import PTE, make_leaf, make_table_pointer
+from repro.mem.pagetable import (
+    FrameAllocator,
+    PageTableBuilder,
+    PageTableWalker,
+    WalkResult,
+)
+from repro.mem.tlb import TLB, TLBEntry
+from repro.mem.cache import Cache
+from repro.mem.faults import MisalignedAccess, PageFault, ROLoadFailure
+from repro.mem.mmu import MMU, MMUStats, TranslationResult
+from repro.mem.pmp import KeyedPMP, PMPRegion
+
+__all__ = [
+    "PAGE_MASK", "PAGE_SHIFT", "PAGE_SIZE", "PhysicalMemory",
+    "PTE", "make_leaf", "make_table_pointer",
+    "FrameAllocator", "PageTableBuilder", "PageTableWalker", "WalkResult",
+    "TLB", "TLBEntry", "Cache",
+    "MisalignedAccess", "PageFault", "ROLoadFailure",
+    "MMU", "MMUStats", "TranslationResult",
+    "KeyedPMP", "PMPRegion",
+]

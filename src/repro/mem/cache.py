@@ -1,0 +1,72 @@
+"""Set-associative cache model (tags only — used by the timing model).
+
+Table II: 32 KiB 8-way L1 I-cache and D-cache. Data never lives here; the
+simulator reads/writes physical memory directly and asks the cache model
+only "would this access have hit?". Write misses allocate (write-allocate,
+write-back — Rocket's L1D policy); clean correctness is untouched either
+way because this is timing-only.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigError
+
+
+class Cache:
+    """Tag-only set-associative cache with true-LRU replacement."""
+
+    def __init__(self, size: int = 32 * 1024, ways: int = 8,
+                 line_size: int = 64, name: str = "cache"):
+        if size <= 0 or ways <= 0 or line_size <= 0:
+            raise ConfigError("cache dimensions must be positive")
+        if size % (ways * line_size):
+            raise ConfigError(
+                f"cache size {size} not divisible by ways*line "
+                f"({ways}*{line_size})")
+        if line_size & (line_size - 1):
+            raise ConfigError("line size must be a power of two")
+        self.size = size
+        self.ways = ways
+        self.line_size = line_size
+        self.num_sets = size // (ways * line_size)
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigError("set count must be a power of two")
+        self.name = name
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self._line_shift = line_size.bit_length() - 1
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, paddr: int) -> bool:
+        """Record an access; returns True on hit, False on miss (allocates).
+
+        Accesses are assumed not to straddle lines (the toolchain emits
+        naturally aligned scalar accesses; the core enforces alignment).
+        """
+        line = paddr >> self._line_shift
+        index = line & (self.num_sets - 1)
+        ways = self._sets[index]
+        if line in ways:
+            ways.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways[line] = True
+        if len(ways) > self.ways:
+            ways.popitem(last=False)
+        return False
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

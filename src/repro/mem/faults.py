@@ -1,0 +1,74 @@
+"""Architectural memory-fault descriptions.
+
+A :class:`PageFault` is raised by the MMU and caught by the core, which
+converts it into a trap delivered to the (host-level) kernel model. The
+``roload`` flag plus :class:`ROLoadFailure` reason let the kernel
+differentiate the paper's new fault type from benign load page faults —
+the exact discrimination `arch/riscv/mm/fault.c` performs in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.opcodes import MemOp
+
+
+# [roload-begin: processor]
+class ROLoadFailure(enum.Enum):
+    """Why a ROLoad check failed (None when the fault is not ROLoad's)."""
+
+    NOT_PRESENT = "not_present"        # no valid mapping at all
+    NOT_READABLE = "not_readable"      # page unreadable
+    NOT_READ_ONLY = "not_read_only"    # page writable: pointee not immutable
+    KEY_MISMATCH = "key_mismatch"      # wrong allowlist type
+# [roload-end]
+
+
+class PageFault(Exception):
+    """A translation or permission failure for one memory access."""
+
+    def __init__(self, vaddr: int, memop: str, *, roload: bool = False,
+                 reason: "ROLoadFailure | None" = None,
+                 insn_key: "int | None" = None,
+                 page_key: "int | None" = None):
+        self.vaddr = vaddr
+        self.memop = memop
+        self.roload = roload
+        self.reason = reason
+        self.insn_key = insn_key
+        self.page_key = page_key
+        detail = f"{memop} @ {vaddr:#x}"
+        if roload:
+            detail += f" [ROLoad {reason.value}"
+            if reason is ROLoadFailure.KEY_MISMATCH:
+                detail += f": insn key {insn_key}, page key {page_key}"
+            detail += "]"
+        super().__init__(detail)
+
+    @property
+    def scause(self) -> int:
+        """RISC-V trap cause number for this fault."""
+        if self.memop == MemOp.FETCH:
+            return 12  # instruction page fault
+        if self.memop in (MemOp.WRITE, MemOp.AMO):
+            return 15  # store/AMO page fault
+        return 13      # load page fault (ROLoad faults are load faults too)
+
+
+class MisalignedAccess(Exception):
+    """Address-misaligned access (cause 4/6)."""
+
+    def __init__(self, vaddr: int, memop: str, size: int):
+        self.vaddr = vaddr
+        self.memop = memop
+        self.size = size
+        super().__init__(f"misaligned {memop} of {size} bytes @ {vaddr:#x}")
+
+    @property
+    def scause(self) -> int:
+        if self.memop == MemOp.FETCH:
+            return 0
+        if self.memop in (MemOp.WRITE, MemOp.AMO):
+            return 6
+        return 4

@@ -1,0 +1,192 @@
+"""MMU: address translation with the parallel ROLoad permission check.
+
+This module is the direct analogue of the paper's Rocket ``Class TLB``
+modification: the conventional page-permission check and the new ROLoad
+check (page is read-only AND page key equals instruction key) are computed
+independently and **ANDed** — "The output of this logic is then ANDed with
+the original output of the page permission control logic. Thus, the
+conventional page permission check and the newly introduced ROLoad checks
+are done in parallel."
+
+``roload_enabled`` models the baseline (unmodified) processor of §V-B: when
+False the custom-0 opcode is simply not implemented, so the core raises an
+illegal-instruction trap long before reaching here; the MMU also carries
+no key logic (keys in PTEs land in reserved bits that the baseline
+hardware ignores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import MemOp
+from repro.mem.faults import PageFault, ROLoadFailure
+from repro.mem.pagetable import PageTableWalker
+from repro.mem.physical import PAGE_SHIFT, PhysicalMemory
+from repro.mem.pte import PTE
+from repro.mem.tlb import TLB, TLBEntry
+
+
+@dataclass
+class TranslationResult:
+    """Physical address plus the timing-relevant events of a translation."""
+
+    paddr: int
+    tlb_hit: bool
+    walk_accesses: int = 0
+
+
+@dataclass
+class MMUStats:
+    roload_checks: int = 0
+    roload_faults: int = 0
+    walks: int = 0
+    translations: int = 0
+
+    def reset(self) -> None:
+        self.roload_checks = 0
+        self.roload_faults = 0
+        self.walks = 0
+        self.translations = 0
+
+
+class MMU:
+    """Sv39 MMU with split I/D TLBs and ROLoad key checking."""
+
+    def __init__(self, memory: PhysicalMemory, *, itlb_entries: int = 32,
+                 dtlb_entries: int = 32, roload_enabled: bool = True):
+        self.memory = memory
+        self.walker = PageTableWalker(memory)
+        self.itlb = TLB(itlb_entries, name="itlb")
+        self.dtlb = TLB(dtlb_entries, name="dtlb")
+        self.roload_enabled = roload_enabled
+        # satp: 0 = bare (no translation); otherwise the root PPN.
+        self.root_ppn = 0
+        self.bare = True
+        self.user_mode = True
+        self.stats = MMUStats()
+        # Bumped on every flush/root change; lets the core invalidate its
+        # fetch fast-path cache without a callback.
+        self.generation = 0
+
+    # -- configuration (satp writes, context switches) ----------------------
+
+    def set_root(self, root_ppn: int) -> None:
+        """Point at a page table and enable Sv39 translation."""
+        self.root_ppn = root_ppn
+        self.bare = False
+        self.flush()
+
+    def set_bare(self) -> None:
+        """Disable translation (machine-mode boot environment)."""
+        self.bare = True
+        self.flush()
+
+    def flush(self) -> None:
+        """sfence.vma: invalidate both TLBs."""
+        self.itlb.flush()
+        self.dtlb.flush()
+        self.generation += 1
+
+    def flush_page(self, vaddr: int) -> None:
+        vpn = vaddr >> PAGE_SHIFT
+        self.itlb.flush_page(vpn)
+        self.dtlb.flush_page(vpn)
+        self.generation += 1
+
+    # -- translation --------------------------------------------------------
+
+    def translate(self, vaddr: int, memop: str,
+                  insn_key: int = 0) -> TranslationResult:
+        """Translate ``vaddr`` for ``memop``; raise :class:`PageFault` on
+        any permission, presence, or ROLoad-check failure.
+
+        ``insn_key`` is the key carried by the requesting ROLoad
+        instruction (ignored for other memory operations).
+        """
+        self.stats.translations += 1
+        if self.bare:
+            return TranslationResult(paddr=vaddr, tlb_hit=True)
+
+        tlb = self.itlb if memop == MemOp.FETCH else self.dtlb
+        vpn = vaddr >> PAGE_SHIFT
+        entry = tlb.lookup(vpn)
+        walk_accesses = 0
+        if entry is None:
+            result = self.walker.walk(self.root_ppn, vaddr)
+            self.stats.walks += 1
+            if result is None:
+                raise self._fault(vaddr, memop, insn_key, None)
+            walk_accesses = result.accesses
+            pte = result.pte
+            entry = TLBEntry(ppn=pte.ppn, readable=pte.readable,
+                             writable=pte.writable,
+                             executable=pte.executable, user=pte.user,
+                             key=pte.key)
+            tlb.insert(vpn, entry)
+            tlb_hit = False
+        else:
+            tlb_hit = True
+
+        self._check(vaddr, memop, insn_key, entry)
+        paddr = (entry.ppn << PAGE_SHIFT) | (vaddr & ((1 << PAGE_SHIFT) - 1))
+        return TranslationResult(paddr=paddr, tlb_hit=tlb_hit,
+                                 walk_accesses=walk_accesses)
+
+    # -- the permission logic -----------------------------------------------
+
+    def _check(self, vaddr: int, memop: str, insn_key: int,
+               entry: TLBEntry) -> None:
+        """The parallel permission checks of the modified Class TLB."""
+        if self.user_mode and not entry.user:
+            raise self._fault(vaddr, memop, insn_key, entry)
+
+        # Conventional page-permission control logic.
+        if memop == MemOp.FETCH:
+            conventional_ok = entry.executable
+        elif memop in (MemOp.WRITE, MemOp.AMO):
+            conventional_ok = entry.writable and (
+                memop != MemOp.AMO or entry.readable)
+        else:  # READ and READ_RO both require readability
+            conventional_ok = entry.readable
+
+        # [roload-begin: processor]
+        # The newly introduced ROLoad check, computed in parallel.
+        roload_ok = True
+        if memop == MemOp.READ_RO and self.roload_enabled:
+            self.stats.roload_checks += 1
+            roload_ok = (entry.readable and not entry.writable
+                         and entry.key == insn_key)
+        # [roload-end]
+
+        if not (conventional_ok and roload_ok):  # the AND gate
+            raise self._fault(vaddr, memop, insn_key, entry)
+
+    def _fault(self, vaddr: int, memop: str, insn_key: int,
+               entry: "TLBEntry | None") -> PageFault:
+        # [roload-begin: processor]
+        if memop != MemOp.READ_RO or not self.roload_enabled:
+            return PageFault(vaddr, memop)
+        self.stats.roload_faults += 1
+        if entry is None:
+            reason = ROLoadFailure.NOT_PRESENT
+            page_key = None
+        elif not entry.readable or (self.user_mode and not entry.user):
+            reason = ROLoadFailure.NOT_READABLE
+            page_key = entry.key
+        elif entry.writable:
+            reason = ROLoadFailure.NOT_READ_ONLY
+            page_key = entry.key
+        else:
+            reason = ROLoadFailure.KEY_MISMATCH
+            page_key = entry.key
+        return PageFault(vaddr, memop, roload=True, reason=reason,
+                         insn_key=insn_key, page_key=page_key)
+        # [roload-end]
+
+    # -- debug helpers -------------------------------------------------------
+
+    def probe(self, vaddr: int) -> "PTE | None":
+        """Walk without side effects; for tests and debuggers."""
+        result = self.walker.walk(self.root_ppn, vaddr)
+        return result.pte if result else None

@@ -1,0 +1,106 @@
+"""Sparse physical memory model.
+
+Backing store is a dict of 4 KiB page frames allocated on first touch, so a
+4 GiB address space (Table II: one 4 GiB DDR3 SO-DIMM) costs only what the
+workload actually touches. All accesses are little-endian, matching RISC-V.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryError_
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class PhysicalMemory:
+    """Byte-addressable physical memory with sparse page-frame backing."""
+
+    def __init__(self, size: int = 4 << 30):
+        if size <= 0 or size & PAGE_MASK:
+            raise MemoryError_(f"memory size {size:#x} must be a positive "
+                               f"multiple of the page size")
+        self.size = size
+        self._frames: dict[int, bytearray] = {}
+
+    # -- frame helpers ------------------------------------------------------
+
+    def _frame(self, frame_index: int) -> bytearray:
+        frame = self._frames.get(frame_index)
+        if frame is None:
+            frame = bytearray(PAGE_SIZE)
+            self._frames[frame_index] = frame
+        return frame
+
+    def frame_count(self) -> int:
+        """Number of frames actually allocated (for memory accounting)."""
+        return len(self._frames)
+
+    # -- scalar access ------------------------------------------------------
+
+    def read(self, address: int, size: int) -> int:
+        """Read ``size`` bytes (1/2/4/8) at ``address`` as an unsigned int."""
+        if address < 0 or address + size > self.size:
+            raise MemoryError_(f"physical read [{address:#x}+{size}] out of "
+                               f"range")
+        frame_index = address >> PAGE_SHIFT
+        offset = address & PAGE_MASK
+        if offset + size <= PAGE_SIZE:
+            frame = self._frames.get(frame_index)
+            if frame is None:
+                return 0
+            return int.from_bytes(frame[offset:offset + size], "little")
+        return int.from_bytes(self.read_bytes(address, size), "little")
+
+    def write(self, address: int, size: int, value: int) -> None:
+        """Write ``size`` bytes at ``address`` from an unsigned int."""
+        if address < 0 or address + size > self.size:
+            raise MemoryError_(f"physical write [{address:#x}+{size}] out "
+                               f"of range")
+        frame_index = address >> PAGE_SHIFT
+        offset = address & PAGE_MASK
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if offset + size <= PAGE_SIZE:
+            self._frame(frame_index)[offset:offset + size] = data
+        else:
+            self.write_bytes(address, data)
+
+    # -- bulk access --------------------------------------------------------
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        """Read an arbitrary byte range (may span frames)."""
+        if address < 0 or address + length > self.size:
+            raise MemoryError_(f"physical read [{address:#x}+{length}] out "
+                               f"of range")
+        out = bytearray()
+        while length:
+            frame_index = address >> PAGE_SHIFT
+            offset = address & PAGE_MASK
+            chunk = min(length, PAGE_SIZE - offset)
+            frame = self._frames.get(frame_index)
+            if frame is None:
+                out += bytes(chunk)
+            else:
+                out += frame[offset:offset + chunk]
+            address += chunk
+            length -= chunk
+        return bytes(out)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Write an arbitrary byte range (may span frames)."""
+        if address < 0 or address + len(data) > self.size:
+            raise MemoryError_(f"physical write [{address:#x}+{len(data)}] "
+                               f"out of range")
+        view = memoryview(data)
+        while view:
+            frame_index = address >> PAGE_SHIFT
+            offset = address & PAGE_MASK
+            chunk = min(len(view), PAGE_SIZE - offset)
+            self._frame(frame_index)[offset:offset + chunk] = view[:chunk]
+            address += chunk
+            view = view[chunk:]
+
+    def fill(self, address: int, length: int, byte: int = 0) -> None:
+        """Fill a byte range with a constant (used for zeroed mappings)."""
+        self.write_bytes(address, bytes([byte]) * length)

@@ -1,0 +1,121 @@
+"""Sv39 page-table entries with the ROLoad *key* field.
+
+A standard RV64 Sv39 PTE is 64 bits::
+
+    63      54 53        10 9  8 7 6 5 4 3 2 1 0
+    [reserved][    PPN     ][RSW][D A G U X W R V]
+
+The paper re-uses the **reserved top 10 bits** (63:54) for the page key —
+"Page table entries are fixed-size of 64 bits on 64-bit RISC-V systems, and
+we reuse the previously reserved top 10 bits of each page table entry."
+This module packs/unpacks exactly that layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PageTableError
+from repro.isa.opcodes import KEY_MAX
+
+# Flag bit positions.
+PTE_V = 1 << 0
+PTE_R = 1 << 1
+PTE_W = 1 << 2
+PTE_X = 1 << 3
+PTE_U = 1 << 4
+PTE_G = 1 << 5
+PTE_A = 1 << 6
+PTE_D = 1 << 7
+
+PPN_SHIFT = 10
+PPN_BITS = 44
+PPN_MASK = (1 << PPN_BITS) - 1
+# [roload-begin: processor]
+KEY_SHIFT = 54  # the previously reserved top 10 bits
+# [roload-end]
+
+
+@dataclass
+class PTE:
+    """A decoded page-table entry."""
+
+    ppn: int = 0
+    valid: bool = False
+    readable: bool = False
+    writable: bool = False
+    executable: bool = False
+    user: bool = False
+    global_: bool = False
+    accessed: bool = False
+    dirty: bool = False
+    key: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """A valid PTE with any of R/W/X set is a leaf mapping; a valid PTE
+        with none of them set points at the next-level table."""
+        return self.readable or self.writable or self.executable
+
+    @property
+    def is_read_only(self) -> bool:
+        """Read-only in the ROLoad sense: readable but not writable."""
+        return self.readable and not self.writable
+
+    def pack(self) -> int:
+        """Encode to the 64-bit in-memory representation."""
+        if not 0 <= self.key <= KEY_MAX:
+            raise PageTableError(f"page key {self.key} out of range "
+                                 f"(0..{KEY_MAX})")
+        if not 0 <= self.ppn <= PPN_MASK:
+            raise PageTableError(f"PPN {self.ppn:#x} out of range")
+        word = (self.ppn << PPN_SHIFT) | (self.key << KEY_SHIFT)
+        if self.valid:
+            word |= PTE_V
+        if self.readable:
+            word |= PTE_R
+        if self.writable:
+            word |= PTE_W
+        if self.executable:
+            word |= PTE_X
+        if self.user:
+            word |= PTE_U
+        if self.global_:
+            word |= PTE_G
+        if self.accessed:
+            word |= PTE_A
+        if self.dirty:
+            word |= PTE_D
+        return word
+
+    @classmethod
+    def unpack(cls, word: int) -> "PTE":
+        """Decode from the 64-bit in-memory representation."""
+        return cls(
+            ppn=(word >> PPN_SHIFT) & PPN_MASK,
+            valid=bool(word & PTE_V),
+            readable=bool(word & PTE_R),
+            writable=bool(word & PTE_W),
+            executable=bool(word & PTE_X),
+            user=bool(word & PTE_U),
+            global_=bool(word & PTE_G),
+            accessed=bool(word & PTE_A),
+            dirty=bool(word & PTE_D),
+            key=(word >> KEY_SHIFT) & KEY_MAX,
+        )
+
+
+def make_leaf(ppn: int, *, readable=False, writable=False, executable=False,
+              user=True, key: int = 0) -> PTE:
+    """Convenience constructor for a leaf mapping (A/D pre-set, as a kernel
+    that doesn't emulate A/D hardware updates would do)."""
+    if writable and not readable:
+        raise PageTableError("writable-but-not-readable PTEs are reserved")
+    return PTE(ppn=ppn, valid=True, readable=readable, writable=writable,
+               executable=executable, user=user, accessed=True,
+               dirty=writable, key=key)
+
+
+def make_table_pointer(ppn: int) -> PTE:
+    """A non-leaf PTE pointing at the next-level page table."""
+    return PTE(ppn=ppn, valid=True)

@@ -1,0 +1,83 @@
+"""TLB model with the ROLoad *key* field in every entry.
+
+The paper: "We also add the newly introduced key field ... to each TLB
+entry." Rocket's TLBs are small and fully associative; we model a
+fully-associative, true-LRU TLB (32 entries by default, per Table II).
+Only the *contents* matter for correctness — capacity and replacement
+matter for the timing model (TLB miss => page-table walk).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class TLBEntry:
+    """Cached translation: physical page number, permissions, and key."""
+
+    ppn: int
+    readable: bool
+    writable: bool
+    executable: bool
+    user: bool
+    key: int
+
+
+class TLB:
+    """Fully-associative, LRU translation lookaside buffer."""
+
+    def __init__(self, entries: int = 32, name: str = "tlb"):
+        if entries <= 0:
+            raise ConfigError(f"TLB needs a positive entry count, got "
+                              f"{entries}")
+        self.capacity = entries
+        self.name = name
+        self._entries: "OrderedDict[int, TLBEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def lookup(self, vpn: int) -> Optional[TLBEntry]:
+        """Look up a virtual page number; updates LRU order and stats."""
+        entry = self._entries.get(vpn)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(vpn)
+        self.hits += 1
+        return entry
+
+    def insert(self, vpn: int, entry: TLBEntry) -> None:
+        """Install a translation, evicting the LRU entry if full."""
+        if vpn in self._entries:
+            self._entries.move_to_end(vpn)
+        self._entries[vpn] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def flush(self) -> None:
+        """Flush everything (sfence.vma with no arguments)."""
+        self._entries.clear()
+        self.flushes += 1
+
+    def flush_page(self, vpn: int) -> None:
+        """Flush one translation (sfence.vma with an address)."""
+        self._entries.pop(vpn, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0

@@ -1,0 +1,10 @@
+"""SoC assembly: Table II configuration, devices, and system factories."""
+
+from repro.soc.config import CacheConfig, PROFILES, SoCConfig
+from repro.soc.devices import BootROM, ConsoleUART, UART_BASE
+from repro.soc.system import System, build_embedded_system, build_system
+
+__all__ = [
+    "CacheConfig", "PROFILES", "SoCConfig", "BootROM", "ConsoleUART",
+    "UART_BASE", "System", "build_embedded_system", "build_system",
+]

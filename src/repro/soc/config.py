@@ -1,0 +1,97 @@
+"""System configuration — Table II of the paper.
+
+    Components    Configurations
+    ISA           RV64IMAC with M, S, and U modes
+    Extensions
+    Caches        32KiB 8-way L1I$, 32KiB 8-way L1D$
+    TLBs          32-entry I-TLB, 32-entry D-TLB (default)
+    Peripherals   Xilinx MIG for a 4GiB DDR3 SO-DIMM,
+                  Xilinx AXI Ethernet Subsystem, 64KiB boot ROM
+
+Three deployment *profiles* correspond to the three systems of §V-B:
+
+* ``baseline`` — unmodified processor and kernel (``ld.ro`` is illegal).
+* ``processor`` — processor implements ROLoad; kernel unaware (no page
+  keys are ever set, ROLoad faults are treated as plain segfaults).
+* ``processor+kernel`` — the full ROLoad stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cpu.timing import TimingParams
+from repro.errors import ConfigError
+
+PROFILES = ("baseline", "processor", "processor+kernel")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    size: int = 32 * 1024
+    ways: int = 8
+    line_size: int = 64
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """Full prototype configuration (Table II defaults)."""
+
+    isa: str = "RV64IMAC"
+    modes: "tuple[str, ...]" = ("M", "S", "U")
+    l1i: CacheConfig = field(default_factory=CacheConfig)
+    l1d: CacheConfig = field(default_factory=CacheConfig)
+    itlb_entries: int = 32
+    dtlb_entries: int = 32
+    memory_size: int = 4 << 30          # 4 GiB DDR3 SO-DIMM
+    boot_rom_size: int = 64 * 1024      # 64 KiB boot ROM
+    frequency_mhz: float = 125.0        # synthesis target F_target
+    timing: TimingParams = field(default_factory=TimingParams)
+    # ROLoad deployment profile:
+    roload_processor: bool = True       # hardware implements ld.ro family
+    roload_kernel: bool = True          # kernel sets keys & discriminates
+
+    def __post_init__(self):
+        if self.itlb_entries <= 0 or self.dtlb_entries <= 0:
+            raise ConfigError("TLB entry counts must be positive")
+        if self.memory_size <= 0:
+            raise ConfigError("memory size must be positive")
+        if self.roload_kernel and not self.roload_processor:
+            raise ConfigError("kernel ROLoad support requires processor "
+                              "support (profile has no hardware to use)")
+
+    @property
+    def profile(self) -> str:
+        if not self.roload_processor:
+            return "baseline"
+        if not self.roload_kernel:
+            return "processor"
+        return "processor+kernel"
+
+    @classmethod
+    def for_profile(cls, profile: str, **overrides) -> "SoCConfig":
+        """Build the configuration for one of the §V-B system profiles."""
+        if profile not in PROFILES:
+            raise ConfigError(f"unknown profile {profile!r}; expected one "
+                              f"of {PROFILES}")
+        config = cls(roload_processor=profile != "baseline",
+                     roload_kernel=profile == "processor+kernel")
+        return replace(config, **overrides) if overrides else config
+
+    def describe(self) -> "list[tuple[str, str]]":
+        """Rows of Table II for the report generator."""
+        modes = ", ".join(self.modes)
+        kib = 1024
+        return [
+            ("ISA Extensions", f"{self.isa} with {modes} modes"),
+            ("Caches",
+             f"{self.l1i.size // kib}KiB {self.l1i.ways}-way L1I$, "
+             f"{self.l1d.size // kib}KiB {self.l1d.ways}-way L1D$"),
+            ("TLBs",
+             f"{self.itlb_entries}-entry I-TLB, "
+             f"{self.dtlb_entries}-entry D-TLB"),
+            ("Peripherals",
+             f"Memory controller for a {self.memory_size >> 30}GiB DDR3 "
+             f"SO-DIMM, Ethernet, "
+             f"{self.boot_rom_size // kib}KiB boot ROM"),
+        ]

@@ -1,0 +1,56 @@
+"""Memory-mapped peripherals for the prototype SoC.
+
+Real prototype: Xilinx MIG DDR3 controller + AXI Ethernet + boot ROM. For
+the simulation we provide a console UART (so bare-metal programs can
+print) and a boot ROM region; the Ethernet-mounted NFS of the paper is
+replaced by the loader writing executables straight into memory.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.core import MMIORegion
+
+UART_BASE = 0x1000_0000
+UART_SIZE = 0x1000
+BOOT_ROM_BASE = 0x0001_0000
+
+
+class ConsoleUART:
+    """Write-only console device: stores to THR collect into a buffer."""
+
+    def __init__(self):
+        self.output = bytearray()
+
+    def region(self) -> MMIORegion:
+        return MMIORegion(UART_BASE, UART_SIZE, read=self._read,
+                          write=self._write)
+
+    def _read(self, paddr: int, width: int) -> int:
+        # LSR-style "transmitter always ready".
+        if paddr - UART_BASE == 5:
+            return 0x20
+        return 0
+
+    def _write(self, paddr: int, width: int, value: int) -> None:
+        if paddr == UART_BASE:
+            self.output.append(value & 0xFF)
+
+    @property
+    def text(self) -> str:
+        return self.output.decode("utf-8", errors="replace")
+
+
+class BootROM:
+    """Read-only boot ROM contents placed in physical memory at reset."""
+
+    def __init__(self, contents: bytes = b"", base: int = BOOT_ROM_BASE,
+                 size: int = 64 * 1024):
+        if len(contents) > size:
+            raise ValueError("boot ROM contents exceed ROM size")
+        self.base = base
+        self.size = size
+        self.contents = contents
+
+    def load_into(self, memory) -> None:
+        if self.contents:
+            memory.write_bytes(self.base, self.contents)

@@ -1,0 +1,82 @@
+"""System assembly: core + MMU + caches + memory + devices.
+
+:func:`build_system` is the factory the evaluation uses to instantiate the
+three §V-B system profiles. The embedded (MMU-less) variant backs the core
+with a :class:`~repro.mem.pmp.KeyedPMP` instead of the paged MMU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpu.core import Core
+from repro.cpu.timing import TimingModel
+from repro.mem.cache import Cache
+from repro.mem.mmu import MMU
+from repro.mem.physical import PhysicalMemory
+from repro.mem.pmp import KeyedPMP
+from repro.soc.config import SoCConfig
+from repro.soc.devices import BootROM, ConsoleUART
+
+
+class System:
+    """One simulated computer: Table II configuration by default."""
+
+    def __init__(self, config: "Optional[SoCConfig]" = None, *,
+                 mpu: "Optional[KeyedPMP]" = None):
+        self.config = config or SoCConfig()
+        self.memory = PhysicalMemory(self.config.memory_size)
+        if mpu is None:
+            self.mmu = MMU(self.memory,
+                           itlb_entries=self.config.itlb_entries,
+                           dtlb_entries=self.config.dtlb_entries,
+                           roload_enabled=self.config.roload_processor)
+        else:
+            self.mmu = mpu
+        self.icache = Cache(self.config.l1i.size, self.config.l1i.ways,
+                            self.config.l1i.line_size, name="l1i")
+        self.dcache = Cache(self.config.l1d.size, self.config.l1d.ways,
+                            self.config.l1d.line_size, name="l1d")
+        self.timing = TimingModel(self.config.timing)
+        self.core = Core(self.memory, self.mmu, icache=self.icache,
+                         dcache=self.dcache, timing=self.timing,
+                         roload_enabled=self.config.roload_processor)
+        self.uart = ConsoleUART()
+        self.core.add_mmio(self.uart.region())
+        self.boot_rom = BootROM()
+
+    @property
+    def profile(self) -> str:
+        return self.config.profile
+
+    def reset_stats(self) -> None:
+        """Zero all performance counters (not architectural state)."""
+        self.timing.reset()
+        self.icache.reset_stats()
+        self.dcache.reset_stats()
+        if isinstance(self.mmu, MMU):
+            self.mmu.stats.reset()
+            self.mmu.itlb.reset_stats()
+            self.mmu.dtlb.reset_stats()
+
+    def seconds(self) -> float:
+        """Wall-clock seconds at the configured core frequency."""
+        return self.timing.stats.cycles / (self.config.frequency_mhz * 1e6)
+
+
+def build_system(profile: str = "processor+kernel", **overrides) -> System:
+    """Instantiate one of the three §V-B system profiles."""
+    return System(SoCConfig.for_profile(profile, **overrides))
+
+
+def build_embedded_system(regions, *, roload_enabled: bool = True,
+                          **overrides) -> System:
+    """MMU-less IoT profile: physical addressing with a keyed PMP (§II-D).
+
+    ``regions`` is a list of :class:`~repro.mem.pmp.PMPRegion`.
+    """
+    config = SoCConfig.for_profile(
+        "processor+kernel" if roload_enabled else "baseline",
+        memory_size=overrides.pop("memory_size", 64 << 20), **overrides)
+    mpu = KeyedPMP(regions, roload_enabled=roload_enabled)
+    return System(config, mpu=mpu)

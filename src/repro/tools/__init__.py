@@ -1,0 +1,7 @@
+"""Command-line tools: assembler driver, runner, objdump, auditor.
+
+Installed as console scripts (``roload-as``, ``roload-run``,
+``roload-objdump``, ``roload-audit``) and runnable as modules
+(``python -m repro.tools.asmtool`` etc.). Each exposes ``main(argv)``
+returning an exit code, so they are directly testable.
+"""

@@ -1,0 +1,67 @@
+"""roload-as: assemble and link RISC-V (+ROLoad) sources into an image.
+
+    roload-as prog.s lib.s -o prog.rex [--base 0x10000] [--no-rvc]
+                                       [--entry _start] [--audit]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.asm import assemble, audit_image, link
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="roload-as",
+        description="Assemble and link ROLoad-extended RISC-V assembly.")
+    parser.add_argument("sources", nargs="+", type=Path,
+                        help="assembly source files (.s)")
+    parser.add_argument("-o", "--output", type=Path, default=None,
+                        help="output image (default: first source "
+                             "with .rex suffix)")
+    parser.add_argument("--base", type=lambda v: int(v, 0),
+                        default=0x10000, help="load base address")
+    parser.add_argument("--entry", default="_start",
+                        help="entry symbol (default _start)")
+    parser.add_argument("--no-rvc", action="store_true",
+                        help="disable compressed-instruction emission")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the ROLoad deployment auditor after "
+                             "linking; fail on errors")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        objects = [
+            assemble(path.read_text(), name=str(path),
+                     rvc=not args.no_rvc)
+            for path in args.sources
+        ]
+        from repro.asm.linker import Linker
+        image = Linker(base=args.base,
+                       entry_symbol=args.entry).link(objects)
+    except (ReproError, OSError) as error:
+        print(f"roload-as: {error}", file=sys.stderr)
+        return 1
+    if args.audit:
+        findings = audit_image(image)
+        for finding in findings:
+            print(f"roload-as: {finding}", file=sys.stderr)
+        if any(f.severity == "error" for f in findings):
+            return 2
+    output = args.output or args.sources[0].with_suffix(".rex")
+    output.write_bytes(image.to_bytes())
+    total = sum(len(s.data) for s in image.segments)
+    print(f"wrote {output} ({len(image.segments)} segments, "
+          f"{total} bytes, entry {image.entry:#x})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

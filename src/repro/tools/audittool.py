@@ -1,0 +1,57 @@
+"""roload-audit: check a REX image for ROLoad deployment violations.
+
+    roload-audit prog.rex [--strict]
+
+Exit codes: 0 clean, 1 usage/load error, 2 errors found, 3 warnings
+found with --strict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.asm import Executable, audit_image, collect_roload_keys
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="roload-audit",
+        description="Audit a REX image's ROLoad layout invariants.")
+    parser.add_argument("image", type=Path)
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as failures")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        image = Executable.from_bytes(args.image.read_bytes())
+    except (ReproError, OSError) as error:
+        print(f"roload-audit: {error}", file=sys.stderr)
+        return 1
+    keys = sorted(collect_roload_keys(image))
+    keyed_segments = [s for s in image.segments if s.key]
+    print(f"{args.image}: {len(image.segments)} segments, "
+          f"{len(keyed_segments)} keyed, ROLoad keys used: "
+          f"{keys if keys else 'none'}")
+    findings = audit_image(image)
+    for finding in findings:
+        print(f"  {finding}")
+    errors = [f for f in findings if f.severity == "error"]
+    warnings = [f for f in findings if f.severity == "warning"]
+    if errors:
+        print(f"FAILED: {len(errors)} error(s)")
+        return 2
+    if warnings and args.strict:
+        print(f"FAILED (strict): {len(warnings)} warning(s)")
+        return 3
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

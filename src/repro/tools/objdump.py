@@ -1,0 +1,88 @@
+"""roload-objdump: inspect a REX image (headers, symbols, disassembly).
+
+    roload-objdump prog.rex [-d] [-t] [-h]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.asm import Executable
+from repro.errors import ReproError
+from repro.isa import disassemble_bytes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="roload-objdump",
+        description="Display information from a REX image.",
+        add_help=False)
+    parser.add_argument("image", type=Path)
+    parser.add_argument("-d", "--disassemble", action="store_true")
+    parser.add_argument("-t", "--symbols", action="store_true")
+    parser.add_argument("-h", "--headers", action="store_true")
+    parser.add_argument("--help", action="help")
+    return parser
+
+
+def dump_headers(image: Executable) -> str:
+    lines = [f"entry: {image.entry:#x}",
+             f"{'segment':20s} {'vaddr':>10s} {'filesz':>8s} "
+             f"{'memsz':>8s} {'flags':>6s} {'key':>5s}"]
+    for segment in image.segments:
+        flags = ("r" if segment.readable else "-") + \
+            ("w" if segment.writable else "-") + \
+            ("x" if segment.executable else "-")
+        lines.append(f"{segment.name:20s} {segment.vaddr:>#10x} "
+                     f"{len(segment.data):>8d} {segment.memsize:>8d} "
+                     f"{flags:>6s} {segment.key:>5d}")
+    return "\n".join(lines)
+
+
+def dump_symbols(image: Executable) -> str:
+    lines = []
+    for name, address in sorted(image.symbols.items(),
+                                key=lambda kv: kv[1]):
+        lines.append(f"{address:#012x}  {name}")
+    return "\n".join(lines)
+
+
+def dump_disassembly(image: Executable) -> str:
+    by_address = {}
+    for name, address in image.symbols.items():
+        by_address.setdefault(address, []).append(name)
+    lines = []
+    for segment in image.segments:
+        if not segment.executable or not segment.data:
+            continue
+        lines.append(f"\nDisassembly of {segment.name or '.text'}:")
+        for address, __size, text in disassemble_bytes(
+                segment.data, segment.vaddr):
+            for label in by_address.get(address, []):
+                lines.append(f"\n{address:#010x} <{label}>:")
+            lines.append(f"    {address:#10x}:  {text}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        image = Executable.from_bytes(args.image.read_bytes())
+    except (ReproError, OSError) as error:
+        print(f"roload-objdump: {error}", file=sys.stderr)
+        return 1
+    if not (args.disassemble or args.symbols or args.headers):
+        args.headers = True
+    if args.headers:
+        print(dump_headers(image))
+    if args.symbols:
+        print(dump_symbols(image))
+    if args.disassemble:
+        print(dump_disassembly(image))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

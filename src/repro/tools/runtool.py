@@ -1,0 +1,95 @@
+"""roload-run: execute an image on the simulated ROLoad system.
+
+    roload-run prog.rex [--profile processor+kernel] [--max N]
+                        [--trace N] [--hot N] [--stats]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.asm import Executable
+from repro.cpu.tracer import Profiler, Tracer
+from repro.errors import ReproError, SimulationError
+from repro.kernel import Kernel
+from repro.soc import PROFILES, build_system
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="roload-run",
+        description="Run a REX image on the simulated ROLoad system.")
+    parser.add_argument("image", type=Path)
+    parser.add_argument("--profile", choices=PROFILES,
+                        default="processor+kernel",
+                        help="system profile (§V-B)")
+    parser.add_argument("--max", type=int, default=200_000_000,
+                        help="instruction budget")
+    parser.add_argument("--trace", type=int, default=0, metavar="N",
+                        help="print the last N executed instructions")
+    parser.add_argument("--hot", type=int, default=0, metavar="N",
+                        help="print the N hottest pcs by cycles")
+    parser.add_argument("--stats", action="store_true",
+                        help="print timing/cache/TLB statistics")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        image = Executable.from_bytes(args.image.read_bytes())
+    except (ReproError, OSError) as error:
+        print(f"roload-run: {error}", file=sys.stderr)
+        return 1
+    system = build_system(args.profile)
+    kernel = Kernel(system)
+    process = kernel.create_process(image, name=args.image.name)
+
+    tracer = Tracer(system.core, limit=max(args.trace, 1))
+    profiler = Profiler(system.core)
+    if args.trace:
+        tracer.attach()
+    if args.hot:
+        profiler.attach()
+    try:
+        kernel.run(process, max_instructions=args.max)
+    except SimulationError as error:
+        print(f"roload-run: {error}", file=sys.stderr)
+        return 3
+
+    if process.stdout:
+        sys.stdout.write(process.stdout_text)
+    if process.stderr:
+        sys.stderr.write(process.stderr_text)
+    print(f"[{args.profile}] {process.status()}")
+    for event in kernel.security_log:
+        print(f"[security] {event}")
+    if args.trace:
+        print("\n-- trace (most recent) --")
+        print(tracer.format(last=args.trace))
+    if args.hot:
+        print("\n-- hottest pcs --")
+        print(profiler.format(args.hot, symbols=image.symbols))
+    if args.stats:
+        stats = system.timing.stats
+        print("\n-- statistics --")
+        print(f"instructions   {stats.instructions:>14,d}")
+        print(f"cycles         {stats.cycles:>14,d}")
+        cpi = stats.cycles / stats.instructions if stats.instructions \
+            else 0.0
+        print(f"CPI            {cpi:>14.3f}")
+        print(f"icache misses  {stats.icache_misses:>14,d}")
+        print(f"dcache misses  {stats.dcache_misses:>14,d}")
+        print(f"memory (KiB)   {process.memory_kib():>14,.0f}")
+        if hasattr(system.mmu, "stats"):
+            print(f"ROLoad checks  "
+                  f"{system.mmu.stats.roload_checks:>14,d}")
+    if process.state.value == "exited":
+        return process.exit_code or 0
+    return 128 + (process.signal.number if process.signal else 0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

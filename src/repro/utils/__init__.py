@@ -1,0 +1,5 @@
+"""Shared utilities (bit manipulation, field packing)."""
+
+from repro.utils import bits
+
+__all__ = ["bits"]

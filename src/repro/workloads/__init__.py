@@ -1,0 +1,18 @@
+"""Synthetic SPEC CINT2006-like benchmark suite (§V-B substitute)."""
+
+from repro.workloads.generator import WorkloadProgram, build_workload
+from repro.workloads.kernels import KERNELS
+from repro.workloads.profiles import (
+    CPP_BENCHMARKS,
+    PROFILES,
+    PROFILE_BY_NAME,
+    WorkloadProfile,
+    cpp_profiles,
+    profile,
+)
+
+__all__ = [
+    "WorkloadProgram", "build_workload", "KERNELS", "CPP_BENCHMARKS",
+    "PROFILES",
+    "PROFILE_BY_NAME", "WorkloadProfile", "cpp_profiles", "profile",
+]

@@ -1,0 +1,334 @@
+"""Workload generator: profile -> IR module.
+
+The generated program is the same shape for every benchmark — an outer
+loop whose body mixes arithmetic, a strided walk over a large array,
+data-dependent branches, virtual calls (through class hierarchies, gated
+by a period) and indirect calls (through writable function-pointer
+variables, exactly the Listing 1 pattern) — with all densities taken from
+the profile. Generation is deterministic in ``profile.seed``.
+
+Class hierarchies matter: a C++ call site has a *static* receiver type,
+so objects flowing through one site share a hierarchy. The generator
+groups classes into hierarchies, builds one object-pointer array per
+hierarchy, and reports the class->hierarchy map so the VCall defense can
+key per hierarchy (the paper's "classify VTables based on class types").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.compiler import (
+    GlobalVar,
+    I64,
+    IRBuilder,
+    Module,
+    Mv,
+    PTR,
+    VTable,
+    func_type,
+    static_object,
+)
+from repro.workloads.profiles import WorkloadProfile
+
+SIG_METHOD = func_type(PTR, ret=I64)
+
+# Distinct signatures for distinct function-pointer "types".
+FPTR_SIGS = (
+    func_type(I64, ret=I64),
+    func_type(I64, I64, ret=I64),
+    func_type(PTR, ret=I64),
+    func_type(I64, I64, I64, ret=I64),
+)
+
+MAX_HIERARCHIES = 4
+
+
+@dataclass
+class WorkloadProgram:
+    """A generated benchmark: the module plus defense-relevant metadata."""
+
+    profile: WorkloadProfile
+    module: Module
+    hierarchies: "Dict[str, str]" = field(default_factory=dict)
+    class_names: "List[str]" = field(default_factory=list)
+
+
+def _assign(builder: IRBuilder, dst: str, src: str) -> None:
+    builder.function.ops.append(Mv(dst, src))
+
+
+class _Generator:
+    def __init__(self, profile: WorkloadProfile, scale: float):
+        self.profile = profile
+        self.rng = random.Random(profile.seed)
+        self.iterations = max(1, int(profile.iterations * scale))
+        # Symbols must not start with a digit ("403.gcc" -> "w403_gcc").
+        self.module = Module("w" + profile.name.replace(".", "_"))
+        self.hierarchies: "Dict[str, str]" = {}
+        self.class_names: "List[str]" = []
+        self.objptr_arrays: "List[tuple[str, int]]" = []  # (symbol, mask)
+        self.fpvar_names: "List[tuple[str, int]]" = []    # (symbol, type)
+
+    # -- module parts -----------------------------------------------------------
+
+    def build(self) -> WorkloadProgram:
+        self._build_classes()
+        self._build_fptr_functions()
+        self._build_data()
+        self._build_cold_sites()
+        self._build_main()
+        return WorkloadProgram(self.profile, self.module,
+                               dict(self.hierarchies),
+                               list(self.class_names))
+
+    def _build_cold_sites(self) -> None:
+        """Cold dispatch functions: the large static call-site surface of
+        SPEC-sized binaries. Never executed by main, but instrumented by
+        every defense — this is where code-bloat-based memory overheads
+        (VTint, label CFI) become visible at page granularity."""
+        p = self.profile
+        for k in range(p.cold_vcall_sites):
+            fn = self.module.function(f"{self.module.name}_coldv{k}",
+                                      num_params=1)
+            b = IRBuilder(fn)
+            class_name = self.class_names[k % len(self.class_names)]
+            slot = k % p.methods_per_class
+            result = b.vcall(b.param(0), slot, class_name,
+                             args=[b.param(0)], func_type=SIG_METHOD)
+            b.ret(result)
+        for k in range(p.cold_icall_sites):
+            type_index = k % p.fptr_types
+            sig = FPTR_SIGS[type_index % len(FPTR_SIGS)]
+            fn = self.module.function(f"{self.module.name}_coldi{k}",
+                                      num_params=1)
+            b = IRBuilder(fn)
+            var = self._fpvar(type_index, 1000 + (k % 16))
+            slot = b.la(var)
+            fptr = b.load_fptr(slot, sig)
+            args = [b.param(0)] * len(sig.params)
+            if sig.params and sig.params[0] is PTR:
+                args = [slot] + [b.param(0)] * (len(sig.params) - 1)
+            b.ret(b.icall(fptr, args, func_type=sig))
+
+    def _build_classes(self) -> None:
+        p = self.profile
+        if not p.classes:
+            return
+        n_hier = min(MAX_HIERARCHIES, p.classes)
+        for c in range(p.classes):
+            class_name = f"C{c}"
+            self.class_names.append(class_name)
+            hierarchy = f"H{c % n_hier}"
+            self.hierarchies[class_name] = hierarchy
+            methods = []
+            for m in range(p.methods_per_class):
+                fname = f"{self.module.name}_C{c}_m{m}"
+                fn = self.module.function(fname, num_params=1,
+                                          func_type=SIG_METHOD,
+                                          address_taken=True)
+                b = IRBuilder(fn)
+                payload = b.load(b.param(0), 8)   # read an object field
+                k = self.rng.randrange(1, 97)
+                b.ret(b.bin("xor", b.addi(payload, k), b.param(0)))
+                methods.append(fname)
+            self.module.vtable(VTable(class_name, entries=methods))
+        # Static objects, round-robin over classes; one pointer array per
+        # hierarchy (padded to a power of two for mask indexing).
+        per_hier: "Dict[str, List[str]]" = {}
+        for o in range(p.objects):
+            class_name = self.class_names[o % p.classes]
+            sym = f"obj{o}"
+            static_object(self.module, sym, class_name, payload_words=2)
+            per_hier.setdefault(self.hierarchies[class_name],
+                                []).append(sym)
+        for hierarchy in sorted(per_hier):
+            objs = per_hier[hierarchy]
+            size = 1
+            while size < len(objs):
+                size *= 2
+            padded = [objs[i % len(objs)] for i in range(size)]
+            sym = f"objptrs_{hierarchy}"
+            self.module.global_var(GlobalVar(
+                sym, section=".data",
+                init=[("quad", name) for name in padded]))
+            self.objptr_arrays.append((sym, size - 1))
+
+    def _build_fptr_functions(self) -> None:
+        p = self.profile
+        self.funcs_by_type: "List[List[str]]" = []
+        for t in range(p.fptr_types):
+            sig = FPTR_SIGS[t % len(FPTR_SIGS)]
+            funcs = []
+            for j in range(p.funcs_per_type):
+                fname = f"{self.module.name}_f{t}_{j}"
+                fn = self.module.function(fname,
+                                          num_params=len(sig.params),
+                                          func_type=sig,
+                                          address_taken=True)
+                b = IRBuilder(fn)
+                acc = b.li(self.rng.randrange(1, 61))
+                for index in range(len(sig.params)):
+                    acc = b.add(acc, b.param(index))
+                b.ret(acc)
+                funcs.append(fname)
+            self.funcs_by_type.append(funcs)
+
+    def _build_data(self) -> None:
+        p = self.profile
+        words = p.working_set_kib * 1024 // 8
+        assert words & (words - 1) == 0, "working set must be 2^n words"
+        self.ws_mask = words - 1
+        self.module.global_var(GlobalVar(
+            "data", section=".bss", size=words * 8))
+
+    # -- main loop ----------------------------------------------------------------
+
+    def _build_main(self) -> None:
+        p = self.profile
+        main = self.module.function("main")
+        b = IRBuilder(main)
+        rng = self.rng
+
+        # Loop-carried registers: every iteration reads these and writes
+        # its final values back (phi-less loop-carried dependencies).
+        acc0 = b.li(rng.randrange(1, 256))
+        idx0 = b.li(rng.randrange(0, 1024))
+        data = b.la("data")
+        zero = b.li(0)
+        counter = b.li(self.iterations)
+
+        loop = b.fresh_label("loop")
+        done = b.fresh_label("done")
+        b.label(loop)
+        b.cbr("eq", counter, zero, done)
+
+        acc = self._arith_block(b, acc0)
+        acc, idx = self._memory_block(b, acc, idx0, data)
+        acc = self._branch_block(b, acc, zero)
+        if p.classes and p.vcalls_per_iter:
+            acc = self._gated(b, counter, p.vcall_period, zero,
+                              lambda bb, a: self._vcall_block(bb, a, idx),
+                              acc, "vc")
+        if p.fptr_types and p.icalls_per_iter:
+            acc = self._gated(b, counter, p.icall_period, zero,
+                              lambda bb, a: self._icall_block(bb, a),
+                              acc, "ic")
+
+        _assign(b, acc0, acc)
+        _assign(b, idx0, idx)
+        step = b.addi(counter, -1)
+        _assign(b, counter, step)
+        b.br(loop)
+        b.label(done)
+        b.ret(acc0)
+
+    def _arith_block(self, b: IRBuilder, acc: str) -> str:
+        p = self.profile
+        rng = self.rng
+        ops = ("add", "xor", "sub", "or", "and")
+        for __ in range(p.arith_ops):
+            op = rng.choice(ops)
+            acc = b.bin(op, acc, b.li(rng.randrange(1, 0x7FF)))
+            if op == "and":  # keep the accumulator lively after masking
+                acc = b.addi(acc, rng.randrange(1, 97))
+        for __ in range(p.muldiv_ops):
+            acc = b.mul(acc, b.li(rng.choice((3, 5, 7, 9))))
+            acc = b.bin("divu", acc, b.li(rng.choice((3, 5, 6))))
+        return acc
+
+    def _memory_block(self, b: IRBuilder, acc: str, idx: str,
+                      data: str) -> "tuple[str, str]":
+        p = self.profile
+        rng = self.rng
+        for k in range(p.mem_ops):
+            bump = b.addi(idx, p.stride_words + k)
+            masked = b.bin("and", bump, b.li(self.ws_mask))
+            addr = b.add(data, b.bin("sll", masked, b.li(3)))
+            if rng.random() < 0.6:
+                acc = b.add(acc, b.load(addr))
+            else:
+                b.store(acc, addr)
+            idx = masked
+        return acc, idx
+
+    def _branch_block(self, b: IRBuilder, acc: str, zero: str) -> str:
+        p = self.profile
+        rng = self.rng
+        for k in range(p.branches):
+            bit = b.bin("and", b.bin("srl", acc, b.li(k % 7)), b.li(1))
+            skip = b.fresh_label(f"br{k}")
+            b.cbr("eq", bit, zero, skip)
+            bump = b.addi(acc, rng.randrange(1, 31))
+            _assign(b, acc, bump)
+            b.label(skip)
+        return acc
+
+    def _gated(self, b: IRBuilder, counter: str, period: int, zero: str,
+               body, acc: str, stem: str) -> str:
+        """Run ``body`` when (counter % period) == 0; returns new acc."""
+        if period <= 1:
+            return body(b, acc)
+        skip = b.fresh_label(f"skip_{stem}")
+        gate = b.bin("and", counter, b.li(period - 1))
+        result = b.mv(acc)  # phi-less merge: body overwrites via Mv
+        b.cbr("ne", gate, zero, skip)
+        inner = body(b, result)
+        _assign(b, result, inner)
+        b.label(skip)
+        return result
+
+    def _vcall_block(self, b: IRBuilder, acc: str, idx: str) -> str:
+        p = self.profile
+        rng = self.rng
+        for site in range(p.vcalls_per_iter):
+            array_sym, mask = self.objptr_arrays[
+                site % len(self.objptr_arrays)]
+            base = b.la(array_sym)
+            sel = b.bin("and", b.addi(idx, site), b.li(mask))
+            slot_addr = b.add(base, b.bin("sll", sel, b.li(3)))
+            obj = b.load(slot_addr)
+            # The site's static receiver type: any class of the hierarchy.
+            hierarchy = array_sym.split("_")[-1]
+            class_name = next(c for c, h in self.hierarchies.items()
+                              if h == hierarchy)
+            slot = rng.randrange(p.methods_per_class)
+            result = b.vcall(obj, slot, class_name, args=[obj],
+                             func_type=SIG_METHOD)
+            acc = b.add(acc, result)
+        return acc
+
+    def _icall_block(self, b: IRBuilder, acc: str) -> str:
+        p = self.profile
+        rng = self.rng
+        for site in range(p.icalls_per_iter):
+            type_index = site % p.fptr_types
+            sig = FPTR_SIGS[type_index % len(FPTR_SIGS)]
+            var = self._fpvar(type_index, site)
+            slot = b.la(var)
+            fptr = b.load_fptr(slot, sig)
+            args = [acc] * len(sig.params)
+            if sig.params and sig.params[0] is PTR:
+                args = [slot] + [acc] * (len(sig.params) - 1)
+            result = b.icall(fptr, args, func_type=sig)
+            acc = b.add(acc, b.bin("and", result, b.li(0xFFFF)))
+        return acc
+
+    def _fpvar(self, type_index: int, site: int) -> str:
+        """A writable function-pointer variable (Listing 1's func1)."""
+        name = f"fpvar_t{type_index}_s{site}"
+        if all(existing != name for existing, __ in self.fpvar_names):
+            target = self.funcs_by_type[type_index][
+                site % len(self.funcs_by_type[type_index])]
+            self.module.global_var(GlobalVar(
+                name, section=".data", init=[("quad", target)]))
+            self.fpvar_names.append((name, type_index))
+        return name
+
+
+def build_workload(profile: WorkloadProfile,
+                   scale: float = 1.0) -> WorkloadProgram:
+    """Generate the benchmark program for ``profile``."""
+    return _Generator(profile, scale).build()

@@ -1,0 +1,396 @@
+"""Algorithm kernels: small, real programs built in the IR.
+
+Each ``build_*`` function returns ``(module, expected_exit_code)`` where
+the expectation is computed by a plain-Python reference implementation —
+a differential test of the whole stack (IR → codegen → assembler →
+linker → loader → core), and a source of micro-workloads with distinct
+characters (bitwise, pointer-chasing, nested-loop, branchy).
+
+These are also the building blocks of ``examples/profiling.py`` and the
+simulator-throughput microbenchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.compiler import GlobalVar, IRBuilder, Module, Mv
+
+
+def _set(b: IRBuilder, dst: str, src: str) -> None:
+    b.function.ops.append(Mv(dst, src))
+
+
+def _countdown_loop(b: IRBuilder, count_vreg: str, zero: str, stem: str,
+                    body: "Callable[[], None]") -> None:
+    """while (count != 0) { body(); count--; }"""
+    loop = b.fresh_label(f"{stem}_loop")
+    done = b.fresh_label(f"{stem}_done")
+    b.label(loop)
+    b.cbr("eq", count_vreg, zero, done)
+    body()
+    _set(b, count_vreg, b.addi(count_vreg, -1))
+    b.br(loop)
+    b.label(done)
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+
+
+def build_sum_array(n: int = 64) -> "Tuple[Module, int]":
+    """Fill data[i] = 3*i + 1, then sum. Streaming loads/stores."""
+    m = Module("k_sum")
+    m.global_var(GlobalVar("data", section=".bss", size=8 * n))
+    main = m.function("main")
+    b = IRBuilder(main)
+    base = b.la("data")
+    zero = b.li(0)
+
+    i = b.mv(b.li(n))
+    b_total = b.mv(zero)
+
+    def fill():
+        offset = b.bin("sll", i, b.li(3))
+        address = b.add(base, offset)
+        value = b.addi(b.mul(i, b.li(3)), 1)
+        b.store(value, address, -8)  # data[i-1] since i counts down
+
+    _countdown_loop(b, i, zero, "fill", fill)
+
+    j = b.mv(b.li(n))
+
+    def accumulate():
+        offset = b.bin("sll", j, b.li(3))
+        address = b.add(base, offset)
+        _set(b, b_total, b.add(b_total, b.load(address, -8)))
+
+    _countdown_loop(b, j, zero, "sum", accumulate)
+    b.ret(b_total)
+
+    expected = sum(3 * i + 1 for i in range(1, n + 1)) & 0xFF
+    return m, expected
+
+
+def build_crc8(data: bytes = b"ROLoad pointee integrity") \
+        -> "Tuple[Module, int]":
+    """Bitwise CRC-8 (poly 0x07) over a byte string."""
+    m = Module("k_crc")
+    m.global_var(GlobalVar("msg", section=".rodata", width=1,
+                           init=list(data)))
+    main = m.function("main")
+    b = IRBuilder(main)
+    base = b.la("msg")
+    zero = b.li(0)
+    crc = b.mv(zero)
+    remaining = b.mv(b.li(len(data)))
+    cursor = b.mv(base)
+
+    def per_byte():
+        byte = b.load(cursor, 0, width=1, signed=False)
+        _set(b, crc, b.bin("xor", crc, byte))
+        bits = b.mv(b.li(8))
+
+        def per_bit():
+            top = b.bin("and", crc, b.li(0x80))
+            shifted = b.bin("and", b.bin("sll", crc, b.li(1)), b.li(0xFF))
+            skip = b.fresh_label("nobit")
+            _set(b, crc, shifted)
+            b.cbr("eq", top, zero, skip)
+            _set(b, crc, b.bin("xor", crc, b.li(0x07)))
+            b.label(skip)
+
+        _countdown_loop(b, bits, zero, "bits", per_bit)
+        _set(b, cursor, b.addi(cursor, 1))
+
+    _countdown_loop(b, remaining, zero, "bytes", per_byte)
+    b.ret(crc)
+
+    crc_value = 0
+    for byte in data:
+        crc_value ^= byte
+        for __ in range(8):
+            if crc_value & 0x80:
+                crc_value = ((crc_value << 1) & 0xFF) ^ 0x07
+            else:
+                crc_value = (crc_value << 1) & 0xFF
+    return m, crc_value & 0xFF
+
+
+def build_bubble_sort(values=(9, 4, 7, 1, 8, 3, 6, 2, 5, 0)) \
+        -> "Tuple[Module, int]":
+    """In-place bubble sort; returns a checksum of the sorted order."""
+    n = len(values)
+    m = Module("k_sort")
+    m.global_var(GlobalVar("arr", section=".data", init=list(values)))
+    main = m.function("main")
+    b = IRBuilder(main)
+    base = b.la("arr")
+    zero = b.li(0)
+    outer = b.mv(b.li(n - 1))
+
+    def outer_body():
+        inner = b.mv(b.li(n - 1))
+        cursor = b.mv(base)
+
+        def inner_body():
+            a = b.load(cursor, 0)
+            c = b.load(cursor, 8)
+            no_swap = b.fresh_label("noswap")
+            b.cbr("geu", c, a, no_swap)
+            b.store(c, cursor, 0)
+            b.store(a, cursor, 8)
+            b.label(no_swap)
+            _set(b, cursor, b.addi(cursor, 8))
+
+        _countdown_loop(b, inner, zero, "inner", inner_body)
+
+    _countdown_loop(b, outer, zero, "outer", outer_body)
+
+    # Checksum: sum(arr[i] * (i+1)).
+    checksum = b.mv(zero)
+    index = b.mv(b.li(n))
+
+    def sum_body():
+        offset = b.bin("sll", index, b.li(3))
+        value = b.load(b.add(base, offset), -8)
+        _set(b, checksum, b.add(checksum, b.mul(value, index)))
+
+    _countdown_loop(b, index, zero, "chk", sum_body)
+    b.ret(checksum)
+
+    sorted_values = sorted(values)
+    expected = sum(v * (i + 1)
+                   for i, v in enumerate(sorted_values)) & 0xFF
+    return m, expected
+
+
+def build_linked_list(n: int = 32) -> "Tuple[Module, int]":
+    """Build an n-node singly linked list in memory, then traverse it
+    summing payloads. Pure pointer chasing (mcf-style)."""
+    m = Module("k_list")
+    m.global_var(GlobalVar("nodes", section=".bss", size=16 * n))
+    main = m.function("main")
+    b = IRBuilder(main)
+    base = b.la("nodes")
+    zero = b.li(0)
+
+    # Build: node[i] = {payload: i*i & 0xffff, next: &node[i+1]}.
+    i = b.mv(b.li(n))
+
+    def build_node():
+        index = b.addi(i, -1)
+        offset = b.bin("sll", index, b.li(4))
+        node = b.add(base, offset)
+        payload = b.bin("and", b.mul(index, index), b.li(0xFFFF))
+        b.store(payload, node, 0)
+        is_last = b.fresh_label("last")
+        done = b.fresh_label("linkdone")
+        limit = b.li(n - 1)
+        b.cbr("eq", index, limit, is_last)
+        b.store(b.addi(node, 16), node, 8)
+        b.br(done)
+        b.label(is_last)
+        b.store(zero, node, 8)
+        b.label(done)
+
+    _countdown_loop(b, i, zero, "build", build_node)
+
+    # Traverse.
+    total = b.mv(zero)
+    cursor = b.mv(base)
+    loop = b.fresh_label("walk")
+    end = b.fresh_label("end")
+    b.label(loop)
+    b.cbr("eq", cursor, zero, end)
+    _set(b, total, b.add(total, b.load(cursor, 0)))
+    _set(b, cursor, b.load(cursor, 8))
+    b.br(loop)
+    b.label(end)
+    b.ret(total)
+
+    expected = sum((i * i) & 0xFFFF for i in range(n)) & 0xFF
+    return m, expected
+
+
+def build_collatz(start: int = 27) -> "Tuple[Module, int]":
+    """Collatz step count — heavy data-dependent branching + muldiv."""
+    m = Module("k_collatz")
+    main = m.function("main")
+    b = IRBuilder(main)
+    zero = b.li(0)
+    one = b.li(1)
+    value = b.mv(b.li(start))
+    steps = b.mv(zero)
+    loop = b.fresh_label("loop")
+    done = b.fresh_label("done")
+    odd = b.fresh_label("odd")
+    cont = b.fresh_label("cont")
+    b.label(loop)
+    b.cbr("eq", value, one, done)
+    bit = b.bin("and", value, one)
+    b.cbr("ne", bit, zero, odd)
+    _set(b, value, b.bin("divu", value, b.li(2)))
+    b.br(cont)
+    b.label(odd)
+    _set(b, value, b.addi(b.mul(value, b.li(3)), 1))
+    b.label(cont)
+    _set(b, steps, b.add(steps, one))
+    b.br(loop)
+    b.label(done)
+    b.ret(steps)
+
+    count, v = 0, start
+    while v != 1:
+        v = v // 2 if v % 2 == 0 else 3 * v + 1
+        count += 1
+    return m, count & 0xFF
+
+
+def build_binary_search(n: int = 64, needle_index: int = 37) \
+        -> "Tuple[Module, int]":
+    """Binary search over a sorted table in read-only memory."""
+    table = [i * 7 + 3 for i in range(n)]
+    needle = table[needle_index]
+    m = Module("k_bsearch")
+    m.global_var(GlobalVar("table", section=".rodata", init=table))
+    main = m.function("main")
+    b = IRBuilder(main)
+    base = b.la("table")
+    lo = b.mv(b.li(0))
+    hi = b.mv(b.li(n))
+    target = b.li(needle)
+    loop = b.fresh_label("loop")
+    done = b.fresh_label("done")
+    go_right = b.fresh_label("right")
+    b.label(loop)
+    b.cbr("geu", lo, hi, done)
+    mid = b.bin("srl", b.add(lo, hi), b.li(1))
+    value = b.load(b.add(base, b.bin("sll", mid, b.li(3))))
+    found = b.fresh_label("found")
+    b.cbr("eq", value, target, found)
+    b.cbr("ltu", value, target, go_right)
+    _set(b, hi, mid)
+    b.br(loop)
+    b.label(go_right)
+    _set(b, lo, b.addi(mid, 1))
+    b.br(loop)
+    b.label(found)
+    b.ret(mid)
+    b.label(done)
+    b.ret(b.li(255))
+
+    return m, needle_index & 0xFF
+
+
+
+
+
+def build_matmul(n: int = 6) -> "Tuple[Module, int]":
+    """n x n integer matrix multiply (triple nested loop), checksummed."""
+    a_values = [(i * 3 + j) % 7 + 1 for i in range(n) for j in range(n)]
+    b_values = [(i + j * 5) % 9 + 1 for i in range(n) for j in range(n)]
+    m = Module("k_matmul")
+    m.global_var(GlobalVar("ma", section=".rodata", init=a_values))
+    m.global_var(GlobalVar("mb", section=".rodata", init=b_values))
+    m.global_var(GlobalVar("mc", section=".bss", size=8 * n * n))
+    main = m.function("main")
+    b = IRBuilder(main)
+    base_a = b.la("ma")
+    base_b = b.la("mb")
+    base_c = b.la("mc")
+    zero = b.li(0)
+    row = b.mv(b.li(n))
+
+    def row_body():
+        i = b.addi(row, -1)
+        col = b.mv(b.li(n))
+
+        def col_body():
+            j = b.addi(col, -1)
+            total = b.mv(zero)
+            k = b.mv(b.li(n))
+
+            def dot_body():
+                kk = b.addi(k, -1)
+                a_off = b.bin("sll", b.add(b.mul(i, b.li(n)), kk),
+                              b.li(3))
+                b_off = b.bin("sll", b.add(b.mul(kk, b.li(n)), j),
+                              b.li(3))
+                product = b.mul(b.load(b.add(base_a, a_off)),
+                                b.load(b.add(base_b, b_off)))
+                _set(b, total, b.add(total, product))
+
+            _countdown_loop(b, k, zero, "dot", dot_body)
+            c_off = b.bin("sll", b.add(b.mul(i, b.li(n)), j), b.li(3))
+            b.store(total, b.add(base_c, c_off))
+
+        _countdown_loop(b, col, zero, "col", col_body)
+
+    _countdown_loop(b, row, zero, "row", row_body)
+
+    # Checksum C's diagonal.
+    checksum = b.mv(zero)
+    d = b.mv(b.li(n))
+
+    def diag():
+        i = b.addi(d, -1)
+        offset = b.bin("sll", b.add(b.mul(i, b.li(n)), i), b.li(3))
+        _set(b, checksum, b.add(checksum, b.load(b.add(base_c, offset))))
+
+    _countdown_loop(b, d, zero, "diag", diag)
+    b.ret(checksum)
+
+    matrix_a = [a_values[i * n:(i + 1) * n] for i in range(n)]
+    matrix_b = [b_values[i * n:(i + 1) * n] for i in range(n)]
+    diag_sum = sum(
+        sum(matrix_a[i][k] * matrix_b[k][i] for k in range(n))
+        for i in range(n))
+    return m, diag_sum & 0xFF
+
+
+def build_strchr(haystack: bytes = b"pointee integrity for sinks",
+                 needle: int = ord("g")) -> "Tuple[Module, int]":
+    """First index of a byte in a string (255 if absent)."""
+    m = Module("k_strchr")
+    m.global_var(GlobalVar("hay", section=".rodata", width=1,
+                           init=list(haystack) + [0]))
+    main = m.function("main")
+    b = IRBuilder(main)
+    cursor = b.mv(b.la("hay"))
+    index = b.mv(b.li(0))
+    zero = b.li(0)
+    target = b.li(needle)
+    loop = b.fresh_label("scan")
+    found = b.fresh_label("found")
+    missing = b.fresh_label("missing")
+    b.label(loop)
+    ch = b.load(cursor, 0, width=1, signed=False)
+    b.cbr("eq", ch, zero, missing)
+    b.cbr("eq", ch, target, found)
+    _set(b, cursor, b.addi(cursor, 1))
+    _set(b, index, b.addi(index, 1))
+    b.br(loop)
+    b.label(found)
+    b.ret(index)
+    b.label(missing)
+    b.ret(b.li(255))
+
+    try:
+        expected = haystack.index(needle) & 0xFF
+    except ValueError:
+        expected = 255
+    return m, expected
+
+
+KERNELS: "Dict[str, Callable[[], Tuple[Module, int]]]" = {
+    "sum_array": build_sum_array,
+    "matmul": build_matmul,
+    "strchr": build_strchr,
+    "crc8": build_crc8,
+    "bubble_sort": build_bubble_sort,
+    "linked_list": build_linked_list,
+    "collatz": build_collatz,
+    "binary_search": build_binary_search,
+}

@@ -1,0 +1,154 @@
+"""Synthetic workload profiles modelled on SPEC CINT2006 (§V-B).
+
+The paper runs the reference CINT2006 suite (400.perlbench excluded for a
+compilation failure — we exclude it for fidelity). We cannot run SPEC, so
+each benchmark is replaced by a generated program whose *dynamic mix*
+follows that benchmark's published character: arithmetic-heavy vs
+pointer-chasing vs branchy, and — decisive for Figures 3-5 — how densely
+it performs virtual calls (C++ codes) and general indirect calls.
+
+Rates are expressed per loop iteration with power-of-two gating periods,
+so the generated control flow is realistic (a branch decides whether this
+iteration dispatches). ``iterations`` is tuned so one run retires a few
+hundred thousand instructions — enough for stable cache/TLB behaviour at
+simulator speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+CPP_BENCHMARKS = ("471.omnetpp", "473.astar", "483.xalancbmk")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Parameters the generator turns into an IR module."""
+
+    name: str
+    language: str                 # "c" or "c++"
+    iterations: int               # outer loop trip count (at scale=1.0)
+    arith_ops: int                # arithmetic ops per iteration
+    mem_ops: int                  # data loads/stores per iteration
+    branches: int                 # data-dependent branches per iteration
+    muldiv_ops: int               # multiply/divide ops per iteration
+    working_set_kib: int          # .bss data array size
+    stride_words: int             # memory walk stride (locality knob)
+    # C++ dispatch character:
+    classes: int = 0              # number of classes with vtables
+    methods_per_class: int = 2
+    objects: int = 0              # static objects (power of two)
+    vcalls_per_iter: int = 0      # vcalls when the gate fires
+    vcall_period: int = 1         # gate: fire when (i % period) == 0
+    # Indirect-call character:
+    fptr_types: int = 0           # distinct function-pointer types
+    funcs_per_type: int = 2
+    icalls_per_iter: int = 0
+    icall_period: int = 1
+    # Static (cold) dispatch surface: call sites that exist in the binary
+    # but execute rarely/never. SPEC-sized programs have thousands; these
+    # are what make instrumentation code-bloat (VTint, label CFI) visible
+    # at page granularity in the memory figures.
+    cold_vcall_sites: int = 0
+    cold_icall_sites: int = 0
+    seed: int = 0
+
+    def __post_init__(self):
+        for field_name in ("vcall_period", "icall_period", "objects"):
+            value = getattr(self, field_name)
+            if value and value & (value - 1):
+                raise ValueError(f"{field_name} must be a power of two")
+
+    @property
+    def is_cpp(self) -> bool:
+        return self.language == "c++"
+
+
+# The eleven benchmarks the paper measures (perlbench excluded).
+PROFILES: "Tuple[WorkloadProfile, ...]" = (
+    WorkloadProfile(
+        name="401.bzip2", language="c", iterations=1500,
+        arith_ops=22, mem_ops=10, branches=4, muldiv_ops=0,
+        working_set_kib=2048, stride_words=7, seed=401),
+    WorkloadProfile(
+        name="403.gcc", language="c", iterations=1100,
+        arith_ops=10, mem_ops=8, branches=7, muldiv_ops=0,
+        working_set_kib=4096, stride_words=129,
+        fptr_types=3, funcs_per_type=4,
+        icalls_per_iter=2, icall_period=1,
+        cold_icall_sites=300, seed=403),
+    WorkloadProfile(
+        name="429.mcf", language="c", iterations=1200,
+        arith_ops=6, mem_ops=16, branches=5, muldiv_ops=0,
+        working_set_kib=8192, stride_words=521, seed=429),
+    WorkloadProfile(
+        name="445.gobmk", language="c", iterations=1200,
+        arith_ops=12, mem_ops=8, branches=9, muldiv_ops=0,
+        working_set_kib=1024, stride_words=17,
+        fptr_types=2, funcs_per_type=3,
+        icalls_per_iter=1, icall_period=4,
+        cold_icall_sites=150, seed=445),
+    WorkloadProfile(
+        name="456.hmmer", language="c", iterations=1400,
+        arith_ops=26, mem_ops=10, branches=2, muldiv_ops=2,
+        working_set_kib=512, stride_words=3, seed=456),
+    WorkloadProfile(
+        name="458.sjeng", language="c", iterations=1200,
+        arith_ops=14, mem_ops=7, branches=8, muldiv_ops=1,
+        working_set_kib=512, stride_words=31,
+        fptr_types=2, funcs_per_type=4,
+        icalls_per_iter=1, icall_period=2,
+        cold_icall_sites=200, seed=458),
+    WorkloadProfile(
+        name="462.libquantum", language="c", iterations=1600,
+        arith_ops=18, mem_ops=12, branches=2, muldiv_ops=1,
+        working_set_kib=4096, stride_words=1, seed=462),
+    WorkloadProfile(
+        name="464.h264ref", language="c", iterations=1300,
+        arith_ops=20, mem_ops=12, branches=4, muldiv_ops=2,
+        working_set_kib=1024, stride_words=5,
+        fptr_types=2, funcs_per_type=3,
+        icalls_per_iter=1, icall_period=4,
+        cold_icall_sites=150, seed=464),
+    WorkloadProfile(
+        name="471.omnetpp", language="c++", iterations=900,
+        arith_ops=8, mem_ops=8, branches=5, muldiv_ops=0,
+        working_set_kib=2048, stride_words=65,
+        classes=8, methods_per_class=3, objects=16,
+        vcalls_per_iter=3, vcall_period=1,
+        fptr_types=2, funcs_per_type=2,
+        icalls_per_iter=1, icall_period=8,
+        cold_vcall_sites=600, cold_icall_sites=100, seed=471),
+    WorkloadProfile(
+        name="473.astar", language="c++", iterations=1300,
+        arith_ops=16, mem_ops=12, branches=6, muldiv_ops=1,
+        working_set_kib=4096, stride_words=257,
+        classes=4, methods_per_class=2, objects=8,
+        vcalls_per_iter=1, vcall_period=8,
+        cold_vcall_sites=150, seed=473),
+    WorkloadProfile(
+        name="483.xalancbmk", language="c++", iterations=800,
+        arith_ops=6, mem_ops=8, branches=6, muldiv_ops=0,
+        working_set_kib=2048, stride_words=129,
+        classes=12, methods_per_class=3, objects=32,
+        vcalls_per_iter=4, vcall_period=1,
+        fptr_types=3, funcs_per_type=3,
+        icalls_per_iter=1, icall_period=4,
+        cold_vcall_sites=900, cold_icall_sites=150, seed=483),
+)
+
+PROFILE_BY_NAME = {p.name: p for p in PROFILES}
+
+
+def profile(name: str) -> WorkloadProfile:
+    try:
+        return PROFILE_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; known: "
+                       f"{sorted(PROFILE_BY_NAME)}") from None
+
+
+def cpp_profiles() -> "Tuple[WorkloadProfile, ...]":
+    """The 3 C++ benchmarks of Figure 3."""
+    return tuple(p for p in PROFILES if p.is_cpp)

@@ -1,0 +1,258 @@
+"""Assembler unit tests: syntax, directives, pseudo-ops, ROLoad syntax."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.errors import AssemblerError
+from repro.isa import decode, decode_compressed, instruction_length
+from repro.utils.bits import MASK64, to_u64
+
+
+def first_insn(source, rvc=True):
+    obj = assemble(source, rvc=rvc)
+    data = obj.sections[".text"].data
+    half = int.from_bytes(data[:2], "little")
+    if instruction_length(half) == 2:
+        return decode_compressed(half)
+    return decode(int.from_bytes(data[:4], "little"))
+
+
+def text_insns(source, rvc=True):
+    obj = assemble(source, rvc=rvc)
+    data = bytes(obj.sections[".text"].data)
+    out, offset = [], 0
+    while offset < len(data):
+        half = int.from_bytes(data[offset:offset + 2], "little")
+        if instruction_length(half) == 2:
+            out.append(decode_compressed(half))
+            offset += 2
+        else:
+            out.append(decode(int.from_bytes(data[offset:offset + 4],
+                                             "little")))
+            offset += 4
+    return out
+
+
+class TestBasicSyntax:
+    def test_rtype(self):
+        insn = first_insn("add a0, a1, a2", rvc=False)
+        assert (insn.name, insn.rd, insn.rs1, insn.rs2) == ("add", 10, 11, 12)
+
+    def test_itype(self):
+        insn = first_insn("addi t0, t1, -42", rvc=False)
+        assert insn.imm == -42
+
+    def test_load_store(self):
+        insn = first_insn("ld a0, -1608(gp)", rvc=False)
+        assert (insn.name, insn.rs1, insn.imm) == ("ld", 3, -1608)
+        insn = first_insn("sd a0, 16(sp)", rvc=False)
+        assert (insn.name, insn.rs2, insn.imm) == ("sd", 10, 16)
+
+    def test_hex_immediates(self):
+        assert first_insn("addi a0, zero, 0x7f", rvc=False).imm == 0x7F
+
+    def test_shift(self):
+        insn = first_insn("slli a0, a0, 63", rvc=False)
+        assert insn.imm == 63
+
+    def test_csr(self):
+        insn = first_insn("csrrs a0, cycle, zero", rvc=False)
+        assert insn.csr == 0xC00
+
+    def test_csrr_pseudo(self):
+        insn = first_insn("csrr a0, instret", rvc=False)
+        assert insn.name == "csrrs" and insn.csr == 0xC02 and insn.rs1 == 0
+
+    def test_comments_ignored(self):
+        insns = text_insns("addi a0, zero, 1 # comment\n// whole line\n")
+        assert len(insns) == 1
+
+    def test_amo_both_syntaxes(self):
+        a = first_insn("amoadd.d a0, a1, (a2)", rvc=False)
+        b = first_insn("amoadd.d a0, a2, a1", rvc=False)
+        assert (a.rs1, a.rs2) == (12, 11)
+        assert (b.rs1, b.rs2) == (12, 11)
+
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate a0, a1")
+
+    def test_immediate_overflow(self):
+        with pytest.raises(AssemblerError):
+            assemble("addi a0, a0, 4096")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as e:
+            assemble("nop\nbogus x9\n", name="f.s")
+        assert "f.s:2" in str(e.value)
+
+
+class TestROLoadSyntax:
+    def test_paper_listing3_syntax(self):
+        insn = first_insn("ld.ro a0, (a0), 111", rvc=False)
+        assert insn.name == "ld.ro"
+        assert insn.rd == 10 and insn.rs1 == 10 and insn.key == 111
+
+    def test_all_widths(self):
+        for name in ("lb.ro", "lh.ro", "lw.ro", "ld.ro", "lbu.ro",
+                     "lhu.ro", "lwu.ro"):
+            insn = first_insn(f"{name} t0, (t1), 7", rvc=False)
+            assert insn.name == name and insn.key == 7
+
+    def test_offset_rejected(self):
+        with pytest.raises(AssemblerError) as e:
+            assemble("ld.ro a0, 8(a0), 111")
+        assert "key" in str(e.value)
+
+    def test_key_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("ld.ro a0, (a0), 1024")
+
+    def test_compressed_when_possible(self):
+        # rd, rs1 in x8..15 and key < 32: must emit the 2-byte c.ld.ro.
+        obj = assemble("ld.ro a0, (a1), 17")
+        assert len(obj.sections[".text"].data) == 2
+
+    def test_not_compressed_for_large_key(self):
+        obj = assemble("ld.ro a0, (a1), 111")
+        assert len(obj.sections[".text"].data) == 4
+
+
+class TestPseudoInstructions:
+    def test_nop_mv_ret(self):
+        insns = text_insns("nop\nmv a0, a1\nret", rvc=False)
+        assert insns[0].name == "addi" and insns[0].rd == 0
+        assert insns[1].name == "addi" and insns[1].rs1 == 11
+        assert insns[2].name == "jalr" and insns[2].rs1 == 1
+
+    def test_branch_pseudos(self):
+        insns = text_insns(
+            "x: beqz a0, x\nbnez a1, x\nbltz a2, x\nbgez a3, x\n"
+            "blez a4, x\nbgtz a5, x", rvc=False)
+        names = [i.name for i in insns]
+        assert names == ["beq", "bne", "blt", "bge", "bge", "blt"]
+        assert insns[4].rs1 == 0 and insns[4].rs2 == 14  # blez swaps
+
+    def test_not_neg_seqz_snez(self):
+        insns = text_insns("not a0, a1\nneg a2, a3\nseqz a4, a5\n"
+                           "snez a6, a7", rvc=False)
+        assert insns[0].name == "xori" and insns[0].imm == -1
+        assert insns[1].name == "sub" and insns[1].rs1 == 0
+        assert insns[2].name == "sltiu" and insns[2].imm == 1
+        assert insns[3].name == "sltu" and insns[3].rs1 == 0
+
+    def test_li_small(self):
+        insns = text_insns("li a0, -5", rvc=False)
+        assert len(insns) == 1 and insns[0].imm == -5
+
+    def test_li_32bit(self):
+        insns = text_insns("li a0, 0x12345678", rvc=False)
+        assert insns[0].name == "lui"
+        assert insns[1].name == "addiw"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.one_of(
+        st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+        st.integers(min_value=0, max_value=MASK64)))
+    def test_li_evaluates_correctly(self, value):
+        """Execute the li expansion on a bare core and compare."""
+        from repro.cpu import Core
+        from repro.mem import MMU, PhysicalMemory
+        from repro.isa import encode, try_compress
+
+        obj = assemble(f"li a0, {value}", rvc=False)
+        data = obj.sections[".text"].data
+        memory = PhysicalMemory(1 << 20)
+        memory.write_bytes(0x1000, bytes(data))
+        core = Core(memory, MMU(memory))
+        core.pc = 0x1000
+        end = 0x1000 + len(data)
+        while core.pc < end:
+            core.step()
+        assert core.regs[10] == to_u64(value)
+
+
+class TestDirectives:
+    def test_data_directives(self):
+        obj = assemble(
+            ".section .data\n.byte 1, 2\n.half 0x1234\n.word 7\n"
+            ".quad 0x1122334455667788")
+        data = bytes(obj.sections[".data"].data)
+        assert data[:2] == b"\x01\x02"
+        assert data[2:4] == (0x1234).to_bytes(2, "little")
+        assert data[4:8] == (7).to_bytes(4, "little")
+        assert data[8:16] == (0x1122334455667788).to_bytes(8, "little")
+
+    def test_asciz(self):
+        obj = assemble('.section .rodata\n.asciz "hi"')
+        assert bytes(obj.sections[".rodata"].data) == b"hi\0"
+
+    def test_zero_and_align(self):
+        obj = assemble(".section .data\n.byte 1\n.align 8\n.byte 2")
+        data = bytes(obj.sections[".data"].data)
+        assert len(data) == 9 and data[8] == 2
+
+    def test_bss_nobits(self):
+        obj = assemble(".section .bss\nbuf:\n.zero 4096")
+        section = obj.sections[".bss"]
+        assert section.nobits and section.size == 4096
+        assert len(section.data) == 0
+
+    def test_keyed_section_key_parsed(self):
+        obj = assemble(".section .rodata.key.222\n.quad 0")
+        assert obj.sections[".rodata.key.222"].key == 222
+
+    def test_globl(self):
+        obj = assemble(".globl foo\nfoo: nop")
+        assert obj.symbols["foo"].is_global
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(Exception):
+            assemble("a: nop\na: nop")
+
+    def test_option_norvc(self):
+        obj = assemble(".option norvc\nnop")
+        assert len(obj.sections[".text"].data) == 4
+
+    def test_quad_symbol_emits_reloc(self):
+        obj = assemble(".section .rodata.key.5\ngfpt: .quad target\n"
+                       ".section .text\ntarget: nop")
+        relocs = [r for r in obj.relocations if r.symbol == "target"]
+        assert len(relocs) == 1
+        assert relocs[0].section == ".rodata.key.5"
+
+
+class TestCompression:
+    def test_compressible_ops_shrink(self):
+        small = assemble("addi sp, sp, -32\nld a0, 0(a0)\nret")
+        big = assemble("addi sp, sp, -32\nld a0, 0(a0)\nret", rvc=False)
+        assert len(small.sections[".text"].data) < \
+            len(big.sections[".text"].data)
+
+    def test_label_targets_stable_with_rvc(self):
+        """Branch targets must resolve correctly in mixed-width code."""
+        source = """
+        _start:
+            li a0, 3
+        loop:
+            addi a0, a0, -1
+            bnez a0, loop
+            ebreak
+        """
+        from repro.asm import link
+        from repro.cpu import Core, Trap
+        from repro.mem import MMU, PhysicalMemory
+
+        obj = assemble(source + "\n.globl _start\n")
+        img = link([obj])
+        memory = PhysicalMemory(1 << 20)
+        for segment in img.segments:
+            memory.write_bytes(segment.vaddr, segment.data)
+        core = Core(memory, MMU(memory))
+        core.pc = img.entry
+        with pytest.raises(Trap):
+            for __ in range(100):
+                core.step()
+        assert core.regs[10] == 0

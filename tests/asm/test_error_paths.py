@@ -1,0 +1,152 @@
+"""Error-path coverage for the assembler and linker: every malformed
+input must produce a located, specific diagnostic."""
+
+import pytest
+
+from repro.asm import assemble, link
+from repro.errors import AssemblerError, LinkError
+
+
+def err(source, name="t.s"):
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble(source, name=name)
+    return str(excinfo.value)
+
+
+class TestAssemblerDiagnostics:
+    def test_wrong_operand_count_rtype(self):
+        assert "rd, rs1, rs2" in err("add a0, a1")
+
+    def test_wrong_operand_kind(self):
+        assert "register" in err("add a0, a1, 5")
+
+    def test_bad_register_name(self):
+        # "q9" parses as a symbol, so the diagnostic is about the slot.
+        assert "register" in err("add a0, a1, q9")
+
+    def test_store_needs_memory_operand(self):
+        assert "offset(rs1)" in err("sd a0, a1, a2, a3")
+
+    def test_branch_target_kind(self):
+        assert "target" in err("beq a0, a1, (a2)")
+
+    def test_shift_amount_range(self):
+        assert "range" in err("slli a0, a0, 64")
+        assert "range" in err("srliw a0, a0, 32")
+
+    def test_csr_bad_name(self):
+        assert "CSR" in err("csrr a0, bogus_csr")
+
+    def test_system_insn_takes_no_operands(self):
+        assert "no operands" in err("ecall a0")
+
+    def test_bad_directive(self):
+        assert "directive" in err(".frobnicate 3")
+
+    def test_bad_alignment(self):
+        assert "alignment" in err(".align 0")
+        assert "alignment" in err(".align banana")
+
+    def test_bad_string_literal(self):
+        assert "string" in err('.asciz hello')
+
+    def test_bad_data_item(self):
+        assert "data item" in err(".byte 1 2")  # missing comma -> junk
+
+    def test_symbol_quad_only(self):
+        assert ".quad" in err(".word some_symbol")
+
+    def test_zero_negative(self):
+        assert "size" in err(".zero -4")
+
+    def test_bad_option(self):
+        assert "option" in err(".option turbo")
+
+    def test_line_numbers_accurate(self):
+        message = err("nop\nnop\nadd a0, a1\n", name="multi.s")
+        assert "multi.s:3" in message
+
+    def test_ld_ro_key_range(self):
+        assert "key" in err("ld.ro a0, (a1), 5000")
+
+    def test_ld_ro_syntax_offset(self):
+        assert "key" in err("ld.ro a0, 16(a1), 3")
+
+    def test_li_too_big(self):
+        assert "64 bits" in err("li a0, 0x1ffffffffffffffff")
+
+    def test_amo_with_offset(self):
+        assert "offset" in err("amoadd.d a0, a1, 8(a2)")
+
+
+class TestLinkerDiagnostics:
+    def test_branch_out_of_range(self):
+        # Branch to a label > 4 KiB away.
+        source = (".globl _start\n_start: beq a0, a1, far\n"
+                  + ".zero 8192\n" + "far: nop\n")
+        with pytest.raises(LinkError) as excinfo:
+            link([assemble(source, rvc=False)])
+        assert "out of range" in str(excinfo.value)
+
+    def test_jump_out_of_range(self):
+        source = (".globl _start\n_start: j far\n"
+                  + ".zero 3000000\n" + "far: nop\n")
+        with pytest.raises(LinkError) as excinfo:
+            link([assemble(source, rvc=False)])
+        assert "out of range" in str(excinfo.value)
+
+    def test_undefined_symbol_names_source(self):
+        with pytest.raises(LinkError) as excinfo:
+            link([assemble(".globl _start\n_start: la a0, missing",
+                           name="mystery.s")])
+        assert "mystery.s" in str(excinfo.value)
+
+    def test_unaligned_base(self):
+        from repro.asm.linker import Linker
+        with pytest.raises(LinkError):
+            Linker(base=0x10001)
+
+    def test_nothing_to_link(self):
+        with pytest.raises(LinkError):
+            link([])
+
+    def test_addend_forms(self):
+        source = """
+        .globl _start
+        _start:
+            la a0, table+16
+            ld a0, 0(a0)
+            li a7, 93
+            ecall
+        .section .rodata
+        table: .quad 1, 2, 3, 4
+        """
+        image = link([assemble(source)])
+        from repro.kernel import run_program
+        assert run_program(image).exit_code == 3
+
+    def test_negative_addend(self):
+        source = """
+        .globl _start
+        _start:
+            la a0, anchor-8
+            ld a0, 0(a0)
+            li a7, 93
+            ecall
+        .section .rodata
+        before: .quad 9
+        anchor: .quad 1
+        """
+        image = link([assemble(source)])
+        from repro.kernel import run_program
+        assert run_program(image).exit_code == 9
+
+    def test_object_order_deterministic(self):
+        a = assemble(".globl _start\n_start: call helper\nebreak",
+                     name="a.s")
+        b = assemble(".globl helper\nhelper: ret", name="b.s")
+        image1 = link([a, b])
+        image2 = link([assemble(
+            ".globl _start\n_start: call helper\nebreak", name="a.s"),
+            assemble(".globl helper\nhelper: ret", name="b.s")])
+        assert image1.to_bytes() == image2.to_bytes()

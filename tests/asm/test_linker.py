@@ -1,0 +1,191 @@
+"""Linker tests: layout invariants, relocations, key isolation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import DEFAULT_BASE, Executable, assemble, link
+from repro.errors import LinkError
+
+PAGE = 4096
+
+
+def simple_image(extra=""):
+    source = f"""
+    .globl _start
+    _start:
+        la a0, table
+        ld.ro a0, (a0), 42
+        ebreak
+    .section .rodata
+    ro_blob: .quad 1
+    .section .rodata.key.42
+    table: .quad _start
+    .section .data
+    counter: .quad 0
+    .section .bss
+    buffer: .zero 128
+    {extra}
+    """
+    return link([assemble(source)])
+
+
+class TestLayoutInvariants:
+    def test_separate_code(self):
+        """No page contains both executable bytes and read-only data."""
+        img = simple_image()
+        page_kinds = {}
+        for segment in img.segments:
+            for page in range(segment.vaddr // PAGE,
+                              (segment.end + PAGE - 1) // PAGE):
+                kind = (segment.executable, segment.writable, segment.key)
+                assert page not in page_kinds or page_kinds[page] == kind, \
+                    f"page {page:#x} shared between segments"
+                page_kinds[page] = kind
+
+    def test_keyed_sections_get_own_segments(self):
+        img = simple_image(extra=".section .rodata.key.7\nt2: .quad 0")
+        keys = sorted(s.key for s in img.segments if s.key)
+        assert keys == [7, 42]
+        seg42 = next(s for s in img.segments if s.key == 42)
+        seg7 = next(s for s in img.segments if s.key == 7)
+        assert seg42.vaddr % PAGE == 0 and seg7.vaddr % PAGE == 0
+        assert not seg42.writable and not seg7.writable
+
+    def test_segments_do_not_overlap(self):
+        img = simple_image()
+        spans = sorted((s.vaddr, s.end) for s in img.segments)
+        for (a_start, a_end), (b_start, b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+    def test_segment_order_code_first(self):
+        img = simple_image()
+        assert img.segments[0].executable
+        assert img.segments[0].vaddr == DEFAULT_BASE
+
+    def test_bss_in_data_segment_memsize(self):
+        img = simple_image()
+        data_segment = next(s for s in img.segments if s.writable)
+        assert data_segment.memsize > len(data_segment.data)
+
+    def test_layout_symbols(self):
+        img = simple_image()
+        assert img.symbol("_end") % PAGE == 0
+        ro_start = img.symbol("__rodata_start")
+        ro_end = img.symbol("__rodata_end")
+        table = img.symbol("table")
+        assert ro_start <= table < ro_end
+        # Code is NOT inside the rodata range (separate-code).
+        assert not ro_start <= img.entry < ro_end
+
+
+class TestRelocations:
+    def test_abs64_quad(self):
+        img = simple_image()
+        table_addr = img.symbol("table")
+        segment = img.find_segment(table_addr)
+        offset = table_addr - segment.vaddr
+        stored = int.from_bytes(segment.data[offset:offset + 8], "little")
+        assert stored == img.entry  # .quad _start
+
+    def test_hi20_lo12_pair(self):
+        img = simple_image()
+        table_addr = img.symbol("table")
+        code = img.segments[0].data
+        from repro.isa import decode
+        lui = decode(int.from_bytes(code[0:4], "little"))
+        addi = decode(int.from_bytes(code[4:8], "little"))
+        assert lui.name == "lui" and addi.name == "addi"
+        from repro.utils.bits import sext
+        reconstructed = ((lui.imm << 12) + addi.imm) & 0xFFFFFFFF
+        assert reconstructed == table_addr
+
+    def test_branch_reloc(self):
+        source = """
+        .globl _start
+        _start:
+            beq a0, a1, done
+            nop
+        done:
+            ebreak
+        """
+        img = link([assemble(source, rvc=False)])
+        from repro.isa import decode
+        beq = decode(int.from_bytes(img.segments[0].data[0:4], "little"))
+        assert beq.imm == 8
+
+    def test_undefined_symbol(self):
+        with pytest.raises(LinkError) as e:
+            link([assemble(".globl _start\n_start: j nowhere")])
+        assert "nowhere" in str(e.value)
+
+    def test_missing_entry(self):
+        with pytest.raises(LinkError):
+            link([assemble("foo: nop")])
+
+    def test_duplicate_symbols_across_objects(self):
+        a = assemble(".globl _start\n_start: nop")
+        b = assemble("_start: nop")
+        with pytest.raises(LinkError):
+            link([a, b])
+
+    def test_cross_object_call(self):
+        a = assemble(".globl _start\n_start: call helper\nebreak")
+        b = assemble(".globl helper\nhelper: ret")
+        img = link([a, b])
+        assert "helper" in img.symbols
+
+    def test_store_lo12_reloc(self):
+        source = """
+        .globl _start
+        _start:
+            lui a1, %hi(counter)
+            sd a0, %lo(counter)(a1)
+            ebreak
+        .section .data
+        counter: .quad 0
+        """
+        img = link([assemble(source, rvc=False)])
+        from repro.isa import decode
+        sd = decode(int.from_bytes(img.segments[0].data[4:8], "little"))
+        counter = img.symbol("counter")
+        from repro.utils.bits import sext, split_hi_lo
+        assert sd.imm == sext(split_hi_lo(counter)[1], 12)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        img = simple_image()
+        restored = Executable.from_bytes(img.to_bytes())
+        assert restored.entry == img.entry
+        assert restored.symbols == img.symbols
+        assert len(restored.segments) == len(img.segments)
+        for a, b in zip(restored.segments, img.segments):
+            assert (a.vaddr, a.data, a.memsize, a.key) == \
+                (b.vaddr, b.data, b.memsize, b.key)
+
+    def test_bad_magic(self):
+        from repro.errors import LoaderError
+        with pytest.raises(LoaderError):
+            Executable.from_bytes(b"ELF!....")
+
+
+class TestManyKeys:
+    @settings(max_examples=10, deadline=None)
+    @given(st.sets(st.integers(min_value=1, max_value=1023), min_size=1,
+                   max_size=12))
+    def test_every_key_in_distinct_pages(self, keys):
+        sections = "\n".join(
+            f".section .rodata.key.{k}\nt{k}: .quad {k}" for k in keys)
+        source = f".globl _start\n_start: ebreak\n{sections}\n"
+        img = link([assemble(source)])
+        pages_by_key = {}
+        for segment in img.segments:
+            if segment.key:
+                pages = set(range(segment.vaddr // PAGE,
+                                  (segment.end + PAGE - 1) // PAGE))
+                pages_by_key[segment.key] = pages
+        assert set(pages_by_key) == keys
+        all_pages = [p for pages in pages_by_key.values() for p in pages]
+        assert len(all_pages) == len(set(all_pages)), \
+            "two keys share a physical page"

@@ -1,0 +1,97 @@
+"""Property: disassembler output re-assembles to identical encodings.
+
+For every supported instruction (random operands), format_instruction's
+text fed back through the assembler must reproduce the original word.
+This pins the assembler and disassembler grammars to each other.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.isa import (
+    Instruction,
+    decode,
+    decode_compressed,
+    encode,
+    format_instruction,
+    try_compress,
+)
+from repro.isa.opcodes import KEY_MAX, SPECS
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+def reassemble_word(insn: Instruction) -> int:
+    text = format_instruction(insn)
+    obj = assemble(text, rvc=False)
+    data = bytes(obj.sections[".text"].data)
+    assert len(data) == 4, f"{text!r} assembled to {len(data)} bytes"
+    return int.from_bytes(data, "little")
+
+
+@st.composite
+def arbitrary_instruction(draw):
+    name = draw(st.sampled_from(sorted(SPECS)))
+    spec = SPECS[name]
+    kwargs = {}
+    if spec.fmt in ("R", "AMO"):
+        kwargs = dict(rd=draw(regs), rs1=draw(regs), rs2=draw(regs))
+    elif spec.fmt == "I":
+        kwargs = dict(rd=draw(regs), rs1=draw(regs),
+                      imm=draw(st.integers(-2048, 2047)))
+        if spec.semclass == "fence":
+            kwargs = {}
+    elif spec.fmt == "S":
+        kwargs = dict(rs1=draw(regs), rs2=draw(regs),
+                      imm=draw(st.integers(-2048, 2047)))
+    elif spec.fmt == "B":
+        kwargs = dict(rs1=draw(regs), rs2=draw(regs),
+                      imm=draw(st.integers(-2048, 2047)) * 2)
+    elif spec.fmt == "U":
+        kwargs = dict(rd=draw(regs),
+                      imm=draw(st.integers(0, (1 << 20) - 1)))
+    elif spec.fmt == "J":
+        kwargs = dict(rd=draw(regs),
+                      imm=draw(st.integers(-(1 << 19), (1 << 19) - 1)) * 2)
+    elif spec.fmt == "SHIFT64":
+        kwargs = dict(rd=draw(regs), rs1=draw(regs),
+                      imm=draw(st.integers(0, 63)))
+    elif spec.fmt == "SHIFT32":
+        kwargs = dict(rd=draw(regs), rs1=draw(regs),
+                      imm=draw(st.integers(0, 31)))
+    elif spec.fmt == "CSR":
+        kwargs = dict(rd=draw(regs), rs1=draw(regs),
+                      csr=draw(st.sampled_from([0xC00, 0xC01, 0xC02,
+                                                0x800, 0x8FF])))
+    elif spec.fmt == "CSRI":
+        kwargs = dict(rd=draw(regs), imm=draw(st.integers(0, 31)),
+                      csr=draw(st.sampled_from([0xC00, 0x800])))
+    elif spec.fmt == "RO":
+        kwargs = dict(rd=draw(regs), rs1=draw(regs),
+                      key=draw(st.integers(0, KEY_MAX)))
+    return Instruction(name, semclass=spec.semclass, **kwargs)
+
+
+@settings(max_examples=400, deadline=None)
+@given(arbitrary_instruction())
+def test_disasm_asm_roundtrip(insn):
+    word = encode(insn)
+    assert reassemble_word(decode(word)) == word
+
+
+@settings(max_examples=150, deadline=None)
+@given(arbitrary_instruction())
+def test_compressed_roundtrip_through_text(insn):
+    """Compressible instructions: text -> assembler (rvc) -> the same
+    compressed halfword the direct compressor produces."""
+    halfword = try_compress(insn)
+    if halfword is None:
+        return
+    expanded = decode_compressed(halfword)
+    text = format_instruction(expanded)
+    obj = assemble(text, rvc=True)
+    data = bytes(obj.sections[".text"].data)
+    assert len(data) == 2, f"{text!r} did not re-compress"
+    assert int.from_bytes(data, "little") == try_compress(expanded)

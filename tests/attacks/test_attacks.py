@@ -1,0 +1,231 @@
+"""Security-claim tests (§V-C2, §V-D): which attacks are blocked by what.
+
+The table these tests pin down:
+
+    attack                     none    vtint   vcall   icall   cfi
+    fake-vtable injection      HIJACK  block   block   block   -
+    vtable in-place corruption blocked by W^X for everyone
+    cross-type vtable reuse    works   WORKS   block   block   -
+    fptr -> raw code address   HIJACK  -       -       block   type-check
+    fptr -> attacker data      HIJACK  -       -       block   block
+    fptr -> wrong-type slot    -       -       -       block   -
+    same-type pointee reuse    works under every defense (§V-D residual)
+"""
+
+import pytest
+
+from repro.attacks import (
+    AttackError,
+    BENIGN_EXIT,
+    build_victim_module,
+    corrupt_vtable_in_place,
+    cross_type_vtable_reuse,
+    inject_fake_vtable,
+    point_at_attacker_data,
+    point_at_gadget_code,
+    point_at_wrong_type_slot,
+    run_attack,
+    same_class_vtable_reuse,
+    same_type_slot_reuse,
+)
+from repro.compiler import compile_module
+from repro.defenses import (
+    LabelCFIBaseline,
+    TypeBasedCFI,
+    VCallProtection,
+    VTintBaseline,
+)
+
+
+@pytest.fixture(scope="module")
+def victim():
+    return build_victim_module()
+
+
+def image(victim, hardening=None):
+    return compile_module(victim, hardening=hardening)
+
+
+class TestBenignBehaviour:
+    def test_uncorrupted_runs_clean(self, victim):
+        out = run_attack(image(victim), lambda a: None)
+        assert out.exit_code == BENIGN_EXIT
+        assert not out.hijacked and not out.blocked
+
+    @pytest.mark.parametrize("make", [
+        lambda: [VCallProtection()], lambda: [VTintBaseline()],
+        lambda: [TypeBasedCFI()], lambda: [LabelCFIBaseline()],
+    ], ids=["vcall", "vtint", "icall", "cfi"])
+    def test_uncorrupted_runs_clean_hardened(self, victim, make):
+        out = run_attack(image(victim, make()), lambda a: None)
+        assert out.exit_code == BENIGN_EXIT and not out.blocked
+
+
+class TestVTableInjection:
+    def test_unprotected_is_hijacked(self, victim):
+        out = run_attack(image(victim), inject_fake_vtable)
+        assert out.hijacked and not out.blocked
+
+    def test_vcall_blocks_with_roload_event(self, victim):
+        out = run_attack(image(victim, [VCallProtection()]),
+                         inject_fake_vtable)
+        assert out.blocked and not out.hijacked
+        assert out.roload_violation
+        assert out.security_events[0].reason == "not_read_only"
+
+    def test_vtint_blocks(self, victim):
+        out = run_attack(image(victim, [VTintBaseline()]),
+                         inject_fake_vtable)
+        assert out.blocked and not out.hijacked
+        assert not out.roload_violation  # software check, not ROLoad
+
+    def test_icall_blocks(self, victim):
+        out = run_attack(image(victim, [TypeBasedCFI()]),
+                         inject_fake_vtable)
+        assert out.blocked and not out.hijacked
+
+
+class TestVTableInPlaceCorruption:
+    def test_rejected_by_memory_protection(self, victim):
+        """Vtables are read-only: the write primitive itself fails (the
+        attacker cannot write read-only memory under the threat model)."""
+        with pytest.raises(AttackError):
+            run_attack(image(victim), corrupt_vtable_in_place)
+
+
+class TestCrossTypeVTableReuse:
+    """The attack separating VCall from VTint."""
+
+    def test_unprotected_misdispatches(self, victim):
+        out = run_attack(image(victim), cross_type_vtable_reuse)
+        assert not out.blocked
+        assert out.exit_code != BENIGN_EXIT  # wrong method ran
+
+    def test_vtint_cannot_stop_it(self, victim):
+        """Other's vtable is read-only too: the range check passes.
+        This is VTint's documented weakness."""
+        out = run_attack(image(victim, [VTintBaseline()]),
+                         cross_type_vtable_reuse)
+        assert not out.blocked
+        assert out.exit_code != BENIGN_EXIT
+
+    def test_vcall_key_mismatch_blocks_it(self, victim):
+        """Per-class keys: Other's vtable page has a different key."""
+        out = run_attack(image(victim, [VCallProtection()]),
+                         cross_type_vtable_reuse)
+        assert out.blocked
+        assert out.security_events[0].reason == "key_mismatch"
+
+
+class TestFunctionPointerHijack:
+    def test_unprotected_is_hijacked(self, victim):
+        out = run_attack(image(victim), point_at_gadget_code)
+        assert out.hijacked
+
+    def test_icall_blocks_raw_code_address(self, victim):
+        out = run_attack(image(victim, [TypeBasedCFI()]),
+                         point_at_gadget_code)
+        assert out.blocked and not out.hijacked
+        assert out.security_events[0].reason == "key_mismatch"
+
+    def test_icall_blocks_attacker_data(self, victim):
+        out = run_attack(image(victim, [TypeBasedCFI()]),
+                         point_at_attacker_data)
+        assert out.blocked
+        assert out.security_events[0].reason == "not_read_only"
+
+    def test_icall_blocks_wrong_key_page(self, victim):
+        """Redirect to a genuine keyed read-only page of the WRONG key
+        (the unified vtable page): read-only, but key mismatch."""
+        defense = TypeBasedCFI()
+        img = compile_module(victim, hardening=[defense])
+
+        def corrupt(attacker):
+            attacker.write_symbol("fp_slot",
+                                  attacker.symbol("_ZTV_Benign"),
+                                  note="fp_slot -> vtable page")
+
+        out = run_attack(img, corrupt)
+        assert out.blocked
+        assert out.security_events[0].reason == "key_mismatch"
+
+    def test_label_cfi_allows_same_type_target(self, victim):
+        """The gadget has the same type ID: label CFI (a type policy)
+        accepts it — equivalent reuse surface, but ICall at least forces
+        the value through the GFPT."""
+        out = run_attack(image(victim, [LabelCFIBaseline()]),
+                         point_at_gadget_code)
+        assert out.hijacked  # same-type reuse passes label CFI
+
+
+class TestPointeeReuseResidual:
+    def test_same_type_slot_reuse_succeeds_under_icall(self, victim):
+        """§V-D: ROLoad admits reuse of same-keyed pointees. The paper
+        accepts this residual; the test documents it."""
+        defense = TypeBasedCFI()
+        img = compile_module(victim, hardening=[defense])
+        out = run_attack(img, lambda a: same_type_slot_reuse(a, defense))
+        assert out.hijacked and not out.blocked
+
+    def test_hierarchy_grouped_vcall_reuse(self, victim):
+        """With hierarchy-grouped keys, swinging the vptr within the
+        group passes — the grouping trades precision for compatibility."""
+        defense = VCallProtection(
+            key_by_hierarchy={"Benign": "grp", "Other": "grp"})
+        img = compile_module(victim, hardening=[defense])
+        out = run_attack(img, lambda a: same_class_vtable_reuse(
+            a, "_ZTV_Other"))
+        assert not out.blocked  # same key: accepted (documented residue)
+
+    def test_reuse_confined_to_allowlist(self, victim):
+        """Even the successful reuse only reaches allowlisted values: a
+        pointer outside every GFPT still faults."""
+        defense = TypeBasedCFI()
+        img = compile_module(victim, hardening=[defense])
+        out = run_attack(img, point_at_attacker_data)
+        assert out.blocked
+
+
+class TestThreatModelEnforcement:
+    def test_cannot_write_code(self, victim):
+        img = image(victim)
+
+        def corrupt(attacker):
+            attacker.write(attacker.symbol("main"), 0xDEAD)
+
+        with pytest.raises(AttackError):
+            run_attack(img, corrupt)
+
+    def test_cannot_write_gfpt(self, victim):
+        defense = TypeBasedCFI()
+        img = compile_module(victim, hardening=[defense])
+        from repro.defenses import gfpt_symbol
+        key = next(iter(defense.key_of_type.values()))
+
+        def corrupt(attacker):
+            attacker.write(attacker.symbol(gfpt_symbol(key)), 0xDEAD)
+
+        with pytest.raises(AttackError):
+            run_attack(img, corrupt)
+
+    def test_can_read_rodata(self, victim):
+        img = image(victim)
+        seen = {}
+
+        def corrupt(attacker):
+            seen["vt"] = attacker.read(attacker.symbol("_ZTV_Benign"))
+
+        run_attack(img, corrupt)
+        assert seen["vt"] == img.symbol("Benign_get")
+
+    def test_corruption_log_records_writes(self, victim):
+        from repro.attacks import MemoryCorruption
+        from repro.kernel import Kernel
+        from repro.soc import build_system
+        img = image(victim)
+        kernel = Kernel(build_system("processor+kernel"))
+        process = kernel.create_process(img)
+        attacker = MemoryCorruption(kernel, process, img)
+        attacker.write_symbol("fp_slot", 0x1234, note="test")
+        assert len(attacker.log) == 1
+        assert attacker.log[0].note == "test"

@@ -1,0 +1,126 @@
+"""COOP-style chained reuse: composing the §V-D residual surface.
+
+Counterfeit OOP (the paper's citation [1]) chains *existing* virtual
+functions; under ROLoad the same idea survives only within matching-key
+allowlists. This test builds a victim with a chain of indirect calls and
+shows (a) the attacker can permute targets WITHIN each type's allowlist
+(the whole chain still runs, attacker-chosen), and (b) any step outside
+an allowlist kills the chain at exactly that step.
+"""
+
+import pytest
+
+from repro.attacks import AttackError, MemoryCorruption
+from repro.compiler import (
+    GlobalVar,
+    I64,
+    IRBuilder,
+    Module,
+    compile_module,
+    func_type,
+)
+from repro.defenses import TypeBasedCFI
+from repro.kernel import Kernel
+from repro.soc import build_system
+
+SIG = func_type(I64, ret=I64)
+
+
+def build_chain_victim():
+    """main: x = f1(x); x = f2(x); x = f3(x) through writable slots."""
+    m = Module("chain")
+    for name, factor in (("step_double", 2), ("step_triple", 3),
+                         ("step_inc", 1)):
+        fn = m.function(name, num_params=1, func_type=SIG,
+                        address_taken=True)
+        b = IRBuilder(fn)
+        if factor == 1:
+            b.ret(b.addi(b.param(0), 1))
+        else:
+            b.ret(b.mul(b.param(0), b.li(factor)))
+    # The "pwned" detector: a same-type function the victim never calls.
+    gadget = m.function("gadget", num_params=1, func_type=SIG,
+                        address_taken=True)
+    b = IRBuilder(gadget)
+    b.store(b.li(1), b.la("pwned"))
+    b.ret(b.param(0))
+
+    m.global_var(GlobalVar("pwned", section=".data", init=[0]))
+    for index, target in enumerate(("step_double", "step_triple",
+                                    "step_inc")):
+        m.global_var(GlobalVar(f"slot{index}", section=".data",
+                               init=[("quad", target)]))
+
+    main = m.function("main")
+    b = IRBuilder(main)
+    x = b.li(2)
+    for index in range(3):
+        fp = b.load_fptr(b.la(f"slot{index}"), SIG)
+        x = b.icall(fp, [x], func_type=SIG)
+    b.ret(x)  # 2*2*3 + 1 = 13
+    return m
+
+
+def run_chain(corrupt):
+    defense = TypeBasedCFI()
+    image = compile_module(build_chain_victim(), hardening=[defense])
+    kernel = Kernel(build_system(memory_size=128 << 20))
+    process = kernel.create_process(image, name="chain")
+    attacker = MemoryCorruption(kernel, process, image)
+    corrupt(attacker, defense)
+    kernel.run(process, max_instructions=2_000_000)
+    pwned = bool(attacker.read_symbol("pwned")) \
+        if process.state.value == "exited" else False
+    return process, kernel, pwned
+
+
+class TestChainedReuse:
+    def test_benign_chain(self):
+        process, kernel, pwned = run_chain(lambda a, d: None)
+        assert process.exit_code == 13
+        assert not pwned and not kernel.security_log
+
+    def test_full_chain_permutation_within_allowlist(self):
+        """The attacker rewires every step to functions of its choosing
+        — all within the type's GFPT — and the whole chain executes."""
+        def corrupt(attacker, defense):
+            gadget_sym, gadget_idx = defense.slot_of["gadget"]
+            inc_sym, inc_idx = defense.slot_of["step_inc"]
+            attacker.write_symbol(
+                "slot0", attacker.symbol(gadget_sym) + 8 * gadget_idx)
+            attacker.write_symbol(
+                "slot1", attacker.symbol(inc_sym) + 8 * inc_idx)
+
+        process, kernel, pwned = run_chain(corrupt)
+        assert process.state.value == "exited"
+        assert pwned                      # attacker-chosen step ran
+        assert process.exit_code != 13    # computation diverted
+        assert not kernel.security_log    # all in-allowlist: no alarms
+
+    def test_chain_dies_at_first_out_of_allowlist_step(self):
+        """Rewire step 2 to raw code: steps 0-1 run, step 2 faults."""
+        def corrupt(attacker, defense):
+            gadget_sym, gadget_idx = defense.slot_of["gadget"]
+            attacker.write_symbol(
+                "slot0", attacker.symbol(gadget_sym) + 8 * gadget_idx)
+            attacker.write_symbol("slot1",
+                                  attacker.symbol("step_triple"))
+
+        process, kernel, pwned = run_chain(corrupt)
+        assert process.state.value == "killed"
+        assert process.signal.roload
+        assert len(kernel.security_log) == 1
+        assert kernel.security_log[0].reason == "key_mismatch"
+
+    def test_chain_cannot_reach_foreign_types(self):
+        """Even a fully in-allowlist chain cannot call into another
+        type's GFPT: the keys partition the reuse surface."""
+        def corrupt(attacker, defense):
+            # There is only one type here; point a slot at the GFPT page
+            # of... the table itself +  out-of-table offset.
+            sym, __ = defense.slot_of["gadget"]
+            attacker.write_symbol("slot0",
+                                  attacker.symbol(sym) + 4096)
+
+        process, kernel, pwned = run_chain(corrupt)
+        assert process.state.value == "killed"

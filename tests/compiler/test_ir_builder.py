@@ -1,0 +1,184 @@
+"""IR construction, types, metadata, and verifier tests."""
+
+import pytest
+
+from repro.errors import CompilerError
+from repro.compiler import (
+    FuncType,
+    GlobalVar,
+    I8,
+    I32,
+    I64,
+    IRBuilder,
+    KeyAllocator,
+    Load,
+    Module,
+    PTR,
+    ROLoadMD,
+    VTable,
+    func_type,
+    verify_function,
+    verify_module,
+)
+
+
+class TestTypes:
+    def test_int_sizes(self):
+        assert I8.size == 1 and I32.size == 4 and I64.size == 8
+        assert PTR.size == 8
+
+    def test_bad_width(self):
+        from repro.compiler import IntType
+        with pytest.raises(ValueError):
+            IntType(24)
+
+    def test_signature_strings(self):
+        assert func_type(ret=I64).signature() == "i64()"
+        assert func_type(I64, PTR, ret=I32).signature() == "i32(i64,ptr)"
+        assert func_type(ret=None).signature() == "void()"
+
+    def test_signature_equality_drives_keys(self):
+        alloc = KeyAllocator()
+        k1 = alloc.key_for(func_type(I64).signature())
+        k2 = alloc.key_for(func_type(I64).signature())
+        k3 = alloc.key_for(func_type(I32).signature())
+        assert k1 == k2 != k3
+
+
+class TestMetadata:
+    def test_key_range(self):
+        with pytest.raises(CompilerError):
+            ROLoadMD(1024)
+        with pytest.raises(CompilerError):
+            ROLoadMD(-1)
+        assert ROLoadMD(1023).key == 1023
+
+    def test_allocator_deterministic(self):
+        a, b = KeyAllocator(), KeyAllocator()
+        names = ["zeta", "alpha", "mid"]
+        assert [a.key_for(n) for n in names] == \
+            [b.key_for(n) for n in names]
+
+    def test_allocator_exhaustion(self):
+        alloc = KeyAllocator(first_key=1023)
+        alloc.key_for("last")
+        with pytest.raises(CompilerError):
+            alloc.key_for("one-too-many")
+
+    def test_assignments_snapshot(self):
+        alloc = KeyAllocator()
+        alloc.key_for("x")
+        assert alloc.assignments == {"x": 1}
+        assert len(alloc) == 1
+
+
+class TestBuilder:
+    def test_temps_unique(self):
+        m = Module()
+        b = IRBuilder(m.function("f"))
+        assert b.li(1) != b.li(1)
+
+    def test_param_bounds(self):
+        m = Module()
+        b = IRBuilder(m.function("f", num_params=2))
+        assert b.param(0) == "p0"
+        with pytest.raises(CompilerError):
+            b.param(2)
+
+    def test_vcall_emits_tagged_loads(self):
+        m = Module()
+        b = IRBuilder(m.function("f"))
+        obj = b.la("obj")
+        b.vcall(obj, 2, "Widget", func_type=func_type(I64))
+        b.ret(b.li(0))
+        loads = [op for op in m.functions["f"].ops
+                 if isinstance(op, Load)]
+        assert loads[0].purpose == "vptr"
+        assert loads[0].class_name == "Widget"
+        assert loads[1].purpose == "vtable_entry"
+        assert loads[1].offset == 16  # slot 2
+
+    def test_load_fptr_tag(self):
+        m = Module()
+        b = IRBuilder(m.function("f"))
+        slot = b.la("fp_var")
+        fp = b.load_fptr(slot, func_type(I64))
+        b.icall(fp, func_type=func_type(I64))
+        b.ret(b.li(0))
+        load = next(op for op in m.functions["f"].ops
+                    if isinstance(op, Load))
+        assert load.purpose == "fptr"
+        assert load.func_type == func_type(I64)
+
+
+class TestVerifier:
+    def test_undefined_vreg(self):
+        m = Module()
+        f = m.function("f")
+        b = IRBuilder(f)
+        from repro.compiler import Bin
+        f.ops.append(Bin("add", "v9", "v8", "v7"))
+        b.ret()
+        with pytest.raises(CompilerError):
+            verify_function(f)
+
+    def test_unknown_label(self):
+        m = Module()
+        f = m.function("f")
+        b = IRBuilder(f)
+        b.br(".Lnowhere")
+        with pytest.raises(CompilerError):
+            verify_function(f)
+
+    def test_missing_terminator(self):
+        m = Module()
+        f = m.function("f")
+        IRBuilder(f).li(1)
+        with pytest.raises(CompilerError):
+            verify_function(f)
+
+    def test_unknown_callee(self):
+        m = Module()
+        f = m.function("f")
+        b = IRBuilder(f)
+        b.call("ghost")
+        b.ret()
+        with pytest.raises(CompilerError):
+            verify_module(m)
+
+    def test_vtable_entry_must_exist(self):
+        m = Module()
+        f = m.function("f")
+        IRBuilder(f).ret()
+        m.vtable(VTable("C", entries=["missing_method"]))
+        with pytest.raises(CompilerError):
+            verify_module(m)
+
+    def test_global_symbol_init_checked(self):
+        m = Module()
+        f = m.function("f")
+        IRBuilder(f).ret()
+        m.global_var(GlobalVar("g", init=[("quad", "nope")]))
+        with pytest.raises(CompilerError):
+            verify_module(m)
+
+    def test_valid_module_passes(self):
+        m = Module()
+        helper = m.function("helper", num_params=1,
+                            func_type=func_type(I64, ret=I64),
+                            address_taken=True)
+        b = IRBuilder(helper)
+        b.ret(b.addi(b.param(0), 1))
+        f = m.function("main")
+        b = IRBuilder(f)
+        r = b.call("helper", [b.li(1)])
+        b.ret(r)
+        m.vtable(VTable("C", entries=["helper"]))
+        m.global_var(GlobalVar("obj", init=[("quad", "_ZTV_C")]))
+        verify_module(m)
+
+    def test_duplicate_function(self):
+        m = Module()
+        m.function("f")
+        with pytest.raises(CompilerError):
+            m.function("f")

@@ -1,0 +1,49 @@
+"""Shared helpers for CPU tests: a bare-mode core running raw encodings."""
+
+import pytest
+
+from repro.cpu import Core, TimingModel
+from repro.isa import Instruction, encode, try_compress
+from repro.mem import MMU, PhysicalMemory
+
+CODE_BASE = 0x1000
+DATA_BASE = 0x8000
+
+
+@pytest.fixture()
+def machine():
+    """A bare-translation core with 1 MiB of RAM; code at CODE_BASE."""
+    memory = PhysicalMemory(1 << 20)
+    mmu = MMU(memory)  # bare mode: identity translation
+    core = Core(memory, mmu, timing=TimingModel())
+    core.pc = CODE_BASE
+    return core
+
+
+def assemble_at(core, insns, base=CODE_BASE):
+    """Write a list of Instructions (or (insn, 'c') for compressed) into
+    memory at ``base`` and return the end address."""
+    addr = base
+    for item in insns:
+        if isinstance(item, tuple) and item[1] == "c":
+            halfword = try_compress(item[0])
+            assert halfword is not None, f"not compressible: {item[0]}"
+            core.memory.write(addr, 2, halfword)
+            addr += 2
+        else:
+            core.memory.write(addr, 4, encode(item))
+            addr += 4
+    return addr
+
+
+def run_insns(core, insns, steps=None):
+    """Assemble at pc and execute each instruction once."""
+    assemble_at(core, insns, core.pc)
+    count = steps if steps is not None else len(insns)
+    for __ in range(count):
+        core.step()
+    return core
+
+
+def I(name, **kw):  # noqa: E743 - terse test helper
+    return Instruction(name, **kw)

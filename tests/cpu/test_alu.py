@@ -1,0 +1,174 @@
+"""ALU, shift, and M-extension semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import Core, TimingModel
+from repro.mem import MMU, PhysicalMemory
+from repro.utils.bits import MASK64, to_s64, to_u64
+
+from .conftest import CODE_BASE, I, run_insns
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def fresh_core(rs1=0, rs2=0):
+    memory = PhysicalMemory(1 << 20)
+    core = Core(memory, MMU(memory), timing=TimingModel())
+    core.pc = CODE_BASE
+    core.regs[5] = rs1  # t0
+    core.regs[6] = rs2  # t1
+    return core
+
+
+def alu(name, rs1, rs2):
+    core = fresh_core(rs1, rs2)
+    run_insns(core, [I(name, rd=7, rs1=5, rs2=6)])
+    return core.regs[7]
+
+
+def alui(name, rs1, imm):
+    core = fresh_core(rs1)
+    run_insns(core, [I(name, rd=7, rs1=5, imm=imm)])
+    return core.regs[7]
+
+
+class TestBasicALU:
+    def test_add_wraps(self):
+        assert alu("add", MASK64, 1) == 0
+
+    def test_sub_wraps(self):
+        assert alu("sub", 0, 1) == MASK64
+
+    def test_logic(self):
+        assert alu("xor", 0b1100, 0b1010) == 0b0110
+        assert alu("or", 0b1100, 0b1010) == 0b1110
+        assert alu("and", 0b1100, 0b1010) == 0b1000
+
+    def test_slt_signed_unsigned(self):
+        assert alu("slt", to_u64(-1), 1) == 1
+        assert alu("sltu", to_u64(-1), 1) == 0
+
+    def test_shifts(self):
+        assert alu("sll", 1, 63) == 1 << 63
+        assert alu("srl", 1 << 63, 63) == 1
+        assert alu("sra", to_u64(-8), 2) == to_u64(-2)
+
+    def test_shift_uses_low_6_bits(self):
+        assert alu("sll", 1, 64) == 1  # shamt 64 & 63 == 0
+
+    def test_immediates(self):
+        assert alui("addi", 5, -3) == 2
+        assert alui("andi", 0xFF, 0x0F) == 0x0F
+        assert alui("slti", to_u64(-5), 0) == 1
+        assert alui("sltiu", 3, 5) == 1
+        assert alui("xori", 0b101, -1) == to_u64(~0b101)
+
+    def test_lui_sign_extends(self):
+        core = fresh_core()
+        run_insns(core, [I("lui", rd=7, imm=0x80000)])
+        assert core.regs[7] == 0xFFFF_FFFF_8000_0000
+
+    def test_auipc(self):
+        core = fresh_core()
+        run_insns(core, [I("auipc", rd=7, imm=1)])
+        assert core.regs[7] == CODE_BASE + 0x1000
+
+    def test_x0_writes_discarded(self):
+        core = fresh_core(5, 5)
+        run_insns(core, [I("add", rd=0, rs1=5, rs2=6)])
+        assert core.regs[0] == 0
+
+
+class TestWordOps:
+    def test_addw_truncates_and_sign_extends(self):
+        assert alu("addw", 0x7FFF_FFFF, 1) == 0xFFFF_FFFF_8000_0000
+
+    def test_subw(self):
+        assert alu("subw", 0, 1) == MASK64
+
+    def test_sllw(self):
+        assert alu("sllw", 1, 31) == 0xFFFF_FFFF_8000_0000
+
+    def test_srlw_zero_extends_input(self):
+        assert alu("srlw", 0xFFFF_FFFF_8000_0000, 31) == 1
+
+    def test_sraw(self):
+        assert alu("sraw", 0x8000_0000, 31) == MASK64
+
+    def test_addiw(self):
+        assert alui("addiw", 0xFFFF_FFFF, 0) == MASK64
+
+    def test_word_shift_imm(self):
+        assert alui("slliw", 1, 31) == 0xFFFF_FFFF_8000_0000
+        assert alui("srliw", 0x8000_0000, 31) == 1
+        assert alui("sraiw", 0x8000_0000, 31) == MASK64
+
+
+class TestMExtension:
+    def test_mul(self):
+        assert alu("mul", 7, 6) == 42
+
+    def test_mulh_signed(self):
+        assert alu("mulh", to_u64(-1), to_u64(-1)) == 0  # (-1)*(-1)=1, hi=0
+
+    def test_mulhu(self):
+        assert alu("mulhu", MASK64, MASK64) == MASK64 - 1
+
+    def test_mulhsu(self):
+        assert alu("mulhsu", to_u64(-1), MASK64) == MASK64  # -1 * huge
+
+    def test_div_semantics(self):
+        assert to_s64(alu("div", to_u64(-7), 2)) == -3  # trunc toward zero
+        assert to_s64(alu("rem", to_u64(-7), 2)) == -1
+
+    def test_div_by_zero(self):
+        assert alu("div", 42, 0) == MASK64
+        assert alu("divu", 42, 0) == MASK64
+        assert alu("rem", 42, 0) == 42
+        assert alu("remu", 42, 0) == 42
+
+    def test_div_overflow(self):
+        min64 = 1 << 63
+        assert alu("div", min64, to_u64(-1)) == min64
+        assert alu("rem", min64, to_u64(-1)) == 0
+
+    def test_word_div(self):
+        assert alu("divw", to_u64(-8 & 0xFFFFFFFF), 2) == to_u64(-4)
+        assert alu("divw", 42, 0) == MASK64
+        assert alu("remw", 7, 0) == 7
+        min32 = 0x8000_0000
+        assert alu("divw", min32, 0xFFFF_FFFF) == 0xFFFF_FFFF_8000_0000
+
+    def test_divuw_remuw(self):
+        assert alu("divuw", 0x8000_0000, 2) == 0x4000_0000
+        assert alu("remuw", 0x8000_0001, 2) == 1
+        assert alu("divuw", 1, 0) == MASK64
+        assert alu("remuw", 0xFFFF_FFFF, 0) == MASK64  # sext32 of input
+
+    @settings(max_examples=50, deadline=None)
+    @given(u64, u64)
+    def test_mul_matches_python(self, a, b):
+        assert alu("mul", a, b) == (a * b) & MASK64
+
+    @settings(max_examples=50, deadline=None)
+    @given(u64, st.integers(min_value=1, max_value=MASK64))
+    def test_divu_matches_python(self, a, b):
+        assert alu("divu", a, b) == a // b
+        assert alu("remu", a, b) == a % b
+
+    @settings(max_examples=50, deadline=None)
+    @given(u64, u64)
+    def test_div_rem_identity(self, a, b):
+        """RISC-V requires a == div(a,b)*b + rem(a,b) (mod 2^64), b != 0."""
+        if b == 0:
+            return
+        q = alu("div", a, b)
+        r = alu("rem", a, b)
+        assert (q * b + r) & MASK64 == a
+
+    def test_muldiv_timing_charged(self):
+        core = fresh_core(10, 3)
+        run_insns(core, [I("div", rd=7, rs1=5, rs2=6)])
+        assert core.timing.stats.muldiv_cycles >= 32

@@ -1,0 +1,303 @@
+"""Branches, jumps, loads/stores, AMO, CSR, and traps."""
+
+import pytest
+
+from repro.cpu import Cause, Core, TimingModel, Trap
+from repro.cpu.csr import CSR_CYCLE, CSR_INSTRET, SCRATCH_BASE
+from repro.errors import SimulationError
+from repro.mem import MMU, PhysicalMemory
+from repro.utils.bits import MASK64, to_u64
+
+from .conftest import CODE_BASE, DATA_BASE, I, assemble_at, run_insns
+
+
+@pytest.fixture()
+def core():
+    memory = PhysicalMemory(1 << 20)
+    core = Core(memory, MMU(memory), timing=TimingModel())
+    core.pc = CODE_BASE
+    return core
+
+
+class TestBranches:
+    def test_taken_branch_redirects(self, core):
+        core.regs[5] = core.regs[6] = 1
+        assemble_at(core, [
+            I("beq", rs1=5, rs2=6, imm=8),
+            I("addi", rd=7, rs1=0, imm=1),   # skipped
+            I("addi", rd=8, rs1=0, imm=2),
+        ])
+        core.step()
+        assert core.pc == CODE_BASE + 8
+        core.step()
+        assert core.regs[7] == 0 and core.regs[8] == 2
+
+    def test_not_taken_falls_through(self, core):
+        core.regs[5], core.regs[6] = 1, 2
+        assemble_at(core, [I("beq", rs1=5, rs2=6, imm=8)])
+        core.step()
+        assert core.pc == CODE_BASE + 4
+
+    def test_backward_branch(self, core):
+        core.regs[5] = 3
+        # loop: addi t0, t0, -1 ; bne t0, x0, -4
+        assemble_at(core, [
+            I("addi", rd=5, rs1=5, imm=-1),
+            I("bne", rs1=5, rs2=0, imm=-4),
+        ])
+        for __ in range(6):
+            core.step()
+        assert core.regs[5] == 0
+        assert core.pc == CODE_BASE + 8
+
+    def test_signed_vs_unsigned_branches(self, core):
+        core.regs[5] = to_u64(-1)
+        core.regs[6] = 1
+        assemble_at(core, [I("blt", rs1=5, rs2=6, imm=100)])
+        core.step()
+        assert core.pc == CODE_BASE + 100  # -1 < 1 signed
+        core.pc = CODE_BASE + 200
+        assemble_at(core, [I("bltu", rs1=5, rs2=6, imm=100)],
+                    base=CODE_BASE + 200)
+        core.step()
+        assert core.pc == CODE_BASE + 204  # 0xFFF..F > 1 unsigned
+
+    def test_taken_branch_costs_more(self, core):
+        core.regs[5] = core.regs[6] = 7
+        assemble_at(core, [I("beq", rs1=5, rs2=6, imm=8)])
+        core.step()
+        assert core.timing.stats.branch_penalty_cycles > 0
+
+
+class TestJumps:
+    def test_jal_links(self, core):
+        assemble_at(core, [I("jal", rd=1, imm=16)])
+        core.step()
+        assert core.pc == CODE_BASE + 16
+        assert core.regs[1] == CODE_BASE + 4
+
+    def test_jalr_clears_bit0(self, core):
+        core.regs[5] = CODE_BASE + 17
+        assemble_at(core, [I("jalr", rd=1, rs1=5, imm=0)])
+        core.step()
+        assert core.pc == CODE_BASE + 16
+
+    def test_call_return_sequence(self, core):
+        # jal ra, +12 ; addi t2, x0, 9 ; <target>: jalr x0, ra, 0
+        assemble_at(core, [
+            I("jal", rd=1, imm=12),
+            I("addi", rd=7, rs1=0, imm=9),
+            I("addi", rd=8, rs1=0, imm=5),
+            I("jalr", rd=0, rs1=1, imm=0),  # ret
+        ])
+        core.step()          # call -> jalr at +12
+        assert core.pc == CODE_BASE + 12
+        core.step()          # ret -> back to +4
+        assert core.pc == CODE_BASE + 4
+        core.step()          # t2 = 9
+        core.step()          # t3 = 5
+        assert core.regs[7] == 9 and core.regs[8] == 5
+
+
+class TestLoadsStores:
+    def test_store_load_all_widths(self, core):
+        core.regs[5] = DATA_BASE
+        core.regs[6] = 0xDEADBEEF_CAFE_F00D & MASK64
+        assemble_at(core, [
+            I("sd", rs1=5, rs2=6, imm=0),
+            I("ld", rd=7, rs1=5, imm=0),
+            I("lw", rd=8, rs1=5, imm=0),
+            I("lwu", rd=9, rs1=5, imm=0),
+            I("lh", rd=10, rs1=5, imm=0),
+            I("lhu", rd=11, rs1=5, imm=0),
+            I("lb", rd=12, rs1=5, imm=0),
+            I("lbu", rd=13, rs1=5, imm=0),
+        ])
+        for __ in range(8):
+            core.step()
+        assert core.regs[7] == 0xDEADBEEFCAFEF00D
+        assert core.regs[8] == to_u64(0xFFFFFFFF_CAFEF00D)  # lw sign-extends
+        assert core.regs[9] == 0xCAFEF00D
+        assert core.regs[10] == to_u64(0xFFFF_FFFF_FFFF_F00D)
+        assert core.regs[11] == 0xF00D
+        assert core.regs[12] == to_u64(0x0D)
+        assert core.regs[13] == 0x0D
+
+    def test_negative_offset(self, core):
+        core.regs[5] = DATA_BASE + 8
+        core.regs[6] = 77
+        assemble_at(core, [
+            I("sw", rs1=5, rs2=6, imm=-8),
+            I("lw", rd=7, rs1=5, imm=-8),
+        ])
+        core.step()
+        core.step()
+        assert core.regs[7] == 77
+
+    def test_misaligned_load_traps(self, core):
+        core.regs[5] = DATA_BASE + 1
+        assemble_at(core, [I("ld", rd=7, rs1=5, imm=0)])
+        with pytest.raises(Trap) as e:
+            core.step()
+        assert e.value.cause == Cause.MISALIGNED_LOAD
+
+    def test_misaligned_store_traps(self, core):
+        core.regs[5] = DATA_BASE + 2
+        assemble_at(core, [I("sw", rs1=5, rs2=6, imm=0)])
+        with pytest.raises(Trap) as e:
+            core.step()
+        assert e.value.cause == Cause.MISALIGNED_STORE
+
+
+class TestAtomics:
+    def test_lr_sc_success(self, core):
+        core.regs[5] = DATA_BASE
+        core.regs[6] = 42
+        assemble_at(core, [
+            I("lr.d", rd=7, rs1=5),
+            I("sc.d", rd=8, rs1=5, rs2=6),
+        ])
+        core.step()
+        core.step()
+        assert core.regs[8] == 0  # success
+        assert core.memory.read(DATA_BASE, 8) == 42
+
+    def test_sc_without_reservation_fails(self, core):
+        core.regs[5] = DATA_BASE
+        core.regs[6] = 42
+        assemble_at(core, [I("sc.d", rd=8, rs1=5, rs2=6)])
+        core.step()
+        assert core.regs[8] == 1
+        assert core.memory.read(DATA_BASE, 8) == 0
+
+    def test_amoadd(self, core):
+        core.memory.write(DATA_BASE, 8, 10)
+        core.regs[5] = DATA_BASE
+        core.regs[6] = 5
+        assemble_at(core, [I("amoadd.d", rd=7, rs1=5, rs2=6)])
+        core.step()
+        assert core.regs[7] == 10  # old value
+        assert core.memory.read(DATA_BASE, 8) == 15
+
+    def test_amoswap_w_sign_extends_old(self, core):
+        core.memory.write(DATA_BASE, 4, 0x8000_0000)
+        core.regs[5] = DATA_BASE
+        core.regs[6] = 1
+        assemble_at(core, [I("amoswap.w", rd=7, rs1=5, rs2=6)])
+        core.step()
+        assert core.regs[7] == 0xFFFF_FFFF_8000_0000
+        assert core.memory.read(DATA_BASE, 4) == 1
+
+    def test_amomax_signed(self, core):
+        core.memory.write(DATA_BASE, 8, to_u64(-5))
+        core.regs[5] = DATA_BASE
+        core.regs[6] = 3
+        assemble_at(core, [I("amomax.d", rd=7, rs1=5, rs2=6)])
+        core.step()
+        assert core.memory.read(DATA_BASE, 8) == 3
+
+    def test_amominu_unsigned(self, core):
+        core.memory.write(DATA_BASE, 8, to_u64(-5))  # huge unsigned
+        core.regs[5] = DATA_BASE
+        core.regs[6] = 3
+        assemble_at(core, [I("amominu.d", rd=7, rs1=5, rs2=6)])
+        core.step()
+        assert core.memory.read(DATA_BASE, 8) == 3
+
+
+class TestCSRAndSystem:
+    def test_rdcycle_rdinstret(self, core):
+        assemble_at(core, [
+            I("addi", rd=5, rs1=0, imm=1),
+            I("csrrs", rd=7, rs1=0, csr=CSR_INSTRET),
+        ])
+        core.step()
+        core.step()
+        # The csrrs reads instret mid-instruction: it sees the 1 retired
+        # instruction before it (retirement is counted after execution).
+        assert core.regs[7] == 1
+
+    def test_cycle_advances(self, core):
+        assemble_at(core, [
+            I("csrrs", rd=7, rs1=0, csr=CSR_CYCLE),
+            I("csrrs", rd=8, rs1=0, csr=CSR_CYCLE),
+        ])
+        core.step()
+        core.step()
+        assert core.regs[8] > core.regs[7]
+
+    def test_scratch_csr_write_read(self, core):
+        core.regs[5] = 0x1234
+        assemble_at(core, [
+            I("csrrw", rd=0, rs1=5, csr=SCRATCH_BASE),
+            I("csrrs", rd=7, rs1=0, csr=SCRATCH_BASE),
+        ])
+        core.step()
+        core.step()
+        assert core.regs[7] == 0x1234
+
+    def test_write_readonly_csr_traps(self, core):
+        core.regs[5] = 1
+        assemble_at(core, [I("csrrw", rd=0, rs1=5, csr=CSR_CYCLE)])
+        with pytest.raises(Trap) as e:
+            core.step()
+        assert e.value.cause == Cause.ILLEGAL_INSTRUCTION
+
+    def test_ecall_traps(self, core):
+        assemble_at(core, [I("ecall")])
+        with pytest.raises(Trap) as e:
+            core.step()
+        assert e.value.cause == Cause.ECALL_FROM_U
+        assert e.value.pc == CODE_BASE
+
+    def test_ebreak_traps(self, core):
+        assemble_at(core, [I("ebreak")])
+        with pytest.raises(Trap) as e:
+            core.step()
+        assert e.value.cause == Cause.BREAKPOINT
+
+    def test_illegal_instruction_traps(self, core):
+        core.memory.write(CODE_BASE, 4, 0xFFFF_FFFF)
+        with pytest.raises(Trap) as e:
+            core.step()
+        assert e.value.cause == Cause.ILLEGAL_INSTRUCTION
+
+    def test_fence_i_flushes_decode_cache(self, core):
+        assemble_at(core, [I("addi", rd=5, rs1=0, imm=1), I("fence.i")])
+        core.step()
+        assert core._decode_cache
+        core.step()
+        assert not core._decode_cache
+
+
+class TestRunLoop:
+    def test_run_with_trap_handler(self, core):
+        assemble_at(core, [
+            I("addi", rd=10, rs1=0, imm=7),
+            I("ecall"),
+        ])
+        seen = []
+
+        def handler(trap):
+            seen.append(trap.cause)
+            return False
+
+        retired = core.run(100, handler)
+        assert retired == 1
+        assert seen == [Cause.ECALL_FROM_U]
+
+    def test_run_budget_exhaustion(self, core):
+        assemble_at(core, [I("jal", rd=0, imm=0)])  # tight infinite loop
+        with pytest.raises(SimulationError):
+            core.run(100)
+
+    def test_compressed_execution(self, core):
+        from repro.isa import Instruction
+        assemble_at(core, [
+            (Instruction("addi", rd=10, rs1=0, imm=5), "c"),   # c.li a0, 5
+            (Instruction("addi", rd=10, rs1=10, imm=3), "c"),  # c.addi
+        ])
+        core.step()
+        core.step()
+        assert core.regs[10] == 8
+        assert core.pc == CODE_BASE + 4  # two 2-byte instructions

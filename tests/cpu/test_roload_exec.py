@@ -1,0 +1,171 @@
+"""End-to-end execution of ROLoad instructions through MMU translation.
+
+These tests run ld.ro on a paged system: the full pipeline the paper
+describes (decode -> new memory op type -> TLB permission + key check).
+"""
+
+import pytest
+
+from repro.cpu import Cause, Core, TimingModel, Trap
+from repro.isa import Instruction, encode, try_compress
+from repro.mem import (
+    MMU,
+    FrameAllocator,
+    PageTableBuilder,
+    PhysicalMemory,
+    ROLoadFailure,
+)
+
+CODE_VA = 0x10000
+TABLE_VA = 0x20000   # read-only, keyed
+DATA_VA = 0x30000    # read-write
+
+CODE_PA = 0x400000
+TABLE_PA = 0x401000
+DATA_PA = 0x402000
+
+
+def build_machine(table_key=111, *, roload_enabled=True,
+                  table_writable=False):
+    memory = PhysicalMemory(64 << 20)
+    alloc = FrameAllocator(1 << 20, 4 << 20)
+    builder = PageTableBuilder(memory, alloc)
+    builder.map_page(CODE_VA, CODE_PA, readable=True, executable=True)
+    builder.map_page(TABLE_VA, TABLE_PA, readable=True,
+                     writable=table_writable, key=table_key)
+    builder.map_page(DATA_VA, DATA_PA, readable=True, writable=True)
+    mmu = MMU(memory, roload_enabled=roload_enabled)
+    mmu.set_root(builder.root_ppn)
+    core = Core(memory, mmu, timing=TimingModel(),
+                roload_enabled=roload_enabled)
+    core.pc = CODE_VA
+    return core, builder
+
+
+def put_code(core, insns, va=CODE_VA, pa=CODE_PA):
+    offset = 0
+    for insn in insns:
+        if isinstance(insn, tuple) and insn[1] == "c":
+            halfword = try_compress(insn[0])
+            core.memory.write(pa + offset, 2, halfword)
+            offset += 2
+        else:
+            core.memory.write(pa + offset, 4, encode(insn))
+            offset += 4
+
+
+class TestROLoadExecution:
+    def test_successful_roload(self):
+        core, __ = build_machine(table_key=111)
+        core.memory.write(TABLE_PA + 8, 8, 0xCAFEBABE)
+        core.regs[10] = TABLE_VA + 8
+        put_code(core, [Instruction("ld.ro", rd=10, rs1=10, key=111)])
+        core.step()
+        assert core.regs[10] == 0xCAFEBABE
+
+    def test_key_mismatch_traps_with_discrimination_info(self):
+        core, __ = build_machine(table_key=111)
+        core.regs[10] = TABLE_VA
+        put_code(core, [Instruction("ld.ro", rd=10, rs1=10, key=222)])
+        with pytest.raises(Trap) as e:
+            core.step()
+        trap = e.value
+        assert trap.cause == Cause.LOAD_PAGE_FAULT
+        assert trap.is_roload_fault
+        assert trap.roload_reason is ROLoadFailure.KEY_MISMATCH
+        assert trap.insn_key == 222 and trap.page_key == 111
+        assert trap.tval == TABLE_VA
+
+    def test_writable_page_traps(self):
+        core, __ = build_machine(table_key=111, table_writable=True)
+        core.regs[10] = TABLE_VA
+        put_code(core, [Instruction("ld.ro", rd=10, rs1=10, key=111)])
+        with pytest.raises(Trap) as e:
+            core.step()
+        assert e.value.roload_reason is ROLoadFailure.NOT_READ_ONLY
+
+    def test_normal_load_from_keyed_page_still_works(self):
+        core, __ = build_machine(table_key=111)
+        core.memory.write(TABLE_PA, 8, 7)
+        core.regs[10] = TABLE_VA
+        put_code(core, [Instruction("ld", rd=10, rs1=10, imm=0)])
+        core.step()
+        assert core.regs[10] == 7
+
+    def test_roload_from_writable_data_page_traps(self):
+        """The attack path: a pointer redirected into attacker-controlled
+        writable memory must fault."""
+        core, __ = build_machine()
+        core.memory.write(DATA_PA, 8, 0x41414141)  # injected "vtable"
+        core.regs[10] = DATA_VA
+        put_code(core, [Instruction("ld.ro", rd=10, rs1=10, key=111)])
+        with pytest.raises(Trap) as e:
+            core.step()
+        assert e.value.is_roload_fault
+
+    def test_baseline_core_raises_illegal_instruction(self):
+        """§V-B baseline system: ld.ro is an unimplemented opcode."""
+        core, __ = build_machine(roload_enabled=False)
+        core.regs[10] = TABLE_VA
+        put_code(core, [Instruction("ld.ro", rd=10, rs1=10, key=111)])
+        with pytest.raises(Trap) as e:
+            core.step()
+        assert e.value.cause == Cause.ILLEGAL_INSTRUCTION
+
+    def test_compressed_c_ld_ro_executes(self):
+        core, __ = build_machine(table_key=17)
+        core.memory.write(TABLE_PA, 8, 0x1234)
+        core.regs[10] = TABLE_VA
+        put_code(core, [(Instruction("ld.ro", rd=10, rs1=10, key=17), "c")])
+        core.step()
+        assert core.regs[10] == 0x1234
+        assert core.pc == CODE_VA + 2
+
+    def test_roload_ignores_offset_semantics(self):
+        """ld.ro has no immediate offset: the address is exactly rs1."""
+        core, __ = build_machine(table_key=5)
+        core.memory.write(TABLE_PA, 8, 1111)
+        core.memory.write(TABLE_PA + 8, 8, 2222)
+        core.regs[10] = TABLE_VA + 8
+        put_code(core, [Instruction("ld.ro", rd=11, rs1=10, key=5)])
+        core.step()
+        assert core.regs[11] == 2222
+
+    def test_all_roload_widths(self):
+        core, __ = build_machine(table_key=3)
+        core.memory.write(TABLE_PA, 8, 0xFFFF_FFFF_FFFF_FFFF)
+        widths = {"lb.ro": 0xFFFF_FFFF_FFFF_FFFF, "lbu.ro": 0xFF,
+                  "lh.ro": 0xFFFF_FFFF_FFFF_FFFF, "lhu.ro": 0xFFFF,
+                  "lw.ro": 0xFFFF_FFFF_FFFF_FFFF, "lwu.ro": 0xFFFF_FFFF,
+                  "ld.ro": 0xFFFF_FFFF_FFFF_FFFF}
+        for i, (name, expected) in enumerate(widths.items()):
+            core.pc = CODE_VA
+            core.regs[10] = TABLE_VA
+            put_code(core, [Instruction(name, rd=11, rs1=10, key=3)])
+            core.flush_decode_cache()
+            core.step()
+            assert core.regs[11] == expected, name
+
+    def test_ld_ro_same_cost_as_ld(self):
+        """Paper's central claim: the key check is free (parallel logic).
+
+        Run identical loops with ld vs ld.ro (read-only page, warm TLB and
+        cache); cycle counts must be identical.
+        """
+        def run_loop(use_roload):
+            core, __ = build_machine(table_key=9)
+            core.memory.write(TABLE_PA, 8, TABLE_VA)  # self-pointer
+            load = Instruction("ld.ro", rd=11, rs1=10, key=9) \
+                if use_roload else Instruction("ld", rd=11, rs1=10, imm=0)
+            put_code(core, [
+                Instruction("addi", rd=5, rs1=0, imm=100),
+                load,
+                Instruction("addi", rd=5, rs1=5, imm=-1),
+                Instruction("bne", rs1=5, rs2=0, imm=-8),
+            ])
+            core.regs[10] = TABLE_VA
+            for __ in range(1 + 3 * 100):
+                core.step()
+            return core.timing.stats.cycles
+
+        assert run_loop(True) == run_loop(False)

@@ -1,0 +1,62 @@
+"""Shared fixtures: a module with virtual calls and indirect calls."""
+
+import pytest
+
+from repro.compiler import (
+    I64,
+    IRBuilder,
+    Module,
+    VTable,
+    func_type,
+    static_object,
+)
+
+SIG = func_type(ret=I64)
+SIG2 = func_type(I64, ret=I64)
+
+
+def make_test_module():
+    """Two classes with vtables, two free address-taken functions, a main
+    that exercises vcalls and icalls. Expected exit code: 42."""
+    m = Module("defense_demo")
+
+    a_get = m.function("A_get", func_type=SIG, address_taken=True)
+    b = IRBuilder(a_get)
+    b.ret(b.li(10))
+
+    b_get = m.function("B_get", func_type=SIG, address_taken=True)
+    b = IRBuilder(b_get)
+    b.ret(b.li(20))
+
+    double = m.function("double_it", num_params=1, func_type=SIG2,
+                        address_taken=True)
+    b = IRBuilder(double)
+    b.ret(b.mul(b.param(0), b.li(2)))
+
+    inc = m.function("inc", num_params=1, func_type=SIG2,
+                     address_taken=True)
+    b = IRBuilder(inc)
+    b.ret(b.addi(b.param(0), 1))
+
+    m.vtable(VTable("A", entries=["A_get"]))
+    m.vtable(VTable("B", entries=["B_get"]))
+    static_object(m, "obj_a", "A")
+    static_object(m, "obj_b", "B")
+
+    main = m.function("main")
+    b = IRBuilder(main)
+    oa = b.la("obj_a")
+    ob = b.la("obj_b")
+    r1 = b.vcall(oa, 0, "A", func_type=SIG)       # 10
+    r2 = b.vcall(ob, 0, "B", func_type=SIG)       # 20
+    fp = b.la("double_it")
+    r3 = b.icall(fp, [b.li(5)], func_type=SIG2)   # 10
+    fp2 = b.la("inc")
+    r4 = b.icall(fp2, [b.li(1)], func_type=SIG2)  # 2
+    b.ret(b.add(b.add(r1, r2), b.add(r3, r4)))    # 42
+    return m
+
+
+@pytest.fixture()
+def module():
+    return make_test_module()

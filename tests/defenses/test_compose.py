@@ -1,0 +1,90 @@
+"""Tests for the composed (everything-on) hardening stack."""
+
+import pytest
+
+from repro.attacks import (
+    build_victim_module,
+    cross_type_vtable_reuse,
+    inject_fake_vtable,
+    point_at_attacker_data,
+    point_at_gadget_code,
+    run_attack,
+)
+from repro.compiler import compile_module, compile_to_assembly
+from repro.defenses import (
+    TypeBasedCFI,
+    VCallProtection,
+    describe_keys,
+    full_hardening,
+)
+from repro.kernel import run_program
+
+
+def victim_hierarchies():
+    return {"Benign": "Benign", "Other": "Other"}
+
+
+class TestComposition:
+    def test_functional_preservation(self):
+        victim = build_victim_module()
+        stack = full_hardening(hierarchies=victim_hierarchies())
+        image = compile_module(victim, hardening=stack)
+        assert run_program(image).exit_code == 42
+
+    def test_no_key_collisions(self):
+        victim = build_victim_module()
+        stack = full_hardening(hierarchies=victim_hierarchies())
+        compile_to_assembly(victim, hardening=stack)
+        vcall, icall = stack[0], stack[1]
+        vcall_keys = set(vcall.keys.values())
+        icall_keys = set(icall.key_of_type.values())
+        assert not vcall_keys & icall_keys
+
+    def test_vcall_keys_win_over_unified(self):
+        """With VCall first, ICall must not re-key the vtables."""
+        victim = build_victim_module()
+        stack = full_hardening(hierarchies=victim_hierarchies())
+        asm = compile_to_assembly(victim, hardening=stack)
+        vcall = stack[0]
+        icall = stack[1]
+        assert icall.vtable_key is None  # nothing left to unify
+        for key in vcall.keys.values():
+            assert f".rodata.key.{key}" in asm
+
+    def test_blocks_every_covered_attack(self):
+        victim = build_victim_module()
+        image = compile_module(
+            victim,
+            hardening=full_hardening(hierarchies=victim_hierarchies()))
+        for corrupt in (inject_fake_vtable, cross_type_vtable_reuse,
+                        point_at_gadget_code, point_at_attacker_data):
+            outcome = run_attack(image, corrupt)
+            assert outcome.blocked, corrupt.__name__
+            assert outcome.roload_violation, corrupt.__name__
+
+    def test_with_return_protection(self):
+        from repro.compiler import IRBuilder, Module
+        m = Module("combined")
+        leaf = m.function("leaf", num_params=1)
+        b = IRBuilder(leaf)
+        b.ret(b.addi(b.param(0), 2))
+        main = m.function("main")
+        b = IRBuilder(main)
+        b.ret(b.call("leaf", [b.li(40)]))
+        stack = full_hardening(protect_returns=["leaf"])
+        image = compile_module(m, hardening=stack)
+        assert run_program(image).exit_code == 42
+
+    def test_describe_keys(self):
+        victim = build_victim_module()
+        stack = full_hardening(hierarchies=victim_hierarchies())
+        compile_to_assembly(victim, hardening=stack)
+        text = describe_keys(stack)
+        assert "vtable" in text and "gfpt" in text
+
+    def test_standalone_icall_still_unifies(self):
+        """Without VCall in front, ICall keeps its unified-key behaviour."""
+        victim = build_victim_module()
+        defense = TypeBasedCFI()
+        compile_to_assembly(victim, hardening=[defense])
+        assert defense.vtable_key is not None

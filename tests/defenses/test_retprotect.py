@@ -1,0 +1,165 @@
+"""Tests for the automated backward-edge defense (ReturnProtection)."""
+
+import pytest
+
+from repro.errors import CompilerError
+from repro.compiler import (
+    IRBuilder,
+    Module,
+    compile_module,
+    compile_to_assembly,
+)
+from repro.defenses import ReturnProtection, retsite_table_symbol
+from repro.kernel import run_program
+
+
+def make_module():
+    """main calls leaf() from two different sites; exit = 2*leaf()+1."""
+    m = Module("ret_demo")
+    leaf = m.function("leaf", num_params=1)
+    b = IRBuilder(leaf)
+    b.ret(b.addi(b.param(0), 10))
+
+    main = m.function("main")
+    b = IRBuilder(main)
+    first = b.call("leaf", [b.li(1)])    # 11
+    second = b.call("leaf", [first])     # 21
+    b.ret(b.addi(second, 1))             # 22
+    return m
+
+
+class TestFunctional:
+    def test_behaviour_preserved(self):
+        module = make_module()
+        plain = run_program(compile_module(module))
+        hardened = run_program(compile_module(
+            module, hardening=[ReturnProtection(["leaf"])]))
+        assert plain.exit_code == hardened.exit_code == 22
+
+    def test_table_emitted_in_keyed_section(self):
+        defense = ReturnProtection(["leaf"])
+        asm = compile_to_assembly(make_module(), hardening=[defense])
+        key = defense.keys["leaf"]
+        assert f".section .rodata.key.{key}" in asm
+        assert retsite_table_symbol("leaf") in asm
+        assert len(defense.sites["leaf"]) == 2
+
+    def test_protected_epilogue_never_uses_ret(self):
+        asm = compile_to_assembly(make_module(),
+                                  hardening=[ReturnProtection(["leaf"])])
+        lines = asm.splitlines()
+        start = lines.index("leaf:")
+        end = next(i for i in range(start + 1, len(lines))
+                   if lines[i] and not lines[i].startswith((" ", "\t", ".Lepilogue_leaf"))
+                   and lines[i].endswith(":") and "leaf" not in lines[i])
+        body = "\n".join(lines[start:end])
+        assert "ld.ro" in body
+        assert "jr t5" in body
+        # The trusted-ra return must be gone from the protected function.
+        assert "\n    ret" not in body
+
+    def test_cookies_passed_at_call_sites(self):
+        asm = compile_to_assembly(make_module(),
+                                  hardening=[ReturnProtection(["leaf"])])
+        assert "li t6, 0" in asm
+        assert "li t6, 1" in asm
+
+
+class TestConstraints:
+    def test_unknown_function(self):
+        with pytest.raises(CompilerError):
+            compile_to_assembly(make_module(),
+                                hardening=[ReturnProtection(["ghost"])])
+
+    def test_non_leaf_rejected(self):
+        m = make_module()
+        with pytest.raises(CompilerError) as e:
+            compile_to_assembly(m, hardening=[ReturnProtection(["main"])])
+        assert "leaf" in str(e.value)
+
+    def test_address_taken_rejected(self):
+        from repro.compiler import func_type, I64
+        m = Module("t")
+        f = m.function("cb", func_type=func_type(ret=I64),
+                       address_taken=True)
+        IRBuilder(f).ret(IRBuilder(f).li(0) if False else None)
+        f.ops.clear()
+        b = IRBuilder(f)
+        b.ret(b.li(0))
+        main = m.function("main")
+        b = IRBuilder(main)
+        b.ret(b.call("cb"))
+        with pytest.raises(CompilerError):
+            compile_to_assembly(m, hardening=[ReturnProtection(["cb"])])
+
+    def test_uncalled_function_rejected(self):
+        m = Module("t")
+        f = m.function("orphan")
+        b = IRBuilder(f)
+        b.ret(b.li(0))
+        main = m.function("main")
+        b = IRBuilder(main)
+        b.ret(b.li(0))
+        with pytest.raises(CompilerError):
+            compile_to_assembly(m,
+                                hardening=[ReturnProtection(["orphan"])])
+
+    def test_empty_protect_list(self):
+        with pytest.raises(CompilerError):
+            ReturnProtection([])
+
+
+class TestSecuritySemantics:
+    def test_corrupted_cookie_stays_in_allowlist(self):
+        """A forged cookie selects another legitimate return site — the
+        same in-allowlist reuse residue as forward edges (§V-D)."""
+        module = make_module()
+        # Manually forge: make the SECOND call pass cookie 0 (site of the
+        # first call). Execution returns to just after call #1 — a
+        # legitimate site — so the program continues (differently), but
+        # control never leaves main's code.
+        from repro.compiler.ir import Call
+        defense = ReturnProtection(["leaf"])
+        import copy
+        mutated = copy.deepcopy(module)
+        defense.apply(mutated)
+        calls = [op for op in mutated.functions["main"].ops
+                 if isinstance(op, Call)]
+        calls[1].cookie = 0
+        from repro.compiler import generate_assembly
+        from repro.asm import assemble, link
+        from repro.compiler.pipeline import RUNTIME_ASM
+        asm = generate_assembly(mutated)
+        image = link([assemble(asm), assemble(RUNTIME_ASM)])
+        # Returning to site 0 after call 2 flows back into call 2: a
+        # legitimate-code infinite loop. That IS the security property —
+        # the reused pointee keeps control inside the allowlisted return
+        # sites (no hijack, no ROLoad fault), even if the program now
+        # misbehaves. Accept either termination or budget exhaustion.
+        from repro.errors import SimulationError
+        try:
+            process = run_program(image, max_instructions=200_000)
+            assert process.state.value in ("exited", "killed")
+        except SimulationError:
+            pass  # looping forever inside legitimate code
+
+    def test_out_of_table_cookie_faults(self):
+        """A cookie past the table's keyed page cannot be used: the load
+        leaves the allowlist page and the ROLoad check fires."""
+        module = make_module()
+        from repro.compiler.ir import Call
+        defense = ReturnProtection(["leaf"])
+        import copy
+        mutated = copy.deepcopy(module)
+        defense.apply(mutated)
+        calls = [op for op in mutated.functions["main"].ops
+                 if isinstance(op, Call)]
+        calls[0].cookie = 4096 // 8  # first slot of the NEXT page
+        from repro.compiler import generate_assembly
+        from repro.asm import assemble, link
+        from repro.compiler.pipeline import RUNTIME_ASM
+        asm = generate_assembly(mutated)
+        image = link([assemble(asm), assemble(RUNTIME_ASM)])
+        process = run_program(image, max_instructions=1_000_000)
+        assert process.state.value == "killed"
+        assert process.signal.roload or process.signal.number == 11

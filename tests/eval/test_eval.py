@@ -1,0 +1,99 @@
+"""Evaluation-harness tests (tiny scales; the real runs live in
+benchmarks/)."""
+
+import pytest
+
+from repro.eval import (
+    VARIANTS,
+    make_hardening,
+    run_benchmark,
+    run_system_comparison,
+    section_5b,
+    table1,
+    table2,
+    table3_text,
+)
+from repro.eval.figures import FigureData
+from repro.workloads import build_workload, profile
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def omnetpp_run():
+    return run_benchmark("471.omnetpp", scale=SCALE)
+
+
+class TestMeasurement:
+    def test_all_variants_present(self, omnetpp_run):
+        assert set(omnetpp_run.measurements) == set(VARIANTS)
+
+    def test_functional_equivalence(self, omnetpp_run):
+        codes = {m.exit_code for m in omnetpp_run.measurements.values()}
+        assert len(codes) == 1
+
+    def test_overhead_signs(self, omnetpp_run):
+        """VTint and CFI must cost more than VCall and ICall."""
+        assert omnetpp_run.overhead("vtint") > \
+            omnetpp_run.overhead("vcall")
+        assert omnetpp_run.overhead("cfi") > \
+            omnetpp_run.overhead("icall")
+
+    def test_cpi_reasonable(self, omnetpp_run):
+        base = omnetpp_run.measurements["base"]
+        assert 1.0 <= base.cpi < 5.0
+
+    def test_memory_positive(self, omnetpp_run):
+        assert omnetpp_run.measurements["base"].memory_kib > 1000
+
+    def test_make_hardening(self):
+        program = build_workload(profile("471.omnetpp"), scale=SCALE)
+        assert make_hardening("base", program) is None
+        assert len(make_hardening("vcall", program)) == 1
+        with pytest.raises(Exception):
+            make_hardening("nope", program)
+
+
+class TestSystemComparison:
+    def test_section_5b_zero_overhead(self):
+        """§V-B: unhardened binaries run identically on all three
+        profiles — the modifications are fully backward compatible."""
+        rows = run_system_comparison("401.bzip2", scale=SCALE)
+        cycles = {r.cycles for r in rows.values()}
+        memory = {r.memory_kib for r in rows.values()}
+        assert len(cycles) == 1, "system modifications changed timing"
+        assert len(memory) == 1
+
+    def test_section_5b_text(self):
+        text = section_5b(scale=SCALE, benchmarks=["401.bzip2"])
+        assert "401.bzip2" in text
+        assert "0.000%" in text
+
+
+class TestTables:
+    def test_table1_components(self):
+        text = table1()
+        for label in ("RISC-V Processor", "Linux Kernel", "LLVM Back-end",
+                      "Total"):
+            assert label in text
+
+    def test_table2_matches_paper_config(self):
+        text = table2()
+        assert "RV64IMAC" in text
+        assert "32KiB 8-way" in text
+        assert "4GiB DDR3" in text
+
+    def test_table3_bounds(self):
+        text = table3_text()
+        assert "without ld.ro" in text and "with ld.ro" in text
+
+
+class TestFigureData:
+    def test_render_and_average(self):
+        fig = FigureData(
+            title="t", metric="cycles", benchmarks=["a", "b"],
+            series={"x": [1.0, 3.0], "y": [2.0, 2.0]},
+            paper_averages={"x": 2.0, "y": 2.0})
+        assert fig.average("x") == 2.0
+        text = fig.render()
+        assert "paper avg" in text and "average" in text

@@ -1,0 +1,59 @@
+"""Unit tests for the verdict machinery (cheap claims only; the full
+sweep is benchmarks/test_verdicts.py)."""
+
+import pytest
+
+from repro.eval.verdicts import (
+    Verdict,
+    _hardware_claims,
+    _loc_claim,
+    _security_claims,
+    render_verdicts,
+)
+
+
+class TestVerdictRecord:
+    def test_str_pass_fail(self):
+        good = Verdict("X", "s", "claim", True, "m")
+        bad = Verdict("Y", "s", "claim", False, "m")
+        assert "PASS" in str(good) and "FAIL" in str(bad)
+
+    def test_render_counts(self):
+        text = render_verdicts([
+            Verdict("A", "s", "c", True, "m"),
+            Verdict("B", "s", "c", False, "m"),
+        ])
+        assert "1/2 claims hold" in text
+
+
+class TestCheapClaims:
+    def test_hardware_claims_pass(self):
+        verdicts = _hardware_claims()
+        assert len(verdicts) == 3
+        assert all(v.holds for v in verdicts)
+
+    def test_loc_claim_passes(self):
+        assert _loc_claim().holds
+
+    def test_security_claims_pass(self):
+        verdicts = _security_claims()
+        assert len(verdicts) == 4
+        assert all(v.holds for v in verdicts), \
+            [str(v) for v in verdicts if not v.holds]
+
+
+class TestMarkdownWriter:
+    def test_write_markdown(self, tmp_path):
+        # Use the report module with verdicts disabled via a tiny scale
+        # is still expensive; test the formatting path only.
+        from repro.eval.report import write_markdown
+        import repro.eval.report as report_module
+        original = report_module.full_report
+        report_module.full_report = lambda scale: "BODY"
+        try:
+            target = tmp_path / "RESULTS.md"
+            write_markdown(target, scale=0.1)
+            text = target.read_text()
+            assert "BODY" in text and text.startswith("# RESULTS")
+        finally:
+            report_module.full_report = original

@@ -1,0 +1,129 @@
+"""Hardware cost model and LoC accounting tests."""
+
+import pytest
+
+from repro.hw import (
+    PAPER_TABLE1,
+    ablate_dtlb_entries,
+    ablate_key_width,
+    and_gate_luts,
+    decoder_luts,
+    equality_comparator_luts,
+    format_table3,
+    mux_luts,
+    register_ffs,
+    roload_delta,
+    scan_tree,
+    synthesize,
+    table3,
+)
+from repro.soc import SoCConfig
+
+
+class TestResourcePrimitives:
+    def test_register(self):
+        assert register_ffs(10) == 10
+
+    def test_comparator_scales(self):
+        assert equality_comparator_luts(1) == 1
+        assert equality_comparator_luts(10) < \
+            equality_comparator_luts(64)
+
+    def test_mux(self):
+        assert mux_luts(8, 1) == 0
+        assert mux_luts(10, 32) == 10 * 8
+
+    def test_decoder_and_gate(self):
+        assert decoder_luts(7) == 14
+        assert and_gate_luts(3) == 1
+        assert and_gate_luts(12) == 2
+
+
+class TestROLoadDelta:
+    def test_dominant_cost_is_dtlb_keys(self):
+        delta = roload_delta()
+        breakdown = delta.breakdown()
+        dtlb_ffs = breakdown["d-tlb: key field per entry"][1]
+        assert dtlb_ffs == 10 * 32
+        assert dtlb_ffs > delta.ffs / 2  # the dominant FF term
+
+    def test_delta_scales_with_key_width(self):
+        points = ablate_key_width((4, 10, 16))
+        assert points[0].delta_ff < points[1].delta_ff < points[2].delta_ff
+        assert points[0].delta_lut < points[2].delta_lut
+
+    def test_delta_scales_with_dtlb(self):
+        points = ablate_dtlb_entries((16, 64))
+        assert points[0].delta_ff < points[1].delta_ff
+
+    def test_itlb_not_affected(self):
+        """Only the D-TLB gets keys: loads never come from the I-TLB."""
+        small = roload_delta(SoCConfig(itlb_entries=8))
+        big = roload_delta(SoCConfig(itlb_entries=128))
+        assert small.luts == big.luts and small.ffs == big.ffs
+
+
+class TestTable3:
+    def test_paper_shape_bounds(self):
+        """The paper's claims: extra cost < 3.32% on both metrics, and
+        Fmax approximately unchanged."""
+        rows = table3()
+        base, ro = rows
+        assert base.core_lut == 20_722 and base.core_ff == 11_855
+        assert 0 < ro.core_lut_pct < 3.32
+        assert 0 < ro.core_ff_pct < 3.32 + 0.01
+        assert 0 < ro.system_lut_pct < ro.core_lut_pct + 0.01
+        # Fmax essentially unchanged (within 1%).
+        assert abs(ro.fmax_mhz - base.fmax_mhz) / base.fmax_mhz < 0.01
+        assert ro.slack_ns > 0  # still meets 125 MHz timing
+
+    def test_ff_delta_exceeds_lut_delta(self):
+        """Like the paper (+1.44% LUT vs +3.32% FF): storage (TLB key
+        fields) dominates logic."""
+        rows = table3()
+        assert rows[1].core_ff_pct > rows[1].core_lut_pct
+
+    def test_format_contains_both_rows(self):
+        text = format_table3(table3())
+        assert "without ld.ro" in text and "with ld.ro" in text
+        assert "126.89" in text
+
+
+class TestLoCScan:
+    def test_all_components_present(self):
+        totals = scan_tree()
+        for component in ("processor", "kernel", "compiler"):
+            assert totals[component].lines > 0, component
+            assert totals[component].sites > 0
+
+    def test_total_same_order_as_paper(self):
+        """The paper's point: the whole mechanism is a few hundred lines.
+        Our marked ROLoad-specific code must stay in that class (tens to
+        hundreds of lines, not thousands)."""
+        totals = scan_tree()
+        total = sum(e.lines for e in totals.values())
+        assert 50 < total < 1000
+
+    def test_paper_reference_data(self):
+        assert PAPER_TABLE1["compiler"]["total"] == 270
+        assert sum(v["total"] for v in PAPER_TABLE1.values()) == 450
+
+    def test_scan_file_handles_plain_file(self, tmp_path):
+        from repro.hw import scan_file
+        path = tmp_path / "x.py"
+        path.write_text("a = 1\n")
+        assert scan_file(path) == {}
+
+    def test_scan_file_region(self, tmp_path):
+        from repro.hw import scan_file
+        path = tmp_path / "x.py"
+        path.write_text(
+            "a = 1\n# [roload-begin: kernel]\nb = 2\nc = 3\n\n"
+            "# comment\n# [roload-end]\nd = 4\n")
+        assert scan_file(path) == {"kernel": (2, 1)}
+
+    def test_scan_file_whole_file_tag(self, tmp_path):
+        from repro.hw import scan_file
+        path = tmp_path / "x.py"
+        path.write_text("# [roload-file: compiler]\na = 1\nb = 2\n")
+        assert scan_file(path) == {"compiler": (2, 1)}

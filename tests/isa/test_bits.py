@@ -1,0 +1,132 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import bits as B
+
+
+class TestMaskAndFields:
+    def test_mask_widths(self):
+        assert B.mask(0) == 0
+        assert B.mask(1) == 1
+        assert B.mask(8) == 0xFF
+        assert B.mask(64) == B.MASK64
+
+    def test_mask_negative_raises(self):
+        with pytest.raises(ValueError):
+            B.mask(-1)
+
+    def test_bits_extract(self):
+        assert B.bits(0b1011_0000, 7, 4) == 0b1011
+        assert B.bits(0xDEADBEEF, 31, 16) == 0xDEAD
+        assert B.bits(0xDEADBEEF, 15, 0) == 0xBEEF
+
+    def test_bits_bad_range(self):
+        with pytest.raises(ValueError):
+            B.bits(0, 3, 5)
+
+    def test_bit(self):
+        assert B.bit(0b100, 2) == 1
+        assert B.bit(0b100, 1) == 0
+
+    def test_deposit(self):
+        assert B.deposit(0, 7, 4, 0xA) == 0xA0
+        assert B.deposit(0xFF, 3, 0, 0) == 0xF0
+
+    def test_deposit_overflow_raises(self):
+        with pytest.raises(ValueError):
+            B.deposit(0, 3, 0, 16)
+
+    @given(st.integers(min_value=0, max_value=B.MASK64),
+           st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=63))
+    def test_deposit_then_extract(self, value, a, b):
+        hi, lo = max(a, b), min(a, b)
+        field = value & B.mask(hi - lo + 1)
+        assert B.bits(B.deposit(0, hi, lo, field), hi, lo) == field
+
+
+class TestSignExtension:
+    def test_sext_basic(self):
+        assert B.sext(0xFF, 8) == -1
+        assert B.sext(0x7F, 8) == 127
+        assert B.sext(0x800, 12) == -2048
+
+    @given(st.integers(min_value=-(2 ** 11), max_value=2 ** 11 - 1))
+    def test_sext_roundtrip_12(self, value):
+        assert B.sext(value & 0xFFF, 12) == value
+
+    @given(st.integers())
+    def test_to_u64_to_s64_consistent(self, value):
+        u = B.to_u64(value)
+        assert B.to_u64(B.to_s64(u)) == u
+
+    def test_sext32_to_u64(self):
+        assert B.sext32_to_u64(0x8000_0000) == 0xFFFF_FFFF_8000_0000
+        assert B.sext32_to_u64(1) == 1
+
+
+class TestAlignment:
+    def test_align_down_up(self):
+        assert B.align_down(0x1FFF, 0x1000) == 0x1000
+        assert B.align_up(0x1001, 0x1000) == 0x2000
+        assert B.align_up(0x1000, 0x1000) == 0x1000
+
+    @given(st.integers(min_value=0, max_value=2 ** 48),
+           st.sampled_from([2, 4, 8, 16, 4096]))
+    def test_align_invariants(self, value, alignment):
+        down = B.align_down(value, alignment)
+        up = B.align_up(value, alignment)
+        assert down <= value <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)
+
+    def test_is_aligned(self):
+        assert B.is_aligned(0x2000, 0x1000)
+        assert not B.is_aligned(0x2001, 0x1000)
+
+
+class TestFit:
+    def test_fits_signed(self):
+        assert B.fits_signed(2047, 12)
+        assert not B.fits_signed(2048, 12)
+        assert B.fits_signed(-2048, 12)
+        assert not B.fits_signed(-2049, 12)
+
+    def test_fits_unsigned(self):
+        assert B.fits_unsigned(1023, 10)
+        assert not B.fits_unsigned(1024, 10)
+        assert not B.fits_unsigned(-1, 10)
+
+
+class TestSplitHiLo:
+    @given(st.integers(min_value=0, max_value=B.MASK32))
+    def test_lui_addi_reconstruction(self, value):
+        hi, lo = B.split_hi_lo(value)
+        reconstructed = ((hi << 12) + B.sext(lo, 12)) & B.MASK32
+        assert reconstructed == value
+
+    def test_known_case(self):
+        hi, lo = B.split_hi_lo(0x11604)
+        assert hi == 0x11
+        assert lo == 0x604
+
+
+class TestMisc:
+    def test_popcount(self):
+        assert B.popcount(0) == 0
+        assert B.popcount(0xFF) == 8
+        assert B.popcount(B.MASK64) == 64
+
+    def test_clog2(self):
+        assert B.clog2(1) == 0
+        assert B.clog2(2) == 1
+        assert B.clog2(32) == 5
+        assert B.clog2(33) == 6
+
+    def test_clog2_invalid(self):
+        with pytest.raises(ValueError):
+            B.clog2(0)

@@ -1,0 +1,184 @@
+"""Tests for RVC decode and auto-compression, including c.ld.ro."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError
+from repro.isa import (
+    Instruction,
+    decode_compressed,
+    encode,
+    try_compress,
+)
+from repro.isa.opcodes import RVC_KEY_MAX
+
+rvc_regs = st.integers(min_value=8, max_value=15)
+
+
+def fields_equal(a: Instruction, b: Instruction) -> bool:
+    return (a.name == b.name and a.rd == b.rd and a.rs1 == b.rs1
+            and a.rs2 == b.rs2 and a.imm == b.imm and a.key == b.key)
+
+
+class TestCLdRo:
+    """The paper's compressed ROLoad: reserved quadrant-0 funct3=100 slot."""
+
+    def test_encoding_slot(self):
+        hw = try_compress(Instruction("ld.ro", rd=8, rs1=9, key=0))
+        assert hw is not None
+        assert hw & 0b11 == 0b00          # quadrant 0
+        assert (hw >> 13) & 0b111 == 0b100  # the reserved funct3 slot
+
+    @given(rvc_regs, rvc_regs, st.integers(min_value=0, max_value=RVC_KEY_MAX))
+    def test_roundtrip(self, rd, rs1, key):
+        insn = Instruction("ld.ro", rd=rd, rs1=rs1, key=key)
+        hw = try_compress(insn)
+        assert hw is not None
+        back = decode_compressed(hw)
+        assert back.name == "ld.ro"
+        assert back.length == 2
+        assert fields_equal(back, insn)
+
+    def test_key_too_large_not_compressible(self):
+        assert try_compress(Instruction("ld.ro", rd=8, rs1=9, key=32)) is None
+
+    def test_non_rvc_reg_not_compressible(self):
+        assert try_compress(Instruction("ld.ro", rd=1, rs1=9, key=3)) is None
+        assert try_compress(Instruction("ld.ro", rd=9, rs1=16, key=3)) is None
+
+    def test_decoded_is_roload(self):
+        hw = try_compress(Instruction("ld.ro", rd=10, rs1=11, key=5))
+        assert decode_compressed(hw).is_roload
+
+
+class TestKnownCompressed:
+    """Golden RVC encodings from the C-extension spec."""
+
+    def test_c_nop(self):
+        insn = decode_compressed(0x0001)
+        assert insn.name == "addi" and insn.rd == 0 and insn.imm == 0
+
+    def test_c_ret(self):
+        # c.jr ra == ret == 0x8082
+        insn = decode_compressed(0x8082)
+        assert insn.name == "jalr" and insn.rd == 0 and insn.rs1 == 1
+        assert insn.imm == 0
+
+    def test_c_ebreak(self):
+        assert decode_compressed(0x9002).name == "ebreak"
+
+    def test_c_li(self):
+        # c.li a0, 1 = 0x4505
+        insn = decode_compressed(0x4505)
+        assert insn.name == "addi" and insn.rd == 10 and insn.rs1 == 0
+        assert insn.imm == 1
+
+    def test_c_mv(self):
+        # c.mv a0, a1 = 0x852e
+        insn = decode_compressed(0x852E)
+        assert insn.name == "add" and insn.rd == 10
+        assert insn.rs1 == 0 and insn.rs2 == 11
+
+    def test_c_addi16sp(self):
+        # c.addi16sp -32 = 0x7139 (addi sp, sp, -64)? use encode side:
+        hw = try_compress(Instruction("addi", rd=2, rs1=2, imm=-64))
+        back = decode_compressed(hw)
+        assert back.rd == 2 and back.rs1 == 2 and back.imm == -64
+
+    def test_illegal_zero(self):
+        with pytest.raises(DecodingError):
+            decode_compressed(0x0000)
+
+    def test_not_compressed(self):
+        with pytest.raises(DecodingError):
+            decode_compressed(0x0003)  # low bits 11 = 32-bit encoding
+
+
+def _candidate_instructions():
+    """A spread of instructions whose compressed forms exist."""
+    return [
+        Instruction("addi", rd=0, rs1=0, imm=0),
+        Instruction("addi", rd=5, rs1=5, imm=-4),
+        Instruction("addi", rd=9, rs1=2, imm=16),
+        Instruction("addi", rd=2, rs1=2, imm=32),
+        Instruction("addi", rd=7, rs1=0, imm=-31),
+        Instruction("addiw", rd=12, rs1=12, imm=7),
+        Instruction("lui", rd=5, imm=0xFFFFF),  # -1 in 20-bit => c.lui
+        Instruction("lw", rd=8, rs1=9, imm=64),
+        Instruction("ld", rd=8, rs1=9, imm=64),
+        Instruction("ld", rd=11, rs1=2, imm=40),
+        Instruction("lw", rd=11, rs1=2, imm=40),
+        Instruction("sw", rs1=9, rs2=8, imm=64),
+        Instruction("sd", rs1=9, rs2=8, imm=64),
+        Instruction("sd", rs1=2, rs2=1, imm=8),
+        Instruction("sw", rs1=2, rs2=1, imm=8),
+        Instruction("srli", rd=8, rs1=8, imm=3),
+        Instruction("srai", rd=15, rs1=15, imm=63),
+        Instruction("andi", rd=8, rs1=8, imm=-1),
+        Instruction("sub", rd=8, rs1=8, rs2=9),
+        Instruction("xor", rd=8, rs1=8, rs2=9),
+        Instruction("or", rd=8, rs1=8, rs2=9),
+        Instruction("and", rd=8, rs1=8, rs2=9),
+        Instruction("subw", rd=8, rs1=8, rs2=9),
+        Instruction("addw", rd=8, rs1=8, rs2=9),
+        Instruction("slli", rd=4, rs1=4, imm=12),
+        Instruction("add", rd=4, rs1=0, rs2=5),
+        Instruction("add", rd=4, rs1=4, rs2=5),
+        Instruction("jalr", rd=0, rs1=1, imm=0),
+        Instruction("jalr", rd=1, rs1=5, imm=0),
+        Instruction("jal", rd=0, imm=-2),
+        Instruction("jal", rd=0, imm=100),
+        Instruction("beq", rs1=8, rs2=0, imm=-2),
+        Instruction("bne", rs1=15, rs2=0, imm=254),
+        Instruction("ebreak"),
+        Instruction("ld.ro", rd=8, rs1=15, key=31),
+    ]
+
+
+class TestCompressionRoundtrip:
+    @pytest.mark.parametrize("insn", _candidate_instructions(),
+                             ids=lambda i: f"{i.name}-{i.rd}-{i.imm}-{i.key}")
+    def test_compress_then_decode_equals_original(self, insn):
+        hw = try_compress(insn)
+        assert hw is not None, f"{insn.name} unexpectedly not compressible"
+        back = decode_compressed(hw)
+        assert fields_equal(back, insn)
+
+    @pytest.mark.parametrize("insn", _candidate_instructions(),
+                             ids=lambda i: f"{i.name}-{i.rd}-{i.imm}-{i.key}")
+    def test_semantics_match_32bit_twin(self, insn):
+        """Compression must never change what executes: the expanded form
+        of the compressed word equals the instruction's own fields."""
+        if insn.name == "ebreak":
+            return
+        word = encode(insn)  # the 32-bit twin must also exist
+        assert word is not None
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_decode_total_or_error(self, hw):
+        try:
+            insn = decode_compressed(hw)
+        except DecodingError:
+            return
+        assert insn.length == 2
+        # Every decodable compressed instruction recompresses to *some*
+        # halfword that decodes to identical fields (canonicalisation may
+        # pick a different but equivalent encoding).
+        hw2 = try_compress(insn)
+        if hw2 is not None:
+            assert fields_equal(decode_compressed(hw2), insn)
+
+
+class TestNotCompressible:
+    def test_large_immediates(self):
+        assert try_compress(Instruction("addi", rd=5, rs1=5, imm=100)) is None
+        assert try_compress(Instruction("lw", rd=8, rs1=9, imm=1024)) is None
+
+    def test_wrong_registers(self):
+        assert try_compress(Instruction("sub", rd=1, rs1=1, rs2=2)) is None
+        assert try_compress(Instruction("lw", rd=16, rs1=9, imm=4)) is None
+
+    def test_unrelated_instruction(self):
+        assert try_compress(Instruction("mul", rd=8, rs1=8, rs2=9)) is None
+        assert try_compress(Instruction("ecall")) is None

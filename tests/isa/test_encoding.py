@@ -1,0 +1,198 @@
+"""Encode/decode tests for 32-bit instructions, including the ROLoad family."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa import Instruction, decode, encode, instruction_length
+from repro.isa.opcodes import KEY_MAX, SPECS
+
+regs = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+
+
+def roundtrip(insn: Instruction) -> Instruction:
+    return decode(encode(insn))
+
+
+def fields_equal(a: Instruction, b: Instruction) -> bool:
+    return (a.name == b.name and a.rd == b.rd and a.rs1 == b.rs1
+            and a.rs2 == b.rs2 and a.imm == b.imm and a.csr == b.csr
+            and a.key == b.key)
+
+
+class TestKnownEncodings:
+    """Golden encodings cross-checked against the RISC-V spec."""
+
+    def test_addi(self):
+        # addi a0, a1, 42 -> imm=0x02A rs1=11 f3=0 rd=10 op=0x13
+        assert encode(Instruction("addi", rd=10, rs1=11, imm=42)) == \
+            0x02A58513
+
+    def test_lui(self):
+        assert encode(Instruction("lui", rd=10, imm=0x11)) == 0x00011537
+
+    def test_ld(self):
+        # ld a0, -1608(gp)  (paper Listing 3, line 1)
+        word = encode(Instruction("ld", rd=10, rs1=3, imm=-1608))
+        back = decode(word)
+        assert back.name == "ld" and back.imm == -1608 and back.rs1 == 3
+
+    def test_ecall_ebreak(self):
+        assert encode(Instruction("ecall")) == 0x00000073
+        assert encode(Instruction("ebreak")) == 0x00100073
+
+    def test_nop(self):
+        assert encode(Instruction("addi", rd=0, rs1=0, imm=0)) == 0x00000013
+
+    def test_jal_ret_style(self):
+        word = encode(Instruction("jalr", rd=0, rs1=1, imm=0))  # ret
+        assert word == 0x00008067
+
+    def test_sd(self):
+        word = encode(Instruction("sd", rs1=2, rs2=10, imm=8))
+        back = decode(word)
+        assert back.name == "sd" and back.imm == 8
+        assert back.rs1 == 2 and back.rs2 == 10
+
+
+class TestROLoadEncoding:
+    """The paper's ld.ro family: custom-0 opcode, key in imm[11:0]."""
+
+    def test_ld_ro_key_in_imm_field(self):
+        word = encode(Instruction("ld.ro", rd=10, rs1=10, key=111))
+        assert word & 0x7F == 0b0001011  # custom-0
+        assert (word >> 20) & 0xFFF == 111
+
+    def test_all_widths_roundtrip(self):
+        for name in ("lb.ro", "lh.ro", "lw.ro", "ld.ro",
+                     "lbu.ro", "lhu.ro", "lwu.ro"):
+            insn = Instruction(name, rd=5, rs1=6, key=222)
+            back = roundtrip(insn)
+            assert back.name == name
+            assert back.key == 222
+            assert back.is_roload
+
+    def test_key_bounds(self):
+        encode(Instruction("ld.ro", rd=1, rs1=1, key=KEY_MAX))
+        with pytest.raises(EncodingError):
+            encode(Instruction("ld.ro", rd=1, rs1=1, key=KEY_MAX + 1))
+        with pytest.raises(EncodingError):
+            encode(Instruction("ld.ro", rd=1, rs1=1, key=-1))
+
+    def test_reserved_key_bits_reject_on_decode(self):
+        # Bits beyond KEY_BITS in the key field are reserved; a word with
+        # them set must not decode.
+        word = encode(Instruction("ld.ro", rd=1, rs1=1, key=KEY_MAX))
+        word |= 0x800 << 20  # set bit 11 of the key field
+        with pytest.raises(DecodingError):
+            decode(word)
+
+    @given(regs, regs, st.integers(min_value=0, max_value=KEY_MAX))
+    def test_roload_roundtrip_property(self, rd, rs1, key):
+        insn = Instruction("ld.ro", rd=rd, rs1=rs1, key=key)
+        assert fields_equal(roundtrip(insn), insn)
+
+    def test_roload_has_no_offset(self):
+        """ld.ro re-uses the immediate field for the key: decode leaves
+        imm == 0, which is why the compiler inserts addi for offsets."""
+        back = roundtrip(Instruction("ld.ro", rd=3, rs1=4, key=7))
+        assert back.imm == 0
+
+
+class TestRoundtripAllSpecs:
+    @pytest.mark.parametrize("name", sorted(SPECS))
+    def test_each_mnemonic_roundtrips(self, name):
+        spec = SPECS[name]
+        if spec.fmt in ("R", "AMO"):
+            kwargs = {"rd": 11, "rs1": 12, "rs2": 13}
+        elif spec.fmt == "I":
+            kwargs = {"rd": 11, "rs1": 12, "imm": -5}
+        elif spec.fmt == "S":
+            kwargs = {"rs1": 12, "rs2": 13, "imm": -5}
+        elif spec.fmt == "B":
+            kwargs = {"rs1": 12, "rs2": 13, "imm": -8}
+        elif spec.fmt == "U":
+            kwargs = {"rd": 11, "imm": 0x12345}
+        elif spec.fmt == "J":
+            kwargs = {"rd": 11, "imm": 2048}
+        elif spec.fmt == "SHIFT64":
+            kwargs = {"rd": 11, "rs1": 12, "imm": 33}
+        elif spec.fmt == "SHIFT32":
+            kwargs = {"rd": 11, "rs1": 12, "imm": 13}
+        elif spec.fmt == "CSR":
+            kwargs = {"rd": 11, "rs1": 12, "csr": 0xC00}
+        elif spec.fmt == "CSRI":
+            kwargs = {"rd": 11, "csr": 0xC00, "imm": 9}
+        elif spec.fmt == "RO":
+            kwargs = {"rd": 11, "rs1": 12, "key": 42}
+        else:  # SYS
+            kwargs = {}
+        if spec.semclass == "fence":
+            kwargs = {}
+        insn = Instruction(name, **kwargs)
+        back = roundtrip(insn)
+        assert fields_equal(back, insn), f"{name}: {back} != {insn}"
+
+    @given(regs, regs, imm12)
+    def test_itype_property(self, rd, rs1, imm):
+        insn = Instruction("addi", rd=rd, rs1=rs1, imm=imm)
+        assert fields_equal(roundtrip(insn), insn)
+
+    @given(regs, regs, imm12)
+    def test_stype_property(self, rs1, rs2, imm):
+        insn = Instruction("sd", rs1=rs1, rs2=rs2, imm=imm)
+        assert fields_equal(roundtrip(insn), insn)
+
+    @given(regs, regs,
+           st.integers(min_value=-2048, max_value=2047).map(lambda i: i * 2))
+    def test_btype_property(self, rs1, rs2, imm):
+        insn = Instruction("beq", rs1=rs1, rs2=rs2, imm=imm)
+        assert fields_equal(roundtrip(insn), insn)
+
+    @given(regs, st.integers(min_value=-(2 ** 19), max_value=2 ** 19 - 1)
+           .map(lambda i: i * 2))
+    def test_jtype_property(self, rd, imm):
+        insn = Instruction("jal", rd=rd, imm=imm)
+        assert fields_equal(roundtrip(insn), insn)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_decode_total_or_error(self, word):
+        """decode() either returns an Instruction or raises DecodingError —
+        never crashes with another exception type."""
+        try:
+            insn = decode(word)
+        except DecodingError:
+            return
+        assert isinstance(insn, Instruction)
+        # Any successfully decoded word must re-encode to itself.
+        assert encode(insn) == word
+
+
+class TestEncodeErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("bogus"))
+
+    def test_imm_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rd=1, rs1=1, imm=5000))
+
+    def test_odd_branch_offset(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("beq", rs1=1, rs2=2, imm=3))
+
+    def test_shift_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("slli", rd=1, rs1=1, imm=64))
+        with pytest.raises(EncodingError):
+            encode(Instruction("slliw", rd=1, rs1=1, imm=32))
+
+
+class TestInstructionLength:
+    def test_compressed_vs_full(self):
+        assert instruction_length(0x0001) == 2
+        assert instruction_length(0x8082) == 2
+        assert instruction_length(0x0013) == 4
+        assert instruction_length(0x0073) == 4

@@ -1,0 +1,97 @@
+"""Tests for register naming and the disassembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import (
+    Instruction,
+    disassemble_bytes,
+    disassemble_word,
+    encode,
+    format_instruction,
+    try_compress,
+)
+from repro.isa import registers as R
+
+
+class TestRegisters:
+    def test_abi_names_roundtrip(self):
+        for i in range(32):
+            assert R.reg_index(R.reg_name(i)) == i
+
+    def test_xn_names(self):
+        assert R.reg_index("x0") == 0
+        assert R.reg_index("x31") == 31
+
+    def test_fp_alias(self):
+        assert R.reg_index("fp") == R.reg_index("s0") == 8
+
+    def test_case_insensitive(self):
+        assert R.reg_index("A0") == 10
+
+    def test_unknown_raises(self):
+        with pytest.raises(AssemblerError):
+            R.reg_index("q7")
+
+    def test_reg_name_bounds(self):
+        with pytest.raises(ValueError):
+            R.reg_name(32)
+
+    def test_rvc_regs(self):
+        assert R.is_rvc_reg(8) and R.is_rvc_reg(15)
+        assert not R.is_rvc_reg(7) and not R.is_rvc_reg(16)
+
+    def test_calling_convention_partition(self):
+        all_regs = set(R.CALLER_SAVED) | set(R.CALLEE_SAVED) | \
+            {R.ZERO, R.SP, R.GP, R.TP}
+        assert all_regs == set(range(32))
+        assert not set(R.CALLER_SAVED) & set(R.CALLEE_SAVED)
+
+
+class TestDisasm:
+    def test_roload_paper_syntax(self):
+        """Listing 3 syntax: ld.ro a0, (a0), 111"""
+        text = format_instruction(Instruction("ld.ro", rd=10, rs1=10,
+                                              key=111))
+        assert text == "ld.ro a0, (a0), 111"
+
+    def test_load_store(self):
+        assert disassemble_word(
+            encode(Instruction("ld", rd=10, rs1=3, imm=-1608))) == \
+            "ld a0, -1608(gp)"
+        assert disassemble_word(
+            encode(Instruction("sd", rs1=3, rs2=10, imm=-1600))) == \
+            "sd a0, -1600(gp)"
+
+    def test_branch_and_jump(self):
+        assert disassemble_word(
+            encode(Instruction("beq", rs1=10, rs2=11, imm=16))) == \
+            "beq a0, a1, 16"
+        assert disassemble_word(
+            encode(Instruction("jal", rd=1, imm=-32))) == "jal ra, -32"
+
+    def test_system(self):
+        assert disassemble_word(0x00000073) == "ecall"
+
+    def test_csr(self):
+        text = disassemble_word(
+            encode(Instruction("csrrs", rd=10, rs1=0, csr=0xC00)))
+        assert text == "csrrs a0, cycle, zero"
+
+    def test_stream_mixed_widths(self):
+        stream = bytearray()
+        stream += encode(Instruction("addi", rd=10, rs1=0, imm=7)) \
+            .to_bytes(4, "little")
+        stream += try_compress(Instruction("add", rd=10, rs1=10, rs2=11)) \
+            .to_bytes(2, "little")
+        stream += encode(Instruction("ld.ro", rd=10, rs1=10, key=9)) \
+            .to_bytes(4, "little")
+        out = list(disassemble_bytes(bytes(stream), base_address=0x1000))
+        assert out[0] == (0x1000, 4, "addi a0, zero, 7")
+        assert out[1] == (0x1004, 2, "add a0, a0, a1")
+        assert out[2] == (0x1006, 4, "ld.ro a0, (a0), 9")
+
+    def test_stream_undecodable_emits_word(self):
+        data = (0xFFFFFFFF).to_bytes(4, "little")
+        out = list(disassemble_bytes(data))
+        assert out[0][2].startswith(".word")

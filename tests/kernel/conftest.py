@@ -1,0 +1,29 @@
+"""Shared kernel-test helpers."""
+
+import pytest
+
+from repro.asm import assemble, link
+from repro.kernel import Kernel
+from repro.soc import build_system
+
+
+def build_image(source, name="test.s"):
+    return link([assemble(source, name=name)])
+
+
+EXIT0 = """
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+@pytest.fixture()
+def kernel():
+    return Kernel(build_system("processor+kernel", memory_size=64 << 20))
+
+
+@pytest.fixture()
+def kernel_unmodified():
+    """Processor supports ROLoad, kernel does not (§V-B middle profile)."""
+    return Kernel(build_system("processor", memory_size=64 << 20))

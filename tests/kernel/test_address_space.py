@@ -1,0 +1,126 @@
+"""Address-space tests: mapping, keys, mprotect, brk."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import PROT_EXEC, PROT_READ, PROT_WRITE, AddressSpace
+from repro.mem import FrameAllocator, PhysicalMemory
+from repro.mem.physical import PAGE_SIZE
+
+
+@pytest.fixture()
+def space():
+    memory = PhysicalMemory(64 << 20)
+    allocator = FrameAllocator(1 << 20, 32 << 20)
+    return AddressSpace(memory, allocator)
+
+
+class TestMapping:
+    def test_map_and_translate(self, space):
+        space.map_region(0x10000, PAGE_SIZE, PROT_READ | PROT_WRITE)
+        assert space.phys_addr(0x10010) is not None
+        assert space.vma_at(0x10000).prot == PROT_READ | PROT_WRITE
+
+    def test_overlap_rejected(self, space):
+        space.map_region(0x10000, 2 * PAGE_SIZE, PROT_READ)
+        with pytest.raises(KernelError):
+            space.map_region(0x11000, PAGE_SIZE, PROT_READ)
+
+    def test_unaligned_rejected(self, space):
+        with pytest.raises(KernelError):
+            space.map_region(0x10001, PAGE_SIZE, PROT_READ)
+
+    def test_copy_in_out_roundtrip(self, space):
+        space.map_region(0x10000, 2 * PAGE_SIZE, PROT_READ | PROT_WRITE)
+        data = bytes(range(256)) * 16  # 4 KiB: crosses one page boundary
+        space.write_initial(0x10F00, data)  # crosses a page boundary
+        assert space.read_memory(0x10F00, len(data)) == data
+
+    def test_copy_to_unmapped_raises(self, space):
+        with pytest.raises(KernelError):
+            space.write_initial(0x50000, b"x")
+
+    def test_keyed_mapping_sets_pte_key(self, space):
+        space.map_region(0x20000, PAGE_SIZE, PROT_READ, key=77)
+        pte = space.page_table.lookup(0x20000)
+        assert pte.key == 77 and pte.is_read_only
+
+    def test_keyed_writable_rejected(self, space):
+        """Pointee integrity requires immutability: keyed RW is invalid."""
+        with pytest.raises(KernelError):
+            space.map_region(0x20000, PAGE_SIZE, PROT_READ | PROT_WRITE,
+                             key=5)
+
+    def test_unmodified_kernel_drops_keys(self):
+        memory = PhysicalMemory(64 << 20)
+        allocator = FrameAllocator(1 << 20, 32 << 20)
+        space = AddressSpace(memory, allocator, honour_keys=False)
+        space.map_region(0x20000, PAGE_SIZE, PROT_READ, key=77)
+        assert space.page_table.lookup(0x20000).key == 0
+
+    def test_mapped_pages_accounting(self, space):
+        assert space.mapped_pages() == 0
+        space.map_region(0x10000, 3 * PAGE_SIZE, PROT_READ)
+        assert space.mapped_pages() == 3
+        assert space.memory_kib() == 12
+
+
+class TestMunmap:
+    def test_unmap_whole_region(self, space):
+        space.map_region(0x10000, PAGE_SIZE, PROT_READ)
+        space.munmap(0x10000, PAGE_SIZE)
+        assert space.vma_at(0x10000) is None
+        assert space.phys_addr(0x10000) is None
+        assert space.page_table.lookup(0x10000) is None
+
+
+class TestMprotect:
+    def test_change_prot(self, space):
+        space.map_region(0x10000, PAGE_SIZE, PROT_READ | PROT_WRITE)
+        space.mprotect(0x10000, PAGE_SIZE, PROT_READ)
+        pte = space.page_table.lookup(0x10000)
+        assert pte.readable and not pte.writable
+
+    def test_set_key_via_mprotect(self, space):
+        """The paper's user-facing API: seal a page with a key."""
+        space.map_region(0x10000, PAGE_SIZE, PROT_READ | PROT_WRITE)
+        space.mprotect(0x10000, PAGE_SIZE, PROT_READ, key=111)
+        pte = space.page_table.lookup(0x10000)
+        assert pte.key == 111 and pte.is_read_only
+        assert space.vma_at(0x10000).key == 111
+
+    def test_partial_range_splits_vma(self, space):
+        space.map_region(0x10000, 3 * PAGE_SIZE, PROT_READ | PROT_WRITE)
+        space.mprotect(0x11000, PAGE_SIZE, PROT_READ, key=9)
+        assert space.vma_at(0x10000).key == 0
+        assert space.vma_at(0x11000).key == 9
+        assert space.vma_at(0x12000).key == 0
+        assert space.vma_at(0x10000).prot & PROT_WRITE
+
+    def test_unmapped_raises(self, space):
+        with pytest.raises(KernelError):
+            space.mprotect(0x90000, PAGE_SIZE, PROT_READ)
+
+    def test_exec_prot(self, space):
+        space.map_region(0x10000, PAGE_SIZE, PROT_READ | PROT_WRITE)
+        space.mprotect(0x10000, PAGE_SIZE, PROT_READ | PROT_EXEC)
+        assert space.page_table.lookup(0x10000).executable
+
+
+class TestBrk:
+    def test_grow(self, space):
+        space.brk_base = space.brk = 0x30000
+        new = space.set_brk(0x30000 + 5000)
+        assert new == 0x30000 + 5000
+        assert space.phys_addr(0x30000 + 4096) is not None
+
+    def test_never_shrinks(self, space):
+        space.brk_base = space.brk = 0x30000
+        space.set_brk(0x32000)
+        assert space.set_brk(0x30000) == 0x32000
+
+    def test_mmap_auto_placement(self, space):
+        a = space.mmap(0, PAGE_SIZE, PROT_READ)
+        b = space.mmap(0, PAGE_SIZE, PROT_READ)
+        assert a != b
+        assert space.vma_at(a) and space.vma_at(b)

@@ -1,0 +1,121 @@
+"""Tests for the stdin/clock syscalls."""
+
+import pytest
+
+from repro.kernel import ProcessState
+
+from .conftest import build_image
+
+
+ECHO = r"""
+.globl _start
+_start:
+    # read(0, buf, 16)
+    li a0, 0
+    la a1, buf
+    li a2, 16
+    li a7, 63
+    ecall
+    mv s0, a0            # bytes read
+    # write(1, buf, s0)
+    li a0, 1
+    la a1, buf
+    mv a2, s0
+    li a7, 64
+    ecall
+    mv a0, s0
+    li a7, 93
+    ecall
+.section .bss
+buf: .zero 64
+"""
+
+
+class TestRead:
+    def test_echo_stdin(self, kernel):
+        process = kernel.create_process(build_image(ECHO))
+        process.stdin = b"hello"
+        kernel.run(process)
+        assert process.exit_code == 5
+        assert process.stdout_text == "hello"
+
+    def test_read_consumes(self, kernel):
+        source = r"""
+        .globl _start
+        _start:
+            li a0, 0
+            la a1, buf
+            li a2, 4
+            li a7, 63
+            ecall
+            mv s0, a0
+            li a0, 0
+            la a1, buf
+            li a2, 64
+            li a7, 63
+            ecall
+            add a0, a0, s0       # second read length + first
+            li a7, 93
+            ecall
+        .section .bss
+        buf: .zero 64
+        """
+        process = kernel.create_process(build_image(source))
+        process.stdin = b"abcdefgh"
+        kernel.run(process)
+        assert process.exit_code == 8  # 4 + 4
+
+    def test_read_eof_returns_zero(self, kernel):
+        process = kernel.create_process(build_image(ECHO))
+        process.stdin = b""
+        kernel.run(process)
+        assert process.exit_code == 0
+
+    def test_read_bad_fd(self, kernel):
+        source = r"""
+        .globl _start
+        _start:
+            li a0, 3
+            la a1, buf
+            li a2, 4
+            li a7, 63
+            ecall
+            li a7, 93
+            ecall
+        .section .bss
+        buf: .zero 8
+        """
+        process = kernel.create_process(build_image(source))
+        kernel.run(process)
+        assert process.exit_code == (-9) & 0xFF
+
+
+class TestClockGettime:
+    def test_time_is_monotonic_in_cycles(self, kernel):
+        source = r"""
+        .globl _start
+        _start:
+            li a0, 1
+            la a1, ts
+            li a7, 113
+            ecall
+            ld s0, 8(a1)         # nanoseconds (first)
+            li t0, 2000
+        spin:
+            addi t0, t0, -1
+            bnez t0, spin
+            li a0, 1
+            la a1, ts
+            li a7, 113
+            ecall
+            ld s1, 8(a1)         # nanoseconds (second)
+            sltu a0, s0, s1      # second > first ?
+            li a7, 93
+            ecall
+        .section .data
+        ts: .zero 16
+        """
+        process = kernel.create_process(build_image(source))
+        kernel.run(process)
+        assert process.state is ProcessState.EXITED
+        assert process.exit_code == 1

@@ -1,0 +1,193 @@
+"""Failure injection: malformed page tables, stale TLBs, resource
+exhaustion — each must fail precisely, never silently."""
+
+import pytest
+
+from repro.errors import KernelError, LoaderError, PageTableError
+from repro.isa.opcodes import MemOp
+from repro.mem import (
+    MMU,
+    PAGE_SIZE,
+    FrameAllocator,
+    PageFault,
+    PageTableBuilder,
+    PhysicalMemory,
+)
+from repro.mem.pte import PTE, make_leaf, make_table_pointer
+
+
+@pytest.fixture()
+def env():
+    memory = PhysicalMemory(64 << 20)
+    allocator = FrameAllocator(1 << 20, 16 << 20)
+    builder = PageTableBuilder(memory, allocator)
+    mmu = MMU(memory)
+    mmu.set_root(builder.root_ppn)
+    return memory, builder, mmu
+
+
+class TestCorruptedPageTables:
+    def test_reserved_w_not_r_pte_faults_reads(self, env):
+        """A hand-corrupted PTE with W=1,R=0 (reserved) must not grant
+        read access."""
+        memory, builder, mmu = env
+        builder.map_page(0x1000, 0x400000, readable=True)
+        leaf_addr = builder._leaf_address(0x1000, create=False)
+        pte = PTE.unpack(memory.read(leaf_addr, 8))
+        pte.readable = False
+        pte.writable = True
+        # pack() would reject this; write the raw bits like an attacker
+        # with kernel-memory corruption would.
+        raw = pte.ppn << 10 | 0b0000101  # V + W, no R
+        memory.write(leaf_addr, 8, raw)
+        mmu.flush()
+        with pytest.raises(PageFault):
+            mmu.translate(0x1000, MemOp.READ)
+        with pytest.raises(PageFault):
+            mmu.translate(0x1000, MemOp.READ_RO, insn_key=0)
+
+    def test_loop_in_page_table_terminates(self, env):
+        """A table pointer cycling back to the root must not hang the
+        walker (it bottoms out at level 0 without a leaf)."""
+        memory, builder, mmu = env
+        root = builder.root
+        self_ref = make_table_pointer(root >> 12).pack()
+        memory.write(root + 0 * 8, 8, self_ref)
+        mmu.flush()
+        with pytest.raises(PageFault):
+            mmu.translate(0x0, MemOp.READ)
+
+    def test_superpage_leaf_rejected(self, env):
+        """Leaf at a non-terminal level (superpage) is unsupported and
+        must fault rather than mistranslate."""
+        memory, builder, mmu = env
+        root = builder.root
+        leaf = make_leaf(0x400, readable=True).pack()
+        memory.write(root + 1 * 8, 8, leaf)  # VPN[2]=1 leaf at level 2
+        mmu.flush()
+        with pytest.raises(PageFault):
+            mmu.translate(1 << 30, MemOp.READ)
+
+    def test_garbage_pte_bits_do_not_crash(self, env):
+        memory, builder, mmu = env
+        builder.map_page(0x1000, 0x400000, readable=True)
+        leaf_addr = builder._leaf_address(0x1000, create=False)
+        memory.write(leaf_addr, 8, 0xFFFF_FFFF_FFFF_FFFE)  # V=0, junk
+        mmu.flush()
+        with pytest.raises(PageFault):
+            mmu.translate(0x1000, MemOp.READ)
+
+
+class TestTLBStaleness:
+    def test_unmap_without_flush_keeps_stale_translation(self, env):
+        """Architecturally faithful: dropping a mapping without
+        sfence.vma leaves the stale TLB entry live."""
+        __, builder, mmu = env
+        builder.map_page(0x1000, 0x400000, readable=True)
+        mmu.flush()
+        assert mmu.translate(0x1000, MemOp.READ).paddr == 0x400000
+        builder.unmap_page(0x1000)
+        # Stale hit:
+        assert mmu.translate(0x1000, MemOp.READ).paddr == 0x400000
+        mmu.flush()
+        with pytest.raises(PageFault):
+            mmu.translate(0x1000, MemOp.READ)
+
+    def test_flush_page_is_targeted(self, env):
+        __, builder, mmu = env
+        builder.map_page(0x1000, 0x400000, readable=True)
+        builder.map_page(0x2000, 0x401000, readable=True)
+        mmu.translate(0x1000, MemOp.READ)
+        mmu.translate(0x2000, MemOp.READ)
+        builder.set_protection(0x1000, key=9)
+        mmu.flush_page(0x1000)
+        # 0x1000 re-walks (sees key 9); 0x2000's entry survived.
+        result = mmu.translate(0x1000, MemOp.READ_RO, insn_key=9)
+        assert not result.tlb_hit
+        assert mmu.translate(0x2000, MemOp.READ).tlb_hit
+
+    def test_key_downgrade_attack_needs_flush(self, env):
+        """If a (compromised) kernel path changed a page key without
+        flushing, the OLD key keeps being enforced until sfence — the
+        TLB is the authority the hardware consults."""
+        __, builder, mmu = env
+        builder.map_page(0x1000, 0x400000, readable=True, key=5)
+        mmu.flush()
+        assert mmu.translate(0x1000, MemOp.READ_RO, insn_key=5)
+        builder.set_protection(0x1000, key=7)
+        # No flush: old key still active.
+        assert mmu.translate(0x1000, MemOp.READ_RO, insn_key=5)
+        with pytest.raises(PageFault):
+            mmu.translate(0x1000, MemOp.READ_RO, insn_key=7)
+
+
+class TestResourceExhaustion:
+    def test_frame_pool_exhaustion_is_loud(self):
+        memory = PhysicalMemory(64 << 20)
+        allocator = FrameAllocator(1 << 20, (1 << 20) + 4 * PAGE_SIZE)
+        builder = PageTableBuilder(memory, allocator)  # uses 1 frame
+        with pytest.raises(PageTableError):
+            # Spread across VPN[1] regions so every mapping needs a fresh
+            # level-0 table frame.
+            for region in range(100):
+                builder.map_page(region * (2 << 20),
+                                 0x400000 + region * PAGE_SIZE,
+                                 readable=True)
+
+    def test_kernel_surfaces_loader_errors(self):
+        from repro.asm import Executable, Segment
+        from repro.kernel import Kernel
+        from repro.soc import build_system
+        bad = Executable(entry=0x1001, segments=[
+            Segment(vaddr=0x1001, data=b"\0" * 16, memsize=16,
+                    readable=True, executable=True, name="misaligned")])
+        kernel = Kernel(build_system(memory_size=64 << 20))
+        with pytest.raises(LoaderError):
+            kernel.create_process(bad)
+
+    def test_keyed_writable_segment_rejected_at_load(self):
+        from repro.asm import Executable, Segment
+        from repro.kernel import Kernel
+        from repro.soc import build_system
+        bad = Executable(entry=0x1000, segments=[
+            Segment(vaddr=0x1000, data=b"\0" * 16, memsize=PAGE_SIZE,
+                    readable=True, executable=True, name=".text"),
+            Segment(vaddr=0x2000, data=b"", memsize=PAGE_SIZE,
+                    readable=True, writable=True, key=9, name="evil")])
+        kernel = Kernel(build_system(memory_size=64 << 20))
+        with pytest.raises(LoaderError):
+            kernel.create_process(bad)
+
+
+class TestAllowlistMisuse:
+    def test_empty_allowlist_rejected(self):
+        from repro.compiler import Module
+        from repro.defenses import KeyedAllowlist
+        from repro.errors import CompilerError
+        allowlist = KeyedAllowlist(Module("m"), "empty")
+        with pytest.raises(CompilerError):
+            allowlist.seal()
+
+    def test_add_after_seal_rejected(self):
+        from repro.compiler import GlobalVar, Module
+        from repro.defenses import KeyedAllowlist
+        from repro.errors import CompilerError
+        module = Module("m")
+        module.global_var(GlobalVar("x", init=[1]))
+        allowlist = KeyedAllowlist(module, "a")
+        allowlist.add_symbol("x")
+        allowlist.seal()
+        with pytest.raises(CompilerError):
+            allowlist.add_value(5)
+
+    def test_double_seal_rejected(self):
+        from repro.compiler import GlobalVar, Module
+        from repro.defenses import KeyedAllowlist
+        from repro.errors import CompilerError
+        module = Module("m")
+        module.global_var(GlobalVar("x", init=[1]))
+        allowlist = KeyedAllowlist(module, "a")
+        allowlist.add_symbol("x")
+        allowlist.seal()
+        with pytest.raises(CompilerError):
+            allowlist.seal()

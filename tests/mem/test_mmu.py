@@ -1,0 +1,210 @@
+"""Tests for the MMU's parallel permission + ROLoad key check.
+
+This is the paper's central hardware contribution; the table below mirrors
+its semantics:
+
+    memop     page state                         outcome
+    READ      readable                           OK
+    READ_RO   read-only, key match               OK (behaves like READ)
+    READ_RO   read-only, key mismatch            page fault (ROLoad)
+    READ_RO   writable page                      page fault (ROLoad)
+    READ_RO   unreadable/unmapped                page fault (ROLoad)
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import KEY_MAX, MemOp
+from repro.mem import (
+    MMU,
+    FrameAllocator,
+    PageFault,
+    PageTableBuilder,
+    PhysicalMemory,
+    ROLoadFailure,
+)
+
+
+@pytest.fixture()
+def setup():
+    mem = PhysicalMemory(64 << 20)
+    alloc = FrameAllocator(1 << 20, 32 << 20)
+    builder = PageTableBuilder(mem, alloc)
+    mmu = MMU(mem)
+    mmu.set_root(builder.root_ppn)
+    return mem, builder, mmu
+
+
+def map_ro(builder, mmu, va, pa, key):
+    builder.map_page(va, pa, readable=True, key=key)
+    mmu.flush()
+
+
+class TestNormalTranslation:
+    def test_read_write_exec(self, setup):
+        __, builder, mmu = setup
+        builder.map_page(0x1000, 0x200000, readable=True, writable=True)
+        builder.map_page(0x2000, 0x201000, readable=True, executable=True)
+        mmu.flush()
+        assert mmu.translate(0x1008, MemOp.READ).paddr == 0x200008
+        assert mmu.translate(0x1008, MemOp.WRITE).paddr == 0x200008
+        assert mmu.translate(0x2004, MemOp.FETCH).paddr == 0x201004
+
+    def test_write_to_readonly_faults(self, setup):
+        __, builder, mmu = setup
+        map_ro(builder, mmu, 0x1000, 0x200000, key=0)
+        with pytest.raises(PageFault) as e:
+            mmu.translate(0x1000, MemOp.WRITE)
+        assert not e.value.roload
+        assert e.value.scause == 15
+
+    def test_exec_nonexec_faults(self, setup):
+        __, builder, mmu = setup
+        builder.map_page(0x1000, 0x200000, readable=True, writable=True)
+        mmu.flush()
+        with pytest.raises(PageFault) as e:
+            mmu.translate(0x1000, MemOp.FETCH)
+        assert e.value.scause == 12
+
+    def test_unmapped_faults(self, setup):
+        __, __, mmu = setup
+        with pytest.raises(PageFault) as e:
+            mmu.translate(0xDEAD000, MemOp.READ)
+        assert e.value.scause == 13
+
+    def test_user_bit_enforced(self, setup):
+        __, builder, mmu = setup
+        builder.map_page(0x1000, 0x200000, readable=True, user=False)
+        mmu.flush()
+        with pytest.raises(PageFault):
+            mmu.translate(0x1000, MemOp.READ)
+
+    def test_bare_mode_identity(self):
+        mmu = MMU(PhysicalMemory(1 << 20))
+        assert mmu.translate(0x1234, MemOp.READ).paddr == 0x1234
+
+    def test_tlb_caches_translation(self, setup):
+        __, builder, mmu = setup
+        map_ro(builder, mmu, 0x1000, 0x200000, key=0)
+        first = mmu.translate(0x1000, MemOp.READ)
+        second = mmu.translate(0x1000, MemOp.READ)
+        assert not first.tlb_hit and second.tlb_hit
+        assert first.walk_accesses == 3 and second.walk_accesses == 0
+
+
+class TestROLoadCheck:
+    def test_success_on_matching_readonly(self, setup):
+        __, builder, mmu = setup
+        map_ro(builder, mmu, 0x1000, 0x200000, key=111)
+        result = mmu.translate(0x1008, MemOp.READ_RO, insn_key=111)
+        assert result.paddr == 0x200008
+        assert mmu.stats.roload_checks == 1
+        assert mmu.stats.roload_faults == 0
+
+    def test_key_mismatch_faults(self, setup):
+        __, builder, mmu = setup
+        map_ro(builder, mmu, 0x1000, 0x200000, key=111)
+        with pytest.raises(PageFault) as e:
+            mmu.translate(0x1000, MemOp.READ_RO, insn_key=222)
+        fault = e.value
+        assert fault.roload
+        assert fault.reason is ROLoadFailure.KEY_MISMATCH
+        assert fault.insn_key == 222 and fault.page_key == 111
+        assert fault.scause == 13  # still a load page fault
+
+    def test_writable_page_faults(self, setup):
+        """Pointee integrity: data in writable pages is never trusted."""
+        __, builder, mmu = setup
+        builder.map_page(0x1000, 0x200000, readable=True, writable=True,
+                         key=111)
+        mmu.flush()
+        with pytest.raises(PageFault) as e:
+            mmu.translate(0x1000, MemOp.READ_RO, insn_key=111)
+        assert e.value.reason is ROLoadFailure.NOT_READ_ONLY
+
+    def test_unmapped_faults_as_roload(self, setup):
+        __, __, mmu = setup
+        with pytest.raises(PageFault) as e:
+            mmu.translate(0xBEEF000, MemOp.READ_RO, insn_key=1)
+        assert e.value.roload
+        assert e.value.reason is ROLoadFailure.NOT_PRESENT
+
+    def test_normal_read_ignores_key(self, setup):
+        """Regular loads must be able to read keyed pages — backward
+        compatibility (§V-B: unmodified binaries run unchanged)."""
+        __, builder, mmu = setup
+        map_ro(builder, mmu, 0x1000, 0x200000, key=999)
+        assert mmu.translate(0x1000, MemOp.READ).paddr == 0x200000
+
+    def test_key_zero_default(self, setup):
+        __, builder, mmu = setup
+        map_ro(builder, mmu, 0x1000, 0x200000, key=0)
+        assert mmu.translate(0x1000, MemOp.READ_RO, insn_key=0).paddr == \
+            0x200000
+
+    def test_roload_disabled_hardware_skips_check(self, setup):
+        """Baseline processor: MMU has no key logic at all."""
+        mem, builder, __ = setup
+        mmu = MMU(mem, roload_enabled=False)
+        mmu.set_root(builder.root_ppn)
+        builder.map_page(0x1000, 0x200000, readable=True, writable=True,
+                         key=5)
+        # Even a writable page passes: the check logic does not exist.
+        assert mmu.translate(0x1000, MemOp.READ_RO, insn_key=9).paddr == \
+            0x200000
+        assert mmu.stats.roload_checks == 0
+
+    def test_mprotect_key_change_visible_after_flush(self, setup):
+        """The kernel changes a key via mprotect; after sfence.vma the new
+        key takes effect (and the stale TLB entry is gone)."""
+        __, builder, mmu = setup
+        map_ro(builder, mmu, 0x1000, 0x200000, key=1)
+        assert mmu.translate(0x1000, MemOp.READ_RO, insn_key=1)
+        builder.set_protection(0x1000, key=2)
+        mmu.flush()
+        with pytest.raises(PageFault):
+            mmu.translate(0x1000, MemOp.READ_RO, insn_key=1)
+        assert mmu.translate(0x1000, MemOp.READ_RO, insn_key=2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=KEY_MAX),
+           st.integers(min_value=0, max_value=KEY_MAX),
+           st.booleans())
+    def test_roload_success_iff_readonly_and_key_match(
+            self, page_key, insn_key, writable):
+        """The paper's invariant, as a property: ld.ro succeeds exactly when
+        the page is read-only and keys agree."""
+        mem = PhysicalMemory(64 << 20)
+        alloc = FrameAllocator(1 << 20, 32 << 20)
+        builder = PageTableBuilder(mem, alloc)
+        mmu = MMU(mem)
+        mmu.set_root(builder.root_ppn)
+        builder.map_page(0x1000, 0x200000, readable=True, writable=writable,
+                         key=page_key)
+        should_succeed = (not writable) and page_key == insn_key
+        try:
+            mmu.translate(0x1000, MemOp.READ_RO, insn_key=insn_key)
+            succeeded = True
+        except PageFault as fault:
+            succeeded = False
+            assert fault.roload
+        assert succeeded == should_succeed
+
+
+class TestStatsAndProbe:
+    def test_probe_no_side_effects(self, setup):
+        __, builder, mmu = setup
+        map_ro(builder, mmu, 0x1000, 0x200000, key=3)
+        before = mmu.dtlb.misses
+        pte = mmu.probe(0x1000)
+        assert pte.key == 3
+        assert mmu.dtlb.misses == before
+
+    def test_stats_reset(self, setup):
+        __, builder, mmu = setup
+        map_ro(builder, mmu, 0x1000, 0x200000, key=1)
+        mmu.translate(0x1000, MemOp.READ_RO, insn_key=1)
+        mmu.stats.reset()
+        assert mmu.stats.roload_checks == 0
+        assert mmu.stats.translations == 0

@@ -1,0 +1,104 @@
+"""Tests for the keyed-PMP (MMU-less / IoT) backend."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.isa.opcodes import KEY_MAX, MemOp
+from repro.mem import KeyedPMP, PageFault, PMPRegion, ROLoadFailure
+
+
+def make_pmp():
+    return KeyedPMP([
+        PMPRegion(0x0000, 0x1000, readable=True, executable=True),   # code
+        PMPRegion(0x1000, 0x1000, readable=True, key=7),             # table
+        PMPRegion(0x2000, 0x1000, readable=True, writable=True),     # data
+    ])
+
+
+class TestRegions:
+    def test_first_match_wins(self):
+        pmp = KeyedPMP([
+            PMPRegion(0x0, 0x2000, readable=True, key=1),
+            PMPRegion(0x1000, 0x1000, readable=True, key=2),
+        ])
+        assert pmp.region_for(0x1800).key == 1
+
+    def test_invalid_regions(self):
+        with pytest.raises(ConfigError):
+            PMPRegion(0, 0, readable=True)
+        with pytest.raises(ConfigError):
+            PMPRegion(0, 0x1000, writable=True)
+        with pytest.raises(ConfigError):
+            PMPRegion(0, 0x1000, readable=True, key=KEY_MAX + 1)
+
+
+class TestChecks:
+    def test_normal_ops(self):
+        pmp = make_pmp()
+        assert pmp.translate(0x0100, MemOp.FETCH).paddr == 0x0100
+        assert pmp.translate(0x1100, MemOp.READ).paddr == 0x1100
+        assert pmp.translate(0x2100, MemOp.WRITE).paddr == 0x2100
+
+    def test_write_to_readonly_faults(self):
+        pmp = make_pmp()
+        with pytest.raises(PageFault) as e:
+            pmp.translate(0x1100, MemOp.WRITE)
+        assert not e.value.roload
+
+    def test_roload_matching(self):
+        pmp = make_pmp()
+        assert pmp.translate(0x1100, MemOp.READ_RO, insn_key=7).paddr == \
+            0x1100
+
+    def test_roload_key_mismatch(self):
+        pmp = make_pmp()
+        with pytest.raises(PageFault) as e:
+            pmp.translate(0x1100, MemOp.READ_RO, insn_key=8)
+        assert e.value.reason is ROLoadFailure.KEY_MISMATCH
+
+    def test_roload_writable_region(self):
+        pmp = make_pmp()
+        with pytest.raises(PageFault) as e:
+            pmp.translate(0x2100, MemOp.READ_RO, insn_key=0)
+        assert e.value.reason is ROLoadFailure.NOT_READ_ONLY
+
+    def test_roload_unprotected_memory_faults(self):
+        """Memory outside any region is writable RAM: never a valid
+        pointee source."""
+        pmp = make_pmp()
+        with pytest.raises(PageFault) as e:
+            pmp.translate(0x9000, MemOp.READ_RO, insn_key=0)
+        assert e.value.roload
+
+    def test_default_allow_for_normal_ops(self):
+        pmp = make_pmp()
+        assert pmp.translate(0x9000, MemOp.READ).paddr == 0x9000
+        assert pmp.translate(0x9000, MemOp.WRITE).paddr == 0x9000
+
+    def test_default_deny(self):
+        pmp = KeyedPMP([], default_allow=False)
+        with pytest.raises(PageFault):
+            pmp.translate(0x0, MemOp.READ)
+
+    def test_roload_disabled(self):
+        pmp = KeyedPMP([PMPRegion(0x0, 0x1000, readable=True,
+                                  writable=True)], roload_enabled=False)
+        assert pmp.translate(0x10, MemOp.READ_RO, insn_key=3).paddr == 0x10
+
+    @given(st.integers(min_value=0, max_value=KEY_MAX),
+           st.integers(min_value=0, max_value=KEY_MAX),
+           st.booleans())
+    def test_invariant_matches_mmu_semantics(self, region_key, insn_key,
+                                             writable):
+        """Same success predicate as the paged MMU: read-only AND key match."""
+        pmp = KeyedPMP([PMPRegion(0x0, 0x1000, readable=True,
+                                  writable=writable, key=region_key)])
+        should_succeed = (not writable) and region_key == insn_key
+        try:
+            pmp.translate(0x10, MemOp.READ_RO, insn_key=insn_key)
+            succeeded = True
+        except PageFault:
+            succeeded = False
+        assert succeeded == should_succeed

@@ -1,0 +1,75 @@
+"""Tests for PTE packing, including the key in the reserved top 10 bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PageTableError
+from repro.isa.opcodes import KEY_MAX
+from repro.mem.pte import (
+    KEY_SHIFT,
+    PTE,
+    PTE_R,
+    PTE_V,
+    PTE_W,
+    make_leaf,
+    make_table_pointer,
+)
+
+
+class TestPacking:
+    def test_key_lands_in_top_bits(self):
+        pte = make_leaf(0x1234, readable=True, key=0x2AB)
+        word = pte.pack()
+        assert (word >> KEY_SHIFT) & 0x3FF == 0x2AB
+        # Key must not clobber the PPN.
+        assert (word >> 10) & ((1 << 44) - 1) == 0x1234
+
+    def test_unpack_key(self):
+        word = (0x155 << KEY_SHIFT) | (0x42 << 10) | PTE_V | PTE_R
+        pte = PTE.unpack(word)
+        assert pte.key == 0x155
+        assert pte.ppn == 0x42
+        assert pte.valid and pte.readable and not pte.writable
+
+    def test_key_range_enforced(self):
+        with pytest.raises(PageTableError):
+            PTE(ppn=0, valid=True, key=KEY_MAX + 1).pack()
+
+    def test_ppn_range_enforced(self):
+        with pytest.raises(PageTableError):
+            PTE(ppn=1 << 44, valid=True).pack()
+
+    @given(st.integers(min_value=0, max_value=(1 << 44) - 1),
+           st.integers(min_value=0, max_value=KEY_MAX),
+           st.booleans(), st.booleans(), st.booleans(), st.booleans())
+    def test_pack_unpack_roundtrip(self, ppn, key, r, x, u, g):
+        pte = PTE(ppn=ppn, valid=True, readable=r, writable=False,
+                  executable=x, user=u, global_=g, accessed=True,
+                  dirty=False, key=key)
+        assert PTE.unpack(pte.pack()) == pte
+
+
+class TestLeafSemantics:
+    def test_is_leaf(self):
+        assert make_leaf(1, readable=True).is_leaf
+        assert not make_table_pointer(1).is_leaf
+
+    def test_is_read_only(self):
+        assert make_leaf(1, readable=True).is_read_only
+        assert not make_leaf(1, readable=True, writable=True).is_read_only
+        assert not PTE(ppn=1, valid=True).is_read_only
+
+    def test_reserved_combination_rejected(self):
+        with pytest.raises(PageTableError):
+            make_leaf(1, writable=True)  # W without R is reserved
+
+    def test_writable_leaf_is_dirty(self):
+        pte = make_leaf(1, readable=True, writable=True)
+        assert pte.dirty
+
+    def test_flag_bits_positions(self):
+        word = make_leaf(0, readable=True, writable=True).pack()
+        assert word & PTE_V
+        assert word & PTE_R
+        assert word & PTE_W

@@ -1,0 +1,150 @@
+"""Tests for the TLB and the timing cache models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mem import TLB, Cache, TLBEntry
+
+
+def entry(ppn=1, key=0, writable=False):
+    return TLBEntry(ppn=ppn, readable=True, writable=writable,
+                    executable=False, user=True, key=key)
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(4)
+        assert tlb.lookup(5) is None
+        tlb.insert(5, entry(ppn=9, key=3))
+        hit = tlb.lookup(5)
+        assert hit is not None and hit.ppn == 9 and hit.key == 3
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_capacity_eviction_lru(self):
+        tlb = TLB(2)
+        tlb.insert(1, entry())
+        tlb.insert(2, entry())
+        tlb.lookup(1)           # 1 is now MRU
+        tlb.insert(3, entry())  # evicts 2
+        assert tlb.lookup(2) is None
+        assert tlb.lookup(1) is not None
+        assert tlb.lookup(3) is not None
+
+    def test_flush(self):
+        tlb = TLB(4)
+        tlb.insert(1, entry())
+        tlb.flush()
+        assert len(tlb) == 0
+        assert tlb.flushes == 1
+        assert tlb.lookup(1) is None
+
+    def test_flush_page(self):
+        tlb = TLB(4)
+        tlb.insert(1, entry())
+        tlb.insert(2, entry())
+        tlb.flush_page(1)
+        assert tlb.lookup(1) is None
+        assert tlb.lookup(2) is not None
+
+    def test_reinsert_updates(self):
+        tlb = TLB(4)
+        tlb.insert(1, entry(key=1))
+        tlb.insert(1, entry(key=2))
+        assert tlb.lookup(1).key == 2
+        assert len(tlb) == 1
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            TLB(0)
+
+    def test_hit_rate(self):
+        tlb = TLB(4)
+        tlb.lookup(1)
+        tlb.insert(1, entry())
+        tlb.lookup(1)
+        assert tlb.hit_rate == pytest.approx(0.5)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=200),
+           st.integers(min_value=1, max_value=32))
+    def test_never_exceeds_capacity(self, refs, capacity):
+        tlb = TLB(capacity)
+        for vpn in refs:
+            if tlb.lookup(vpn) is None:
+                tlb.insert(vpn, entry(ppn=vpn))
+            assert len(tlb) <= capacity
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=100))
+    def test_within_capacity_never_misses_twice(self, refs):
+        """With a working set <= capacity, each vpn misses at most once."""
+        tlb = TLB(8)
+        missed = set()
+        for vpn in refs:
+            if tlb.lookup(vpn) is None:
+                assert vpn not in missed, "second miss within capacity"
+                missed.add(vpn)
+                tlb.insert(vpn, entry(ppn=vpn))
+
+
+class TestCache:
+    def test_config_table2(self):
+        cache = Cache(size=32 * 1024, ways=8, line_size=64)
+        assert cache.num_sets == 64
+
+    def test_miss_then_hit_same_line(self):
+        cache = Cache()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1004)  # same 64B line
+        assert not cache.access(0x1040)  # next line
+
+    def test_eviction_within_set(self):
+        cache = Cache(size=2 * 64, ways=2, line_size=64)  # 1 set, 2 ways
+        cache.access(0x0000)
+        cache.access(0x1000)
+        cache.access(0x0000)       # MRU: 0x0000
+        cache.access(0x2000)       # evicts 0x1000
+        assert not cache.access(0x1000)
+
+    def test_flush(self):
+        cache = Cache()
+        cache.access(0x1000)
+        cache.flush()
+        assert not cache.access(0x1000)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            Cache(size=1000, ways=3, line_size=64)
+        with pytest.raises(ConfigError):
+            Cache(size=0)
+        with pytest.raises(ConfigError):
+            Cache(size=1024, ways=1, line_size=48)
+
+    def test_stats_reset(self):
+        cache = Cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.hits == 1 and cache.misses == 1
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.misses == 0
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=1,
+                    max_size=300))
+    def test_occupancy_bounded(self, addrs):
+        cache = Cache(size=1024, ways=2, line_size=64)
+        for addr in addrs:
+            cache.access(addr)
+        for ways in cache._sets:
+            assert len(ways) <= cache.ways
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=0xFFFFF))
+    def test_repeat_access_hits(self, addr):
+        cache = Cache()
+        cache.access(addr)
+        assert cache.access(addr)

@@ -1,0 +1,96 @@
+"""Tests for SoC peripherals (UART, boot ROM, MMIO plumbing)."""
+
+import pytest
+
+from repro.cpu import Core, MMIORegion
+from repro.mem import MMU, PhysicalMemory
+from repro.soc.devices import BOOT_ROM_BASE, BootROM, ConsoleUART, \
+    UART_BASE
+
+
+class TestConsoleUART:
+    def test_collects_bytes(self):
+        uart = ConsoleUART()
+        region = uart.region()
+        region.write(UART_BASE, 1, ord("o"))
+        region.write(UART_BASE, 1, ord("k"))
+        assert uart.text == "ok"
+
+    def test_lsr_reports_ready(self):
+        uart = ConsoleUART()
+        region = uart.region()
+        assert region.read(UART_BASE + 5, 1) == 0x20
+        assert region.read(UART_BASE + 1, 1) == 0
+
+    def test_non_thr_writes_ignored(self):
+        uart = ConsoleUART()
+        region = uart.region()
+        region.write(UART_BASE + 4, 1, 0xFF)
+        assert uart.text == ""
+
+    def test_bare_metal_putchar_loop(self):
+        """A bare-metal program prints via the UART MMIO window."""
+        from repro.asm import assemble, link
+        source = r"""
+        .globl _start
+        _start:
+            li t0, 0x10000000
+            li t1, 72          # 'H'
+            sb t1, 0(t0)
+            li t1, 105         # 'i'
+            sb t1, 0(t0)
+            ebreak
+        """
+        image = link([assemble(source)])
+        memory = PhysicalMemory(1 << 28)
+        core = Core(memory, MMU(memory))
+        uart = ConsoleUART()
+        core.add_mmio(uart.region())
+        for segment in image.segments:
+            memory.write_bytes(segment.vaddr, segment.data)
+        core.pc = image.entry
+        from repro.cpu import Trap
+        with pytest.raises(Trap):
+            for __ in range(100):
+                core.step()
+        assert uart.text == "Hi"
+
+
+class TestBootROM:
+    def test_load_into_memory(self):
+        rom = BootROM(contents=b"BOOT")
+        memory = PhysicalMemory(1 << 20)
+        rom.load_into(memory)
+        assert memory.read_bytes(BOOT_ROM_BASE, 4) == b"BOOT"
+
+    def test_oversized_contents_rejected(self):
+        with pytest.raises(ValueError):
+            BootROM(contents=b"x" * (65 * 1024))
+
+    def test_empty_rom_noop(self):
+        rom = BootROM()
+        memory = PhysicalMemory(1 << 20)
+        rom.load_into(memory)
+        assert memory.frame_count() == 0
+
+
+class TestMMIORouting:
+    def test_read_write_handlers(self):
+        memory = PhysicalMemory(1 << 20)
+        core = Core(memory, MMU(memory))
+        seen = {}
+        core.add_mmio(MMIORegion(
+            0x8000, 0x100,
+            read=lambda addr, width: 0xAB,
+            write=lambda addr, width, value: seen.update(
+                {addr: value})))
+        core.store(0x8010, 1, 0x55)
+        assert seen == {0x8010: 0x55}
+        assert core.load(0x8000, 1, signed=False) == 0xAB
+
+    def test_non_mmio_goes_to_memory(self):
+        memory = PhysicalMemory(1 << 20)
+        core = Core(memory, MMU(memory))
+        core.add_mmio(MMIORegion(0x8000, 0x100))
+        core.store(0x9000, 8, 7)
+        assert memory.read(0x9000, 8) == 7

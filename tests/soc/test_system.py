@@ -1,0 +1,89 @@
+"""Tests for SoC configuration and system profiles."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem import PMPRegion
+from repro.soc import PROFILES, SoCConfig, System, build_embedded_system, \
+    build_system
+from repro.soc.devices import UART_BASE
+
+
+class TestSoCConfig:
+    def test_table2_defaults(self):
+        config = SoCConfig()
+        assert config.isa == "RV64IMAC"
+        assert config.l1i.size == 32 * 1024 and config.l1i.ways == 8
+        assert config.l1d.size == 32 * 1024 and config.l1d.ways == 8
+        assert config.itlb_entries == 32 and config.dtlb_entries == 32
+        assert config.memory_size == 4 << 30
+        assert config.frequency_mhz == pytest.approx(125.0)
+
+    def test_profiles(self):
+        assert SoCConfig.for_profile("baseline").profile == "baseline"
+        assert SoCConfig.for_profile("processor").profile == "processor"
+        assert SoCConfig.for_profile("processor+kernel").profile == \
+            "processor+kernel"
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigError):
+            SoCConfig.for_profile("turbo")
+
+    def test_kernel_without_processor_rejected(self):
+        with pytest.raises(ConfigError):
+            SoCConfig(roload_processor=False, roload_kernel=True)
+
+    def test_describe_rows(self):
+        rows = dict(SoCConfig().describe())
+        assert "RV64IMAC" in rows["ISA Extensions"]
+        assert "32KiB 8-way" in rows["Caches"]
+        assert "32-entry I-TLB" in rows["TLBs"]
+
+    def test_override(self):
+        config = SoCConfig.for_profile("baseline", itlb_entries=64)
+        assert config.itlb_entries == 64
+        assert config.profile == "baseline"
+
+
+class TestSystem:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_build_all_profiles(self, profile):
+        system = build_system(profile, memory_size=1 << 20)
+        assert system.profile == profile
+        assert system.core.roload_enabled == (profile != "baseline")
+        assert system.mmu.roload_enabled == (profile != "baseline")
+
+    def test_uart_output(self):
+        system = build_system(memory_size=1 << 20)
+        # Bare mode: write straight to the UART THR.
+        system.core.store(UART_BASE, 1, ord("h"))
+        system.core.store(UART_BASE, 1, ord("i"))
+        assert system.uart.text == "hi"
+
+    def test_reset_stats(self):
+        system = build_system(memory_size=1 << 20)
+        system.core.store(0x2000, 8, 1)
+        assert system.timing.stats.cycles >= 0
+        system.reset_stats()
+        assert system.timing.stats.cycles == 0
+        assert system.dcache.hits == 0 and system.dcache.misses == 0
+
+    def test_seconds_at_frequency(self):
+        system = build_system(memory_size=1 << 20)
+        system.timing.stats.cycles = 125_000_000
+        assert system.seconds() == pytest.approx(1.0)
+
+
+class TestEmbeddedSystem:
+    def test_pmp_backend(self):
+        regions = [PMPRegion(0x0, 0x10000, readable=True, executable=True),
+                   PMPRegion(0x10000, 0x1000, readable=True, key=5)]
+        system = build_embedded_system(regions)
+        # ld.ro against the keyed region succeeds via the PMP backend.
+        from repro.isa.opcodes import MemOp
+        assert system.mmu.translate(0x10008, MemOp.READ_RO,
+                                    insn_key=5).paddr == 0x10008
+
+    def test_pmp_backend_disabled(self):
+        system = build_embedded_system([], roload_enabled=False)
+        assert system.profile == "baseline"

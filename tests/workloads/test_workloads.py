@@ -1,0 +1,100 @@
+"""Workload generator tests."""
+
+import pytest
+
+from repro.compiler import compile_module, verify_module
+from repro.kernel import run_program
+from repro.workloads import (
+    CPP_BENCHMARKS,
+    PROFILES,
+    WorkloadProfile,
+    build_workload,
+    cpp_profiles,
+    profile,
+)
+
+
+class TestProfiles:
+    def test_eleven_benchmarks_perlbench_excluded(self):
+        names = [p.name for p in PROFILES]
+        assert len(names) == 11
+        assert "400.perlbench" not in names
+        assert "403.gcc" in names and "483.xalancbmk" in names
+
+    def test_three_cpp_benchmarks(self):
+        assert tuple(p.name for p in cpp_profiles()) == CPP_BENCHMARKS
+
+    def test_lookup(self):
+        assert profile("429.mcf").language == "c"
+        with pytest.raises(KeyError):
+            profile("999.nope")
+
+    def test_periods_power_of_two(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", language="c", iterations=1,
+                            arith_ops=1, mem_ops=1, branches=1,
+                            muldiv_ops=0, working_set_kib=64,
+                            stride_words=1, vcall_period=3)
+
+    def test_cpp_profiles_have_dispatch(self):
+        for p in cpp_profiles():
+            assert p.classes > 0 and p.objects > 0
+            assert p.vcalls_per_iter > 0
+
+
+class TestGenerator:
+    def test_modules_verify(self):
+        for p in PROFILES:
+            program = build_workload(p, scale=0.01)
+            verify_module(program.module)
+
+    def test_deterministic(self):
+        a = build_workload(profile("403.gcc"), scale=0.01)
+        b = build_workload(profile("403.gcc"), scale=0.01)
+        from repro.compiler import generate_assembly
+        assert generate_assembly(a.module) == generate_assembly(b.module)
+
+    def test_hierarchy_map_covers_classes(self):
+        program = build_workload(profile("483.xalancbmk"), scale=0.01)
+        assert set(program.hierarchies) == set(program.class_names)
+        assert len(set(program.hierarchies.values())) <= 4
+
+    def test_c_benchmark_has_no_vtables(self):
+        program = build_workload(profile("401.bzip2"), scale=0.01)
+        assert not program.module.vtables
+
+    def test_cold_sites_generated(self):
+        p = profile("483.xalancbmk")
+        program = build_workload(p, scale=0.01)
+        cold = [f for f in program.module.functions
+                if "_coldv" in f or "_coldi" in f]
+        assert len(cold) == p.cold_vcall_sites + p.cold_icall_sites
+
+    def test_scale_controls_iterations(self):
+        small = build_workload(profile("429.mcf"), scale=0.01)
+        big = build_workload(profile("429.mcf"), scale=0.05)
+        from repro.compiler.ir import Li
+        # Scale only changes the loop-counter constant, so the sum of all
+        # li constants in main differs exactly by the iteration delta.
+        def li_sum(program):
+            main = program.module.functions["main"]
+            return sum(op.value for op in main.ops if isinstance(op, Li))
+        expected_delta = int(1200 * 0.05) - int(1200 * 0.01)
+        assert li_sum(big) - li_sum(small) == expected_delta
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", ["401.bzip2", "458.sjeng",
+                                      "471.omnetpp"])
+    def test_runs_to_completion(self, name):
+        program = build_workload(profile(name), scale=0.02)
+        process = run_program(compile_module(program.module),
+                              max_instructions=20_000_000)
+        assert process.state.value == "exited", process.status()
+
+    def test_exit_code_stable_across_runs(self):
+        program = build_workload(profile("445.gobmk"), scale=0.02)
+        image = compile_module(program.module)
+        a = run_program(image, max_instructions=20_000_000)
+        b = run_program(image, max_instructions=20_000_000)
+        assert a.exit_code == b.exit_code
