@@ -7,6 +7,11 @@ they survive the pytest run.
 
 Scale: set ``REPRO_BENCH_SCALE`` (default 0.1) to trade fidelity for
 time; 1.0 reproduces the figures at full iteration counts.
+
+Parallelism: set ``REPRO_JOBS`` (default 1, ``auto`` = one per CPU) to
+fan the benchmark x variant simulations of each sweep across worker
+processes. Every worker builds its own system, so results are identical
+to a serial run.
 """
 
 import os
@@ -34,7 +39,11 @@ def run_cache():
 
 
 def ensure_run(cache, name: str, variants) -> BenchmarkRun:
-    """Fetch a cached run, measuring any missing variants."""
+    """Fetch a cached run, measuring any missing variants.
+
+    ``run_benchmark`` fans the missing variants across REPRO_JOBS worker
+    processes when that knob is set above 1.
+    """
     run = cache.get(name)
     missing = [v for v in variants
                if run is None or v not in run.measurements]

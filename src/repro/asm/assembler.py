@@ -30,7 +30,7 @@ from repro.isa.disasm import CSR_NAMES
 from repro.isa.encoding import encode
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import KEY_MAX, SPECS
-from repro.isa.registers import reg_index
+from repro.isa.registers import NAME_TO_INDEX, reg_index
 from repro.asm.objfile import ObjectFile, Relocation, RelocType
 from repro.utils.bits import fits_signed, split_hi_lo
 
@@ -39,24 +39,49 @@ _CSR_NUMBERS = {name: num for num, name in CSR_NAMES.items()}
 _LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
 _SYMBOL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
 
+# Operand grammar, compiled once (the assembler is on the benchmark
+# harness's critical path — see DESIGN.md §8).
+_HILO_RE = re.compile(r"%(hi|lo)\(([^)]+)\)$")
+_LOMEM_RE = re.compile(r"%lo\(([^)]+)\)\(([\w$.]+)\)$")
+_MEM_RE = re.compile(r"(-?\w*)\(([\w$.]+)\)$")
+_SYM_ADDEND_RE = re.compile(r"([A-Za-z_.$][\w.$]*)\s*(?:([+-])\s*(\d+))?$")
+
+# Operand parsing is context-free (no section/line state feeds into the
+# result), so parsed operand lists are memoized by their exact text.
+# Compiler-generated assembly reuses a small set of operand spellings
+# ("a0, a1, a2", "0(sp)", ...) thousands of times per module. _Operand
+# objects are immutable-by-convention (constructed once, only read by
+# the _asm_* emitters), which makes sharing them safe. Bounded so
+# adversarial input cannot grow it without limit.
+_OPERAND_CACHE: dict = {}
+_OPERAND_CACHE_MAX = 8192
+
+# Every mnemonic _pseudo() handles, so real instructions skip its chain.
+_PSEUDO_NAMES = frozenset((
+    "nop", "li", "la", "mv", "not", "neg", "negw", "sext.w", "seqz",
+    "snez", "j", "jr", "ret", "call", "tail", "beqz", "bnez", "bltz",
+    "bgez", "blez", "bgtz", "csrr",
+))
+
 
 def _split_operands(text: str) -> List[str]:
     """Split an operand string on top-level commas."""
-    operands, depth, current = [], 0, []
-    for ch in text:
-        if ch == "(":
-            depth += 1
-        elif ch == ")":
-            depth -= 1
-        if ch == "," and depth == 0:
-            operands.append("".join(current).strip())
-            current = []
-        else:
-            current.append(ch)
-    tail = "".join(current).strip()
-    if tail:
-        operands.append(tail)
-    return operands
+    # str.split handles everything except commas nested in parentheses;
+    # segments are re-joined while the running paren depth is open, which
+    # reproduces the character-walk exactly (including never splitting
+    # again once an unbalanced ")" drives the depth negative).
+    parts, depth, acc = [], 0, []
+    for part in text.split(","):
+        acc.append(part)
+        depth += part.count("(") - part.count(")")
+        if depth == 0:
+            parts.append(",".join(acc).strip())
+            acc = []
+    if acc:
+        parts.append(",".join(acc).strip())
+    if parts and not parts[-1]:
+        parts.pop()
+    return parts
 
 
 def _parse_int(text: str) -> Optional[int]:
@@ -96,7 +121,7 @@ class Assembler:
     def assemble(self) -> ObjectFile:
         for self._line, raw in enumerate(self.source.splitlines(), start=1):
             line = self._strip_comment(raw).strip()
-            while line:
+            while ":" in line:
                 match = _LABEL_RE.match(line)
                 if match:
                     label, line = match.group(1), match.group(2).strip()
@@ -222,8 +247,7 @@ class Assembler:
 
     @staticmethod
     def _split_symbol_addend(text: str):
-        match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*(?:([+-])\s*(\d+))?$",
-                         text.strip())
+        match = _SYM_ADDEND_RE.match(text.strip())
         if not match:
             return None, 0
         addend = int(match.group(3)) if match.group(3) else 0
@@ -235,29 +259,40 @@ class Assembler:
 
     def _operand(self, text: str) -> _Operand:
         text = text.strip()
-        value = _parse_int(text)
-        if value is not None:
-            return _Operand("imm", value=value)
-        match = re.match(r"^%(hi|lo)\(([^)]+)\)$", text)
-        if match:
-            symbol, addend = self._split_symbol_addend(match.group(2))
-            if symbol is None:
-                raise self._error(f"bad %{match.group(1)} operand {text!r}")
-            return _Operand(match.group(1), symbol=symbol, addend=addend)
-        match = re.match(r"^%lo\(([^)]+)\)\(([\w$.]+)\)$", text)
-        if match:
-            symbol, addend = self._split_symbol_addend(match.group(1))
-            if symbol is None:
-                raise self._error(f"bad %lo memory operand {text!r}")
-            return _Operand("lomem", reg=reg_index(match.group(2)),
-                            symbol=symbol, addend=addend)
-        match = re.match(r"^(-?\w*)\(([\w$.]+)\)$", text)
-        if match:
-            offset_text, reg_text = match.group(1), match.group(2)
-            offset = _parse_int(offset_text) if offset_text else 0
-            if offset is None:
-                raise self._error(f"bad memory offset in {text!r}")
-            return _Operand("mem", value=offset, reg=reg_index(reg_text))
+        # The two overwhelmingly common operand shapes — a register name
+        # or a plain integer — resolve without regexes or exceptions.
+        # Register names cannot parse as ints, %-relocs, or memory refs,
+        # so probing them first changes no parse.
+        reg = NAME_TO_INDEX.get(text)
+        if reg is not None:
+            return _Operand("reg", reg=reg)
+        head = text[:1]
+        if head.isdigit() or head == "-" or head == "+":
+            value = _parse_int(text)
+            if value is not None:
+                return _Operand("imm", value=value)
+        if text.endswith(")"):
+            match = _HILO_RE.match(text)
+            if match:
+                symbol, addend = self._split_symbol_addend(match.group(2))
+                if symbol is None:
+                    raise self._error(
+                        f"bad %{match.group(1)} operand {text!r}")
+                return _Operand(match.group(1), symbol=symbol, addend=addend)
+            match = _LOMEM_RE.match(text)
+            if match:
+                symbol, addend = self._split_symbol_addend(match.group(1))
+                if symbol is None:
+                    raise self._error(f"bad %lo memory operand {text!r}")
+                return _Operand("lomem", reg=reg_index(match.group(2)),
+                                symbol=symbol, addend=addend)
+            match = _MEM_RE.match(text)
+            if match:
+                offset_text, reg_text = match.group(1), match.group(2)
+                offset = _parse_int(offset_text) if offset_text else 0
+                if offset is None:
+                    raise self._error(f"bad memory offset in {text!r}")
+                return _Operand("mem", value=offset, reg=reg_index(reg_text))
         try:
             return _Operand("reg", reg=reg_index(text))
         except AssemblerError:
@@ -283,15 +318,22 @@ class Assembler:
         parts = line.split(None, 1)
         mnemonic = parts[0].lower()
         operand_text = parts[1] if len(parts) > 1 else ""
-        operands = [self._operand(t) for t in
-                    _split_operands(operand_text)] if operand_text else []
-        if self._pseudo(mnemonic, operands, operand_text):
+        if operand_text:
+            operands = _OPERAND_CACHE.get(operand_text)
+            if operands is None:
+                operands = [self._operand(t) for t in
+                            _split_operands(operand_text)]
+                if len(_OPERAND_CACHE) < _OPERAND_CACHE_MAX:
+                    _OPERAND_CACHE[operand_text] = operands
+        else:
+            operands = []
+        if mnemonic in _PSEUDO_NAMES and \
+                self._pseudo(mnemonic, operands, operand_text):
             return
         spec = SPECS.get(mnemonic)
         if spec is None:
             raise self._error(f"unknown instruction {mnemonic!r}")
-        getattr(self, f"_asm_{spec.fmt.lower()}", self._asm_unsupported)(
-            mnemonic, spec, operands)
+        self._ASM_FORMATS[spec.fmt](self, mnemonic, spec, operands)
 
     def _asm_unsupported(self, mnemonic, spec, operands):
         raise self._error(f"format {spec.fmt} of {mnemonic!r} unsupported")
@@ -635,6 +677,13 @@ class Assembler:
         if lo_signed:
             self._emit_insn(Instruction("addi", rd=rd, rs1=rd,
                                         imm=lo_signed))
+
+
+# Format -> emitter, resolved once instead of per-instruction getattr.
+Assembler._ASM_FORMATS = {
+    fmt: getattr(Assembler, f"_asm_{fmt.lower()}", Assembler._asm_unsupported)
+    for fmt in {spec.fmt for spec in SPECS.values()}
+}
 
 
 def assemble(source: str, name: str = "<asm>", rvc: bool = True) \

@@ -14,6 +14,7 @@ comparison in §V-B.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Optional
 
 from repro.errors import DecodingError, SimulationError
@@ -44,6 +45,26 @@ _RO_INFO = {"lb.ro": (1, True), "lh.ro": (2, True), "lw.ro": (4, True),
             "lwu.ro": (4, False)}
 _STORE_INFO = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
 
+# Decode caches are keyed on raw instruction bits; bound them so large or
+# self-modifying code cannot grow them without limit.
+_DECODE_CACHE_CAP = 65536
+# Basic-block translation cache: start-pc -> decoded block.
+_BLOCK_CACHE_CAP = 4096
+
+# Instructions that end a basic block: anything that can redirect the pc,
+# trap by design, or change translation/decode state mid-stream.
+_BLOCK_TERMINATORS = frozenset({
+    "jal", "jalr", "beq", "bne", "blt", "bge", "bltu", "bgeu",
+    "ecall", "ebreak", "fence", "fence.i",
+    "csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci",
+})
+
+
+def _fastpath_default() -> bool:
+    """REPRO_FASTPATH=0 forces every instruction down the slow path."""
+    value = os.environ.get("REPRO_FASTPATH", "1").strip().lower()
+    return value not in ("0", "off", "no", "false")
+
 
 class MMIORegion:
     """A memory-mapped device window (physical addresses)."""
@@ -66,7 +87,8 @@ class Core:
     def __init__(self, memory, mmu, *, icache: "Cache | None" = None,
                  dcache: "Cache | None" = None,
                  timing: "TimingModel | None" = None,
-                 roload_enabled: bool = True):
+                 roload_enabled: bool = True,
+                 fast_path: "bool | None" = None):
         self.memory = memory
         self.mmu = mmu
         self.icache = icache
@@ -88,6 +110,31 @@ class Core:
         self._fetch_generation = -1
         itlb = getattr(mmu, "itlb", None)
         self._fetch_cache_cap = itlb.capacity if itlb is not None else 32
+        # Fast-path machinery (DESIGN.md "Simulation performance
+        # architecture"). Purely an interpreter implementation detail:
+        # architectural results are bit-identical with fast_path=False
+        # (or REPRO_FASTPATH=0 in the environment).
+        self.fast_path_enabled = \
+            _fastpath_default() if fast_path is None else fast_path
+        # Basic-block translation cache: start pc -> (entries, vpn, frame).
+        self._blocks: "dict[int, tuple]" = {}
+        self._block_generation = -1
+        # Physical frames holding cached code; stores into them invalidate
+        # the block cache (self-modifying code without fence.i).
+        self._code_frames: "set[int]" = set()
+        # Set by _flush_blocks so an in-flight replay stops at the end of
+        # the current instruction: its remaining pre-decoded entries may
+        # be stale (a store patched code later in the same block).
+        self._block_abort = False
+        # D-side fast path: vpn -> frame base for pages proven plain
+        # (non-MMIO) this MMU generation; permissions are re-checked
+        # against the live D-TLB entry on every hit. A zero cap disables
+        # it (MMU backends without a D-TLB, e.g. the keyed PMP).
+        dtlb = getattr(mmu, "dtlb", None)
+        self._dside_cap = dtlb.capacity if dtlb is not None else 0
+        self._dload_pages: "dict[int, int]" = {}
+        self._dstore_pages: "dict[int, int]" = {}
+        self._dside_generation = -1
         # Optional per-retired-instruction callback: (pc, insn) -> None.
         # Used by repro.cpu.tracer; None costs one attribute test/step.
         self.trace_hook = None
@@ -115,6 +162,9 @@ class Core:
 
     def add_mmio(self, region: MMIORegion) -> None:
         self.mmio.append(region)
+        # Pages memoised as plain RAM may now overlap a device window.
+        self._dload_pages.clear()
+        self._dstore_pages.clear()
 
     def _mmio_for(self, paddr: int) -> "MMIORegion | None":
         for region in self.mmio:
@@ -135,16 +185,86 @@ class Core:
              memop: str = MemOp.READ, key: int = 0) -> int:
         if vaddr & (width - 1):
             raise Trap(Cause.MISALIGNED_LOAD, self._current_pc, tval=vaddr)
+        if memop == MemOp.READ and self.fast_path_enabled:
+            mmu = self.mmu
+            if self._dside_generation == mmu.generation:
+                vpn = vaddr >> 12
+                ppn = self._dload_pages.get(vpn)
+                if ppn is not None:
+                    # Inlined TLB.probe_hit: count the hit and refresh LRU
+                    # when resident; record nothing on a miss (the full
+                    # translate path below then counts it exactly once).
+                    dtlb = mmu.dtlb
+                    entries = dtlb._entries
+                    entry = entries.get(vpn)
+                    if entry is not None:
+                        entries.move_to_end(vpn)
+                        dtlb.hits += 1
+                        if entry.ppn == ppn:
+                            mmu.stats.translations += 1
+                            if entry.readable and (not mmu.user_mode
+                                                   or entry.user):
+                                off = vaddr & 0xFFF
+                                paddr = (ppn << 12) | off
+                                dcache = self.dcache
+                                if dcache is not None:
+                                    # Inlined Cache.access + timing.dcache.
+                                    line = paddr >> dcache._line_shift
+                                    ways = dcache._sets[
+                                        line & (dcache.num_sets - 1)]
+                                    if line in ways:
+                                        ways.move_to_end(line)
+                                        dcache.hits += 1
+                                    else:
+                                        dcache.misses += 1
+                                        ways[line] = True
+                                        if len(ways) > dcache.ways:
+                                            ways.popitem(last=False)
+                                        stats = self.timing.stats
+                                        stats.dcache_misses += 1
+                                        stats.cycles += \
+                                            self.timing.params \
+                                                .cache_miss_penalty
+                                # Inlined PhysicalMemory.read: the page was
+                                # proven in range when this entry was
+                                # filled, and alignment keeps off+width
+                                # inside it.
+                                fb = self.memory._frames.get(ppn)
+                                value = 0 if fb is None else int.from_bytes(
+                                    fb[off:off + width], "little")
+                                if signed:
+                                    bits = width << 3
+                                    if value >> (bits - 1):
+                                        value = (value - (1 << bits)) \
+                                            & MASK64
+                                return value
+                            # Permission lost while the entry stayed
+                            # cached: the same outcome MMU._check would
+                            # produce.
+                            del self._dload_pages[vpn]
+                            raise Trap(Cause.LOAD_PAGE_FAULT,
+                                       self._current_pc, tval=vaddr)
+                    # Evicted from the D-TLB (or remapped): retranslate.
+                    del self._dload_pages[vpn]
+            else:
+                self._dload_pages.clear()
+                self._dstore_pages.clear()
+                self._dside_generation = mmu.generation
         tr = self._translate(vaddr, memop, key)
         if tr.walk_accesses:
             self.timing.tlb_walk(tr.walk_accesses, instruction_side=False)
-        region = self._mmio_for(tr.paddr)
+        region = self._mmio_for(tr.paddr) if self.mmio else None
         if region is not None and region.read is not None:
             value = region.read(tr.paddr, width)
         else:
             if self.dcache is not None:
                 self.timing.dcache(self.dcache.access(tr.paddr))
             value = self.memory.read(tr.paddr, width)
+            if (region is None and memop == MemOp.READ and self._dside_cap
+                    and self.fast_path_enabled and not self.mmu.bare):
+                if len(self._dload_pages) >= self._dside_cap:
+                    self._dload_pages.clear()
+                self._dload_pages[vaddr >> 12] = tr.paddr >> 12
         if signed:
             return to_u64(sext(value, width * 8))
         return value
@@ -153,16 +273,83 @@ class Core:
               memop: str = MemOp.WRITE) -> None:
         if vaddr & (width - 1):
             raise Trap(Cause.MISALIGNED_STORE, self._current_pc, tval=vaddr)
+        if memop == MemOp.WRITE and self.fast_path_enabled:
+            mmu = self.mmu
+            if self._dside_generation == mmu.generation:
+                vpn = vaddr >> 12
+                ppn = self._dstore_pages.get(vpn)
+                if ppn is not None:
+                    # Inlined TLB.probe_hit (see load()).
+                    dtlb = mmu.dtlb
+                    entries = dtlb._entries
+                    entry = entries.get(vpn)
+                    if entry is not None:
+                        entries.move_to_end(vpn)
+                        dtlb.hits += 1
+                        if entry.ppn == ppn:
+                            mmu.stats.translations += 1
+                            if entry.writable and (not mmu.user_mode
+                                                   or entry.user):
+                                off = vaddr & 0xFFF
+                                paddr = (ppn << 12) | off
+                                if self._code_frames \
+                                        and ppn in self._code_frames:
+                                    self._flush_blocks()
+                                dcache = self.dcache
+                                if dcache is not None:
+                                    # Inlined Cache.access + timing.dcache.
+                                    line = paddr >> dcache._line_shift
+                                    ways = dcache._sets[
+                                        line & (dcache.num_sets - 1)]
+                                    if line in ways:
+                                        ways.move_to_end(line)
+                                        dcache.hits += 1
+                                    else:
+                                        dcache.misses += 1
+                                        ways[line] = True
+                                        if len(ways) > dcache.ways:
+                                            ways.popitem(last=False)
+                                        stats = self.timing.stats
+                                        stats.dcache_misses += 1
+                                        stats.cycles += \
+                                            self.timing.params \
+                                                .cache_miss_penalty
+                                # Inlined PhysicalMemory.write (page in
+                                # range, access alignment-contained).
+                                frames = self.memory._frames
+                                fb = frames.get(ppn)
+                                if fb is None:
+                                    fb = bytearray(4096)
+                                    frames[ppn] = fb
+                                fb[off:off + width] = \
+                                    (value & ((1 << (width << 3)) - 1)) \
+                                    .to_bytes(width, "little")
+                                return
+                            del self._dstore_pages[vpn]
+                            raise Trap(Cause.STORE_PAGE_FAULT,
+                                       self._current_pc, tval=vaddr)
+                    del self._dstore_pages[vpn]
+            else:
+                self._dload_pages.clear()
+                self._dstore_pages.clear()
+                self._dside_generation = mmu.generation
         tr = self._translate(vaddr, memop)
         if tr.walk_accesses:
             self.timing.tlb_walk(tr.walk_accesses, instruction_side=False)
-        region = self._mmio_for(tr.paddr)
+        region = self._mmio_for(tr.paddr) if self.mmio else None
         if region is not None and region.write is not None:
             region.write(tr.paddr, width, value)
             return
+        if self._code_frames and (tr.paddr >> 12) in self._code_frames:
+            self._flush_blocks()
         if self.dcache is not None:
             self.timing.dcache(self.dcache.access(tr.paddr))
         self.memory.write(tr.paddr, width, value)
+        if (region is None and memop == MemOp.WRITE and self._dside_cap
+                and self.fast_path_enabled and not self.mmu.bare):
+            if len(self._dstore_pages) >= self._dside_cap:
+                self._dstore_pages.clear()
+            self._dstore_pages[vaddr >> 12] = tr.paddr >> 12
 
     # -- fetch/decode --------------------------------------------------------
 
@@ -170,6 +357,13 @@ class Core:
         """Called on fence.i and address-space changes."""
         self._decode_cache.clear()
         self._decode_cache_c.clear()
+        self._flush_blocks()
+
+    def _flush_blocks(self) -> None:
+        """Drop cached basic blocks (fence.i, SMC store, generation bump)."""
+        self._blocks.clear()
+        self._code_frames.clear()
+        self._block_abort = True
 
     def _fetch_paddr(self, vaddr: int) -> int:
         """Translate a fetch address with a per-page fast path.
@@ -231,6 +425,8 @@ class Core:
                 except DecodingError:
                     raise Trap(Cause.ILLEGAL_INSTRUCTION, pc,
                                tval=low) from None
+                if len(self._decode_cache_c) >= _DECODE_CACHE_CAP:
+                    self._decode_cache_c.clear()
                 self._decode_cache_c[low] = insn
         else:
             insn = self._decode_cache.get(word)
@@ -240,6 +436,8 @@ class Core:
                 except DecodingError:
                     raise Trap(Cause.ILLEGAL_INSTRUCTION, pc,
                                tval=word) from None
+                if len(self._decode_cache) >= _DECODE_CACHE_CAP:
+                    self._decode_cache.clear()
                 self._decode_cache[word] = insn
         if insn.semclass == "roload" and not self.roload_enabled:
             self._check_roload_implemented(insn, pc)
@@ -274,6 +472,244 @@ class Core:
         self.pc = next_pc if next_pc is not None else \
             (pc + insn.length) & MASK64
 
+    # -- basic-block fast path ----------------------------------------------
+
+    def _build_block(self, pc: int) -> "tuple | None":
+        """Decode the straight-line run starting at ``pc`` (one page max).
+
+        Pure decode: nothing is charged here except the initial page
+        translation, which the slow path would charge at the very same
+        fetch. I-cache accesses are recorded per instruction and replayed
+        in execution order by :meth:`step_block`. Returns None when the
+        first instruction needs the slow path (misaligned pc, a fetch
+        straddling the page, undecodable bits, or an unimplemented
+        roload on the baseline core).
+        """
+        self._current_pc = pc
+        frame = self._fetch_paddr(pc) & ~0xFFF
+        vpn = pc >> 12
+        memory = self.memory
+        entries = []
+        while True:
+            off = pc & 0xFFF
+            paddr = frame | off
+            if off > 0xFFC:
+                low = memory.read(paddr, 2)
+                if low & 0b11 == 0b11:
+                    break  # 32-bit fetch would straddle the page
+                word = low
+                compressed = True
+            else:
+                word = memory.read(paddr, 4)
+                low = word & 0xFFFF
+                compressed = (low & 0b11) != 0b11
+            if compressed:
+                insn = self._decode_cache_c.get(low)
+                if insn is None:
+                    try:
+                        insn = decode_compressed(low)
+                    except DecodingError:
+                        break  # step() raises the illegal-instruction trap
+                    if len(self._decode_cache_c) >= _DECODE_CACHE_CAP:
+                        self._decode_cache_c.clear()
+                    self._decode_cache_c[low] = insn
+                paddr2 = None
+            else:
+                insn = self._decode_cache.get(word)
+                if insn is None:
+                    try:
+                        insn = decode(word)
+                    except DecodingError:
+                        break
+                    if len(self._decode_cache) >= _DECODE_CACHE_CAP:
+                        self._decode_cache.clear()
+                    self._decode_cache[word] = insn
+                # A 4-byte instruction whose tail crosses an I-cache line
+                # costs a second access, exactly as in fetch().
+                paddr2 = paddr + 2 if (pc & 63) == 62 else None
+            if insn.semclass == "roload" and not self.roload_enabled:
+                break  # step() raises the illegal-instruction trap
+            handler = _HANDLERS.get(insn.name)
+            if handler is None:  # pragma: no cover - table is total
+                break
+            spec = _SPECIALIZE.get(insn.name)
+            if spec is not None:
+                handler = spec(self, insn, pc)
+            next_pc = (pc + insn.length) & MASK64
+            entries.append((handler, insn, pc, next_pc, paddr, paddr2))
+            if insn.name in _BLOCK_TERMINATORS:
+                break
+            if off + insn.length >= 0x1000:
+                break  # the next instruction lives on another page
+            pc = next_pc
+        if not entries:
+            return None
+        block = (tuple(entries), vpn, frame)
+        if len(self._blocks) >= _BLOCK_CACHE_CAP:
+            self._flush_blocks()
+        self._blocks[entries[0][2]] = block
+        self._code_frames.add(frame >> 12)
+        return block
+
+    def step_block(self, limit: int = 1 << 62) -> None:
+        """Execute up to ``limit`` (>= 1) instructions via the block cache.
+
+        Falls back to :meth:`step` (one instruction, full fetch/decode
+        path) whenever the fast path cannot apply. Architecturally
+        indistinguishable from calling :meth:`step` in a loop.
+        """
+        if not self.fast_path_enabled or self.trace_hook is not None:
+            self.step()
+            return
+        pc = self.pc
+        if pc & 1:
+            self.step()  # raises the misaligned-fetch trap
+            return
+        generation = self.mmu.generation
+        if self._block_generation != generation:
+            self._flush_blocks()
+            self._block_generation = generation
+        block = self._blocks.get(pc)
+        if block is None:
+            block = self._build_block(pc)
+            if block is None:
+                self.step()
+                return
+        elif self._fetch_generation != generation \
+                or block[1] not in self._fetch_pages:
+            # The fetch page cache lost this page: retranslate exactly as
+            # the slow path's next fetch would (charging any TLB walk).
+            self._current_pc = pc
+            self._fetch_paddr(pc)
+        timing = self.timing
+        stats = timing.stats
+        cpi = timing.params.base_cpi
+        penalty = timing.params.cache_miss_penalty
+        icache = self.icache
+        entries = block[0]
+        if limit < len(entries):
+            entries = entries[:limit]
+            if not entries:
+                return
+        if icache is not None:
+            isets = icache._sets
+            ishift = icache._line_shift
+            imask = icache.num_sets - 1
+            iways = icache.ways
+        # Retirement counts for straight-line instructions are batched in
+        # ``done`` (and I-cache hits in ``ihits``) and flushed before the
+        # final entry executes — CSR reads of cycle/instret only happen in
+        # terminators, which are always a block's last instruction — and
+        # unconditionally on the way out (``finally``) when a handler
+        # traps mid-block. Handlers' own penalty charges commute with the
+        # deferred base-CPI additions, so the totals are bit-identical to
+        # per-instruction accounting.
+        done = 0
+        ihits = 0
+        last_line = -1
+        self._block_abort = False
+        try:
+            for handler, insn, ipc, next_pc, paddr, paddr2 in entries[:-1]:
+                self._current_pc = ipc
+                if icache is not None:
+                    # Inlined timing.icache(icache.access(paddr)). When the
+                    # line is the one this replay touched last, it is both
+                    # resident and already most-recently-used, so the
+                    # lookup and the LRU refresh are no-ops.
+                    line = paddr >> ishift
+                    if line == last_line:
+                        ihits += 1
+                    elif line in (ways := isets[line & imask]):
+                        ways.move_to_end(line)
+                        ihits += 1
+                        last_line = line
+                    else:
+                        icache.misses += 1
+                        ways[line] = True
+                        if len(ways) > iways:
+                            ways.popitem(last=False)
+                        stats.icache_misses += 1
+                        stats.cycles += penalty
+                        last_line = line
+                    if paddr2 is not None:
+                        line = paddr2 >> ishift
+                        ways = isets[line & imask]
+                        if line in ways:
+                            ways.move_to_end(line)
+                            ihits += 1
+                        else:
+                            icache.misses += 1
+                            ways[line] = True
+                            if len(ways) > iways:
+                                ways.popitem(last=False)
+                            stats.icache_misses += 1
+                            stats.cycles += penalty
+                        last_line = line
+                result = handler(self, insn, ipc)
+                done += 1
+                if result is not None:
+                    self.pc = result
+                    return
+                self.pc = next_pc
+                if self._block_abort:
+                    # A store just invalidated cached code: the rest of
+                    # this block's pre-decoded entries may be stale.
+                    # Resume at next_pc through a fresh fetch/decode.
+                    self._block_abort = False
+                    return
+            # Flush deferred counters so a terminator that reads the
+            # architectural counters (rdcycle/rdinstret, any CSR op) sees
+            # exact values.
+            stats.instructions += done
+            stats.cycles += done * cpi
+            done = 0
+            if ihits:
+                icache.hits += ihits
+                ihits = 0
+            handler, insn, ipc, next_pc, paddr, paddr2 = entries[-1]
+            self._current_pc = ipc
+            if icache is not None:
+                line = paddr >> ishift
+                ways = isets[line & imask]
+                if line in ways:
+                    ways.move_to_end(line)
+                    icache.hits += 1
+                else:
+                    icache.misses += 1
+                    ways[line] = True
+                    if len(ways) > iways:
+                        ways.popitem(last=False)
+                    stats.icache_misses += 1
+                    stats.cycles += penalty
+                if paddr2 is not None:
+                    line = paddr2 >> ishift
+                    ways = isets[line & imask]
+                    if line in ways:
+                        ways.move_to_end(line)
+                        icache.hits += 1
+                    else:
+                        icache.misses += 1
+                        ways[line] = True
+                        if len(ways) > iways:
+                            ways.popitem(last=False)
+                        stats.icache_misses += 1
+                        stats.cycles += penalty
+            result = handler(self, insn, ipc)
+            stats.instructions += 1
+            stats.cycles += cpi
+            if result is not None:
+                self.pc = result
+            else:
+                self.pc = next_pc
+            if self._block_abort:
+                self._block_abort = False
+        finally:
+            if done:
+                stats.instructions += done
+                stats.cycles += done * cpi
+            if ihits:
+                icache.hits += ihits
+
     def run(self, max_instructions: int,
             trap_handler: "Optional[Callable[[Trap], bool]]" = None) -> int:
         """Run until a trap goes unhandled or the budget is exhausted.
@@ -282,15 +718,17 @@ class Core:
         False to stop. Returns the number of instructions retired.
         """
         start = self.instret
-        while self.instret - start < max_instructions:
+        while True:
+            remaining = max_instructions - (self.instret - start)
+            if remaining <= 0:
+                raise SimulationError(
+                    f"instruction budget ({max_instructions}) exhausted at "
+                    f"pc={self.pc:#x}")
             try:
-                self.step()
+                self.step_block(remaining)
             except Trap as trap:
                 if trap_handler is None or not trap_handler(trap):
                     return self.instret - start
-        raise SimulationError(
-            f"instruction budget ({max_instructions}) exhausted at "
-            f"pc={self.pc:#x}")
 
 
 # ---------------------------------------------------------------------------
@@ -796,3 +1234,294 @@ def _build_handlers():
 
 
 _HANDLERS = _build_handlers()
+
+
+# ---------------------------------------------------------------------------
+# Block-entry specialization. When _build_block caches an instruction it may
+# swap the generic handler for a closure with the instruction's fields, any
+# pc-derived constants, and the core's identity-stable hot objects (register
+# file, TLB entry map, page caches, cache sets — all mutated in place, never
+# reassigned) pre-bound, eliminating per-replay attribute lookups and the
+# write_reg/load/store call layers. Each specialization is a transcription
+# of the generic handler above — identical architectural behavior, including
+# every counter and fault. Specialized closures only ever run from
+# step_block's replay loop, which is itself gated on fast_path_enabled.
+# Anything not listed in _SPECIALIZE keeps its generic handler.
+# ---------------------------------------------------------------------------
+
+
+def _spec_nop(core, insn, pc):
+    return None
+
+
+def _spec_lui(core, insn, pc):
+    rd = insn.rd
+    if not rd:
+        return _spec_nop
+    value = to_u64(sext(insn.imm << 12, 32))
+    regs = core.regs
+
+    def op(core, insn, pc):
+        regs[rd] = value
+    return op
+
+
+def _spec_auipc(core, insn, pc):
+    rd = insn.rd
+    if not rd:
+        return _spec_nop
+    value = to_u64(pc + sext(insn.imm << 12, 32))
+    regs = core.regs
+
+    def op(core, insn, pc):
+        regs[rd] = value
+    return op
+
+
+def _spec_load(core, insn, pc):
+    width, signed = _LOAD_INFO[insn.name]
+    rd, rs1, imm = insn.rd, insn.rs1, insn.imm
+    align = width - 1
+    sbit = 1 << ((width << 3) - 1)
+    wrap = 1 << (width << 3)
+    regs = core.regs
+    mmu = core.mmu
+    dtlb = getattr(mmu, "dtlb", None)
+    if dtlb is None or not core._dside_cap:
+        # No D-TLB (keyed-PMP backend): always the generic path.
+        def op(core, insn, pc):
+            value = core.load((regs[rs1] + imm) & MASK64, width, signed)
+            if rd:
+                regs[rd] = value
+        return op
+    mmu_stats = mmu.stats
+    tentries = dtlb._entries
+    dload_pages = core._dload_pages
+    frames = core.memory._frames
+    dcache = core.dcache
+    timing = core.timing
+    penalty = timing.params.cache_miss_penalty
+    if dcache is not None:
+        dsets = dcache._sets
+        dshift = dcache._line_shift
+        dmask = dcache.num_sets - 1
+        dways = dcache.ways
+
+    def op(core, insn, pc):
+        vaddr = (regs[rs1] + imm) & MASK64
+        if not vaddr & align:
+            if core._dside_generation == mmu.generation:
+                vpn = vaddr >> 12
+                ppn = dload_pages.get(vpn)
+                if ppn is not None:
+                    # Inlined TLB.probe_hit (see Core.load).
+                    entry = tentries.get(vpn)
+                    if entry is not None:
+                        tentries.move_to_end(vpn)
+                        dtlb.hits += 1
+                        if entry.ppn == ppn:
+                            mmu_stats.translations += 1
+                            if entry.readable and (not mmu.user_mode
+                                                   or entry.user):
+                                off = vaddr & 0xFFF
+                                if dcache is not None:
+                                    line = ((ppn << 12) | off) >> dshift
+                                    ways = dsets[line & dmask]
+                                    if line in ways:
+                                        ways.move_to_end(line)
+                                        dcache.hits += 1
+                                    else:
+                                        dcache.misses += 1
+                                        ways[line] = True
+                                        if len(ways) > dways:
+                                            ways.popitem(last=False)
+                                        stats = timing.stats
+                                        stats.dcache_misses += 1
+                                        stats.cycles += penalty
+                                fb = frames.get(ppn)
+                                value = 0 if fb is None else int.from_bytes(
+                                    fb[off:off + width], "little")
+                                if signed and value >= sbit:
+                                    value = (value - wrap) & MASK64
+                                if rd:
+                                    regs[rd] = value
+                                return None
+                            del dload_pages[vpn]
+                            raise Trap(Cause.LOAD_PAGE_FAULT,
+                                       core._current_pc, tval=vaddr)
+                    del dload_pages[vpn]
+        value = core.load(vaddr, width, signed)
+        if rd:
+            regs[rd] = value
+        return None
+    return op
+
+
+def _spec_store(core, insn, pc):
+    width = _STORE_INFO[insn.name]
+    rs1, rs2, imm = insn.rs1, insn.rs2, insn.imm
+    align = width - 1
+    wmask = (1 << (width << 3)) - 1
+    regs = core.regs
+    mmu = core.mmu
+    dtlb = getattr(mmu, "dtlb", None)
+    if dtlb is None or not core._dside_cap:
+        def op(core, insn, pc):
+            core.store((regs[rs1] + imm) & MASK64, width, regs[rs2])
+        return op
+    mmu_stats = mmu.stats
+    tentries = dtlb._entries
+    dstore_pages = core._dstore_pages
+    code_frames = core._code_frames
+    frames = core.memory._frames
+    dcache = core.dcache
+    timing = core.timing
+    penalty = timing.params.cache_miss_penalty
+    if dcache is not None:
+        dsets = dcache._sets
+        dshift = dcache._line_shift
+        dmask = dcache.num_sets - 1
+        dways = dcache.ways
+
+    def op(core, insn, pc):
+        vaddr = (regs[rs1] + imm) & MASK64
+        if not vaddr & align:
+            if core._dside_generation == mmu.generation:
+                vpn = vaddr >> 12
+                ppn = dstore_pages.get(vpn)
+                if ppn is not None:
+                    entry = tentries.get(vpn)
+                    if entry is not None:
+                        tentries.move_to_end(vpn)
+                        dtlb.hits += 1
+                        if entry.ppn == ppn:
+                            mmu_stats.translations += 1
+                            if entry.writable and (not mmu.user_mode
+                                                   or entry.user):
+                                off = vaddr & 0xFFF
+                                if code_frames and ppn in code_frames:
+                                    core._flush_blocks()
+                                if dcache is not None:
+                                    line = ((ppn << 12) | off) >> dshift
+                                    ways = dsets[line & dmask]
+                                    if line in ways:
+                                        ways.move_to_end(line)
+                                        dcache.hits += 1
+                                    else:
+                                        dcache.misses += 1
+                                        ways[line] = True
+                                        if len(ways) > dways:
+                                            ways.popitem(last=False)
+                                        stats = timing.stats
+                                        stats.dcache_misses += 1
+                                        stats.cycles += penalty
+                                fb = frames.get(ppn)
+                                if fb is None:
+                                    fb = bytearray(4096)
+                                    frames[ppn] = fb
+                                fb[off:off + width] = \
+                                    (regs[rs2] & wmask) \
+                                    .to_bytes(width, "little")
+                                return None
+                            del dstore_pages[vpn]
+                            raise Trap(Cause.STORE_PAGE_FAULT,
+                                       core._current_pc, tval=vaddr)
+                    del dstore_pages[vpn]
+        core.store(vaddr, width, regs[rs2])
+        return None
+    return op
+
+
+def _spec_addi(core, insn, pc):
+    rd, rs1, imm = insn.rd, insn.rs1, insn.imm
+    if not rd:
+        return _spec_nop
+    regs = core.regs
+
+    def op(core, insn, pc):
+        regs[rd] = (regs[rs1] + imm) & MASK64
+    return op
+
+
+def _spec_add(core, insn, pc):
+    rd, rs1, rs2 = insn.rd, insn.rs1, insn.rs2
+    if not rd:
+        return _spec_nop
+    regs = core.regs
+
+    def op(core, insn, pc):
+        regs[rd] = (regs[rs1] + regs[rs2]) & MASK64
+    return op
+
+
+def _spec_op_imm(compute):
+    """Specializer factory for rd = f(regs[rs1], imm) instructions."""
+    def spec(core, insn, pc):
+        rd, rs1 = insn.rd, insn.rs1
+        if not rd:
+            return _spec_nop
+        imm = insn.imm
+        regs = core.regs
+
+        def op(core, insn, pc):
+            regs[rd] = compute(regs[rs1], imm)
+        return op
+    return spec
+
+
+def _spec_op_reg(compute):
+    """Specializer factory for rd = f(regs[rs1], regs[rs2]) instructions."""
+    def spec(core, insn, pc):
+        rd, rs1, rs2 = insn.rd, insn.rs1, insn.rs2
+        if not rd:
+            return _spec_nop
+        regs = core.regs
+
+        def op(core, insn, pc):
+            regs[rd] = compute(regs[rs1], regs[rs2])
+        return op
+    return spec
+
+
+_SPECIALIZE = {
+    "lui": _spec_lui,
+    "auipc": _spec_auipc,
+    "addi": _spec_addi,
+    "add": _spec_add,
+    # Immediate ALU forms (identical to the _h_* handlers above).
+    "slti": _spec_op_imm(lambda a, imm: 1 if to_s64(a) < imm else 0),
+    "sltiu": _spec_op_imm(lambda a, imm: 1 if a < to_u64(imm) else 0),
+    "xori": _spec_op_imm(lambda a, imm: a ^ to_u64(imm)),
+    "ori": _spec_op_imm(lambda a, imm: a | to_u64(imm)),
+    "andi": _spec_op_imm(lambda a, imm: a & to_u64(imm)),
+    "slli": _spec_op_imm(lambda a, imm: (a << imm) & MASK64),
+    "srli": _spec_op_imm(lambda a, imm: a >> imm),
+    "srai": _spec_op_imm(lambda a, imm: to_u64(to_s64(a) >> imm)),
+    "addiw": _spec_op_imm(lambda a, imm: sext32_to_u64(a + imm)),
+    "slliw": _spec_op_imm(lambda a, imm: sext32_to_u64(a << imm)),
+    "srliw": _spec_op_imm(
+        lambda a, imm: sext32_to_u64((a & 0xFFFF_FFFF) >> imm)),
+    "sraiw": _spec_op_imm(lambda a, imm: sext32_to_u64(sext(a, 32) >> imm)),
+    # Register ALU forms.
+    "sub": _spec_op_reg(lambda a, b: (a - b) & MASK64),
+    "sll": _spec_op_reg(lambda a, b: (a << (b & 63)) & MASK64),
+    "slt": _spec_op_reg(lambda a, b: 1 if to_s64(a) < to_s64(b) else 0),
+    "sltu": _spec_op_reg(lambda a, b: 1 if a < b else 0),
+    "xor": _spec_op_reg(lambda a, b: a ^ b),
+    "srl": _spec_op_reg(lambda a, b: a >> (b & 63)),
+    "sra": _spec_op_reg(lambda a, b: to_u64(to_s64(a) >> (b & 63))),
+    "or": _spec_op_reg(lambda a, b: a | b),
+    "and": _spec_op_reg(lambda a, b: a & b),
+    "addw": _spec_op_reg(lambda a, b: sext32_to_u64(a + b)),
+    "subw": _spec_op_reg(lambda a, b: sext32_to_u64(a - b)),
+    "sllw": _spec_op_reg(lambda a, b: sext32_to_u64(a << (b & 31))),
+    "srlw": _spec_op_reg(
+        lambda a, b: sext32_to_u64((a & 0xFFFF_FFFF) >> (b & 31))),
+    "sraw": _spec_op_reg(
+        lambda a, b: sext32_to_u64(sext(a, 32) >> (b & 31))),
+}
+for _name in _LOAD_INFO:
+    _SPECIALIZE[_name] = _spec_load
+for _name in _STORE_INFO:
+    _SPECIALIZE[_name] = _spec_store
+del _name

@@ -7,8 +7,10 @@ terms of the number of clock cycles and KiB respectively").
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable, List, Tuple
 
 from repro.compiler import compile_module
 from repro.defenses import (
@@ -100,23 +102,110 @@ class BenchmarkRun:
         return 100.0 * (value - base) / base
 
 
-def run_benchmark(name: str, variants=VARIANTS, *, scale: float = 0.2,
-                  system_profile: str = "processor+kernel") -> BenchmarkRun:
-    """Generate, compile, and run all variants of one benchmark.
+def resolve_jobs(jobs: "int | None" = None) -> int:
+    """Worker-process count: explicit argument, else the REPRO_JOBS env
+    knob, else serial. ``0``/``auto`` means one worker per CPU."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "1").strip().lower()
+        if raw in ("0", "auto"):
+            jobs = os.cpu_count() or 1
+        else:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ReproError(f"REPRO_JOBS={raw!r} is not an integer "
+                                 f"(or 'auto')") from None
+    elif jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
 
-    Raises if any variant's exit code differs from base — a hardened
-    binary must be functionally identical.
+
+def _run_pair(task: tuple) -> "Tuple[str, str, Measurement]":
+    """Worker entry: one benchmark x variant pair, fully self-contained.
+
+    Each worker regenerates the workload (generation is deterministic in
+    the profile seed) and builds its own system — processes share nothing.
     """
+    name, variant, scale, system_profile, max_instructions = task
     program = build_workload(profile(name), scale=scale)
-    measurements: "Dict[str, Measurement]" = {}
-    for variant in variants:
-        measurements[variant] = run_variant(
-            program, variant, system_profile=system_profile)
+    measurement = run_variant(program, variant,
+                              system_profile=system_profile,
+                              max_instructions=max_instructions)
+    return name, variant, measurement
+
+
+def _measure_pairs(tasks: "List[tuple]", jobs: int) \
+        -> "Dict[Tuple[str, str], Measurement]":
+    """Run (benchmark, variant) tasks, fanning out when jobs > 1."""
+    out: "Dict[Tuple[str, str], Measurement]" = {}
+    jobs = min(jobs, len(tasks))
+    if jobs <= 1:
+        for task in tasks:
+            name, variant, m = _run_pair(task)
+            out[(name, variant)] = m
+        return out
+    # fork (when available) inherits the generated modules' determinism
+    # and the REPRO_* environment without re-importing the world.
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() \
+        else "spawn"
+    ctx = multiprocessing.get_context(method)
+    with ctx.Pool(processes=jobs) as pool:
+        for name, variant, m in pool.imap_unordered(_run_pair, tasks):
+            out[(name, variant)] = m
+    return out
+
+
+def _check_exit_codes(name: str,
+                      measurements: "Dict[str, Measurement]") -> None:
     codes = {m.exit_code for m in measurements.values()}
     if len(codes) != 1:
         raise ReproError(f"{name}: variants disagree on output: "
                          f"{ {v: m.exit_code for v, m in measurements.items()} }")
+
+
+def run_benchmark(name: str, variants=VARIANTS, *, scale: float = 0.2,
+                  system_profile: str = "processor+kernel",
+                  jobs: "int | None" = None) -> BenchmarkRun:
+    """Generate, compile, and run all variants of one benchmark.
+
+    Raises if any variant's exit code differs from base — a hardened
+    binary must be functionally identical. With ``jobs`` (or REPRO_JOBS)
+    above 1, variants are measured in parallel worker processes.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(variants) <= 1:
+        program = build_workload(profile(name), scale=scale)
+        measurements: "Dict[str, Measurement]" = {}
+        for variant in variants:
+            measurements[variant] = run_variant(
+                program, variant, system_profile=system_profile)
+    else:
+        unique = list(dict.fromkeys(variants))
+        tasks = [(name, v, scale, system_profile, 100_000_000)
+                 for v in unique]
+        by_pair = _measure_pairs(tasks, jobs)
+        measurements = {v: by_pair[(name, v)] for v in unique}
+    _check_exit_codes(name, measurements)
     return BenchmarkRun(name, measurements)
+
+
+def run_benchmarks(names: "Iterable[str]", variants=VARIANTS, *,
+                   scale: float = 0.2,
+                   system_profile: str = "processor+kernel",
+                   jobs: "int | None" = None) -> "Dict[str, BenchmarkRun]":
+    """Run a benchmark sweep, fanning benchmark x variant pairs across
+    worker processes (REPRO_JOBS or ``jobs``; serial when 1)."""
+    names = list(names)
+    jobs = resolve_jobs(jobs)
+    tasks = [(name, v, scale, system_profile, 100_000_000)
+             for name in names for v in variants]
+    by_pair = _measure_pairs(tasks, jobs)
+    runs: "Dict[str, BenchmarkRun]" = {}
+    for name in names:
+        measurements = {v: by_pair[(name, v)] for v in variants}
+        _check_exit_codes(name, measurements)
+        runs[name] = BenchmarkRun(name, measurements)
+    return runs
 
 
 def run_system_comparison(name: str, *, scale: float = 0.2) \

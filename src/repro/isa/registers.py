@@ -26,11 +26,13 @@ RVC_REG_BASE = 8
 RVC_REGS = tuple(range(8, 16))
 
 # Name -> index, accepting both xN and ABI spellings (plus fp for s0).
-_NAME_TO_INDEX = {}
+# Public so hot parsers can probe it directly; reg_index() stays the
+# checked (case-insensitive, raising) API.
+NAME_TO_INDEX = {}
 for _i, _name in enumerate(ABI_NAMES):
-    _NAME_TO_INDEX[_name] = _i
-    _NAME_TO_INDEX[f"x{_i}"] = _i
-_NAME_TO_INDEX["fp"] = 8
+    NAME_TO_INDEX[_name] = _i
+    NAME_TO_INDEX[f"x{_i}"] = _i
+NAME_TO_INDEX["fp"] = 8
 
 
 def reg_index(name: str) -> int:
@@ -39,7 +41,7 @@ def reg_index(name: str) -> int:
     Raises :class:`AssemblerError` for unknown names.
     """
     try:
-        return _NAME_TO_INDEX[name.lower()]
+        return NAME_TO_INDEX[name.lower()]
     except KeyError:
         raise AssemblerError(f"unknown register {name!r}") from None
 

@@ -86,13 +86,14 @@ class Kernel:
         executed_start = core.instret
         try:
             while process.alive:
-                if core.instret - executed_start >= max_instructions:
+                remaining = max_instructions - (core.instret - executed_start)
+                if remaining <= 0:
                     raise SimulationError(
                         f"pid {process.pid}: instruction budget "
                         f"({max_instructions}) exhausted at "
                         f"pc={core.pc:#x}")
                 try:
-                    core.step()
+                    core.step_block(remaining)
                 except Trap as trap:
                     self._handle_trap(process, trap)
         finally:

@@ -13,7 +13,16 @@ from typing import Iterator, Optional
 
 from repro.errors import PageTableError
 from repro.mem.physical import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
-from repro.mem.pte import PTE, make_table_pointer
+from repro.mem.pte import (
+    PPN_MASK,
+    PPN_SHIFT,
+    PTE,
+    PTE_R,
+    PTE_V,
+    PTE_W,
+    PTE_X,
+    make_table_pointer,
+)
 
 LEVELS = 3
 VPN_BITS = 9
@@ -91,20 +100,25 @@ class PageTableWalker:
             return None
         table = root_ppn << PAGE_SHIFT
         vpns = vpn_fields(vaddr)
+        read = self.memory.read
         accesses = 0
+        leaf_bits = PTE_R | PTE_W | PTE_X
         for level in (2, 1, 0):
             # vpns is ordered (VPN[2], VPN[1], VPN[0]).
             pte_address = table + vpns[2 - level] * PTE_SIZE
             accesses += 1
-            pte = PTE.unpack(self.memory.read(pte_address, 8))
-            if not pte.valid:
+            # Intermediate levels only need the valid/leaf bits and the
+            # next-table PPN — decode the full PTE only for the leaf.
+            word = read(pte_address, 8)
+            if not word & PTE_V:
                 return None
-            if pte.is_leaf:
+            if word & leaf_bits:
                 if level != 0:
                     # Superpages unsupported by this prototype kernel.
                     return None
-                return WalkResult(pte, pte_address, level, accesses)
-            table = pte.ppn << PAGE_SHIFT
+                return WalkResult(PTE.unpack(word), pte_address, level,
+                                  accesses)
+            table = ((word >> PPN_SHIFT) & PPN_MASK) << PAGE_SHIFT
         return None
 
 
@@ -139,15 +153,15 @@ class PageTableBuilder:
         table = self.root
         for index in (vpn2, vpn1):
             pte_address = table + index * PTE_SIZE
-            pte = PTE.unpack(self.memory.read(pte_address, 8))
-            if not pte.valid:
+            word = self.memory.read(pte_address, 8)
+            if not word & PTE_V:
                 if not create:
                     return None
                 table = self._next_table(table, index)
             else:
-                if pte.is_leaf:
+                if word & (PTE_R | PTE_W | PTE_X):
                     raise PageTableError("superpage in the way")
-                table = pte.ppn << PAGE_SHIFT
+                table = ((word >> PPN_SHIFT) & PPN_MASK) << PAGE_SHIFT
         return table + vpn0 * PTE_SIZE
 
     def map_page(self, vaddr: int, paddr: int, *, readable=False,

@@ -52,6 +52,17 @@ class TLB:
         self.hits += 1
         return entry
 
+    def probe_hit(self, vpn: int) -> Optional[TLBEntry]:
+        """Fast-path lookup: counts the hit (and refreshes LRU order) when
+        the entry is resident, but records *nothing* on a miss — the
+        caller falls back to the full translate path, whose own
+        :meth:`lookup` then counts the miss exactly once."""
+        entry = self._entries.get(vpn)
+        if entry is not None:
+            self._entries.move_to_end(vpn)
+            self.hits += 1
+        return entry
+
     def insert(self, vpn: int, entry: TLBEntry) -> None:
         """Install a translation, evicting the LRU entry if full."""
         if vpn in self._entries:

@@ -1,0 +1,149 @@
+"""roload-bench: wall-clock benchmark of the simulator itself.
+
+    roload-bench [--smoke] [--scale S] [--jobs N] [--benchmarks a,b,...]
+                 [--variants base,vcall,...] [--no-compare] [--out PATH]
+
+Times a fixed workload sweep end to end (generate + compile + simulate)
+and reports simulator throughput in sim-MIPS (millions of simulated
+instructions per wall-clock second). By default it runs the sweep twice
+— once in the seed configuration (slow path, serial) and once with the
+fast path plus REPRO_JOBS workers — and records both, plus the speedup,
+in a ``BENCH_interp.json`` record so the performance trajectory of the
+interpreter is tracked PR over PR.
+
+The architectural results of both configurations are asserted identical
+(cycles, instructions, exit codes): a perf record produced by a run that
+changed architecture is worthless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.eval.measure import resolve_jobs, run_benchmarks
+
+# A small, representative slice of the Figure 4/5 sweep: two C integer
+# workloads and two C++ (virtual-call-heavy) ones.
+DEFAULT_BENCHMARKS = ("429.mcf", "401.bzip2", "473.astar", "471.omnetpp")
+DEFAULT_VARIANTS = ("base", "vcall")
+SMOKE_BENCHMARKS = ("429.mcf",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="roload-bench",
+        description="Measure simulator wall-clock throughput (sim MIPS).")
+    parser.add_argument("--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
+                        help="comma-separated benchmark names")
+    parser.add_argument("--variants", default=",".join(DEFAULT_VARIANTS),
+                        help="comma-separated variants to measure")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="workload scale (REPRO_BENCH_SCALE analogue)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the fast configuration "
+                             "(default: REPRO_JOBS or 4)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sweep for CI sanity: one benchmark, "
+                             "base only, scale 0.05, no JSON record")
+    parser.add_argument("--no-compare", action="store_true",
+                        help="run only the fast configuration (skip the "
+                             "seed-equivalent slow/serial reference)")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_interp.json"),
+                        help="where to write the JSON record")
+    return parser
+
+
+def _run_sweep(benchmarks, variants, scale, *, fast: bool, jobs: int):
+    """One timed sweep under an explicit fast-path/jobs configuration."""
+    os.environ["REPRO_FASTPATH"] = "1" if fast else "0"
+    start = time.perf_counter()
+    runs = run_benchmarks(benchmarks, variants, scale=scale, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    instructions = sum(m.instructions for run in runs.values()
+                       for m in run.measurements.values())
+    cycles = sum(m.cycles for run in runs.values()
+                 for m in run.measurements.values())
+    return {
+        "fast_path": fast,
+        "jobs": jobs,
+        "wall_seconds": round(elapsed, 3),
+        "instructions": instructions,
+        "cycles": cycles,
+        "sim_mips": round(instructions / elapsed / 1e6, 4) if elapsed else 0,
+        "measurements": {
+            f"{name}/{variant}": {
+                "cycles": m.cycles, "instructions": m.instructions,
+                "exit_code": m.exit_code,
+                "dtlb_miss_rate": m.dtlb_miss_rate,
+                "dcache_miss_rate": m.dcache_miss_rate,
+            }
+            for name, run in runs.items()
+            for variant, m in run.measurements.items()
+        },
+    }
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    benchmarks = tuple(b for b in args.benchmarks.split(",") if b)
+    variants = tuple(v for v in args.variants.split(",") if v)
+    scale = args.scale
+    if args.smoke:
+        benchmarks, variants, scale = SMOKE_BENCHMARKS, ("base",), 0.05
+    jobs = args.jobs if args.jobs is not None else \
+        (resolve_jobs(None) if "REPRO_JOBS" in os.environ else 4)
+    jobs = max(1, jobs)
+
+    saved_fastpath = os.environ.get("REPRO_FASTPATH")
+    try:
+        fast = _run_sweep(benchmarks, variants, scale, fast=True, jobs=jobs)
+        print(f"fast: {fast['wall_seconds']}s, {fast['sim_mips']} sim-MIPS "
+              f"(jobs={jobs})")
+        record = {
+            "tool": "roload-bench",
+            "scale": scale,
+            "benchmarks": list(benchmarks),
+            "variants": list(variants),
+            "python": sys.version.split()[0],
+            "fast": fast,
+        }
+        if not (args.no_compare or args.smoke):
+            slow = _run_sweep(benchmarks, variants, scale,
+                              fast=False, jobs=1)
+            print(f"seed-equivalent (slow, serial): {slow['wall_seconds']}s, "
+                  f"{slow['sim_mips']} sim-MIPS")
+            if slow["measurements"] != fast["measurements"]:
+                raise ReproError(
+                    "fast and slow sweeps disagree architecturally — "
+                    "refusing to record a perf number for a broken "
+                    "simulator")
+            speedup = slow["wall_seconds"] / fast["wall_seconds"] \
+                if fast["wall_seconds"] else 0.0
+            record["slow"] = slow
+            record["speedup"] = round(speedup, 2)
+            print(f"speedup: {record['speedup']}x")
+    except ReproError as error:
+        print(f"roload-bench: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if saved_fastpath is None:
+            os.environ.pop("REPRO_FASTPATH", None)
+        else:
+            os.environ["REPRO_FASTPATH"] = saved_fastpath
+
+    if args.smoke:
+        print("smoke ok")
+        return 0
+    args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"[recorded in {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
