@@ -23,6 +23,7 @@ from repro.isa.encoding import decode
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import MemOp
 from repro.cpu.csr import CSRFile
+from repro.cpu.jit import compile_block as _compile_block
 from repro.cpu.timing import TimingModel
 from repro.cpu.trap import Cause, Trap
 from repro.mem.cache import Cache
@@ -35,15 +36,13 @@ from repro.utils.bits import (
     to_u64,
 )
 
-# Width/signedness per load/store mnemonic (plain and ROLoad variants).
-_LOAD_INFO = {
-    "lb": (1, True), "lh": (2, True), "lw": (4, True), "ld": (8, True),
-    "lbu": (1, False), "lhu": (2, False), "lwu": (4, False),
-}
-_RO_INFO = {"lb.ro": (1, True), "lh.ro": (2, True), "lw.ro": (4, True),
-            "ld.ro": (8, True), "lbu.ro": (1, False), "lhu.ro": (2, False),
-            "lwu.ro": (4, False)}
-_STORE_INFO = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+# Width/signedness per load/store mnemonic (plain and ROLoad variants),
+# shared with the tier-2 trace compiler (repro.cpu.jit).
+from repro.isa.codegen import (  # noqa: E402
+    LOAD_INFO as _LOAD_INFO,
+    RO_INFO as _RO_INFO,
+    STORE_INFO as _STORE_INFO,
+)
 
 # Decode caches are keyed on raw instruction bits; bound them so large or
 # self-modifying code cannot grow them without limit.
@@ -64,6 +63,20 @@ def _fastpath_default() -> bool:
     """REPRO_FASTPATH=0 forces every instruction down the slow path."""
     value = os.environ.get("REPRO_FASTPATH", "1").strip().lower()
     return value not in ("0", "off", "no", "false")
+
+
+def _jit_default() -> bool:
+    """REPRO_JIT=0 disables the tier-2 trace compiler (DESIGN.md §9)."""
+    value = os.environ.get("REPRO_JIT", "1").strip().lower()
+    return value not in ("0", "off", "no", "false")
+
+
+def _jit_threshold_default() -> int:
+    """Dispatches of a cached block before it is compiled to tier 2."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JIT_THRESHOLD", "16")))
+    except ValueError:
+        return 16
 
 
 class MMIORegion:
@@ -88,7 +101,9 @@ class Core:
                  dcache: "Cache | None" = None,
                  timing: "TimingModel | None" = None,
                  roload_enabled: bool = True,
-                 fast_path: "bool | None" = None):
+                 fast_path: "bool | None" = None,
+                 jit: "bool | None" = None,
+                 jit_threshold: "int | None" = None):
         self.memory = memory
         self.mmu = mmu
         self.icache = icache
@@ -135,6 +150,29 @@ class Core:
         self._dload_pages: "dict[int, int]" = {}
         self._dstore_pages: "dict[int, int]" = {}
         self._dside_generation = -1
+        # Tier-2 trace compiler (DESIGN.md §9): blocks dispatched at
+        # least jit_threshold times are compiled to one specialized
+        # Python function each (repro.cpu.jit) and chained directly.
+        self.jit_enabled = (_jit_default() if jit is None else jit) \
+            and self.fast_path_enabled
+        self.jit_threshold = _jit_threshold_default() \
+            if jit_threshold is None else max(1, jit_threshold)
+        self._jit_blocks: "dict[int, object]" = {}   # start pc -> JITBlock
+        self._jit_counts: "dict[int, int]" = {}      # dispatch counters
+        self._jit_nojit: "set[int]" = set()          # pcs pinned to tier 1
+        self.jit_compiled = 0   # blocks compiled (cumulative)
+        self.jit_flushes = 0    # times the compiled cache was dropped
+        # Tier-2 merged page memos: vpn -> (frame, ok_kernel, ok_user,
+        # ppn), collapsing the D-side page lookup + D-TLB revalidation +
+        # frame fetch into one dict hit. An entry is valid only while
+        # (a) the vpn stays in the matching _d*_pages map — every del/
+        # clear below purges the memo too — and (b) the D-TLB entry it
+        # was derived from is still resident and unreplaced, enforced by
+        # registering the memos as TLB shadows (see TLB.insert/flush).
+        self._jload_memo: "dict[int, tuple]" = {}
+        self._jstore_memo: "dict[int, tuple]" = {}
+        if dtlb is not None:
+            dtlb.shadows = (self._jload_memo, self._jstore_memo)
         # Optional per-retired-instruction callback: (pc, insn) -> None.
         # Used by repro.cpu.tracer; None costs one attribute test/step.
         self.trace_hook = None
@@ -165,6 +203,8 @@ class Core:
         # Pages memoised as plain RAM may now overlap a device window.
         self._dload_pages.clear()
         self._dstore_pages.clear()
+        self._jload_memo.clear()
+        self._jstore_memo.clear()
 
     def _mmio_for(self, paddr: int) -> "MMIORegion | None":
         for region in self.mmio:
@@ -242,13 +282,17 @@ class Core:
                             # cached: the same outcome MMU._check would
                             # produce.
                             del self._dload_pages[vpn]
+                            self._jload_memo.pop(vpn, None)
                             raise Trap(Cause.LOAD_PAGE_FAULT,
                                        self._current_pc, tval=vaddr)
                     # Evicted from the D-TLB (or remapped): retranslate.
                     del self._dload_pages[vpn]
+                    self._jload_memo.pop(vpn, None)
             else:
                 self._dload_pages.clear()
                 self._dstore_pages.clear()
+                self._jload_memo.clear()
+                self._jstore_memo.clear()
                 self._dside_generation = mmu.generation
         tr = self._translate(vaddr, memop, key)
         if tr.walk_accesses:
@@ -264,6 +308,7 @@ class Core:
                     and self.fast_path_enabled and not self.mmu.bare):
                 if len(self._dload_pages) >= self._dside_cap:
                     self._dload_pages.clear()
+                    self._jload_memo.clear()
                 self._dload_pages[vaddr >> 12] = tr.paddr >> 12
         if signed:
             return to_u64(sext(value, width * 8))
@@ -326,12 +371,16 @@ class Core:
                                     .to_bytes(width, "little")
                                 return
                             del self._dstore_pages[vpn]
+                            self._jstore_memo.pop(vpn, None)
                             raise Trap(Cause.STORE_PAGE_FAULT,
                                        self._current_pc, tval=vaddr)
                     del self._dstore_pages[vpn]
+                    self._jstore_memo.pop(vpn, None)
             else:
                 self._dload_pages.clear()
                 self._dstore_pages.clear()
+                self._jload_memo.clear()
+                self._jstore_memo.clear()
                 self._dside_generation = mmu.generation
         tr = self._translate(vaddr, memop)
         if tr.walk_accesses:
@@ -349,7 +398,48 @@ class Core:
                 and self.fast_path_enabled and not self.mmu.bare):
             if len(self._dstore_pages) >= self._dside_cap:
                 self._dstore_pages.clear()
+                self._jstore_memo.clear()
             self._dstore_pages[vaddr >> 12] = tr.paddr >> 12
+
+    def _jload_fill(self, vpn: int) -> "tuple | None":
+        """Populate the tier-2 load memo for one page (repro.cpu.jit).
+
+        Fills only when the full inline fast path would succeed right
+        now: vpn in the D-side page cache, D-TLB entry resident with a
+        matching ppn, physical frame materialized. Pure — no counter or
+        LRU side effects; on None the compiled code falls back to
+        :meth:`load`, whose eager path performs (and counts) the exact
+        slow-path semantics.
+        """
+        ppn = self._dload_pages.get(vpn)
+        if ppn is None:
+            return None
+        entry = self.mmu.dtlb._entries.get(vpn)
+        if entry is None or entry.ppn != ppn:
+            return None
+        fb = self.memory._frames.get(ppn)
+        if fb is None:
+            # Keep never-written pages uncached: the frame object the
+            # memo would pin doesn't exist yet.
+            return None
+        memo = (fb, entry.readable, entry.readable and entry.user, ppn)
+        self._jload_memo[vpn] = memo
+        return memo
+
+    def _jstore_fill(self, vpn: int) -> "tuple | None":
+        """Store-side twin of :meth:`_jload_fill`."""
+        ppn = self._dstore_pages.get(vpn)
+        if ppn is None:
+            return None
+        entry = self.mmu.dtlb._entries.get(vpn)
+        if entry is None or entry.ppn != ppn:
+            return None
+        fb = self.memory._frames.get(ppn)
+        if fb is None:
+            return None
+        memo = (fb, entry.writable, entry.writable and entry.user, ppn)
+        self._jstore_memo[vpn] = memo
+        return memo
 
     # -- fetch/decode --------------------------------------------------------
 
@@ -360,9 +450,20 @@ class Core:
         self._flush_blocks()
 
     def _flush_blocks(self) -> None:
-        """Drop cached basic blocks (fence.i, SMC store, generation bump)."""
+        """Drop cached basic blocks (fence.i, SMC store, generation bump).
+
+        Tier-2 blocks and their chain links go with them: a stale link
+        could otherwise jump straight into code that no longer exists.
+        """
         self._blocks.clear()
         self._code_frames.clear()
+        if self._jit_blocks:
+            for rec in self._jit_blocks.values():
+                rec.links.clear()
+            self._jit_blocks.clear()
+            self.jit_flushes += 1
+        self._jit_counts.clear()
+        self._jit_nojit.clear()
         self._block_abort = True
 
     def _fetch_paddr(self, vaddr: int) -> int:
@@ -569,6 +670,11 @@ class Core:
         if self._block_generation != generation:
             self._flush_blocks()
             self._block_generation = generation
+        elif self._jit_blocks:
+            rec = self._jit_blocks.get(pc)
+            if rec is not None and limit >= rec.n:
+                self._run_jit(rec, pc, limit, generation)
+                return
         block = self._blocks.get(pc)
         if block is None:
             block = self._build_block(pc)
@@ -581,6 +687,22 @@ class Core:
             # the slow path's next fetch would (charging any TLB walk).
             self._current_pc = pc
             self._fetch_paddr(pc)
+        if self.jit_enabled:
+            counts = self._jit_counts
+            seen = counts.get(pc, 0) + 1
+            if seen < self.jit_threshold:
+                counts[pc] = seen
+            elif pc not in self._jit_nojit:
+                counts.pop(pc, None)
+                rec = _compile_block(self, block, pc)
+                if rec is None:
+                    self._jit_nojit.add(pc)
+                else:
+                    self._jit_blocks[pc] = rec
+                    self.jit_compiled += 1
+                    if limit >= rec.n:
+                        self._run_jit(rec, pc, limit, generation)
+                        return
         timing = self.timing
         stats = timing.stats
         cpi = timing.params.base_cpi
@@ -709,6 +831,44 @@ class Core:
                 stats.cycles += done * cpi
             if ihits:
                 icache.hits += ihits
+
+    def _run_jit(self, rec, pc: int, limit: int, generation: int) -> None:
+        """Execute a compiled block, then chain into compiled successors.
+
+        Chaining stops when the budget cannot cover a whole successor,
+        an invalidation fires (``_block_abort`` set by a self-modifying
+        store or fence.i, or an MMU generation bump), or the successor
+        is not compiled. The per-iteration fetch-page recheck mirrors
+        step_block's cached-block dispatch: losing the code page from
+        the fetch cache costs the same retranslation the slow path's
+        next fetch would charge.
+        """
+        mmu = self.mmu
+        fetch_pages = self._fetch_pages
+        jit_blocks = self._jit_blocks
+        self._block_abort = False
+        while True:
+            if self._fetch_generation != generation \
+                    or rec.vpn not in fetch_pages:
+                self._current_pc = pc
+                self._fetch_paddr(pc)
+            pc = rec.fn()
+            self.pc = pc
+            if self._block_abort:
+                self._block_abort = False
+                return
+            if mmu.generation != generation:
+                return
+            nxt = rec.links.get(pc)
+            if nxt is None:
+                nxt = jit_blocks.get(pc)
+                if nxt is None:
+                    return
+                rec.links[pc] = nxt
+            limit -= rec.n
+            if limit < nxt.n:
+                return
+            rec = nxt
 
     def run(self, max_instructions: int,
             trap_handler: "Optional[Callable[[Trap], bool]]" = None) -> int:
@@ -1297,6 +1457,7 @@ def _spec_load(core, insn, pc):
     mmu_stats = mmu.stats
     tentries = dtlb._entries
     dload_pages = core._dload_pages
+    jload_memo = core._jload_memo
     frames = core.memory._frames
     dcache = core.dcache
     timing = core.timing
@@ -1347,9 +1508,11 @@ def _spec_load(core, insn, pc):
                                     regs[rd] = value
                                 return None
                             del dload_pages[vpn]
+                            jload_memo.pop(vpn, None)
                             raise Trap(Cause.LOAD_PAGE_FAULT,
                                        core._current_pc, tval=vaddr)
                     del dload_pages[vpn]
+                    jload_memo.pop(vpn, None)
         value = core.load(vaddr, width, signed)
         if rd:
             regs[rd] = value
@@ -1372,6 +1535,7 @@ def _spec_store(core, insn, pc):
     mmu_stats = mmu.stats
     tentries = dtlb._entries
     dstore_pages = core._dstore_pages
+    jstore_memo = core._jstore_memo
     code_frames = core._code_frames
     frames = core.memory._frames
     dcache = core.dcache
@@ -1424,9 +1588,11 @@ def _spec_store(core, insn, pc):
                                     .to_bytes(width, "little")
                                 return None
                             del dstore_pages[vpn]
+                            jstore_memo.pop(vpn, None)
                             raise Trap(Cause.STORE_PAGE_FAULT,
                                        core._current_pc, tval=vaddr)
                     del dstore_pages[vpn]
+                    jstore_memo.pop(vpn, None)
         core.store(vaddr, width, regs[rs2])
         return None
     return op

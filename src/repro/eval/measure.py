@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
@@ -69,7 +70,9 @@ def run_variant(program: WorkloadProgram, variant: str, *,
     system = build_system(system_profile)
     kernel = Kernel(system)
     process = kernel.create_process(image, name=program.profile.name)
+    start = time.perf_counter()
     kernel.run(process, max_instructions=max_instructions)
+    sim_seconds = time.perf_counter() - start
     if process.state.value != "exited":
         raise ReproError(
             f"{program.profile.name}/{variant} did not exit cleanly: "
@@ -78,7 +81,7 @@ def run_variant(program: WorkloadProgram, variant: str, *,
     dcache = system.dcache
     dtlb = system.mmu.dtlb
     code_bytes = sum(len(s.data) for s in image.segments if s.executable)
-    return Measurement(
+    measurement = Measurement(
         benchmark=program.profile.name, variant=variant,
         system_profile=system_profile, cycles=stats.cycles,
         instructions=stats.instructions,
@@ -86,6 +89,12 @@ def run_variant(program: WorkloadProgram, variant: str, *,
         dcache_miss_rate=1.0 - dcache.hit_rate,
         dtlb_miss_rate=1.0 - dtlb.hit_rate,
         code_bytes=code_bytes)
+    # Wall time of kernel.run alone, as a plain attribute rather than a
+    # dataclass field: it is host noise, not an architectural result, so
+    # it must stay out of asdict() — the differential tests compare the
+    # full field dict across interpreter tiers.
+    measurement.sim_seconds = sim_seconds
+    return measurement
 
 
 @dataclass
@@ -100,6 +109,22 @@ class BenchmarkRun:
         base = getattr(self.measurements["base"], metric)
         value = getattr(self.measurements[variant], metric)
         return 100.0 * (value - base) / base
+
+
+def interpreter_config() -> dict:
+    """The interpreter-tier configuration the current environment
+    selects (DESIGN.md §9 knob matrix) — what a fresh Core would use."""
+    from repro.cpu.core import (
+        _fastpath_default,
+        _jit_default,
+        _jit_threshold_default,
+    )
+    fast = _fastpath_default()
+    return {
+        "fast_path": fast,
+        "jit": fast and _jit_default(),
+        "jit_threshold": _jit_threshold_default(),
+    }
 
 
 def resolve_jobs(jobs: "int | None" = None) -> int:

@@ -1,0 +1,103 @@
+"""Per-opcode Python source templates for the tier-2 trace compiler.
+
+Each table maps a mnemonic to a function producing a Python *expression
+string* over already-evaluated u64 operand expressions (register locals
+like ``r5``, or the literal ``0`` for x0). Immediates arrive as Python
+ints so every immediate-dependent conversion folds at compile time.
+
+Every template is a transcription of the corresponding ``_h_*`` handler
+in ``repro.cpu.core`` — same wrap-around, same sign handling, same shift
+masking — so a compiled block is architecturally indistinguishable from
+interpreting the same instructions one at a time. The signed-view
+helpers below expand to branch-free integer arithmetic rather than
+calling into ``repro.utils.bits``: the whole point of the tier-2 path
+is that a hot block executes no Python calls it does not strictly need.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bits import to_u64
+
+_M = "0xFFFFFFFFFFFFFFFF"
+
+# Width/signedness per load/store mnemonic (plain and ROLoad variants) —
+# shared by the interpreter handler tables (repro.cpu.core) and the
+# trace compiler (repro.cpu.jit).
+LOAD_INFO = {
+    "lb": (1, True), "lh": (2, True), "lw": (4, True), "ld": (8, True),
+    "lbu": (1, False), "lhu": (2, False), "lwu": (4, False),
+}
+RO_INFO = {"lb.ro": (1, True), "lh.ro": (2, True), "lw.ro": (4, True),
+           "ld.ro": (8, True), "lbu.ro": (1, False), "lhu.ro": (2, False),
+           "lwu.ro": (4, False)}
+STORE_INFO = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+
+
+def s64(a: str) -> str:
+    """Signed view of a u64 operand (``to_s64``). ``a`` must be a simple
+    local name or literal — it is repeated."""
+    return f"({a} - 0x10000000000000000 if {a} >= 0x8000000000000000 else {a})"
+
+
+def s32(a: str) -> str:
+    """Signed view of the low 32 bits (``sext(a, 32)``)."""
+    return f"((({a} & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000)"
+
+
+def sx32(expr: str) -> str:
+    """Sign-extend an int32-producing expression to u64 (``sext32_to_u64``)."""
+    return f"(((({expr}) & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000) & {_M}"
+
+
+# rd = f(rs1, imm). Callable(a_expr, imm_int) -> expr.
+ALU_IMM = {
+    "addi": lambda a, i: f"({a} + {i}) & {_M}",
+    "slti": lambda a, i: f"(1 if {s64(a)} < {i} else 0)",
+    "sltiu": lambda a, i: f"(1 if {a} < {to_u64(i)} else 0)",
+    "xori": lambda a, i: f"{a} ^ {to_u64(i)}",
+    "ori": lambda a, i: f"{a} | {to_u64(i)}",
+    "andi": lambda a, i: f"{a} & {to_u64(i)}",
+    "slli": lambda a, i: f"({a} << {i}) & {_M}",
+    "srli": lambda a, i: f"{a} >> {i}",
+    "srai": lambda a, i: f"({s64(a)} >> {i}) & {_M}",
+    "addiw": lambda a, i: sx32(f"{a} + {i}"),
+    "slliw": lambda a, i: sx32(f"{a} << {i}"),
+    "srliw": lambda a, i: sx32(f"({a} & 0xFFFFFFFF) >> {i}"),
+    "sraiw": lambda a, i: sx32(f"{s32(a)} >> {i}"),
+}
+
+# rd = f(rs1, rs2). Callable(a_expr, b_expr) -> expr.
+ALU_REG = {
+    "add": lambda a, b: f"({a} + {b}) & {_M}",
+    "sub": lambda a, b: f"({a} - {b}) & {_M}",
+    "sll": lambda a, b: f"({a} << ({b} & 63)) & {_M}",
+    "slt": lambda a, b: f"(1 if {s64(a)} < {s64(b)} else 0)",
+    "sltu": lambda a, b: f"(1 if {a} < {b} else 0)",
+    "xor": lambda a, b: f"{a} ^ {b}",
+    "srl": lambda a, b: f"{a} >> ({b} & 63)",
+    "sra": lambda a, b: f"({s64(a)} >> ({b} & 63)) & {_M}",
+    "or": lambda a, b: f"{a} | {b}",
+    "and": lambda a, b: f"{a} & {b}",
+    "addw": lambda a, b: sx32(f"{a} + {b}"),
+    "subw": lambda a, b: sx32(f"{a} - {b}"),
+    "sllw": lambda a, b: sx32(f"{a} << ({b} & 31)"),
+    "srlw": lambda a, b: sx32(f"({a} & 0xFFFFFFFF) >> ({b} & 31)"),
+    "sraw": lambda a, b: sx32(f"{s32(a)} >> ({b} & 31)"),
+    # Single-cycle-result M ops worth inlining; the emitter adds the
+    # muldiv latency charge (timing.muldiv) for names in INLINE_MULDIV.
+    "mul": lambda a, b: f"({a} * {b}) & {_M}",
+    "mulw": lambda a, b: sx32(f"{a} * {b}"),
+}
+
+# ALU_REG names that must also charge TimingParams.mul_latency.
+INLINE_MULDIV = frozenset({"mul", "mulw"})
+
+# Branch condition expressions (the pc redirect is the emitter's job).
+BRANCH_COND = {
+    "beq": lambda a, b: f"{a} == {b}",
+    "bne": lambda a, b: f"{a} != {b}",
+    "blt": lambda a, b: f"{s64(a)} < {s64(b)}",
+    "bge": lambda a, b: f"{s64(a)} >= {s64(b)}",
+    "bltu": lambda a, b: f"{a} < {b}",
+    "bgeu": lambda a, b: f"{a} >= {b}",
+}

@@ -62,6 +62,22 @@ class Cache:
         for ways in self._sets:
             ways.clear()
 
+    # -- fast-path surface ---------------------------------------------------
+    # The interpreter fast paths (Core.load/store and the tier-2 trace
+    # compiler, DESIGN.md §8–9) inline `access` for speed. These expose the
+    # identity-stable internals they bind so generated code never touches
+    # underscore attributes.
+
+    @property
+    def line_sets(self) -> "list[OrderedDict]":
+        """The per-set LRU tag stores, indexed by ``line & (num_sets-1)``."""
+        return self._sets
+
+    @property
+    def line_shift(self) -> int:
+        """log2(line_size): ``paddr >> line_shift`` is the line number."""
+        return self._line_shift
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses

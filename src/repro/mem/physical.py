@@ -37,6 +37,15 @@ class PhysicalMemory:
         """Number of frames actually allocated (for memory accounting)."""
         return len(self._frames)
 
+    @property
+    def frame_map(self) -> "dict[int, bytearray]":
+        """The live frame-index -> bytearray store (identity-stable).
+
+        Bound by the interpreter fast paths for aligned, in-page accesses
+        whose range was proven valid when the translation was cached.
+        """
+        return self._frames
+
     # -- scalar access ------------------------------------------------------
 
     def read(self, address: int, size: int) -> int:

@@ -41,6 +41,12 @@ class TLB:
         self.hits = 0
         self.misses = 0
         self.flushes = 0
+        # Shadow maps (vpn-keyed dicts) whose entries are only valid
+        # while the TLB entry they were derived from stays resident and
+        # unreplaced. The tier-2 compiler (repro.cpu.jit) registers its
+        # page memos here; purging on insert/evict/flush is what makes
+        # "memo hit" imply "this exact entry is still live".
+        self.shadows: "tuple[dict, ...]" = ()
 
     def lookup(self, vpn: int) -> Optional[TLBEntry]:
         """Look up a virtual page number; updates LRU order and stats."""
@@ -69,19 +75,37 @@ class TLB:
             self._entries.move_to_end(vpn)
         self._entries[vpn] = entry
         if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            victim, _ = self._entries.popitem(last=False)
+            for shadow in self.shadows:
+                shadow.pop(victim, None)
+        for shadow in self.shadows:
+            shadow.pop(vpn, None)
 
     def flush(self) -> None:
         """Flush everything (sfence.vma with no arguments)."""
         self._entries.clear()
         self.flushes += 1
+        for shadow in self.shadows:
+            shadow.clear()
 
     def flush_page(self, vpn: int) -> None:
         """Flush one translation (sfence.vma with an address)."""
         self._entries.pop(vpn, None)
+        for shadow in self.shadows:
+            shadow.pop(vpn, None)
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def entry_map(self) -> "OrderedDict[int, TLBEntry]":
+        """The live vpn -> entry map (identity-stable, LRU-ordered).
+
+        Bound by the interpreter fast paths, which inline
+        :meth:`probe_hit`: get + move_to_end + hits on residency, nothing
+        on a miss.
+        """
+        return self._entries
 
     @property
     def hit_rate(self) -> float:

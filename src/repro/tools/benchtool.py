@@ -2,18 +2,30 @@
 
     roload-bench [--smoke] [--scale S] [--jobs N] [--benchmarks a,b,...]
                  [--variants base,vcall,...] [--no-compare] [--out PATH]
+                 [--check-against BASELINE [--tolerance T] [--report-only]]
 
 Times a fixed workload sweep end to end (generate + compile + simulate)
 and reports simulator throughput in sim-MIPS (millions of simulated
-instructions per wall-clock second). By default it runs the sweep twice
-— once in the seed configuration (slow path, serial) and once with the
-fast path plus REPRO_JOBS workers — and records both, plus the speedup,
-in a ``BENCH_interp.json`` record so the performance trajectory of the
-interpreter is tracked PR over PR.
+instructions per wall-clock second). By default it runs the sweep three
+times — once per interpreter tier:
 
-The architectural results of both configurations are asserted identical
-(cycles, instructions, exit codes): a perf record produced by a run that
-changed architecture is worthless.
+    slow   REPRO_FASTPATH=0             the seed configuration, serial
+    tier1  REPRO_FASTPATH=1 REPRO_JIT=0 block replay (PR 1)
+    tier2  REPRO_FASTPATH=1 REPRO_JIT=1 trace compiler (DESIGN.md §9)
+
+and records all three, plus the pairwise speedups, in a
+``BENCH_interp.json`` record (schema_version 2) so the performance
+trajectory of the interpreter is tracked PR over PR.
+
+The architectural results of all tiers are asserted identical (cycles,
+instructions, exit codes, miss rates): a perf record produced by a run
+that changed architecture is worthless.
+
+``--check-against`` turns the tool into a regression gate: it re-runs a
+tier-2-only sweep with the baseline record's parameters and fails (exit
+1) when throughput drops more than ``--tolerance`` (default 15%) below
+the recorded value. ``--report-only`` prints the verdict but always
+exits 0 — for CI legs on shared, noisy runners.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -28,11 +41,32 @@ from pathlib import Path
 from repro.errors import ReproError
 from repro.eval.measure import resolve_jobs, run_benchmarks
 
+SCHEMA_VERSION = 2
+
 # A small, representative slice of the Figure 4/5 sweep: two C integer
 # workloads and two C++ (virtual-call-heavy) ones.
 DEFAULT_BENCHMARKS = ("429.mcf", "401.bzip2", "473.astar", "471.omnetpp")
 DEFAULT_VARIANTS = ("base", "vcall")
 SMOKE_BENCHMARKS = ("429.mcf",)
+
+# The standard sweep scale. Large enough to measure steady-state
+# throughput — tier-2 compilation amortizes and hot compiled blocks
+# dominate (at scale 1.0 cold start still dilutes the tier ratios by
+# ~15%); the smoke sweep stays tiny because it only checks that the
+# tool runs.
+DEFAULT_SCALE = 8.0
+SMOKE_SCALE = 0.05
+
+DEFAULT_TOLERANCE = 0.15
+
+# tier name -> (REPRO_FASTPATH, REPRO_JIT). The slow tier is always
+# serial; it is the seed configuration the whole trajectory is
+# measured against.
+TIERS = {
+    "slow": ("0", "0"),
+    "tier1": ("1", "0"),
+    "tier2": ("1", "1"),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,25 +77,47 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated benchmark names")
     parser.add_argument("--variants", default=",".join(DEFAULT_VARIANTS),
                         help="comma-separated variants to measure")
-    parser.add_argument("--scale", type=float, default=0.2,
-                        help="workload scale (REPRO_BENCH_SCALE analogue)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help=f"workload scale (default {DEFAULT_SCALE}; "
+                             f"gate mode defaults to the baseline's scale)")
     parser.add_argument("--jobs", type=int, default=None,
-                        help="worker processes for the fast configuration "
+                        help="worker processes for the fast tiers "
                              "(default: REPRO_JOBS or 4)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sweep for CI sanity: one benchmark, "
-                             "base only, scale 0.05, no JSON record")
+                             "base only, tier 2 only, no JSON record")
     parser.add_argument("--no-compare", action="store_true",
-                        help="run only the fast configuration (skip the "
-                             "seed-equivalent slow/serial reference)")
+                        help="run only the tier-2 configuration (skip the "
+                             "tier-1 and seed-equivalent slow references)")
     parser.add_argument("--out", type=Path, default=Path("BENCH_interp.json"),
                         help="where to write the JSON record")
+    parser.add_argument("--check-against", type=Path, default=None,
+                        metavar="BASELINE",
+                        help="regression-gate mode: compare a fresh tier-2 "
+                             "sweep against this recorded BENCH_interp.json")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional sim-MIPS drop in gate mode "
+                             f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--report-only", action="store_true",
+                        help="gate mode: print the verdict but exit 0")
     return parser
 
 
-def _run_sweep(benchmarks, variants, scale, *, fast: bool, jobs: int):
-    """One timed sweep under an explicit fast-path/jobs configuration."""
-    os.environ["REPRO_FASTPATH"] = "1" if fast else "0"
+def host_info() -> dict:
+    """Host metadata embedded in the record — perf numbers are only
+    comparable between records from similar hosts."""
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _run_sweep(benchmarks, variants, scale, *, tier: str, jobs: int):
+    """One timed sweep under an explicit tier configuration."""
+    fastpath, jit = TIERS[tier]
+    os.environ["REPRO_FASTPATH"] = fastpath
+    os.environ["REPRO_JIT"] = jit
     start = time.perf_counter()
     runs = run_benchmarks(benchmarks, variants, scale=scale, jobs=jobs)
     elapsed = time.perf_counter() - start
@@ -69,13 +125,24 @@ def _run_sweep(benchmarks, variants, scale, *, fast: bool, jobs: int):
                        for m in run.measurements.values())
     cycles = sum(m.cycles for run in runs.values()
                  for m in run.measurements.values())
+    # Throughput is computed over simulation time (kernel.run) only:
+    # workload generation, IR compilation and system construction cost
+    # the same in every tier and would otherwise dilute the comparison.
+    sim_seconds = sum(getattr(m, "sim_seconds", 0.0)
+                      for run in runs.values()
+                      for m in run.measurements.values())
+    denominator = sim_seconds or elapsed
     return {
-        "fast_path": fast,
+        "tier": tier,
+        "fast_path": fastpath == "1",
+        "jit": jit == "1",
         "jobs": jobs,
         "wall_seconds": round(elapsed, 3),
+        "sim_seconds": round(sim_seconds, 3),
         "instructions": instructions,
         "cycles": cycles,
-        "sim_mips": round(instructions / elapsed / 1e6, 4) if elapsed else 0,
+        "sim_mips": round(instructions / denominator / 1e6, 4)
+        if denominator else 0,
         "measurements": {
             f"{name}/{variant}": {
                 "cycles": m.cycles, "instructions": m.instructions,
@@ -89,53 +156,129 @@ def _run_sweep(benchmarks, variants, scale, *, fast: bool, jobs: int):
     }
 
 
+def build_record(benchmarks, variants, scale, tiers: dict) -> dict:
+    """Assemble the schema-v2 BENCH_interp.json record from tier sweeps."""
+    record = {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "roload-bench",
+        "scale": scale,
+        "benchmarks": list(benchmarks),
+        "variants": list(variants),
+        "host": host_info(),
+        "tiers": tiers,
+    }
+    def seconds(sweep: dict) -> float:
+        return sweep.get("sim_seconds") or sweep["wall_seconds"]
+
+    speedup = {}
+    for num, den, key in (("tier1", "slow", "tier1_over_slow"),
+                          ("tier2", "tier1", "tier2_over_tier1"),
+                          ("tier2", "slow", "tier2_over_slow")):
+        if num in tiers and den in tiers and seconds(tiers[num]):
+            speedup[key] = round(seconds(tiers[den]) / seconds(tiers[num]), 2)
+    if speedup:
+        record["speedup"] = speedup
+    return record
+
+
+def baseline_mips(record: dict) -> float:
+    """Reference sim-MIPS of a recorded run; understands both the v2
+    schema (``tiers.tier2``) and the PR 1 v1 schema (``fast``)."""
+    if "tiers" in record:
+        tiers = record["tiers"]
+        for tier in ("tier2", "tier1", "slow"):
+            if tier in tiers:
+                return float(tiers[tier]["sim_mips"])
+        raise ReproError("baseline record has an empty 'tiers' table")
+    if "fast" in record:
+        return float(record["fast"]["sim_mips"])
+    raise ReproError("unrecognized baseline record (no 'tiers', no 'fast')")
+
+
+def evaluate_gate(current_mips: float, baseline: dict,
+                  tolerance: float = DEFAULT_TOLERANCE):
+    """Gate verdict: (ok, reference_mips, floor_mips). Fails only on a
+    drop below ``reference * (1 - tolerance)`` — being faster than the
+    record is never an error."""
+    reference = baseline_mips(baseline)
+    floor = reference * (1.0 - tolerance)
+    return current_mips >= floor, reference, floor
+
+
+def _run_gate(args, benchmarks, variants, jobs) -> int:
+    baseline = json.loads(args.check_against.read_text())
+    # Compare like with like: reuse the baseline's sweep parameters
+    # unless overridden on the command line.
+    scale = args.scale if args.scale is not None \
+        else float(baseline.get("scale", DEFAULT_SCALE))
+    if "benchmarks" in baseline:
+        benchmarks = tuple(baseline["benchmarks"])
+    if "variants" in baseline:
+        variants = tuple(baseline["variants"])
+    sweep = _run_sweep(benchmarks, variants, scale, tier="tier2", jobs=jobs)
+    ok, reference, floor = evaluate_gate(sweep["sim_mips"], baseline,
+                                         args.tolerance)
+    verdict = "ok" if ok else "REGRESSION"
+    print(f"gate: current {sweep['sim_mips']} sim-MIPS vs recorded "
+          f"{reference} (floor {floor:.4f} at tolerance "
+          f"{args.tolerance}): {verdict}")
+    if args.report_only:
+        return 0
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     benchmarks = tuple(b for b in args.benchmarks.split(",") if b)
     variants = tuple(v for v in args.variants.split(",") if v)
-    scale = args.scale
+    scale = args.scale if args.scale is not None else DEFAULT_SCALE
     if args.smoke:
-        benchmarks, variants, scale = SMOKE_BENCHMARKS, ("base",), 0.05
+        benchmarks, variants, scale = SMOKE_BENCHMARKS, ("base",), SMOKE_SCALE
     jobs = args.jobs if args.jobs is not None else \
         (resolve_jobs(None) if "REPRO_JOBS" in os.environ else 4)
-    jobs = max(1, jobs)
+    # Never oversubscribe a timed sweep: extra workers on a busy host
+    # only add scheduling noise to the per-pair simulation clocks.
+    jobs = max(1, min(jobs, os.cpu_count() or 1))
 
-    saved_fastpath = os.environ.get("REPRO_FASTPATH")
+    saved = {k: os.environ.get(k) for k in ("REPRO_FASTPATH", "REPRO_JIT")}
     try:
-        fast = _run_sweep(benchmarks, variants, scale, fast=True, jobs=jobs)
-        print(f"fast: {fast['wall_seconds']}s, {fast['sim_mips']} sim-MIPS "
-              f"(jobs={jobs})")
-        record = {
-            "tool": "roload-bench",
-            "scale": scale,
-            "benchmarks": list(benchmarks),
-            "variants": list(variants),
-            "python": sys.version.split()[0],
-            "fast": fast,
-        }
+        if args.check_against is not None:
+            return _run_gate(args, benchmarks, variants, jobs)
+        tiers = {}
+        tiers["tier2"] = _run_sweep(benchmarks, variants, scale,
+                                    tier="tier2", jobs=jobs)
+        print(f"tier2: {tiers['tier2']['wall_seconds']}s, "
+              f"{tiers['tier2']['sim_mips']} sim-MIPS (jobs={jobs})")
         if not (args.no_compare or args.smoke):
-            slow = _run_sweep(benchmarks, variants, scale,
-                              fast=False, jobs=1)
-            print(f"seed-equivalent (slow, serial): {slow['wall_seconds']}s, "
-                  f"{slow['sim_mips']} sim-MIPS")
-            if slow["measurements"] != fast["measurements"]:
-                raise ReproError(
-                    "fast and slow sweeps disagree architecturally — "
-                    "refusing to record a perf number for a broken "
-                    "simulator")
-            speedup = slow["wall_seconds"] / fast["wall_seconds"] \
-                if fast["wall_seconds"] else 0.0
-            record["slow"] = slow
-            record["speedup"] = round(speedup, 2)
-            print(f"speedup: {record['speedup']}x")
+            tiers["tier1"] = _run_sweep(benchmarks, variants, scale,
+                                        tier="tier1", jobs=jobs)
+            print(f"tier1: {tiers['tier1']['wall_seconds']}s, "
+                  f"{tiers['tier1']['sim_mips']} sim-MIPS (jobs={jobs})")
+            tiers["slow"] = _run_sweep(benchmarks, variants, scale,
+                                       tier="slow", jobs=1)
+            print(f"slow (seed-equivalent, serial): "
+                  f"{tiers['slow']['wall_seconds']}s, "
+                  f"{tiers['slow']['sim_mips']} sim-MIPS")
+            reference = tiers["tier2"]["measurements"]
+            for tier in ("tier1", "slow"):
+                if tiers[tier]["measurements"] != reference:
+                    raise ReproError(
+                        f"{tier} and tier2 sweeps disagree architecturally "
+                        f"— refusing to record a perf number for a broken "
+                        f"simulator")
+        record = build_record(benchmarks, variants, scale, tiers)
+        if "speedup" in record:
+            for key, value in record["speedup"].items():
+                print(f"{key}: {value}x")
     except ReproError as error:
         print(f"roload-bench: {error}", file=sys.stderr)
         return 1
     finally:
-        if saved_fastpath is None:
-            os.environ.pop("REPRO_FASTPATH", None)
-        else:
-            os.environ["REPRO_FASTPATH"] = saved_fastpath
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
 
     if args.smoke:
         print("smoke ok")

@@ -1,0 +1,301 @@
+"""Tier-2 trace compiler: compilation, chaining, invalidation, faults.
+
+The compiled tier (src/repro/cpu/jit.py) must be architecturally
+invisible. These tests pin down the machinery itself: blocks past the
+promotion threshold really compile, chain links form and are torn down
+on every invalidation edge (fence.i, MMU generation bumps, SMC), and a
+ROLoad fault raised from *inside* a hot compiled block is delivered
+bit-identically to the slow interpreter — including the case where the
+faulting ld.ro itself was hot (the pointer walks off its key's page).
+"""
+
+import pytest
+
+from repro.asm import assemble, link
+from repro.cpu import Core, TimingModel
+from repro.cpu.jit import MAX_COMPILED_ENTRIES
+from repro.kernel import Kernel, ProcessState, SIGSEGV
+from repro.mem import MMU, PhysicalMemory
+from repro.mem.tlb import TLB, TLBEntry
+from repro.soc import build_system
+
+from .conftest import CODE_BASE, I, assemble_at
+
+
+def jit_core(monkeypatch, jit=True, threshold=1):
+    monkeypatch.setenv("REPRO_JIT_DEBUG", "1")
+    memory = PhysicalMemory(1 << 20)
+    core = Core(memory, MMU(memory), timing=TimingModel(),
+                fast_path=True, jit=jit, jit_threshold=threshold)
+    core.pc = CODE_BASE
+    return core
+
+
+def countdown_loop(core, iters, body=2, tail=()):
+    """li t0, iters; loop: <body x addi>; addi t0,-1; bnez loop; <tail>;
+    ebreak. Returns the loop's start pc."""
+    addr = assemble_at(core, [I("addi", rd=5, rs1=0, imm=iters)])
+    loop_pc = addr
+    insns = [I("addi", rd=6 + i, rs1=6 + i, imm=1) for i in range(body)]
+    insns.append(I("addi", rd=5, rs1=5, imm=-1))
+    addr = assemble_at(core, insns, addr)
+    offset = loop_pc - addr
+    addr = assemble_at(core, [I("bne", rs1=5, rs2=0, imm=offset)], addr)
+    addr = assemble_at(core, list(tail) + [I("ebreak")], addr)
+    return loop_pc
+
+
+def run_to_ebreak(core, budget=10_000):
+    return core.run(budget, trap_handler=None)
+
+
+def test_hot_block_compiles_and_matches_tier1(monkeypatch):
+    outcomes = {}
+    for jit in (False, True):
+        core = jit_core(monkeypatch, jit=jit, threshold=2)
+        countdown_loop(core, 10)
+        run_to_ebreak(core)
+        outcomes[jit] = (core.regs[5], core.regs[6], core.regs[7],
+                        core.instret, core.cycles)
+        if jit:
+            assert core.jit_compiled >= 1
+            assert core._jit_blocks
+        else:
+            assert core.jit_compiled == 0 and not core._jit_blocks
+    assert outcomes[True] == outcomes[False]
+    assert outcomes[True][1] == 10  # the loop body really ran 10 times
+
+
+def test_jit_disabled_by_constructor(monkeypatch):
+    core = jit_core(monkeypatch, jit=False, threshold=1)
+    countdown_loop(core, 10)
+    run_to_ebreak(core)
+    assert core.jit_compiled == 0 and not core._jit_blocks
+
+
+def test_hot_loop_chains_to_itself(monkeypatch):
+    core = jit_core(monkeypatch, threshold=2)
+    loop_pc = countdown_loop(core, 10)
+    run_to_ebreak(core)
+    rec = core._jit_blocks[loop_pc]
+    # The back edge of a hot loop is the simplest chain: the block links
+    # straight back to its own compiled body.
+    assert rec.links.get(loop_pc) is rec
+
+
+def test_fence_i_flushes_compiled_blocks_and_links(monkeypatch):
+    core = jit_core(monkeypatch, threshold=2)
+    countdown_loop(core, 10, tail=[I("fence.i"),
+                                   I("addi", rd=28, rs1=0, imm=7)])
+    # By the time the run stops at ebreak the fence.i has executed.
+    run_to_ebreak(core)
+    assert core.regs[28] == 7
+    assert core.jit_flushes >= 1
+    assert not core._jit_blocks  # the hot loop's compiled body is gone
+
+
+def test_fence_i_clears_links_of_surviving_references(monkeypatch):
+    """Anyone still holding a JITBlock across a fence.i must see its
+    chain links gone — a stale link would jump into dead code."""
+    core = jit_core(monkeypatch, threshold=2)
+    loop_pc = countdown_loop(core, 10)
+    run_to_ebreak(core)
+    rec = core._jit_blocks[loop_pc]
+    assert rec.links  # non-vacuous: the self-link from the hot loop
+    core.flush_decode_cache()  # what the fence.i handler calls
+    assert not rec.links
+    assert not core._jit_blocks
+    assert core.jit_flushes >= 1
+
+
+def test_generation_bump_flushes_compiled_blocks(monkeypatch):
+    core = jit_core(monkeypatch, threshold=2)
+    loop_pc = countdown_loop(core, 10)
+    run_to_ebreak(core)
+    rec = core._jit_blocks[loop_pc]
+    core.mmu.flush()  # sfence.vma: bumps the MMU generation
+    # The flush is lazy: the next dispatch notices the stale generation.
+    core.pc = CODE_BASE
+    run_to_ebreak(core)
+    assert core.jit_flushes >= 1
+    assert not rec.links
+    assert core._jit_blocks.get(loop_pc) is not rec
+
+
+def test_smc_store_flushes_compiled_blocks(monkeypatch):
+    """A store over compiled code must drop the stale translation and
+    execute the patched instruction — same result as the slow tier."""
+    def program(core):
+        insns = [
+            I("lui", rd=5, imm=0x8),                  # t0 = DATA area
+            I("lw", rd=6, rs1=5, imm=0),              # patched word
+            I("lui", rd=7, imm=0x1),                  # t2 = 0x1000
+            I("sw", rs1=7, rs2=6, imm=16),
+            I("addi", rd=10, rs1=0, imm=1),           # gets patched
+            I("ebreak"),
+        ]
+        assemble_at(core, insns)
+        from repro.isa import encode
+        core.memory.write(0x8000, 4,
+                          encode(I("addi", rd=10, rs1=0, imm=9)))
+
+    outcomes = {}
+    for jit in (False, True):
+        core = jit_core(monkeypatch, jit=jit, threshold=1)
+        program(core)
+        retired = run_to_ebreak(core)
+        outcomes[jit] = (core.regs[10], retired, core.cycles)
+        if jit:
+            assert core.jit_flushes >= 1
+    assert outcomes[True] == outcomes[False]
+    assert outcomes[True][0] == 9
+
+
+def test_oversized_block_splits(monkeypatch):
+    """A block longer than MAX_COMPILED_ENTRIES compiles as a prefix;
+    the suffix is promoted organically as its own block."""
+    n = MAX_COMPILED_ENTRIES + 40
+    outcomes = {}
+    for jit in (False, True):
+        core = jit_core(monkeypatch, jit=jit, threshold=2)
+        addr = CODE_BASE
+        for __ in range(n):
+            addr = assemble_at(core, [I("addi", rd=6, rs1=6, imm=1)], addr)
+        assemble_at(core, [I("jal", rd=0, imm=CODE_BASE - addr)], addr)
+        with pytest.raises(Exception):
+            core.run(6 * (n + 1))
+        outcomes[jit] = (core.regs[6], core.instret, core.cycles)
+        if jit:
+            assert core.jit_compiled >= 2  # prefix + promoted suffix
+            sizes = sorted(rec.n for rec in core._jit_blocks.values())
+            assert sizes[-1] == MAX_COMPILED_ENTRIES
+    assert outcomes[True] == outcomes[False]
+
+
+# -- ROLoad faults raised from inside a hot compiled block -------------------
+
+# The faulting ld.ro is itself the hot instruction: the pointer walks a
+# table that fills its key-5 page exactly, then steps onto the next page.
+# The linker places keyed rodata in ascending key order, each group page
+# aligned, so the quad after the table lives on the key-9 page: the
+# 513th iteration faults with KEY_MISMATCH from compiled code.
+HOT_WALK_KEY = (
+    ".globl _start\n"
+    "_start:\n"
+    "    li t0, 520\n"
+    "    la s0, table\n"
+    "loop:\n"
+    "    ld.ro a1, (s0), 5\n"
+    "    add s1, s1, a1\n"
+    "    addi s0, s0, 8\n"
+    "    addi t0, t0, -1\n"
+    "    bnez t0, loop\n"
+    "    li a7, 93\n"
+    "    ecall\n"
+    ".section .rodata.key.5\n"
+    "table:\n" + "    .quad 1\n" * 512 +
+    ".section .rodata.key.9\n"
+    "sentinel:\n"
+    "    .quad 2\n"
+)
+
+# Same walk, but the page after the table is ordinary writable .data:
+# the pointee is not immutable, so ld.ro faults with NOT_READ_ONLY.
+HOT_WALK_WRITABLE = (
+    ".globl _start\n"
+    "_start:\n"
+    "    li t0, 520\n"
+    "    la s0, table\n"
+    "loop:\n"
+    "    ld.ro a1, (s0), 5\n"
+    "    add s1, s1, a1\n"
+    "    addi s0, s0, 8\n"
+    "    addi t0, t0, -1\n"
+    "    bnez t0, loop\n"
+    "    li a7, 93\n"
+    "    ecall\n"
+    ".section .rodata.key.5\n"
+    "table:\n" + "    .quad 1\n" * 512 +
+    ".section .data\n"
+    "sentinel:\n"
+    "    .quad 2\n"
+)
+
+TIERS = {
+    "slow": ("0", "0"),
+    "tier1": ("1", "0"),
+    "tier2": ("1", "1"),
+}
+
+
+def run_hot_fault(monkeypatch, source, tier):
+    fastpath, jit = TIERS[tier]
+    monkeypatch.setenv("REPRO_FASTPATH", fastpath)
+    monkeypatch.setenv("REPRO_JIT", jit)
+    monkeypatch.setenv("REPRO_JIT_THRESHOLD", "2")
+    monkeypatch.setenv("REPRO_JIT_DEBUG", "1")
+    kernel = Kernel(build_system("processor+kernel", memory_size=64 << 20))
+    process = kernel.create_process(link([assemble(source)]))
+    kernel.run(process)
+    return kernel, process
+
+
+@pytest.mark.parametrize("source,reason,page_key", [
+    (HOT_WALK_KEY, "key_mismatch", 9),
+    (HOT_WALK_WRITABLE, "not_read_only", 0),
+], ids=["key-mismatch", "writable-page"])
+def test_roload_fault_inside_hot_compiled_block(monkeypatch, source,
+                                                reason, page_key):
+    results = {}
+    for tier in TIERS:
+        kernel, process = run_hot_fault(monkeypatch, source, tier)
+        assert process.state is ProcessState.KILLED, tier
+        assert process.signal.number == SIGSEGV, tier
+        assert process.signal.roload, tier
+        event = kernel.security_log[0]
+        core = kernel.system.core
+        if tier == "tier2":
+            # Non-vacuity: the faulting pc lies inside a block that was
+            # compiled and still cached when the fault was delivered.
+            assert core.jit_compiled >= 1
+            assert any(rec.start_pc <= event.pc < rec.end_pc
+                       for rec in core._jit_blocks.values())
+        results[tier] = (
+            core.cycles, core.instret, len(kernel.security_log),
+            event.reason, event.insn_key, event.page_key,
+            event.pc, event.fault_address,
+        )
+    assert results["tier1"] == results["slow"]
+    assert results["tier2"] == results["slow"]
+    assert results["slow"][3] == reason
+    assert results["slow"][4] == 5
+    assert results["slow"][5] == page_key
+
+
+# -- the TLB shadow coupling the compiled memo relies on ---------------------
+
+def _entry(ppn):
+    return TLBEntry(ppn=ppn, readable=True, writable=False,
+                    executable=False, user=True, key=0)
+
+
+def test_tlb_shadow_purged_on_replace_evict_and_flush():
+    tlb = TLB(entries=2)
+    shadow = {}
+    tlb.shadows = (shadow,)
+
+    tlb.insert(1, _entry(11))
+    shadow[1] = "memo"
+    tlb.insert(1, _entry(12))      # replacement invalidates the memo
+    assert 1 not in shadow
+
+    shadow[1] = "memo"
+    tlb.insert(2, _entry(22))
+    tlb.insert(3, _entry(33))      # capacity eviction of vpn 1
+    assert 1 not in shadow
+
+    shadow[2] = shadow[3] = "memo"
+    tlb.flush_page(3)
+    assert 3 not in shadow and 2 in shadow
+    tlb.flush()
+    assert not shadow

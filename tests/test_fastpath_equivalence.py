@@ -1,12 +1,17 @@
 """Differential proof that the interpreter fast paths change nothing.
 
-The basic-block translation cache and the D-side page fast path
-(src/repro/cpu/core.py) are pure implementation details: every test here
-runs the same program twice — REPRO_FASTPATH=0 (the seed interpreter
-path) versus REPRO_FASTPATH=1 (block replay + D-side cache) — and
-asserts the architectural results are bit-identical: cycles, retired
-instructions, memory, exit codes, cache/TLB miss rates, and fault
-delivery (including the ROLoad security log).
+The simulator has three interpreter tiers (src/repro/cpu/core.py and
+src/repro/cpu/jit.py):
+
+  slow   REPRO_FASTPATH=0              the seed decode-dispatch loop
+  tier1  REPRO_FASTPATH=1 REPRO_JIT=0  block replay + D-side page cache
+  tier2  REPRO_FASTPATH=1 REPRO_JIT=1  hot blocks compiled to Python
+
+All three are pure implementation details: every test here runs the same
+program under each tier and asserts the architectural results are
+bit-identical: cycles, retired instructions, memory, exit codes,
+cache/TLB miss rates, and fault delivery (including the ROLoad security
+log).
 """
 
 import dataclasses
@@ -22,6 +27,25 @@ from repro.mem import MMU, PhysicalMemory
 from repro.soc import build_system
 from repro.workloads import build_workload, profile
 
+# tier name -> (REPRO_FASTPATH, REPRO_JIT)
+TIERS = {
+    "slow": ("0", "0"),
+    "tier1": ("1", "0"),
+    "tier2": ("1", "1"),
+}
+
+
+def set_tier(monkeypatch, tier):
+    fastpath, jit = TIERS[tier]
+    monkeypatch.setenv("REPRO_FASTPATH", fastpath)
+    monkeypatch.setenv("REPRO_JIT", jit)
+    # A low promotion threshold so the scaled-down workloads really do
+    # execute compiled code, and debug mode so a compile failure is an
+    # error rather than a silent fallback to tier 1.
+    monkeypatch.setenv("REPRO_JIT_THRESHOLD", "2")
+    monkeypatch.setenv("REPRO_JIT_DEBUG", "1")
+
+
 WORKLOADS = [
     ("429.mcf", "base"),
     ("462.libquantum", "vcall"),
@@ -30,24 +54,25 @@ WORKLOADS = [
 ]
 
 
-def measure(monkeypatch, name, variant, fast):
-    monkeypatch.setenv("REPRO_FASTPATH", "1" if fast else "0")
+def measure(monkeypatch, name, variant, tier):
+    set_tier(monkeypatch, tier)
     program = build_workload(profile(name), scale=0.05)
     return run_variant(program, variant)
 
 
 @pytest.mark.parametrize("name,variant", WORKLOADS)
 def test_workload_equivalence(monkeypatch, name, variant):
-    slow = measure(monkeypatch, name, variant, fast=False)
-    fast = measure(monkeypatch, name, variant, fast=True)
-    assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
-    # The fields the issue names, spelled out for a readable failure:
-    assert fast.cycles == slow.cycles
-    assert fast.instructions == slow.instructions
-    assert fast.memory_kib == slow.memory_kib
-    assert fast.exit_code == slow.exit_code
-    assert fast.dtlb_miss_rate == slow.dtlb_miss_rate
-    assert fast.dcache_miss_rate == slow.dcache_miss_rate
+    slow = measure(monkeypatch, name, variant, "slow")
+    for tier in ("tier1", "tier2"):
+        fast = measure(monkeypatch, name, variant, tier)
+        assert dataclasses.asdict(fast) == dataclasses.asdict(slow), tier
+        # The fields the issue names, spelled out for a readable failure:
+        assert fast.cycles == slow.cycles, tier
+        assert fast.instructions == slow.instructions, tier
+        assert fast.memory_kib == slow.memory_kib, tier
+        assert fast.exit_code == slow.exit_code, tier
+        assert fast.dtlb_miss_rate == slow.dtlb_miss_rate, tier
+        assert fast.dcache_miss_rate == slow.dcache_miss_rate, tier
 
 
 # A hot loop of ROLoad accesses (so the faulting site is replayed from a
@@ -70,8 +95,8 @@ table: .quad 5
 """
 
 
-def run_kernel_program(monkeypatch, source, fast):
-    monkeypatch.setenv("REPRO_FASTPATH", "1" if fast else "0")
+def run_kernel_program(monkeypatch, source, tier):
+    set_tier(monkeypatch, tier)
     kernel = Kernel(build_system("processor+kernel", memory_size=64 << 20))
     process = kernel.create_process(link([assemble(source)]))
     kernel.run(process)
@@ -80,28 +105,31 @@ def run_kernel_program(monkeypatch, source, fast):
 
 def test_roload_key_mismatch_through_fast_path(monkeypatch):
     results = {}
-    for fast in (False, True):
-        kernel, process = run_kernel_program(monkeypatch, ROLOAD_FAULT, fast)
+    for tier in TIERS:
+        kernel, process = run_kernel_program(monkeypatch, ROLOAD_FAULT, tier)
         assert process.state is ProcessState.KILLED
         assert process.signal.number == SIGSEGV
         assert process.signal.roload
         event = kernel.security_log[0]
         core = kernel.system.core
-        if fast:
+        if tier != "slow":
             # Guard against vacuity: the block cache really engaged.
             assert core._blocks
-        results[fast] = (
+        if tier == "tier2":
+            assert core.jit_compiled > 0 and core._jit_blocks
+        results[tier] = (
             core.cycles, core.instret,
             len(kernel.security_log), event.reason,
             event.insn_key, event.page_key, event.pc, event.fault_address,
         )
-    assert results[True] == results[False]
-    assert results[True][3] == "key_mismatch"
-    assert results[True][4] == 7 and results[True][5] == 42
+    assert results["tier1"] == results["slow"]
+    assert results["tier2"] == results["slow"]
+    assert results["slow"][3] == "key_mismatch"
+    assert results["slow"][4] == 7 and results["slow"][5] == 42
 
 
-def _bare_core(monkeypatch, fast):
-    monkeypatch.setenv("REPRO_FASTPATH", "1" if fast else "0")
+def _bare_core(monkeypatch, tier):
+    set_tier(monkeypatch, tier)
     memory = PhysicalMemory(1 << 20)
     core = Core(memory, MMU(memory), timing=TimingModel())
     core.pc = 0x1000
@@ -110,7 +138,8 @@ def _bare_core(monkeypatch, fast):
 
 def test_self_modifying_code_equivalence(monkeypatch):
     """A store over not-yet-executed code (no fence.i) must behave the
-    same whether or not the first copy was already block-cached."""
+    same whether or not the first copy was already block-cached (tier 1)
+    or compiled (tier 2)."""
     from repro.isa import Instruction, encode
 
     def program(core):
@@ -133,21 +162,23 @@ def test_self_modifying_code_equivalence(monkeypatch):
                           encode(Instruction("addi", rd=10, rs1=0, imm=9)))
 
     outcomes = {}
-    for fast in (False, True):
-        core = _bare_core(monkeypatch, fast)
+    for tier in TIERS:
+        core = _bare_core(monkeypatch, tier)
         program(core)
         retired = core.run(100, trap_handler=None)  # stops at ebreak
-        outcomes[fast] = (core.regs[10], retired, core.cycles)
-    assert outcomes[True] == outcomes[False]
-    assert outcomes[True][0] == 9  # the patched instruction executed
+        outcomes[tier] = (core.regs[10], retired, core.cycles)
+    assert outcomes["tier1"] == outcomes["slow"]
+    assert outcomes["tier2"] == outcomes["slow"]
+    assert outcomes["slow"][0] == 9  # the patched instruction executed
 
 
 def test_budget_exhaustion_identical(monkeypatch):
-    """Block replay must not overshoot the instruction budget."""
+    """Block replay and compiled blocks must not overshoot the
+    instruction budget."""
     from repro.isa import Instruction, encode
 
-    for fast in (False, True):
-        core = _bare_core(monkeypatch, fast)
+    for tier in TIERS:
+        core = _bare_core(monkeypatch, tier)
         # A straight-line run ending in a backwards jump: infinite loop.
         addr = 0x1000
         for __ in range(8):
@@ -158,4 +189,6 @@ def test_budget_exhaustion_identical(monkeypatch):
                           encode(Instruction("jal", rd=0, imm=-(addr - 0x1000))))
         with pytest.raises(SimulationError):
             core.run(100)
-        assert core.instret == 100, f"fast={fast} retired {core.instret}"
+        assert core.instret == 100, f"tier={tier} retired {core.instret}"
+        if tier == "tier2":
+            assert core.jit_compiled > 0  # the loop really was compiled
