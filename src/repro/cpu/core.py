@@ -15,6 +15,7 @@ comparison in §V-B.
 from __future__ import annotations
 
 import os
+from time import perf_counter
 from typing import Callable, Optional
 
 from repro.errors import DecodingError, SimulationError
@@ -28,6 +29,7 @@ from repro.cpu.timing import TimingModel
 from repro.cpu.trap import Cause, Trap
 from repro.mem.cache import Cache
 from repro.mem.faults import PageFault
+from repro.obs import OBS as _OBS
 from repro.utils.bits import (
     MASK64,
     sext,
@@ -162,6 +164,18 @@ class Core:
         self._jit_nojit: "set[int]" = set()          # pcs pinned to tier 1
         self.jit_compiled = 0   # blocks compiled (cumulative)
         self.jit_flushes = 0    # times the compiled cache was dropped
+        self.jit_compile_seconds = 0.0   # host time spent in compile_block
+        # Invalidation attribution: reason -> count of translation-cache
+        # flushes that actually dropped cached state (DESIGN.md §10).
+        self.flush_causes: "dict[str, int]" = {}
+        # Tier-residency counters. Retirements are attributed to the
+        # interpreter tier that executed them: tier 0 (step), tier 1
+        # (step_block replay; batched at the same points the deferred
+        # stats counters flush), and tier 2 derived as
+        # instret - tier0 - tier1 (compiled code bumps the architectural
+        # counters directly, so the derivation adds zero work there).
+        self.tier0_retired = 0
+        self.tier1_retired = 0
         # Tier-2 merged page memos: vpn -> (frame, ok_kernel, ok_user,
         # ppn), collapsing the D-side page lookup + D-TLB revalidation +
         # frame fetch into one dict hit. An entry is valid only while
@@ -175,7 +189,67 @@ class Core:
             dtlb.shadows = (self._jload_memo, self._jstore_memo)
         # Optional per-retired-instruction callback: (pc, insn) -> None.
         # Used by repro.cpu.tracer; None costs one attribute test/step.
+        # Prefer add_retire_hook/remove_retire_hook, which compose
+        # multiple observers and deoptimize the tiered caches so the
+        # callback really sees every retired instruction.
         self.trace_hook = None
+        self._retire_hooks: "list" = []
+
+    # -- observability -------------------------------------------------------
+
+    def tier_residency(self) -> dict:
+        """Retired-instruction attribution per interpreter tier."""
+        total = self.instret
+        tier0, tier1 = self.tier0_retired, self.tier1_retired
+        tier2 = total - tier0 - tier1
+        out = {"retired": total, "tier0_retired": tier0,
+               "tier1_retired": tier1, "tier2_retired": tier2,
+               "jit_compiled": self.jit_compiled,
+               "jit_flushes": self.jit_flushes,
+               "jit_compile_seconds": round(self.jit_compile_seconds, 6),
+               "flush_causes": dict(self.flush_causes)}
+        if total:
+            for tier, count in (("tier0", tier0), ("tier1", tier1),
+                                ("tier2", tier2)):
+                out[f"{tier}_frac"] = round(count / total, 6)
+        return out
+
+    def add_retire_hook(self, hook) -> None:
+        """Attach a per-retired-instruction observer ((pc, insn) -> None).
+
+        Attaching deoptimizes execution to the slow path — ``trace_hook``
+        set routes every step_block call through :meth:`step` — and
+        flushes the tier-1/tier-2 translation caches, so an observer
+        attached mid-run sees every retired instruction from the next
+        one on (no compiled chain keeps running underneath it). Multiple
+        hooks compose in attach order.
+        """
+        self._retire_hooks.append(hook)
+        self._rebuild_trace_hook()
+
+    def remove_retire_hook(self, hook) -> None:
+        """Detach an observer; re-optimization resumes when none remain."""
+        try:
+            self._retire_hooks.remove(hook)
+        except ValueError:
+            pass
+        self._rebuild_trace_hook()
+
+    def _rebuild_trace_hook(self) -> None:
+        hooks = tuple(self._retire_hooks)
+        if not hooks:
+            self.trace_hook = None
+        elif len(hooks) == 1:
+            self.trace_hook = hooks[0]
+        else:
+            def fanout(pc, insn, _hooks=hooks):
+                for hook in _hooks:
+                    hook(pc, insn)
+            self.trace_hook = fanout
+        # Either direction (attach or detach) invalidates the cached
+        # translations: stale compiled chains must not outlive a tracing
+        # session, and a fresh session must not start on them.
+        self._flush_blocks("tracer")
 
     # -- architectural counters ---------------------------------------------
 
@@ -443,21 +517,26 @@ class Core:
 
     # -- fetch/decode --------------------------------------------------------
 
-    def flush_decode_cache(self) -> None:
+    def flush_decode_cache(self, reason: str = "fence.i") -> None:
         """Called on fence.i and address-space changes."""
         self._decode_cache.clear()
         self._decode_cache_c.clear()
-        self._flush_blocks()
+        self._flush_blocks(reason)
 
-    def _flush_blocks(self) -> None:
+    def _flush_blocks(self, reason: str = "smc") -> None:
         """Drop cached basic blocks (fence.i, SMC store, generation bump).
 
         Tier-2 blocks and their chain links go with them: a stale link
         could otherwise jump straight into code that no longer exists.
+        ``reason`` attributes the invalidation (``flush_causes``) and is
+        exported by the observability layer; causes are only charged for
+        flushes that actually dropped cached state.
         """
+        dropped_blocks = len(self._blocks)
+        dropped_jit = len(self._jit_blocks)
         self._blocks.clear()
         self._code_frames.clear()
-        if self._jit_blocks:
+        if dropped_jit:
             for rec in self._jit_blocks.values():
                 rec.links.clear()
             self._jit_blocks.clear()
@@ -465,6 +544,14 @@ class Core:
         self._jit_counts.clear()
         self._jit_nojit.clear()
         self._block_abort = True
+        if dropped_blocks or dropped_jit:
+            self.flush_causes[reason] = \
+                self.flush_causes.get(reason, 0) + 1
+            if _OBS.enabled:
+                _OBS.events.emit("jit.flush" if dropped_jit
+                                 else "block_cache.flush",
+                                 reason=reason, blocks=dropped_blocks,
+                                 compiled=dropped_jit)
 
     def _fetch_paddr(self, vaddr: int) -> int:
         """Translate a fetch address with a per-page fast path.
@@ -568,6 +655,7 @@ class Core:
         next_pc = handler(self, insn, pc)
         # Retirement is counted only for instructions that did not trap.
         self.timing.instruction()
+        self.tier0_retired += 1
         if self.trace_hook is not None:
             self.trace_hook(pc, insn)
         self.pc = next_pc if next_pc is not None else \
@@ -647,7 +735,7 @@ class Core:
             return None
         block = (tuple(entries), vpn, frame)
         if len(self._blocks) >= _BLOCK_CACHE_CAP:
-            self._flush_blocks()
+            self._flush_blocks("block_cache_capacity")
         self._blocks[entries[0][2]] = block
         self._code_frames.add(frame >> 12)
         return block
@@ -668,7 +756,7 @@ class Core:
             return
         generation = self.mmu.generation
         if self._block_generation != generation:
-            self._flush_blocks()
+            self._flush_blocks("mmu_generation")
             self._block_generation = generation
         elif self._jit_blocks:
             rec = self._jit_blocks.get(pc)
@@ -694,12 +782,18 @@ class Core:
                 counts[pc] = seen
             elif pc not in self._jit_nojit:
                 counts.pop(pc, None)
+                began = perf_counter()
                 rec = _compile_block(self, block, pc)
+                self.jit_compile_seconds += perf_counter() - began
                 if rec is None:
                     self._jit_nojit.add(pc)
                 else:
                     self._jit_blocks[pc] = rec
                     self.jit_compiled += 1
+                    if _OBS.enabled:
+                        _OBS.events.emit("jit.compile", pc=pc,
+                                         instructions=rec.n,
+                                         compiled_total=self.jit_compiled)
                     if limit >= rec.n:
                         self._run_jit(rec, pc, limit, generation)
                         return
@@ -784,6 +878,7 @@ class Core:
             # exact values.
             stats.instructions += done
             stats.cycles += done * cpi
+            self.tier1_retired += done
             done = 0
             if ihits:
                 icache.hits += ihits
@@ -819,6 +914,7 @@ class Core:
             result = handler(self, insn, ipc)
             stats.instructions += 1
             stats.cycles += cpi
+            self.tier1_retired += 1
             if result is not None:
                 self.pc = result
             else:
@@ -829,6 +925,7 @@ class Core:
             if done:
                 stats.instructions += done
                 stats.cycles += done * cpi
+                self.tier1_retired += done
             if ihits:
                 icache.hits += ihits
 

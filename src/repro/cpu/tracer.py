@@ -10,6 +10,12 @@ their ``attach(core)`` context-manager interface:
     print(tracer.format())
 
 The hook costs one attribute test per retired instruction when detached.
+
+Attaching any observer *deoptimizes* the core: the tiered block caches
+(tier-1 replay and tier-2 compiled traces) are flushed and stay unused
+while a hook is installed, so every retired instruction — including ones
+that were previously running inside hot compiled blocks — reaches the
+hook. Detaching flushes again, and the core re-tiers from scratch.
 """
 
 from __future__ import annotations
@@ -23,29 +29,27 @@ from repro.isa.instruction import Instruction
 
 
 class _Attachable:
-    """Shared attach/detach logic (exclusive use of the core's hook)."""
+    """Shared attach/detach logic (managed, non-exclusive core hooks).
+
+    Multiple observers may be attached at once; the core fans out to all
+    of them in attach order and deoptimizes (flushes tier-1/2 caches,
+    runs the slow path) while any observer is present.
+    """
 
     def __init__(self, core):
         self.core = core
-        self._previous = None
+        self._attached = False
 
     def attach(self) -> "_Attachable":
-        self._previous = self.core.trace_hook
-        if self._previous is not None:
-            # Chain: call the previous hook too.
-            previous = self._previous
-
-            def chained(pc, insn):
-                previous(pc, insn)
-                self._on_instruction(pc, insn)
-            self.core.trace_hook = chained
-        else:
-            self.core.trace_hook = self._on_instruction
+        if not self._attached:
+            self.core.add_retire_hook(self._on_instruction)
+            self._attached = True
         return self
 
     def detach(self) -> None:
-        self.core.trace_hook = self._previous
-        self._previous = None
+        if self._attached:
+            self.core.remove_retire_hook(self._on_instruction)
+            self._attached = False
 
     def __enter__(self):
         return self.attach()

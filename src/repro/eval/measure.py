@@ -22,6 +22,7 @@ from repro.defenses import (
 )
 from repro.errors import ReproError
 from repro.kernel import Kernel
+from repro.obs import OBS as _OBS, register_system
 from repro.soc import build_system
 from repro.workloads import WorkloadProgram, build_workload, profile
 
@@ -69,6 +70,8 @@ def run_variant(program: WorkloadProgram, variant: str, *,
                            hardening=make_hardening(variant, program))
     system = build_system(system_profile)
     kernel = Kernel(system)
+    if _OBS.enabled:
+        register_system(system)
     process = kernel.create_process(image, name=program.profile.name)
     start = time.perf_counter()
     kernel.run(process, max_instructions=max_instructions)
@@ -92,8 +95,11 @@ def run_variant(program: WorkloadProgram, variant: str, *,
     # Wall time of kernel.run alone, as a plain attribute rather than a
     # dataclass field: it is host noise, not an architectural result, so
     # it must stay out of asdict() — the differential tests compare the
-    # full field dict across interpreter tiers.
+    # full field dict across interpreter tiers. Tier residency follows
+    # the same rule: which tier retired an instruction is a property of
+    # the simulator configuration, not of the simulated program.
     measurement.sim_seconds = sim_seconds
+    measurement.tier_residency = system.core.tier_residency()
     return measurement
 
 

@@ -16,6 +16,7 @@ from repro.eval.figures import fig3, fig4, fig5
 from repro.eval.measure import BenchmarkRun, run_system_comparison
 from repro.hw.loc import scan_tree
 from repro.hw.synthesis import table3
+from repro.obs import OBS as _OBS
 
 
 @dataclass
@@ -180,6 +181,12 @@ def check_claims(scale: float = 0.1,
     verdicts.extend(_system_claims(scale))
     verdicts.extend(_figure_claims(scale, runs))
     verdicts.extend(_security_claims())
+    if _OBS.enabled:
+        for verdict in verdicts:
+            _OBS.events.emit("verdict", claim=verdict.claim_id,
+                             section=verdict.section,
+                             holds=verdict.holds,
+                             measured=verdict.measured)
     return verdicts
 
 

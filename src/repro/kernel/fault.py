@@ -11,15 +11,32 @@ With ``roload_aware=False`` (the unmodified kernel of the ``processor``
 profile) the fault is handled generically: the process still dies with
 SIGSEGV, but the kernel records no ROLoad security event — the
 *diagnostic* capability is what the kernel modification buys.
+
+The security log is bounded (``REPRO_SECLOG_CAP``, default 4096): a
+fault-storm workload keeps the most recent events and counts the
+overflow in :attr:`SecurityLog.dropped` instead of growing without
+limit.
 """
 
 from __future__ import annotations
 
+import os
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List
 
 from repro.cpu.trap import Cause, Trap
 from repro.kernel.signals import SIGSEGV, SignalInfo
+from repro.obs import OBS as _OBS
+
+DEFAULT_SECLOG_CAPACITY = 4096
+
+
+def _env_seclog_capacity() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_SECLOG_CAP",
+                                         str(DEFAULT_SECLOG_CAPACITY))))
+    except ValueError:
+        return DEFAULT_SECLOG_CAPACITY
 
 
 @dataclass
@@ -41,12 +58,60 @@ class SecurityEvent:
         return text
 
 
+class SecurityLog:
+    """Bounded ring of :class:`SecurityEvent` with a dropped counter.
+
+    List-like enough for existing callers (len/iter/index/bool); keeps
+    the most recent ``capacity`` events. ``total`` counts every event
+    ever recorded, ``dropped`` the ones the ring has since evicted.
+    """
+
+    def __init__(self, capacity: "int | None" = None):
+        self.capacity = capacity if capacity is not None \
+            else _env_seclog_capacity()
+        if self.capacity <= 0:
+            raise ValueError(f"security log needs a positive capacity, "
+                             f"got {self.capacity}")
+        self._ring: deque = deque(maxlen=self.capacity)
+        self.total = 0
+        self.dropped = 0
+
+    def append(self, event: SecurityEvent) -> None:
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+        self.total += 1
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.total = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __bool__(self) -> bool:
+        return bool(self._ring)
+
+    def __iter__(self):
+        return iter(self._ring)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._ring)[index]
+        return self._ring[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SecurityLog(capacity={self.capacity}, "
+                f"events={len(self._ring)}, dropped={self.dropped})")
+
+
 @dataclass
 class FaultHandler:
     """Kernel page-fault path."""
 
     roload_aware: bool = True
-    security_log: "List[SecurityEvent]" = field(default_factory=list)
+    security_log: SecurityLog = field(default_factory=SecurityLog)
 
     def handle(self, process, trap: Trap) -> SignalInfo:
         """Handle a memory fault; returns the fatal signal delivered.
@@ -63,6 +128,11 @@ class FaultHandler:
                 pid=process.pid, pc=trap.pc, fault_address=trap.tval,
                 reason=reason, insn_key=trap.insn_key,
                 page_key=trap.page_key))
+            if _OBS.enabled:
+                _OBS.events.emit(
+                    "roload.violation", cat="arch", pid=process.pid,
+                    pc=trap.pc, addr=trap.tval, reason=reason,
+                    insn_key=trap.insn_key, page_key=trap.page_key)
             signal = SignalInfo(SIGSEGV,
                                 f"pointee integrity violation: {reason}",
                                 pc=trap.pc, fault_address=trap.tval,
@@ -70,6 +140,10 @@ class FaultHandler:
         # [roload-end]
         else:
             kind = Cause.NAMES.get(trap.cause, "memory fault")
+            if _OBS.enabled:
+                _OBS.events.emit("fault.benign", cat="arch",
+                                 pid=process.pid, pc=trap.pc,
+                                 addr=trap.tval, kind=kind)
             signal = SignalInfo(SIGSEGV, kind, pc=trap.pc,
                                 fault_address=trap.tval, trap=trap)
         process.kill(signal)

@@ -8,6 +8,7 @@ discrimination -> SIGSEGV).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional
 
 from repro.asm.objfile import Executable
@@ -20,6 +21,7 @@ from repro.kernel.process import Process, ProcessState
 from repro.kernel.signals import SIGILL, SIGTRAP, SignalInfo
 from repro.kernel.syscalls import SyscallDispatcher
 from repro.mem.pagetable import FrameAllocator
+from repro.obs import OBS as _OBS
 from repro.soc.system import System
 
 # Physical layout: the kernel owns the low region; user frames above it.
@@ -60,7 +62,7 @@ class Kernel:
         """Context switch: install the address space and register file."""
         core = self.system.core
         self.system.mmu.set_root(process.address_space.root_ppn)
-        core.flush_decode_cache()
+        core.flush_decode_cache("context_switch")
         core.regs[:] = process.saved_regs
         core.pc = process.saved_pc
         process.state = ProcessState.RUNNING
@@ -84,6 +86,10 @@ class Kernel:
         core = self.system.core
         self._schedule(process)
         executed_start = core.instret
+        observing = _OBS.enabled
+        if observing:
+            self._sample_tiers(core)
+            run_began = perf_counter()
         try:
             while process.alive:
                 remaining = max_instructions - (core.instret - executed_start)
@@ -96,9 +102,28 @@ class Kernel:
                     core.step_block(remaining)
                 except Trap as trap:
                     self._handle_trap(process, trap)
+                    if observing:
+                        self._sample_tiers(core)
         finally:
             self._deschedule(process)
+            if observing:
+                self._sample_tiers(core)
+                _OBS.events.emit(
+                    "span.kernel.run", pid=process.pid,
+                    dur_us=(perf_counter() - run_began) * 1e6,
+                    instructions=core.instret - executed_start,
+                    exit_code=process.exit_code,
+                    state=process.state.name)
         return process
+
+    @staticmethod
+    def _sample_tiers(core) -> None:
+        """Emit a tier-residency counter sample (Chrome counter track)."""
+        _OBS.events.emit("counter.tiers",
+                         tier0=core.tier0_retired,
+                         tier1=core.tier1_retired,
+                         tier2=(core.instret - core.tier0_retired
+                                - core.tier1_retired))
 
     def _handle_trap(self, process: Process, trap: Trap) -> None:
         core = self.system.core
@@ -110,7 +135,17 @@ class Kernel:
         if trap.cause in (Cause.LOAD_PAGE_FAULT, Cause.STORE_PAGE_FAULT,
                           Cause.FETCH_PAGE_FAULT, Cause.MISALIGNED_LOAD,
                           Cause.MISALIGNED_STORE, Cause.MISALIGNED_FETCH):
-            self.faults.handle(process, trap)
+            if _OBS.enabled:
+                began = perf_counter()
+                signal = self.faults.handle(process, trap)
+                _OBS.events.emit(
+                    "span.fault", pid=process.pid, pc=trap.pc,
+                    cause=Cause.NAMES.get(trap.cause, "memory fault"),
+                    roload=bool(trap.is_roload_fault),
+                    signal=signal.number,
+                    dur_us=(perf_counter() - began) * 1e6)
+            else:
+                self.faults.handle(process, trap)
             return
         if trap.cause == Cause.ILLEGAL_INSTRUCTION:
             process.kill(SignalInfo(SIGILL, "illegal instruction",

@@ -8,6 +8,7 @@ from typing import Optional
 
 from repro.kernel.address_space import AddressSpace
 from repro.kernel.signals import SignalInfo
+from repro.obs import OBS as _OBS
 
 
 class ProcessState(enum.Enum):
@@ -64,6 +65,10 @@ class Process:
     def kill(self, signal: SignalInfo) -> None:
         self.state = ProcessState.KILLED
         self.signal = signal
+        if _OBS.enabled:
+            _OBS.events.emit("signal.delivery", cat="arch", pid=self.pid,
+                             signal=signal.number, name=signal.name,
+                             pc=signal.pc, roload=bool(signal.roload))
 
     def status(self) -> str:
         if self.state is ProcessState.EXITED:

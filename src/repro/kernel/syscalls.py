@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.errors import KernelError
 from repro.kernel.address_space import PROT_WRITE
+from repro.obs import OBS as _OBS
 
 # RISC-V Linux syscall numbers.
 SYS_GETPID = 172
@@ -30,6 +31,19 @@ SYS_READ = 63
 SYS_EXIT = 93
 SYS_EXIT_GROUP = 94
 SYS_CLOCK_GETTIME = 113
+
+SYSCALL_NAMES = {
+    SYS_GETPID: "getpid",
+    SYS_BRK: "brk",
+    SYS_MUNMAP: "munmap",
+    SYS_MMAP: "mmap",
+    SYS_MPROTECT: "mprotect",
+    SYS_WRITE: "write",
+    SYS_READ: "read",
+    SYS_EXIT: "exit",
+    SYS_EXIT_GROUP: "exit_group",
+    SYS_CLOCK_GETTIME: "clock_gettime",
+}
 
 EINVAL = 22
 EBADF = 9
@@ -59,6 +73,11 @@ class SyscallDispatcher:
         number = core.regs[17]  # a7
         args = [core.regs[10 + i] for i in range(6)]
         self.counts[number] = self.counts.get(number, 0) + 1
+        if _OBS.enabled:
+            _OBS.events.emit("syscall", cat="arch", pid=process.pid,
+                             number=number,
+                             name=SYSCALL_NAMES.get(number,
+                                                    f"sys_{number}"))
         handler = _HANDLERS.get(number)
         if handler is None:
             core.regs[10] = (-ENOSYS) & _MASK64

@@ -25,6 +25,7 @@ from repro.mem.pagetable import PageTableWalker
 from repro.mem.physical import PAGE_SHIFT, PhysicalMemory
 from repro.mem.pte import PTE
 from repro.mem.tlb import TLB, TLBEntry
+from repro.obs import OBS as _OBS
 
 
 @dataclass
@@ -87,12 +88,18 @@ class MMU:
         self.itlb.flush()
         self.dtlb.flush()
         self.generation += 1
+        if _OBS.enabled:
+            _OBS.events.emit("mmu.generation", cat="arch", scope="all",
+                             generation=self.generation)
 
     def flush_page(self, vaddr: int) -> None:
         vpn = vaddr >> PAGE_SHIFT
         self.itlb.flush_page(vpn)
         self.dtlb.flush_page(vpn)
         self.generation += 1
+        if _OBS.enabled:
+            _OBS.events.emit("mmu.generation", cat="arch", scope="page",
+                             vpn=vpn, generation=self.generation)
 
     # -- translation --------------------------------------------------------
 

@@ -1,0 +1,140 @@
+"""Unified observability layer: metrics, events, traces (DESIGN.md §10).
+
+One process-wide :data:`OBS` state object gates everything. Default-off
+(``REPRO_OBS=1`` in the environment, or :func:`enable`, turns it on);
+while off, every instrumentation site in the simulator reduces to one
+attribute test on a cold path and to *nothing at all* on the per-
+instruction hot paths — the tier-2 code generator never references this
+module, which the overhead suite asserts literally.
+
+Usage (the tools do exactly this):
+
+    from repro import obs
+    obs.enable()
+    obs.register_system(system)       # live counter sources
+    ... run ...
+    obs.OBS.registry.collect()        # metrics snapshot (bit-exact)
+    obs.OBS.events.events()           # structured event log
+    chrome = obs.write_chrome_trace(obs.OBS.events, "trace.json")
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.events import (
+    DEFAULT_CAPACITY,
+    EventStream,
+    arch_sequence,
+    load_jsonl,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import chrome_trace, validate_trace, write_chrome_trace
+
+__all__ = [
+    "OBS", "enable", "disable", "obs_enabled", "register_system",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "EventStream",
+    "arch_sequence", "load_jsonl",
+    "chrome_trace", "write_chrome_trace", "validate_trace",
+]
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("REPRO_OBS", "0").strip().lower()
+    return value not in ("", "0", "off", "no", "false")
+
+
+def _env_capacity() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_OBS_EVENTS",
+                                         str(DEFAULT_CAPACITY))))
+    except ValueError:
+        return DEFAULT_CAPACITY
+
+
+class ObservabilityState:
+    """The process-wide switchboard.
+
+    ``enabled`` is the single flag every instrumentation site tests;
+    ``registry`` and ``events`` exist only while enabled so a disabled
+    process carries no buffers at all.
+    """
+
+    __slots__ = ("enabled", "registry", "events")
+
+    def __init__(self):
+        self.enabled = False
+        self.registry: "MetricsRegistry | None" = None
+        self.events: "EventStream | None" = None
+
+
+OBS = ObservabilityState()
+
+
+def obs_enabled() -> bool:
+    return OBS.enabled
+
+
+def enable(capacity: "int | None" = None) -> ObservabilityState:
+    """Turn observability on (idempotent; keeps existing buffers)."""
+    if OBS.registry is None:
+        OBS.registry = MetricsRegistry()
+    if OBS.events is None:
+        OBS.events = EventStream(capacity or _env_capacity())
+    OBS.enabled = True
+    return OBS
+
+
+def disable() -> None:
+    """Turn observability off and drop its buffers."""
+    OBS.enabled = False
+    if OBS.events is not None:
+        OBS.events.close_sink()
+    OBS.registry = None
+    OBS.events = None
+
+
+def register_system(system, registry: "MetricsRegistry | None" = None,
+                    prefix: str = "sys") -> None:
+    """Register a simulated System's live counters as metric sources.
+
+    Nothing is wrapped or replaced: each source is a closure reading the
+    same plain attribute the interpreter mutates, so a collect() is
+    bit-for-bit the architectural counters. Re-registering (a fresh
+    system in the same process) replaces the previous namespace.
+    """
+    if registry is None:
+        if OBS.registry is None:
+            return
+        registry = OBS.registry
+    registry.unregister_prefix(prefix)
+    mmu = system.mmu
+    for name, tlb in (("itlb", getattr(mmu, "itlb", None)),
+                      ("dtlb", getattr(mmu, "dtlb", None))):
+        if tlb is not None:
+            registry.register_attrs(f"{prefix}.{name}", tlb,
+                                    "hits", "misses", "flushes")
+    stats = getattr(mmu, "stats", None)
+    if stats is not None:
+        registry.register_attrs(f"{prefix}.mmu", stats, "roload_checks",
+                                "roload_faults", "walks", "translations")
+    for name, cache in (("l1i", system.icache), ("l1d", system.dcache)):
+        if cache is not None:
+            registry.register_attrs(f"{prefix}.{name}", cache,
+                                    "hits", "misses")
+    tstats = system.timing.stats
+    registry.register_attrs(
+        f"{prefix}.timing", tstats, "instructions", "cycles",
+        "icache_misses", "dcache_misses", "itlb_walk_cycles",
+        "dtlb_walk_cycles", "branch_penalty_cycles", "muldiv_cycles")
+    core = system.core
+    registry.register_attrs(f"{prefix}.jit", core, "jit_compiled",
+                            "jit_flushes", "jit_compile_seconds")
+    registry.register_source(f"{prefix}.jit.flush_causes",
+                             lambda c=core: dict(c.flush_causes))
+    registry.register_source(f"{prefix}.tier.residency",
+                             lambda c=core: c.tier_residency())
+
+
+if _env_enabled():
+    enable()

@@ -1,0 +1,168 @@
+"""Process-wide metrics registry: counters, gauges, histograms, sources.
+
+Two kinds of metric coexist:
+
+* **Owned instruments** (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) created through the registry. These are for cold
+  paths only (event emission sites, tool bookkeeping).
+* **Registered sources** — zero-argument callables sampled lazily at
+  :meth:`MetricsRegistry.collect` time. The simulator's hot-path
+  counters (``Cache.hits``, ``TLB.misses``, ``MMUStats.roload_faults``,
+  ``TimingStats`` …) register as sources and are **never replaced or
+  wrapped**: the interpreter tiers keep mutating the very same plain
+  ``int`` attributes (including tier 2's deferred/coalesced counter
+  scheme), and a metrics dump simply reads them. This is what makes the
+  dump bit-for-bit identical to the architectural counters, at exactly
+  zero added cost on the paths that matter.
+
+The registry itself does no locking: the simulator is single-threaded
+per process, and benchmark workers each get their own process (and
+registry) via fork/spawn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+class Counter:
+    """Monotonic event counter (cold paths only)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of non-negative samples.
+
+    Bucket ``i`` counts samples with ``2**(i-1) <= v < 2**i`` (bucket 0
+    counts zeros). Tracks count/sum/max so means stay exact even though
+    the distribution itself is quantized.
+    """
+
+    __slots__ = ("name", "buckets", "count", "total", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.buckets: "Dict[int, int]" = {}
+        self.count = 0
+        self.total = 0
+        self.max = 0
+
+    def observe(self, value: int) -> None:
+        value = int(value)
+        if value < 0:
+            value = 0
+        slot = value.bit_length()
+        self.buckets[slot] = self.buckets.get(slot, 0) + 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "max": self.max,
+            "mean": self.total / self.count if self.count else 0.0,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Flat, name-keyed registry of instruments and live sources."""
+
+    def __init__(self):
+        self._counters: "Dict[str, Counter]" = {}
+        self._gauges: "Dict[str, Gauge]" = {}
+        self._histograms: "Dict[str, Histogram]" = {}
+        self._sources: "Dict[str, Callable[[], object]]" = {}
+
+    # -- owned instruments ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # -- live sources --------------------------------------------------------
+
+    def register_source(self, name: str,
+                        read: "Callable[[], object]") -> None:
+        """Register (or replace) a lazily-sampled metric.
+
+        ``read`` is called at :meth:`collect` time; it must be cheap and
+        side-effect free. Re-registering a name replaces the previous
+        source — a fresh simulated system takes over its namespace.
+        """
+        self._sources[name] = read
+
+    def register_attrs(self, prefix: str, obj, *attrs: str) -> None:
+        """Register one source per named attribute of ``obj``.
+
+        The attribute stays a plain mutable field on ``obj`` — nothing
+        is wrapped — so hot-path ``+= 1`` updates keep their cost.
+        """
+        for attr in attrs:
+            self._sources[f"{prefix}.{attr}"] = \
+                (lambda o=obj, a=attr: getattr(o, a))
+
+    def unregister_prefix(self, prefix: str) -> None:
+        dotted = prefix + "."
+        for name in [n for n in self._sources
+                     if n == prefix or n.startswith(dotted)]:
+            del self._sources[name]
+
+    # -- snapshotting --------------------------------------------------------
+
+    def collect(self) -> dict:
+        """One flat ``name -> value`` snapshot of everything registered."""
+        out: dict = {}
+        for name, source in self._sources.items():
+            out[name] = source()
+        for name, instrument in self._counters.items():
+            out[name] = instrument.value
+        for name, instrument in self._gauges.items():
+            out[name] = instrument.value
+        for name, instrument in self._histograms.items():
+            out[name] = instrument.snapshot()
+        return out
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._sources.clear()

@@ -1,0 +1,155 @@
+"""Chrome trace-event exporter: an event stream becomes a Perfetto file.
+
+Produces the JSON object format of the Trace Event spec (the one
+``chrome://tracing`` and https://ui.perfetto.dev open directly):
+
+* ``span.*`` events (carrying ``dur_us``) become complete slices
+  (``ph: "X"``) — kernel.run, fault handling;
+* ``counter.*`` events become counter tracks (``ph: "C"``) — per-tier
+  instruction residency over time;
+* every other event becomes an instant (``ph: "i"``) with its payload
+  in ``args`` — JIT compiles, flushes, syscalls, ROLoad violations.
+
+:func:`validate_trace` is the schema check CI runs on the artifact: it
+accepts exactly the subset this exporter emits plus the common optional
+fields, so a malformed export fails the workflow instead of failing the
+first human who opens the file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+# Thread ids group related slices into rows in the viewer.
+_TRACK_OF = {
+    "span.kernel": 1,
+    "span.fault": 2,
+    "jit": 3,
+    "block_cache": 3,
+    "syscall": 4,
+    "signal": 5,
+    "roload": 5,
+    "fault": 5,
+    "mmu": 6,
+}
+_TRACK_NAMES = {
+    0: "events",
+    1: "kernel.run",
+    2: "fault handling",
+    3: "jit / block cache",
+    4: "syscalls",
+    5: "security",
+    6: "mmu",
+}
+
+_PHASES = {"X", "B", "E", "i", "I", "C", "M"}
+
+
+def _track(type_: str) -> int:
+    probe = type_
+    while probe:
+        tid = _TRACK_OF.get(probe)
+        if tid is not None:
+            return tid
+        probe = probe.rpartition(".")[0]
+    return 0
+
+
+def _args(event: dict) -> dict:
+    return {k: v for k, v in event.items()
+            if k not in ("ts", "type", "cat", "dur_us")}
+
+
+def chrome_trace(events: "Iterable[dict]", *,
+                 process_name: str = "roload-sim") -> dict:
+    """Convert an event iterable to a Chrome trace-event JSON object."""
+    trace_events: "List[dict]" = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0, "ts": 0,
+        "args": {"name": process_name},
+    }]
+    used_tracks = set()
+    for event in events:
+        ts_us = event["ts"] * 1e6
+        type_ = event["type"]
+        tid = _track(type_)
+        used_tracks.add(tid)
+        if type_.startswith("span.") and "dur_us" in event:
+            # Spans are emitted at their end; the slice starts dur
+            # earlier (clamped: a span opened before the stream epoch
+            # must not produce a negative timestamp).
+            trace_events.append({
+                "name": type_[len("span."):], "ph": "X", "pid": 0,
+                "tid": tid, "ts": max(ts_us - event["dur_us"], 0.0),
+                "dur": event["dur_us"], "cat": event.get("cat", "sim"),
+                "args": _args(event),
+            })
+        elif type_.startswith("counter."):
+            args = {k: v for k, v in _args(event).items()
+                    if isinstance(v, (int, float))}
+            trace_events.append({
+                "name": type_[len("counter."):], "ph": "C", "pid": 0,
+                "tid": tid, "ts": ts_us, "args": args,
+            })
+        else:
+            trace_events.append({
+                "name": type_, "ph": "i", "pid": 0, "tid": tid,
+                "ts": ts_us, "s": "t", "cat": event.get("cat", "sim"),
+                "args": _args(event),
+            })
+    for tid in sorted(used_tracks):
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+            "ts": 0, "args": {"name": _TRACK_NAMES.get(tid, f"track {tid}")},
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: "Iterable[dict]", path, **kwargs) -> dict:
+    trace = chrome_trace(events, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return trace
+
+
+def validate_trace(trace) -> "List[str]":
+    """Validate a trace-event JSON object; returns a list of problems
+    (empty means the file is well-formed)."""
+    problems: "List[str]" = []
+    if not isinstance(trace, dict):
+        return [f"top level must be an object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing 'name'")
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            problems.append(f"{where}: bad phase {phase!r}")
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"{where}: missing numeric 'ts'")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: missing integer {key!r}")
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            problems.append(f"{where}: complete event without 'dur'")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: counter event without args")
+            elif not all(isinstance(v, (int, float))
+                         for v in args.values()):
+                problems.append(f"{where}: non-numeric counter args")
+        if phase == "M" and not isinstance(event.get("args"), dict):
+            problems.append(f"{where}: metadata event without args")
+    return problems

@@ -3,6 +3,7 @@
     roload-bench [--smoke] [--scale S] [--jobs N] [--benchmarks a,b,...]
                  [--variants base,vcall,...] [--no-compare] [--out PATH]
                  [--check-against BASELINE [--tolerance T] [--report-only]]
+                 [--trace-out TRACE.json] [--metrics-out METRICS.json]
 
 Times a fixed workload sweep end to end (generate + compile + simulate)
 and reports simulator throughput in sim-MIPS (millions of simulated
@@ -14,8 +15,15 @@ times — once per interpreter tier:
     tier2  REPRO_FASTPATH=1 REPRO_JIT=1 trace compiler (DESIGN.md §9)
 
 and records all three, plus the pairwise speedups, in a
-``BENCH_interp.json`` record (schema_version 2) so the performance
-trajectory of the interpreter is tracked PR over PR.
+``BENCH_interp.json`` record (schema_version 3) so the performance
+trajectory of the interpreter is tracked PR over PR. Schema v3 adds a
+per-tier ``residency`` section: which interpreter tier retired the
+instructions, compile time, and invalidation causes (DESIGN.md §10).
+
+``--trace-out``/``--metrics-out`` enable the observability layer for
+the sweep and export a Chrome trace-event JSON (opens in Perfetto) and
+a metrics snapshot. Event capture is in-process, so these flags force
+``--jobs 1``.
 
 The architectural results of all tiers are asserted identical (cycles,
 instructions, exit codes, miss rates): a perf record produced by a run
@@ -41,7 +49,7 @@ from pathlib import Path
 from repro.errors import ReproError
 from repro.eval.measure import resolve_jobs, run_benchmarks
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 # A small, representative slice of the Figure 4/5 sweep: two C integer
 # workloads and two C++ (virtual-call-heavy) ones.
@@ -100,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
                              f"(default {DEFAULT_TOLERANCE})")
     parser.add_argument("--report-only", action="store_true",
                         help="gate mode: print the verdict but exit 0")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        metavar="TRACE.json",
+                        help="write a Chrome trace-event JSON of the sweep "
+                             "(enables observability; forces --jobs 1)")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        metavar="METRICS.json",
+                        help="write a metrics snapshot of the sweep "
+                             "(enables observability; forces --jobs 1)")
     return parser
 
 
@@ -111,6 +127,43 @@ def host_info() -> dict:
         "platform": platform.platform(),
         "cpu_count": os.cpu_count() or 1,
     }
+
+
+def aggregate_residency(runs) -> dict:
+    """Sum the per-measurement tier-residency profiles of a sweep."""
+    total = {"retired": 0, "tier0_retired": 0, "tier1_retired": 0,
+             "tier2_retired": 0, "jit_compiled": 0, "jit_flushes": 0,
+             "jit_compile_seconds": 0.0, "flush_causes": {}}
+    for run in runs.values():
+        for m in run.measurements.values():
+            residency = getattr(m, "tier_residency", None)
+            if not residency:
+                continue
+            for key in ("retired", "tier0_retired", "tier1_retired",
+                        "tier2_retired", "jit_compiled", "jit_flushes"):
+                total[key] += residency.get(key, 0)
+            total["jit_compile_seconds"] += \
+                residency.get("jit_compile_seconds", 0.0)
+            for cause, count in residency.get("flush_causes", {}).items():
+                total["flush_causes"][cause] = \
+                    total["flush_causes"].get(cause, 0) + count
+    total["jit_compile_seconds"] = round(total["jit_compile_seconds"], 6)
+    if total["retired"]:
+        for tier in ("tier0", "tier1", "tier2"):
+            total[f"{tier}_frac"] = round(
+                total[f"{tier}_retired"] / total["retired"], 6)
+    return total
+
+
+def format_residency(residency: dict) -> str:
+    retired = residency.get("retired", 0)
+    if not retired:
+        return "residency: no instructions retired"
+    parts = [f"{tier} {100.0 * residency.get(f'{tier}_frac', 0.0):.1f}%"
+             for tier in ("tier2", "tier1", "tier0")]
+    return (f"residency: {' / '.join(parts)} of {retired:,d} retired "
+            f"({residency.get('jit_compiled', 0)} blocks compiled in "
+            f"{residency.get('jit_compile_seconds', 0.0):.3f}s)")
 
 
 def _run_sweep(benchmarks, variants, scale, *, tier: str, jobs: int):
@@ -143,6 +196,7 @@ def _run_sweep(benchmarks, variants, scale, *, tier: str, jobs: int):
         "cycles": cycles,
         "sim_mips": round(instructions / denominator / 1e6, 4)
         if denominator else 0,
+        "residency": aggregate_residency(runs),
         "measurements": {
             f"{name}/{variant}": {
                 "cycles": m.cycles, "instructions": m.instructions,
@@ -222,9 +276,24 @@ def _run_gate(args, benchmarks, variants, jobs) -> int:
     print(f"gate: current {sweep['sim_mips']} sim-MIPS vs recorded "
           f"{reference} (floor {floor:.4f} at tolerance "
           f"{args.tolerance}): {verdict}")
+    print(f"gate {format_residency(sweep['residency'])}")
     if args.report_only:
         return 0
     return 0 if ok else 1
+
+
+def _write_obs_outputs(args) -> None:
+    """Export the captured event ring / metrics registry to files."""
+    from repro import obs
+    if args.trace_out is not None:
+        trace = obs.write_chrome_trace(obs.OBS.events, args.trace_out)
+        print(f"[trace: {len(trace['traceEvents'])} events in "
+              f"{args.trace_out}]")
+    if args.metrics_out is not None:
+        snapshot = obs.OBS.registry.collect()
+        args.metrics_out.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"[metrics: {len(snapshot)} series in {args.metrics_out}]")
 
 
 def main(argv=None) -> int:
@@ -240,15 +309,28 @@ def main(argv=None) -> int:
     # only add scheduling noise to the per-pair simulation clocks.
     jobs = max(1, min(jobs, os.cpu_count() or 1))
 
+    observing = args.trace_out is not None or args.metrics_out is not None
+    if observing:
+        from repro import obs
+        obs.enable()
+        if jobs != 1:
+            print("note: --trace-out/--metrics-out capture events "
+                  "in-process; forcing --jobs 1")
+            jobs = 1
+
     saved = {k: os.environ.get(k) for k in ("REPRO_FASTPATH", "REPRO_JIT")}
     try:
         if args.check_against is not None:
-            return _run_gate(args, benchmarks, variants, jobs)
+            code = _run_gate(args, benchmarks, variants, jobs)
+            if observing:
+                _write_obs_outputs(args)
+            return code
         tiers = {}
         tiers["tier2"] = _run_sweep(benchmarks, variants, scale,
                                     tier="tier2", jobs=jobs)
         print(f"tier2: {tiers['tier2']['wall_seconds']}s, "
               f"{tiers['tier2']['sim_mips']} sim-MIPS (jobs={jobs})")
+        print(f"tier2 {format_residency(tiers['tier2']['residency'])}")
         if not (args.no_compare or args.smoke):
             tiers["tier1"] = _run_sweep(benchmarks, variants, scale,
                                         tier="tier1", jobs=jobs)
@@ -280,6 +362,8 @@ def main(argv=None) -> int:
             else:
                 os.environ[key] = value
 
+    if observing:
+        _write_obs_outputs(args)
     if args.smoke:
         print("smoke ok")
         return 0

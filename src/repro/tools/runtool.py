@@ -2,11 +2,19 @@
 
     roload-run prog.rex [--profile processor+kernel] [--max N]
                         [--trace N] [--hot N] [--stats]
+                        [--trace-out TRACE.json] [--metrics-out M.json]
+
+``--trace-out`` writes a Chrome trace-event JSON of the run (opens
+directly in Perfetto / chrome://tracing); ``--metrics-out`` writes a
+metrics snapshot whose counters are read live from the simulator —
+bit-for-bit the architectural counters. Both enable the observability
+layer (DESIGN.md §10) for the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -33,6 +41,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the N hottest pcs by cycles")
     parser.add_argument("--stats", action="store_true",
                         help="print timing/cache/TLB statistics")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        metavar="TRACE.json",
+                        help="write a Chrome trace-event JSON of the run")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        metavar="METRICS.json",
+                        help="write a metrics snapshot (live architectural "
+                             "counters) of the run")
     return parser
 
 
@@ -43,7 +58,12 @@ def main(argv=None) -> int:
     except (ReproError, OSError) as error:
         print(f"roload-run: {error}", file=sys.stderr)
         return 1
+    observing = args.trace_out is not None or args.metrics_out is not None
     system = build_system(args.profile)
+    if observing:
+        from repro import obs
+        obs.enable()
+        obs.register_system(system)
     kernel = Kernel(system)
     process = kernel.create_process(image, name=args.image.name)
 
@@ -72,6 +92,18 @@ def main(argv=None) -> int:
     if args.hot:
         print("\n-- hottest pcs --")
         print(profiler.format(args.hot, symbols=image.symbols))
+    if observing:
+        from repro import obs
+        if args.trace_out is not None:
+            trace = obs.write_chrome_trace(obs.OBS.events, args.trace_out)
+            print(f"[trace: {len(trace['traceEvents'])} events in "
+                  f"{args.trace_out}]")
+        if args.metrics_out is not None:
+            snapshot = obs.OBS.registry.collect()
+            args.metrics_out.write_text(
+                json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+            print(f"[metrics: {len(snapshot)} series in "
+                  f"{args.metrics_out}]")
     if args.stats:
         stats = system.timing.stats
         print("\n-- statistics --")

@@ -272,6 +272,64 @@ def test_roload_fault_inside_hot_compiled_block(monkeypatch, source,
     assert results["slow"][5] == page_key
 
 
+@pytest.mark.parametrize("source,reason", [
+    (HOT_WALK_KEY, "key_mismatch"),
+    (HOT_WALK_WRITABLE, "not_read_only"),
+], ids=["key-mismatch", "writable-page"])
+def test_arch_event_stream_identical_across_tiers(monkeypatch, source,
+                                                  reason):
+    """The observability contract across tiers: the architectural event
+    subsequence (faults, signals, MMU bumps — everything cat="arch") of
+    a run that faults inside a hot compiled block is bit-identical in
+    all three interpreter tiers."""
+    from repro import obs
+    from repro.obs import arch_sequence
+
+    sequences = {}
+    try:
+        for tier in TIERS:
+            obs.disable()
+            obs.enable()
+            kernel, __ = run_hot_fault(monkeypatch, source, tier)
+            assert kernel.security_log  # the fault really happened
+            sequences[tier] = arch_sequence(obs.OBS.events)
+    finally:
+        obs.disable()
+
+    assert sequences["tier1"] == sequences["slow"]
+    assert sequences["tier2"] == sequences["slow"]
+    # Non-vacuity: the stream carries the violation and its signal.
+    types = [dict(payload)["type"] for payload in sequences["slow"]]
+    assert "roload.violation" in types
+    assert "signal.delivery" in types
+    violation = next(dict(payload) for payload in sequences["slow"]
+                     if dict(payload)["type"] == "roload.violation")
+    assert violation["reason"] == reason
+    assert violation["insn_key"] == 5
+
+
+@pytest.mark.parametrize("source", [HOT_WALK_KEY, HOT_WALK_WRITABLE],
+                         ids=["key-mismatch", "writable-page"])
+@pytest.mark.parametrize("tier", list(TIERS))
+def test_roload_monitor_complete_under_hot_fault(monkeypatch, source,
+                                                 tier):
+    """An attached ROLoadMonitor observes every *retired* ld.ro in every
+    tier — 512 good walks; the faulting 513th never retires. Attaching
+    deoptimizes, so the compiled tier cannot hide executions from it."""
+    from repro.cpu.tracer import ROLoadMonitor
+
+    fastpath, jit = TIERS[tier]
+    monkeypatch.setenv("REPRO_FASTPATH", fastpath)
+    monkeypatch.setenv("REPRO_JIT", jit)
+    monkeypatch.setenv("REPRO_JIT_THRESHOLD", "2")
+    kernel = Kernel(build_system("processor+kernel", memory_size=64 << 20))
+    process = kernel.create_process(link([assemble(source)]))
+    with ROLoadMonitor(kernel.system.core) as monitor:
+        kernel.run(process)
+    assert process.state is ProcessState.KILLED
+    assert monitor.by_key == {5: 512}
+
+
 # -- the TLB shadow coupling the compiled memo relies on ---------------------
 
 def _entry(ppn):

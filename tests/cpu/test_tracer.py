@@ -120,3 +120,58 @@ class TestROLoadMonitor:
                 kernel.run(process)
         assert monitor.by_key[12] == 5
         assert profiler.instruction_counts
+
+    def test_out_of_order_detach(self, machine):
+        """Hooks detach independently, in any order."""
+        kernel, process = machine
+        core = kernel.system.core
+        profiler = Profiler(core).attach()
+        monitor = ROLoadMonitor(core).attach()
+        profiler.detach()           # not last-attached-first
+        kernel.run(process)
+        monitor.detach()
+        assert core.trace_hook is None
+        assert monitor.by_key == {12: 5}
+        assert not profiler.instruction_counts  # detached before the run
+
+
+class TestJITBlindSpot:
+    """Attaching an observer must deoptimize the tiered interpreter:
+    every retired instruction reaches the hook, even ones that used to
+    run inside hot tier-1/tier-2 compiled blocks (the blind spot)."""
+
+    def _hot_core(self, monkeypatch):
+        from .test_jit import countdown_loop, jit_core
+        monkeypatch.setenv("REPRO_JIT", "1")
+        core = jit_core(monkeypatch, threshold=2)
+        countdown_loop(core, 200)
+        return core
+
+    def test_tracer_sees_every_instruction_when_attached_hot(
+            self, monkeypatch):
+        core = self._hot_core(monkeypatch)
+        # Heat the loop until tier-2 blocks are compiled and running
+        # (the tight budget raises; the compiled state survives).
+        with pytest.raises(Exception):
+            core.run(200, trap_handler=None)
+        assert core.jit_compiled >= 1 and core._jit_blocks
+        attach_instret = core.instret
+        with Profiler(core) as profiler:
+            # Attaching dropped the compiled state: no stale chain may
+            # keep retiring instructions underneath the hook.
+            assert not core._jit_blocks and not core._blocks
+            core.run(10_000, trap_handler=None)  # runs to ebreak
+        observed = sum(profiler.instruction_counts.values())
+        assert observed == core.instret - attach_instret
+        assert observed > 0
+
+    def test_retiering_resumes_after_detach(self, monkeypatch):
+        core = self._hot_core(monkeypatch)
+        with Profiler(core):
+            with pytest.raises(Exception):
+                core.run(50, trap_handler=None)
+        assert core.trace_hook is None
+        compiled_before = core.jit_compiled
+        core.run(10_000, trap_handler=None)
+        # The loop got hot again and recompiled after the detach flush.
+        assert core.jit_compiled > compiled_before

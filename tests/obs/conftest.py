@@ -1,0 +1,22 @@
+"""Shared fixtures: every obs test leaves the process-wide switchboard
+exactly as it found it (disabled, no buffers) — the rest of the suite
+must keep running with observability off."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture()
+def enabled_obs():
+    """Observability on, with fresh buffers; restored on exit."""
+    obs.disable()
+    state = obs.enable()
+    yield state
+    obs.disable()
+
+
+@pytest.fixture(autouse=True)
+def _always_restore():
+    yield
+    obs.disable()

@@ -1,0 +1,121 @@
+"""The overhead contract: observability off costs (near) nothing.
+
+Three layers of proof:
+
+* behavioural — a full kernel run with the switchboard off allocates no
+  buffers and emits no events;
+* structural — the per-instruction slow path and the generated tier-2
+  source contain no reference to the obs layer at all (the only hot-path
+  cost anywhere is one ``enabled`` attribute test at cold sites);
+* end-to-end — a tier-2 mini-sweep with REPRO_OBS=0 passes the existing
+  15% roload-bench regression gate against an identical sweep.
+"""
+
+import inspect
+
+from repro import obs
+from repro.asm import assemble, link
+from repro.cpu.core import Core
+from repro.cpu.jit import _generate
+from repro.kernel import Kernel
+from repro.soc import build_system
+from repro.tools.benchtool import (
+    _run_sweep,
+    build_record,
+    evaluate_gate,
+)
+
+from tests.cpu.conftest import CODE_BASE, I, assemble_at
+from tests.cpu.test_jit import jit_core, countdown_loop, run_to_ebreak
+
+WORKLOAD = r"""
+.globl _start
+_start:
+    li t0, 200
+loop:
+    la a0, table
+    ld.ro a1, (a0), 12
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    li a7, 93
+    ecall
+.section .rodata.key.12
+table: .quad 1
+"""
+
+
+def _run(monkeypatch, tier2=True):
+    monkeypatch.setenv("REPRO_FASTPATH", "1" if tier2 else "0")
+    monkeypatch.setenv("REPRO_JIT", "1" if tier2 else "0")
+    monkeypatch.setenv("REPRO_JIT_THRESHOLD", "2")
+    kernel = Kernel(build_system(memory_size=64 << 20))
+    process = kernel.create_process(link([assemble(WORKLOAD)]))
+    kernel.run(process)
+    core = kernel.system.core
+    return (core.cycles, core.instret, process.exit_code,
+            kernel.system.mmu.stats.roload_checks)
+
+
+def test_disabled_run_allocates_and_emits_nothing(monkeypatch):
+    obs.disable()
+    result = _run(monkeypatch)
+    assert result[2] == 0
+    assert obs.OBS.enabled is False
+    assert obs.OBS.events is None      # no ring was ever created
+    assert obs.OBS.registry is None
+
+
+def test_enabling_does_not_change_architecture(monkeypatch):
+    obs.disable()
+    baseline = _run(monkeypatch)
+    obs.enable()
+    observed = _run(monkeypatch)
+    assert observed == baseline
+    assert len(obs.OBS.events) > 0     # and the run really was observed
+
+
+def test_slow_path_step_has_no_obs_reference():
+    """step() retires one instruction per call — the obs layer must not
+    appear in it (tier-residency costs one plain int add, nothing else).
+    step_block's only reference sits on the cold compile/flush paths."""
+    assert "_OBS" not in inspect.getsource(Core.step)
+    assert "OBS.events" not in inspect.getsource(Core.step)
+
+
+def test_tier2_generated_source_has_no_obs_reference(monkeypatch):
+    """The compiled tier runs pure generated Python: if the word 'obs'
+    ever shows up in it, instrumentation leaked into the hot loop."""
+    core = jit_core(monkeypatch, threshold=2)
+    loop_pc = countdown_loop(core, 10)
+    run_to_ebreak(core)
+    assert core._jit_blocks  # the loop really compiled
+    entries = core._blocks[loop_pc][0]
+    source, __, __ = _generate(core, entries)
+    assert "obs" not in source.lower()
+
+
+def test_tier2_sweep_with_obs_off_passes_the_bench_gate(monkeypatch):
+    """End to end: two identical REPRO_OBS=0 tier-2 mini-sweeps stay
+    inside the 15% regression gate — the acceptance bar for shipping
+    the observability layer at all."""
+    monkeypatch.setenv("REPRO_OBS", "0")
+    # _run_sweep writes these; setting them via monkeypatch first makes
+    # sure the test restores whatever the environment had.
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    monkeypatch.setenv("REPRO_JIT", "1")
+    obs.disable()
+    benchmarks, variants, scale = ("429.mcf",), ("base",), 0.5
+    reference = _run_sweep(benchmarks, variants, scale,
+                           tier="tier2", jobs=1)
+    record = build_record(benchmarks, variants, scale,
+                          {"tier2": reference})
+    current = _run_sweep(benchmarks, variants, scale,
+                         tier="tier2", jobs=1)
+    ok, ref_mips, floor = evaluate_gate(current["sim_mips"], record)
+    assert ok, (f"obs-off tier-2 throughput {current['sim_mips']} "
+                f"sim-MIPS fell below the gate floor {floor:.4f} "
+                f"(reference {ref_mips})")
+    # The sweeps are architecturally identical, and nothing was observed.
+    assert current["measurements"] == reference["measurements"]
+    assert obs.OBS.events is None

@@ -1,0 +1,102 @@
+"""roload-stats CLI: summary, trace conversion, schema validation.
+
+Also drives roload-run's --trace-out/--metrics-out export end to end on
+the examples' forward-edge-CFI shape of workload: the produced trace
+must validate, and the metrics dump must be the architectural counters.
+"""
+
+import json
+
+from repro.asm import assemble, link
+from repro.tools.runtool import main as run_main
+from repro.tools.statstool import main as stats_main
+
+SOURCE = r"""
+.globl _start
+_start:
+    li t0, 3
+loop:
+    la a0, table
+    ld.ro a1, (a0), 12
+    addi t0, t0, -1
+    bnez t0, loop
+    la a0, wrong
+    ld.ro a1, (a0), 5
+    li a7, 93
+    ecall
+.section .rodata.key.12
+table: .quad 1
+.section .rodata.key.7
+wrong: .quad 2
+"""
+
+
+def _events_file(tmp_path):
+    from repro.obs import EventStream
+    stream = EventStream()
+    stream.emit("span.kernel.run", pid=1, dur_us=900.0)
+    stream.emit("syscall", cat="arch", number=93, name="exit")
+    stream.emit("counter.tiers", tier0=1, tier1=2, tier2=3)
+    path = tmp_path / "events.jsonl"
+    stream.dump_jsonl(path)
+    return path
+
+
+def test_trace_then_validate(tmp_path, capsys):
+    events = _events_file(tmp_path)
+    out = tmp_path / "trace.json"
+    assert stats_main(["trace", str(events), "-o", str(out)]) == 0
+    assert stats_main(["validate", str(out)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_validate_rejects_bad_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+    assert stats_main(["validate", str(bad)]) == 1
+    assert "bad phase" in capsys.readouterr().err
+    notjson = tmp_path / "notjson.json"
+    notjson.write_text("{")
+    assert stats_main(["validate", str(notjson)]) == 1
+
+
+def test_summary_of_events_and_metrics(tmp_path, capsys):
+    events = _events_file(tmp_path)
+    assert stats_main(["summary", str(events)]) == 0
+    out = capsys.readouterr().out
+    assert "3 events" in out and "syscall" in out and "span time" in out
+
+    metrics = tmp_path / "metrics.json"
+    metrics.write_text(json.dumps({"sys.l1d.hits": 42,
+                                   "sys.mmu.roload_faults": 1}))
+    assert stats_main(["summary", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "2 metric series" in out and "sys.l1d.hits" in out
+
+
+def test_runtool_exports_validating_trace_and_exact_metrics(tmp_path,
+                                                            capsys):
+    """The acceptance demo: a run with a ROLoad violation produces a
+    Perfetto-loadable trace and a bit-exact metrics dump."""
+    image = tmp_path / "prog.rex"
+    image.write_bytes(link([assemble(SOURCE)]).to_bytes())
+    trace_out = tmp_path / "trace.json"
+    metrics_out = tmp_path / "metrics.json"
+    code = run_main([str(image), "--trace-out", str(trace_out),
+                     "--metrics-out", str(metrics_out)])
+    assert code == 128 + 11  # SIGSEGV: the last ld.ro violates its key
+    assert "[security]" in capsys.readouterr().out
+
+    assert stats_main(["validate", str(trace_out)]) == 0
+    trace = json.loads(trace_out.read_text())
+    names = {event["name"] for event in trace["traceEvents"]}
+    assert "kernel.run" in names            # the run span
+    assert "roload.violation" in names      # the security event
+    assert "tiers" in names                 # residency counter samples
+
+    metrics = json.loads(metrics_out.read_text())
+    assert metrics["sys.mmu.roload_faults"] == 1
+    assert metrics["sys.mmu.roload_checks"] == 4  # 3 good + 1 bad
+    assert metrics["sys.timing.instructions"] > 0
+    residency = metrics["sys.tier.residency"]
+    assert residency["retired"] == metrics["sys.timing.instructions"]

@@ -1,0 +1,66 @@
+"""Chrome trace exporter: event mapping and the schema validator."""
+
+import json
+
+from repro.obs import (
+    EventStream,
+    chrome_trace,
+    validate_trace,
+    write_chrome_trace,
+)
+
+
+def _stream():
+    stream = EventStream()
+    stream.emit("span.kernel.run", pid=1, dur_us=1500.0, instructions=42)
+    stream.emit("counter.tiers", tier0=1, tier1=2, tier2=3)
+    stream.emit("jit.compile", pc=4096, instructions=7)
+    stream.emit("roload.violation", cat="arch", reason="key_mismatch")
+    return stream
+
+
+def _by_phase(trace):
+    out = {}
+    for event in trace["traceEvents"]:
+        out.setdefault(event["ph"], []).append(event)
+    return out
+
+
+def test_event_mapping():
+    trace = chrome_trace(_stream())
+    phases = _by_phase(trace)
+    [span] = phases["X"]
+    assert span["name"] == "kernel.run"
+    assert span["dur"] == 1500.0
+    assert span["ts"] >= 0  # start = end - dur, never negative here
+    [counter] = phases["C"]
+    assert counter["args"] == {"tier0": 1, "tier1": 2, "tier2": 3}
+    instants = {event["name"] for event in phases["i"]}
+    assert instants == {"jit.compile", "roload.violation"}
+    # Metadata names the process and every used track.
+    names = {event["args"]["name"] for event in phases["M"]}
+    assert "roload-sim" in names and "kernel.run" in names
+
+
+def test_roundtrip_validates(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(_stream(), path)
+    trace = json.loads(path.read_text())
+    assert validate_trace(trace) == []
+    assert trace["displayTimeUnit"] == "ms"
+
+
+def test_validator_catches_malformed_traces():
+    assert validate_trace([]) != []
+    assert validate_trace({}) != []
+    assert validate_trace({"traceEvents": []}) != []
+    assert validate_trace({"traceEvents": ["nope"]}) != []
+    # A complete event without a duration is a schema violation.
+    bad = {"traceEvents": [
+        {"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 0}]}
+    assert any("dur" in problem for problem in validate_trace(bad))
+    # Counter args must be numeric.
+    bad = {"traceEvents": [
+        {"name": "c", "ph": "C", "ts": 0, "pid": 0, "tid": 0,
+         "args": {"v": "high"}}]}
+    assert any("counter" in problem for problem in validate_trace(bad))
