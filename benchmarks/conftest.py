@@ -14,14 +14,14 @@ processes. Every worker builds its own system, so results are identical
 to a serial run.
 """
 
-import os
 from pathlib import Path
 
 import pytest
 
+from repro import config as _config
 from repro.eval.measure import BenchmarkRun, run_benchmark
 
-SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+SCALE = _config.current().bench_scale
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 

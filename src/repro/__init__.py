@@ -24,6 +24,9 @@ __version__ = "1.0.0"
 
 from repro.errors import ReproError
 
+# Configuration — the typed surface over every REPRO_* knob.
+from repro.config import Config
+
 # Hardware.
 from repro.soc import SoCConfig, System, build_embedded_system, \
     build_system
@@ -66,8 +69,13 @@ from repro.eval import (
 )
 from repro.workloads import PROFILES, build_workload, profile
 
+# Snapshot / record-replay (DESIGN.md §11).
+from repro.replay import Snapshot, restore, snapshot
+
 __all__ = [
     "ReproError", "__version__",
+    "Config",
+    "Snapshot", "snapshot", "restore",
     "SoCConfig", "System", "build_embedded_system", "build_system",
     "Kernel", "Process", "run_program",
     "Assembler", "Executable", "Linker", "assemble", "link",

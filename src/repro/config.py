@@ -1,0 +1,297 @@
+"""Typed configuration surface for every ``REPRO_*`` knob.
+
+One :class:`Config` dataclass replaces the ad-hoc ``os.environ`` reads
+that used to be scattered through ``cpu/core.py``, ``cpu/jit.py``,
+``obs``, ``kernel/fault.py`` and the tools. Environment variables remain
+the *default source* — :meth:`Config.from_env` is the single reader —
+but every consumer now goes through :func:`current`, which also honours
+programmatic overrides (:func:`overrides`) so tests and the replay
+machinery can pin a tier without mutating the process environment.
+
+Knob table (also printed by ``python -m repro.config``):
+
+======================  ==================  =======  =========================
+environment variable    Config field        default  meaning
+======================  ==================  =======  =========================
+REPRO_FASTPATH          fast_path           1        tier-1 basic-block
+                                                     interpreter (0 = slow
+                                                     per-instruction seed path)
+REPRO_JIT               jit                 1        tier-2 trace compiler
+                                                     (needs fast_path)
+REPRO_JIT_THRESHOLD     jit_threshold       16       block dispatches before
+                                                     tier-2 compilation
+REPRO_JIT_DEBUG         jit_debug           0        re-raise tier-2 compile
+                                                     errors instead of
+                                                     pinning the block
+REPRO_OBS               obs                 0        observability layer on
+                                                     at import
+REPRO_OBS_EVENTS        obs_events          65536    event-ring capacity
+REPRO_SECLOG_CAP        seclog_cap          4096     kernel security-log ring
+                                                     capacity
+REPRO_JOBS              jobs                1        benchmark worker
+                                                     processes (0/"auto" =
+                                                     one per CPU)
+REPRO_BENCH_SCALE       bench_scale         0.1      pytest-benchmark workload
+                                                     scale
+======================  ==================  =======  =========================
+
+The three interpreter tiers are named configurations over the first two
+knobs (:data:`TIERS`); ``roload-bench`` sweeps them and the replay
+determinism checker restores the same snapshot under each.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.errors import ConfigError
+
+_FALSE_WORDS = ("0", "off", "no", "false")
+
+
+def _parse_flag_default_on(raw: str) -> bool:
+    """Historical REPRO_FASTPATH/REPRO_JIT semantics: anything that is
+    not an explicit 'off' word counts as on (including empty)."""
+    return raw.strip().lower() not in _FALSE_WORDS
+
+
+def _parse_flag_default_off(raw: str) -> bool:
+    """Historical REPRO_OBS/REPRO_JIT_DEBUG semantics: empty stays off."""
+    return raw.strip().lower() not in ("",) + _FALSE_WORDS
+
+
+def _parse_positive_int(default: int) -> "Callable[[str], int]":
+    def parse(raw: str) -> int:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            return default
+    return parse
+
+
+def _parse_jobs(raw: str) -> int:
+    """0 means one worker per CPU; invalid values are a usage error
+    (matching the old ``resolve_jobs`` behaviour)."""
+    raw = raw.strip().lower()
+    if raw in ("0", "auto"):
+        return 0
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_JOBS={raw!r} is not an integer (or 'auto')") from None
+
+
+def _parse_scale(raw: str) -> float:
+    try:
+        return float(raw)
+    except ValueError:
+        return 0.1
+
+
+def _flag_to_env(value: bool) -> str:
+    return "1" if value else "0"
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One documented configuration knob."""
+
+    field: str
+    env: str
+    parse: "Callable[[str], object]"
+    to_env: "Callable[[object], str]"
+    help: str
+
+
+@dataclass(frozen=True)
+class Config:
+    """Typed snapshot of every ``REPRO_*`` knob.
+
+    Frozen: derive variants with :meth:`replace` (or
+    ``dataclasses.replace``) and install them with :func:`overrides`.
+    """
+
+    fast_path: bool = True
+    jit: bool = True
+    jit_threshold: int = 16
+    jit_debug: bool = False
+    obs: bool = False
+    obs_events: int = 65536
+    seclog_cap: int = 4096
+    jobs: int = 1           # 0 = one worker per CPU ("auto")
+    bench_scale: float = 0.1
+
+    @property
+    def effective_jit(self) -> bool:
+        """Tier 2 requires tier 1: jit without fast_path is inert."""
+        return self.jit and self.fast_path
+
+    @property
+    def tier(self) -> str:
+        """The interpreter tier this configuration selects."""
+        if not self.fast_path:
+            return "slow"
+        return "tier2" if self.jit else "tier1"
+
+    @classmethod
+    def from_env(cls, env: "Optional[Dict[str, str]]" = None) -> "Config":
+        """The single environment reader: one ``Config`` from ``env``
+        (default ``os.environ``); unset/invalid knobs keep defaults."""
+        if env is None:
+            env = os.environ
+        values = {}
+        for knob in KNOBS:
+            raw = env.get(knob.env)
+            if raw is not None:
+                values[knob.field] = knob.parse(raw)
+        return cls(**values)
+
+    def replace(self, **changes) -> "Config":
+        return replace(self, **changes)
+
+    def to_env(self) -> "Dict[str, str]":
+        """The environment-variable encoding of this configuration."""
+        return {knob.env: knob.to_env(getattr(self, knob.field))
+                for knob in KNOBS}
+
+    def resolve_jobs(self, jobs: "Optional[int]" = None) -> int:
+        """Worker-process count: explicit argument beats the knob;
+        0 means one worker per CPU; always at least 1."""
+        if jobs is None:
+            jobs = self.jobs
+        if jobs == 0:
+            jobs = os.cpu_count() or 1
+        return max(1, jobs)
+
+
+KNOBS: "tuple[Knob, ...]" = (
+    Knob("fast_path", "REPRO_FASTPATH", _parse_flag_default_on,
+         _flag_to_env, "tier-1 basic-block interpreter (0 = slow seed)"),
+    Knob("jit", "REPRO_JIT", _parse_flag_default_on, _flag_to_env,
+         "tier-2 trace compiler (needs fast_path)"),
+    Knob("jit_threshold", "REPRO_JIT_THRESHOLD", _parse_positive_int(16),
+         str, "block dispatches before tier-2 compilation"),
+    Knob("jit_debug", "REPRO_JIT_DEBUG", _parse_flag_default_off,
+         _flag_to_env, "re-raise tier-2 compile errors"),
+    Knob("obs", "REPRO_OBS", _parse_flag_default_off, _flag_to_env,
+         "observability layer on at import"),
+    Knob("obs_events", "REPRO_OBS_EVENTS", _parse_positive_int(65536),
+         str, "event-ring capacity"),
+    Knob("seclog_cap", "REPRO_SECLOG_CAP", _parse_positive_int(4096),
+         str, "kernel security-log ring capacity"),
+    Knob("jobs", "REPRO_JOBS", _parse_jobs, str,
+         "benchmark worker processes (0/'auto' = one per CPU)"),
+    Knob("bench_scale", "REPRO_BENCH_SCALE", _parse_scale, str,
+         "pytest-benchmark workload scale"),
+)
+
+_KNOB_BY_NAME: "Dict[str, Knob]" = {}
+for _knob in KNOBS:
+    _KNOB_BY_NAME[_knob.field] = _knob
+    _KNOB_BY_NAME[_knob.env] = _knob
+    _KNOB_BY_NAME[_knob.env.lower()] = _knob
+
+# The three interpreter tiers of DESIGN.md §9 as Config field overrides.
+TIERS: "Dict[str, Dict[str, bool]]" = {
+    "slow": {"fast_path": False, "jit": False},
+    "tier1": {"fast_path": True, "jit": False},
+    "tier2": {"fast_path": True, "jit": True},
+}
+
+# Programmatic override stack (innermost wins). Empty = read the
+# environment fresh on every current() call, so monkeypatched env vars
+# keep working exactly as before this module existed.
+_OVERRIDES: "list[Config]" = []
+
+
+def current() -> Config:
+    """The active configuration: innermost override, else the env."""
+    if _OVERRIDES:
+        return _OVERRIDES[-1]
+    return Config.from_env()
+
+
+def set_override(config: "Optional[Config]") -> None:
+    """Install (or, with None, clear) a process-wide override."""
+    _OVERRIDES.clear()
+    if config is not None:
+        _OVERRIDES.append(config)
+
+
+@contextmanager
+def overrides(**changes):
+    """Scoped override: ``with config.overrides(jit=False): ...``.
+
+    Field values start from :func:`current`, so nested overrides
+    compose. Does not touch the process environment (worker processes
+    spawned inside the block keep reading their inherited env — use
+    :func:`env_knobs` when children must see the change).
+    """
+    cfg = current().replace(**changes)
+    _OVERRIDES.append(cfg)
+    try:
+        yield cfg
+    finally:
+        _OVERRIDES.pop()
+
+
+@contextmanager
+def env_knobs(**changes):
+    """Scoped *environment* override: sets the corresponding ``REPRO_*``
+    variables and restores them on exit. Needed when the change must be
+    inherited by worker processes (benchmark sweeps)."""
+    saved = {}
+    for name, value in changes.items():
+        knob = _KNOB_BY_NAME.get(name)
+        if knob is None:
+            raise ConfigError(f"unknown config knob {name!r}")
+        saved[knob.env] = os.environ.get(knob.env)
+        os.environ[knob.env] = knob.to_env(value) \
+            if not isinstance(value, str) else value
+    try:
+        yield
+    finally:
+        for env_name, value in saved.items():
+            if value is None:
+                os.environ.pop(env_name, None)
+            else:
+                os.environ[env_name] = value
+
+
+def parse_kv(pairs: "Iterable[str]") -> "Dict[str, object]":
+    """Parse ``--config KEY=VAL`` pairs into Config field values.
+
+    KEY may be a field name (``jit_threshold``) or the environment
+    spelling (``REPRO_JIT_THRESHOLD``), case-insensitive.
+    """
+    out: "Dict[str, object]" = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise ConfigError(f"--config expects KEY=VAL, got {pair!r}")
+        knob = _KNOB_BY_NAME.get(key) or _KNOB_BY_NAME.get(key.lower())
+        if knob is None:
+            known = ", ".join(k.field for k in KNOBS)
+            raise ConfigError(f"unknown config knob {key!r} (one of: "
+                              f"{known})")
+        out[knob.field] = knob.parse(raw)
+    return out
+
+
+def knob_table() -> str:
+    """The documented knob table, one line per knob."""
+    lines = [f"{'env variable':22s} {'field':14s} {'default':>8s}  meaning"]
+    defaults = Config()
+    for knob in KNOBS:
+        default = knob.to_env(getattr(defaults, knob.field))
+        lines.append(f"{knob.env:22s} {knob.field:14s} {default:>8s}  "
+                     f"{knob.help}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(knob_table())

@@ -14,10 +14,10 @@ comparison in §V-B.
 
 from __future__ import annotations
 
-import os
 from time import perf_counter
 from typing import Callable, Optional
 
+from repro import config as _config
 from repro.errors import DecodingError, SimulationError
 from repro.isa.compressed import decode_compressed
 from repro.isa.encoding import decode
@@ -63,22 +63,17 @@ _BLOCK_TERMINATORS = frozenset({
 
 def _fastpath_default() -> bool:
     """REPRO_FASTPATH=0 forces every instruction down the slow path."""
-    value = os.environ.get("REPRO_FASTPATH", "1").strip().lower()
-    return value not in ("0", "off", "no", "false")
+    return _config.current().fast_path
 
 
 def _jit_default() -> bool:
     """REPRO_JIT=0 disables the tier-2 trace compiler (DESIGN.md §9)."""
-    value = os.environ.get("REPRO_JIT", "1").strip().lower()
-    return value not in ("0", "off", "no", "false")
+    return _config.current().jit
 
 
 def _jit_threshold_default() -> int:
     """Dispatches of a cached block before it is compiled to tier 2."""
-    try:
-        return max(1, int(os.environ.get("REPRO_JIT_THRESHOLD", "16")))
-    except ValueError:
-        return 16
+    return _config.current().jit_threshold
 
 
 class MMIORegion:

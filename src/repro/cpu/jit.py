@@ -40,8 +40,7 @@ chains break on the same invalidation events that flush tier-1 blocks
 
 from __future__ import annotations
 
-import os
-
+from repro import config as _config
 from repro.cpu.trap import Cause, Trap
 from repro.isa.codegen import (
     ALU_IMM,
@@ -271,7 +270,7 @@ def compile_block(core, block, start_pc):
         exec(code, ns)
         fn = ns["_factory"](core, hs)
     except Exception:
-        if os.environ.get("REPRO_JIT_DEBUG"):
+        if _config.current().jit_debug:
             raise
         return None
     return JITBlock(fn, len(entries), block[1], start_pc, entries[-1][3])

@@ -66,4 +66,9 @@ class SimulationError(ReproError):
 
 
 class ConfigError(ReproError):
-    """Invalid SoC, cache, or TLB configuration."""
+    """Invalid SoC, cache, TLB, or REPRO_* knob configuration."""
+
+
+class ReplayError(ReproError):
+    """Snapshot/replay misuse: unreadable or wrong-version snapshot,
+    or a replayed run that diverged from its recorded journal."""

@@ -8,11 +8,12 @@ terms of the number of clock cycles and KiB respectively").
 from __future__ import annotations
 
 import multiprocessing
-import os
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import config as _config
 from repro.compiler import compile_module
 from repro.defenses import (
     LabelCFIBaseline,
@@ -24,7 +25,8 @@ from repro.errors import ReproError
 from repro.kernel import Kernel
 from repro.obs import OBS as _OBS, register_system
 from repro.soc import build_system
-from repro.workloads import WorkloadProgram, build_workload, profile
+from repro.workloads import WorkloadProgram, build_workload
+from repro.workloads import profile as _workload_profile
 
 VARIANTS = ("base", "vcall", "vtint", "icall", "cfi")
 
@@ -61,14 +63,36 @@ class Measurement:
     def cpi(self) -> float:
         return self.cycles / self.instructions if self.instructions else 0.0
 
+    @property
+    def profile(self) -> str:
+        """Canonical alias for :attr:`system_profile`."""
+        return self.system_profile
+
+
+def _resolve_profile(profile: "Optional[str]",
+                     system_profile: "Optional[str]",
+                     default: str = "processor+kernel") -> str:
+    """Keyword alignment shim: ``profile=`` is canonical everywhere a
+    system profile is meant; ``system_profile=`` keeps working with a
+    :class:`DeprecationWarning`."""
+    if system_profile is not None:
+        warnings.warn(
+            "the system_profile= keyword is deprecated; use profile=",
+            DeprecationWarning, stacklevel=3)
+        if profile is None:
+            return system_profile
+    return profile if profile is not None else default
+
 
 def run_variant(program: WorkloadProgram, variant: str, *,
-                system_profile: str = "processor+kernel",
+                profile: "Optional[str]" = None,
+                system_profile: "Optional[str]" = None,
                 max_instructions: int = 100_000_000) -> Measurement:
     """Compile one variant of a generated workload and run it."""
+    profile = _resolve_profile(profile, system_profile)
     image = compile_module(program.module,
                            hardening=make_hardening(variant, program))
-    system = build_system(system_profile)
+    system = build_system(profile)
     kernel = Kernel(system)
     if _OBS.enabled:
         register_system(system)
@@ -86,7 +110,7 @@ def run_variant(program: WorkloadProgram, variant: str, *,
     code_bytes = sum(len(s.data) for s in image.segments if s.executable)
     measurement = Measurement(
         benchmark=program.profile.name, variant=variant,
-        system_profile=system_profile, cycles=stats.cycles,
+        system_profile=profile, cycles=stats.cycles,
         instructions=stats.instructions,
         memory_kib=process.memory_kib(), exit_code=process.exit_code,
         dcache_miss_rate=1.0 - dcache.hit_rate,
@@ -118,37 +142,22 @@ class BenchmarkRun:
 
 
 def interpreter_config() -> dict:
-    """The interpreter-tier configuration the current environment
-    selects (DESIGN.md §9 knob matrix) — what a fresh Core would use."""
-    from repro.cpu.core import (
-        _fastpath_default,
-        _jit_default,
-        _jit_threshold_default,
-    )
-    fast = _fastpath_default()
+    """The interpreter-tier configuration the active
+    :class:`repro.config.Config` selects (DESIGN.md §9 knob matrix) —
+    what a fresh Core would use."""
+    cfg = _config.current()
     return {
-        "fast_path": fast,
-        "jit": fast and _jit_default(),
-        "jit_threshold": _jit_threshold_default(),
+        "fast_path": cfg.fast_path,
+        "jit": cfg.effective_jit,
+        "jit_threshold": cfg.jit_threshold,
     }
 
 
 def resolve_jobs(jobs: "int | None" = None) -> int:
-    """Worker-process count: explicit argument, else the REPRO_JOBS env
-    knob, else serial. ``0``/``auto`` means one worker per CPU."""
-    if jobs is None:
-        raw = os.environ.get("REPRO_JOBS", "1").strip().lower()
-        if raw in ("0", "auto"):
-            jobs = os.cpu_count() or 1
-        else:
-            try:
-                jobs = int(raw)
-            except ValueError:
-                raise ReproError(f"REPRO_JOBS={raw!r} is not an integer "
-                                 f"(or 'auto')") from None
-    elif jobs == 0:
-        jobs = os.cpu_count() or 1
-    return max(1, jobs)
+    """Worker-process count: explicit argument, else the REPRO_JOBS
+    knob (via :func:`repro.config.current`), else serial. ``0``/``auto``
+    means one worker per CPU."""
+    return _config.current().resolve_jobs(jobs)
 
 
 def _run_pair(task: tuple) -> "Tuple[str, str, Measurement]":
@@ -158,9 +167,8 @@ def _run_pair(task: tuple) -> "Tuple[str, str, Measurement]":
     the profile seed) and builds its own system — processes share nothing.
     """
     name, variant, scale, system_profile, max_instructions = task
-    program = build_workload(profile(name), scale=scale)
-    measurement = run_variant(program, variant,
-                              system_profile=system_profile,
+    program = build_workload(_workload_profile(name), scale=scale)
+    measurement = run_variant(program, variant, profile=system_profile,
                               max_instructions=max_instructions)
     return name, variant, measurement
 
@@ -195,7 +203,8 @@ def _check_exit_codes(name: str,
 
 
 def run_benchmark(name: str, variants=VARIANTS, *, scale: float = 0.2,
-                  system_profile: str = "processor+kernel",
+                  profile: "Optional[str]" = None,
+                  system_profile: "Optional[str]" = None,
                   jobs: "int | None" = None) -> BenchmarkRun:
     """Generate, compile, and run all variants of one benchmark.
 
@@ -203,17 +212,17 @@ def run_benchmark(name: str, variants=VARIANTS, *, scale: float = 0.2,
     binary must be functionally identical. With ``jobs`` (or REPRO_JOBS)
     above 1, variants are measured in parallel worker processes.
     """
+    profile = _resolve_profile(profile, system_profile)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(variants) <= 1:
-        program = build_workload(profile(name), scale=scale)
+        program = build_workload(_workload_profile(name), scale=scale)
         measurements: "Dict[str, Measurement]" = {}
         for variant in variants:
-            measurements[variant] = run_variant(
-                program, variant, system_profile=system_profile)
+            measurements[variant] = run_variant(program, variant,
+                                                profile=profile)
     else:
         unique = list(dict.fromkeys(variants))
-        tasks = [(name, v, scale, system_profile, 100_000_000)
-                 for v in unique]
+        tasks = [(name, v, scale, profile, 100_000_000) for v in unique]
         by_pair = _measure_pairs(tasks, jobs)
         measurements = {v: by_pair[(name, v)] for v in unique}
     _check_exit_codes(name, measurements)
@@ -222,13 +231,15 @@ def run_benchmark(name: str, variants=VARIANTS, *, scale: float = 0.2,
 
 def run_benchmarks(names: "Iterable[str]", variants=VARIANTS, *,
                    scale: float = 0.2,
-                   system_profile: str = "processor+kernel",
+                   profile: "Optional[str]" = None,
+                   system_profile: "Optional[str]" = None,
                    jobs: "int | None" = None) -> "Dict[str, BenchmarkRun]":
     """Run a benchmark sweep, fanning benchmark x variant pairs across
     worker processes (REPRO_JOBS or ``jobs``; serial when 1)."""
+    profile = _resolve_profile(profile, system_profile)
     names = list(names)
     jobs = resolve_jobs(jobs)
-    tasks = [(name, v, scale, system_profile, 100_000_000)
+    tasks = [(name, v, scale, profile, 100_000_000)
              for name in names for v in variants]
     by_pair = _measure_pairs(tasks, jobs)
     runs: "Dict[str, BenchmarkRun]" = {}
@@ -242,9 +253,9 @@ def run_benchmarks(names: "Iterable[str]", variants=VARIANTS, *,
 def run_system_comparison(name: str, *, scale: float = 0.2) \
         -> "Dict[str, Measurement]":
     """§V-B: the same unhardened binary on the three system profiles."""
-    program = build_workload(profile(name), scale=scale)
+    program = build_workload(_workload_profile(name), scale=scale)
     out: "Dict[str, Measurement]" = {}
     for system_profile in ("baseline", "processor", "processor+kernel"):
-        out[system_profile] = run_variant(
-            program, "base", system_profile=system_profile)
+        out[system_profile] = run_variant(program, "base",
+                                          profile=system_profile)
     return out

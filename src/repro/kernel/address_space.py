@@ -54,11 +54,15 @@ class AddressSpace:
     STACK_PAGES = 64
 
     def __init__(self, memory: PhysicalMemory, allocator: FrameAllocator,
-                 *, honour_keys: bool = True):
+                 *, honour_keys: bool = True,
+                 page_table_root: "int | None" = None):
         self.memory = memory
         self.allocator = allocator
         self.honour_keys = honour_keys
-        self.page_table = PageTableBuilder(memory, allocator)
+        # ``page_table_root`` re-adopts an already-built table whose PTEs
+        # were restored into ``memory`` from a snapshot.
+        self.page_table = PageTableBuilder(memory, allocator,
+                                           root=page_table_root)
         self.vmas: "List[VMA]" = []
         self._frames: "dict[int, int]" = {}  # vpage -> physical frame addr
         self._mmap_cursor = self.MMAP_BASE

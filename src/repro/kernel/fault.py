@@ -20,10 +20,10 @@ limit.
 
 from __future__ import annotations
 
-import os
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro import config as _config
 from repro.cpu.trap import Cause, Trap
 from repro.kernel.signals import SIGSEGV, SignalInfo
 from repro.obs import OBS as _OBS
@@ -32,11 +32,7 @@ DEFAULT_SECLOG_CAPACITY = 4096
 
 
 def _env_seclog_capacity() -> int:
-    try:
-        return max(1, int(os.environ.get("REPRO_SECLOG_CAP",
-                                         str(DEFAULT_SECLOG_CAPACITY))))
-    except ValueError:
-        return DEFAULT_SECLOG_CAPACITY
+    return _config.current().seclog_cap
 
 
 @dataclass

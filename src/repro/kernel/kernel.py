@@ -8,6 +8,7 @@ discrimination -> SIGSEGV).
 
 from __future__ import annotations
 
+import os
 from time import perf_counter
 from typing import List, Optional
 
@@ -41,6 +42,9 @@ class Kernel:
         self.console = bytearray()
         self.processes: "List[Process]" = []
         self._next_pid = 1
+        # Record/replay boundary (repro.replay.journal). None = live run:
+        # entropy comes from the host, nothing is recorded or verified.
+        self.journal = None
 
     # -- process lifecycle -----------------------------------------------------
 
@@ -75,11 +79,17 @@ class Kernel:
     # -- the run loop ------------------------------------------------------------
 
     def run(self, process: Process,
-            max_instructions: int = 200_000_000) -> Process:
+            max_instructions: int = 200_000_000,
+            stop_after: "Optional[int]" = None) -> Process:
         """Run ``process`` until it exits, is killed, or the budget ends.
 
         Raises :class:`SimulationError` on budget exhaustion (runaway
         program) — never silently truncates a measurement.
+
+        ``stop_after`` pauses the run once exactly that many instructions
+        have retired in this call (``step_block`` never overshoots its
+        limit), returning with the process still alive and its context
+        saved — the snapshot point of :func:`repro.replay.snapshot`.
         """
         if not process.alive:
             raise KernelError(f"process {process.pid} is not runnable")
@@ -92,12 +102,17 @@ class Kernel:
             run_began = perf_counter()
         try:
             while process.alive:
-                remaining = max_instructions - (core.instret - executed_start)
+                executed = core.instret - executed_start
+                if stop_after is not None and executed >= stop_after:
+                    break
+                remaining = max_instructions - executed
                 if remaining <= 0:
                     raise SimulationError(
                         f"pid {process.pid}: instruction budget "
                         f"({max_instructions}) exhausted at "
                         f"pc={core.pc:#x}")
+                if stop_after is not None:
+                    remaining = min(remaining, stop_after - executed)
                 try:
                     core.step_block(remaining)
                 except Trap as trap:
@@ -145,18 +160,36 @@ class Kernel:
                     signal=signal.number,
                     dur_us=(perf_counter() - began) * 1e6)
             else:
-                self.faults.handle(process, trap)
+                signal = self.faults.handle(process, trap)
+            self._journal_signal(core, signal)
             return
         if trap.cause == Cause.ILLEGAL_INSTRUCTION:
-            process.kill(SignalInfo(SIGILL, "illegal instruction",
-                                    pc=trap.pc, fault_address=trap.tval,
-                                    trap=trap))
+            signal = SignalInfo(SIGILL, "illegal instruction", pc=trap.pc,
+                                fault_address=trap.tval, trap=trap)
+            process.kill(signal)
+            self._journal_signal(core, signal)
             return
         if trap.cause == Cause.BREAKPOINT:
-            process.kill(SignalInfo(SIGTRAP, "breakpoint", pc=trap.pc,
-                                    trap=trap))
+            signal = SignalInfo(SIGTRAP, "breakpoint", pc=trap.pc,
+                                trap=trap)
+            process.kill(signal)
+            self._journal_signal(core, signal)
             return
         raise KernelError(f"unhandled trap: {trap}")
+
+    def _journal_signal(self, core, signal: SignalInfo) -> None:
+        """Record (or verify, on replay) a signal-delivery point."""
+        if self.journal is not None:
+            self.journal.signal(core.instret, signal.number, signal.pc)
+
+    # -- nondeterminism boundary ---------------------------------------------------
+
+    def random_bytes(self, length: int) -> bytes:
+        """Entropy behind ``getrandom()``: host urandom on a live run,
+        journal-mediated under record/replay."""
+        if self.journal is not None:
+            return self.journal.entropy(length)
+        return os.urandom(length)
 
     # -- conveniences --------------------------------------------------------------
 

@@ -31,6 +31,7 @@ SYS_READ = 63
 SYS_EXIT = 93
 SYS_EXIT_GROUP = 94
 SYS_CLOCK_GETTIME = 113
+SYS_GETRANDOM = 278
 
 SYSCALL_NAMES = {
     SYS_GETPID: "getpid",
@@ -43,6 +44,7 @@ SYSCALL_NAMES = {
     SYS_EXIT: "exit",
     SYS_EXIT_GROUP: "exit_group",
     SYS_CLOCK_GETTIME: "clock_gettime",
+    SYS_GETRANDOM: "getrandom",
 }
 
 EINVAL = 22
@@ -83,6 +85,12 @@ class SyscallDispatcher:
             core.regs[10] = (-ENOSYS) & _MASK64
             return True
         result = handler(self, process, core, args)
+        journal = self.kernel.journal
+        if journal is not None:
+            # Entropy is *substituted* in Kernel.random_bytes; every other
+            # handler is deterministic given the snapshot, so the journal
+            # only has to verify the replayed result against the record.
+            journal.syscall(core.instret, number, result)
         if result is None:
             return False
         core.regs[10] = result & _MASK64
@@ -162,6 +170,25 @@ def _sys_clock_gettime(dispatcher, process, core, args):
     return 0
 
 
+def _sys_getrandom(dispatcher, process, core, args):
+    """getrandom(buf, len, flags): the one genuinely nondeterministic
+    syscall — its bytes cross the record/replay boundary."""
+    buf, length = args[0], args[1]
+    if length == 0:
+        return 0
+    data = dispatcher.kernel.random_bytes(length)
+    space = process.address_space
+    offset = 0
+    while offset < len(data):
+        paddr = space.phys_addr(buf + offset)
+        if paddr is None:
+            return -EINVAL
+        piece = min(len(data) - offset, 4096 - ((buf + offset) & 0xFFF))
+        space.memory.write_bytes(paddr, data[offset:offset + piece])
+        offset += piece
+    return length
+
+
 def _sys_brk(dispatcher, process, core, args):
     requested = args[0]
     space = process.address_space
@@ -222,6 +249,7 @@ _HANDLERS = {
     SYS_WRITE: _sys_write,
     SYS_READ: _sys_read,
     SYS_CLOCK_GETTIME: _sys_clock_gettime,
+    SYS_GETRANDOM: _sys_getrandom,
     SYS_BRK: _sys_brk,
     SYS_MMAP: _sys_mmap,
     SYS_MUNMAP: _sys_munmap,

@@ -125,10 +125,18 @@ class PageTableWalker:
 class PageTableBuilder:
     """Kernel-side construction and mutation of an Sv39 page table."""
 
-    def __init__(self, memory: PhysicalMemory, allocator: FrameAllocator):
+    def __init__(self, memory: PhysicalMemory, allocator: FrameAllocator,
+                 *, root: "int | None" = None):
         self.memory = memory
         self.allocator = allocator
-        self.root = allocator.alloc()
+        # ``root`` adopts an existing table (snapshot restore) instead of
+        # allocating a fresh one; the PTEs live in ``memory`` either way.
+        if root is not None:
+            if root & (PAGE_SIZE - 1):
+                raise PageTableError(f"root {root:#x} must be page aligned")
+            self.root = root
+        else:
+            self.root = allocator.alloc()
 
     @property
     def root_ppn(self) -> int:

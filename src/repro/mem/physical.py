@@ -113,3 +113,28 @@ class PhysicalMemory:
     def fill(self, address: int, length: int, byte: int = 0) -> None:
         """Fill a byte range with a constant (used for zeroed mappings)."""
         self.write_bytes(address, bytes([byte]) * length)
+
+    # -- snapshot support ----------------------------------------------------
+
+    def snapshot_frames(self) -> "dict[int, bytes]":
+        """Copy out every non-zero frame as immutable bytes.
+
+        All-zero frames are dropped: an unallocated frame reads as zeroes,
+        so restoring without them is observationally identical and the
+        snapshot stays proportional to the *touched* working set.
+        """
+        zero = bytes(PAGE_SIZE)
+        return {index: bytes(frame)
+                for index, frame in self._frames.items()
+                if frame != zero}
+
+    def restore_frames(self, frames: "dict[int, bytes]") -> None:
+        """Replace the entire backing store with a snapshot's frames.
+
+        Mutates the existing dict in place: decode-specialised ops and
+        JIT code close over :attr:`frame_map` by identity, so the store
+        must never be rebound on a live machine.
+        """
+        self._frames.clear()
+        for index, data in frames.items():
+            self._frames[index] = bytearray(data)

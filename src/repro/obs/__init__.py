@@ -20,8 +20,7 @@ Usage (the tools do exactly this):
 
 from __future__ import annotations
 
-import os
-
+from repro import config as _config
 from repro.obs.events import (
     DEFAULT_CAPACITY,
     EventStream,
@@ -40,16 +39,11 @@ __all__ = [
 
 
 def _env_enabled() -> bool:
-    value = os.environ.get("REPRO_OBS", "0").strip().lower()
-    return value not in ("", "0", "off", "no", "false")
+    return _config.current().obs
 
 
 def _env_capacity() -> int:
-    try:
-        return max(1, int(os.environ.get("REPRO_OBS_EVENTS",
-                                         str(DEFAULT_CAPACITY))))
-    except ValueError:
-        return DEFAULT_CAPACITY
+    return _config.current().obs_events
 
 
 class ObservabilityState:

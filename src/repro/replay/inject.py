@@ -1,0 +1,316 @@
+"""Fault-injection harness over snapshot/restore (DESIGN.md §11).
+
+Regenerates a §V-style detection table: a hardened victim is run to a
+chosen instruction count, snapshotted, perturbed — PTE key bits flipped,
+page writability flipped, allowlist pointers corrupted — and replayed to
+completion, classifying every injection:
+
+* ``detected`` — the run died with a ROLoad-discriminated SIGSEGV (the
+  modified kernel logged a security event): the defense fired.
+* ``benign``  — the run finished with the baseline exit code and the
+  hijack marker clear: the corrupted state was never consumed (e.g. the
+  flip landed after the last keyed load).
+* ``crashed`` — the run died with a non-ROLoad signal: the corruption
+  broke the program some other way, still fail-stop.
+* ``escaped`` — the run finished but the hijack marker was set or the
+  output changed: the corruption was consumed *without* detection. A
+  correct ROLoad implementation produces zero of these for key- and
+  permission-class injections.
+
+The victim is a straight-line unrolled program (no loops) doing ``reps``
+vcall+icall rounds through keyed vtables and a keyed GFPT, so injection
+points stratified over the run mostly land before a later keyed load.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReplayError
+from repro.replay.snapshot import Snapshot, restore, snapshot
+
+KINDS = ("pte-key", "pte-writable", "allowlist-ptr")
+OUTCOMES = ("detected", "benign", "crashed", "escaped")
+
+# Key-bit patterns XORed into the PTE key field (10 bits), modelling
+# single-bit upsets through full-field corruption.
+KEY_FLIPS = (0x001, 0x155, 0x3FF)
+POINTER_TARGETS = ("obj", "fp_slot")
+
+BENIGN_VCALL = 13
+BENIGN_ICALL = 29
+GADGET_RETURN = 66
+
+
+def build_inject_victim(reps: int = 8):
+    """An unrolled victim: ``reps`` repetitions of one vcall through a
+    keyed vtable plus one icall through the keyed GFPT; exits with the
+    accumulated sum (mod 256)."""
+    from repro.compiler import (GlobalVar, I64, IRBuilder, Module, VTable,
+                                func_type, static_object)
+    sig = func_type(ret=I64)
+    m = Module("inject-victim")
+
+    benign = m.function("Benign_get", func_type=sig, address_taken=True)
+    b = IRBuilder(benign)
+    b.ret(b.li(BENIGN_VCALL))
+
+    callee = m.function("benign_callee", func_type=sig, address_taken=True)
+    b = IRBuilder(callee)
+    b.ret(b.li(BENIGN_ICALL))
+
+    gadget = m.function("gadget", func_type=sig, address_taken=True)
+    b = IRBuilder(gadget)
+    marker = b.la("pwned")
+    b.store(b.li(1), marker)
+    b.ret(b.li(GADGET_RETURN))
+
+    m.vtable(VTable("Benign", entries=["Benign_get"]))
+    static_object(m, "obj", "Benign")
+    m.global_var(GlobalVar("pwned", section=".data", init=[0]))
+    m.global_var(GlobalVar("attacker_buf", section=".data", size=64))
+    m.global_var(GlobalVar("fp_slot", section=".data",
+                           init=[("quad", "benign_callee")]))
+
+    main = m.function("main")
+    b = IRBuilder(main)
+    acc = b.li(0)
+    obj = b.la("obj")
+    slot = b.la("fp_slot")
+    for _ in range(reps):
+        acc = b.add(acc, b.vcall(obj, 0, "Benign", func_type=sig))
+        fptr = b.load_fptr(slot, sig)
+        acc = b.add(acc, b.icall(fptr, func_type=sig))
+    b.ret(acc)
+    return m
+
+
+def build_inject_image(reps: int = 8):
+    """The hardened victim executable (vcall protection + GFPT CFI)."""
+    from repro.compiler import compile_module
+    from repro.defenses import TypeBasedCFI, VCallProtection
+    return compile_module(build_inject_victim(reps),
+                          hardening=[VCallProtection(), TypeBasedCFI()])
+
+
+@dataclass
+class InjectionRecord:
+    """One injection and its classified outcome."""
+
+    kind: str
+    trigger: int          # retired-instruction count at injection
+    target: str           # what was perturbed
+    outcome: str          # detected | benign | crashed | escaped
+    detail: str = ""
+    exit_code: "Optional[int]" = None
+    signal: "Optional[int]" = None
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "trigger": self.trigger,
+                "target": self.target, "outcome": self.outcome,
+                "detail": self.detail, "exit_code": self.exit_code,
+                "signal": self.signal}
+
+
+@dataclass
+class CampaignReport:
+    """The full detection table plus the raw per-injection records."""
+
+    baseline_exit: int
+    total_instructions: int
+    records: "List[InjectionRecord]" = field(default_factory=list)
+
+    def counts(self) -> "Dict[str, Dict[str, int]]":
+        table: "Dict[str, Dict[str, int]]" = {}
+        for record in self.records:
+            row = table.setdefault(record.kind,
+                                   {outcome: 0 for outcome in OUTCOMES})
+            row[record.outcome] += 1
+        return table
+
+    @property
+    def injections(self) -> int:
+        return len(self.records)
+
+    @property
+    def escapes(self) -> "List[InjectionRecord]":
+        return [r for r in self.records if r.outcome == "escaped"]
+
+    @property
+    def ok(self) -> bool:
+        return self.injections > 0 and not self.escapes
+
+    def format_table(self) -> str:
+        header = (f"{'class':<16} {'injected':>8} "
+                  + " ".join(f"{o:>8}" for o in OUTCOMES))
+        lines = [header, "-" * len(header)]
+        counts = self.counts()
+        for kind in KINDS:
+            row = counts.get(kind)
+            if row is None:
+                continue
+            total = sum(row.values())
+            lines.append(f"{kind:<16} {total:>8} "
+                         + " ".join(f"{row[o]:>8}" for o in OUTCOMES))
+        total_row = {o: sum(counts.get(k, {}).get(o, 0) for k in counts)
+                     for o in OUTCOMES}
+        lines.append("-" * len(header))
+        lines.append(f"{'total':<16} {self.injections:>8} "
+                     + " ".join(f"{total_row[o]:>8}" for o in OUTCOMES))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {"baseline_exit": self.baseline_exit,
+                "total_instructions": self.total_instructions,
+                "injections": self.injections,
+                "table": self.counts(),
+                "escapes": len(self.escapes),
+                "ok": self.ok,
+                "records": [r.to_dict() for r in self.records]}
+
+    def save_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+
+def _keyed_pages(process) -> "List[Tuple[int, int]]":
+    """(vaddr, key) of the first page of every keyed mapping."""
+    return [(vma.start, vma.key)
+            for vma in process.address_space.vmas if vma.key]
+
+
+def _run_to(image, trigger: int, *, profile: str,
+            max_instructions: int) -> Snapshot:
+    """Fresh run paused at ``trigger`` retired instructions, snapshotted."""
+    from repro.kernel.kernel import Kernel
+    from repro.soc.system import build_system
+    kernel = Kernel(build_system(profile))
+    process = kernel.create_process(image, name="inject-victim")
+    kernel.run(process, max_instructions=max_instructions,
+               stop_after=trigger)
+    if not process.alive:
+        raise ReplayError(f"victim finished before injection point "
+                          f"{trigger}")
+    return snapshot(kernel)
+
+
+def _classify(kernel, process, image, baseline_exit: int,
+              seclog_before: int) -> "Tuple[str, str]":
+    if process.state.value == "killed":
+        roload = bool(process.signal and process.signal.roload) \
+            or kernel.security_log.total > seclog_before
+        if roload:
+            events = kernel.security_log[seclog_before:]
+            reason = events[-1].reason if events else "roload"
+            return "detected", reason
+        return "crashed", process.signal.reason if process.signal else ""
+    pwned = 0
+    try:
+        addr = image.symbol("pwned")
+        pwned = int.from_bytes(
+            process.address_space.read_memory(addr, 8), "little")
+    except Exception:
+        pass
+    if pwned or process.exit_code != baseline_exit:
+        return "escaped", (f"pwned={pwned} exit={process.exit_code} "
+                           f"(baseline {baseline_exit})")
+    return "benign", "corruption never consumed"
+
+
+def _inject_and_run(snap: Snapshot, image, kind: str, variant: int,
+                    baseline_exit: int,
+                    max_instructions: int) -> InjectionRecord:
+    kernel, process = restore(snap)
+    space = process.address_space
+    mmu = kernel.system.mmu
+    seclog_before = kernel.security_log.total
+
+    if kind == "pte-key":
+        keyed = _keyed_pages(process)
+        if not keyed:
+            raise ReplayError("victim has no keyed mappings to corrupt")
+        vaddr, _old_key = keyed[variant % len(keyed)]
+        flip = KEY_FLIPS[variant % len(KEY_FLIPS)]
+        pte = space.page_table.lookup(vaddr)
+        new_key = (pte.key ^ flip) & 0x3FF
+        space.page_table.set_protection(vaddr, key=new_key)
+        mmu.flush_page(vaddr)
+        target = f"key {pte.key}->{new_key} @ {vaddr:#x}"
+    elif kind == "pte-writable":
+        keyed = _keyed_pages(process)
+        if not keyed:
+            raise ReplayError("victim has no keyed mappings to corrupt")
+        vaddr, key = keyed[variant % len(keyed)]
+        space.page_table.set_protection(vaddr, writable=True)
+        mmu.flush_page(vaddr)
+        target = f"W bit set on keyed page @ {vaddr:#x} (key {key})"
+    elif kind == "allowlist-ptr":
+        from repro.attacks.primitives import MemoryCorruption
+        symbol = POINTER_TARGETS[variant % len(POINTER_TARGETS)]
+        attacker = MemoryCorruption(kernel, process, image)
+        decoy = image.symbol("attacker_buf")
+        attacker.write_symbol(symbol, decoy,
+                              note=f"redirect {symbol} to attacker_buf")
+        target = f"{symbol} -> attacker_buf ({decoy:#x})"
+    else:
+        raise ReplayError(f"unknown injection kind {kind!r}")
+
+    kernel.run(process, max_instructions=max_instructions)
+    outcome, detail = _classify(kernel, process, image, baseline_exit,
+                                seclog_before)
+    return InjectionRecord(
+        kind=kind, trigger=snap.instret, target=target, outcome=outcome,
+        detail=detail, exit_code=process.exit_code,
+        signal=process.signal.number if process.signal else None)
+
+
+def run_campaign(*, reps: int = 8, points: int = 10,
+                 kinds: "Tuple[str, ...]" = KINDS,
+                 profile: str = "processor+kernel",
+                 max_instructions: int = 10_000_000,
+                 log=None) -> CampaignReport:
+    """The full injection campaign: ``points`` stratified snapshot points
+    x (3 key flips + 1 writability flip + 2 pointer corruptions) per
+    point — 6 injections per point with the default kinds."""
+    from repro.kernel.kernel import Kernel
+    from repro.soc.system import build_system
+
+    for kind in kinds:
+        if kind not in KINDS:
+            raise ReplayError(f"unknown injection class {kind!r}; choose "
+                              f"from {', '.join(KINDS)}")
+    image = build_inject_image(reps)
+
+    # Baseline: the uncorrupted run fixes the expected exit code and the
+    # instruction count over which injection points are stratified.
+    kernel = Kernel(build_system(profile))
+    process = kernel.create_process(image, name="inject-victim")
+    kernel.run(process, max_instructions=max_instructions)
+    if process.state.value != "exited":
+        raise ReplayError(f"baseline victim did not exit cleanly: "
+                          f"{process.status()}")
+    baseline_exit = process.exit_code
+    total = kernel.system.core.instret
+    report = CampaignReport(baseline_exit=baseline_exit,
+                            total_instructions=total)
+
+    triggers = sorted({max(1, total * i // (points + 1))
+                       for i in range(1, points + 1)})
+    variants_by_kind = {"pte-key": len(KEY_FLIPS), "pte-writable": 1,
+                        "allowlist-ptr": len(POINTER_TARGETS)}
+    for trigger in triggers:
+        snap = _run_to(image, trigger, profile=profile,
+                       max_instructions=max_instructions)
+        for kind in kinds:
+            for variant in range(variants_by_kind[kind]):
+                record = _inject_and_run(snap, image, kind, variant,
+                                         baseline_exit, max_instructions)
+                report.records.append(record)
+                if log is not None:
+                    log(f"[{len(report.records):>3}] {kind:<14} "
+                        f"@{record.trigger:<8} -> {record.outcome:<8} "
+                        f"{record.detail}")
+    return report

@@ -1,0 +1,140 @@
+"""Record/replay of the nondeterministic boundary (DESIGN.md §11).
+
+The simulated machine is deterministic given a snapshot *except* for the
+entropy behind ``getrandom()`` — everything else (syscall results, fault
+and signal delivery points) is a pure function of the architectural
+state. The journal therefore plays two roles:
+
+* **entropy substitution** — ``getrandom`` bytes are recorded on the
+  reference run and fed back verbatim on replay, closing the only real
+  nondeterminism hole;
+* **divergence detection** — every syscall result and signal-delivery
+  point is recorded with its retired-instruction count, and a replaying
+  journal *verifies* each one as it happens, failing fast with
+  :class:`ReplayError` at the first diverging event instead of letting a
+  broken replay run to a confusing end state.
+
+A journal is attached to a kernel by assigning ``kernel.journal``; the
+kernel and syscall layer call :meth:`entropy`, :meth:`syscall`, and
+:meth:`signal` at the boundary points.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from repro.errors import ReplayError
+
+RECORD = "record"
+REPLAY = "replay"
+
+
+class Journal:
+    """An append-only event journal with a replay cursor."""
+
+    def __init__(self, mode: str = RECORD,
+                 entries: "Optional[List[dict]]" = None):
+        if mode not in (RECORD, REPLAY):
+            raise ReplayError(f"journal mode must be {RECORD!r} or "
+                              f"{REPLAY!r}, got {mode!r}")
+        self.mode = mode
+        self.entries: "List[dict]" = list(entries or [])
+        if mode == REPLAY and entries is None:
+            raise ReplayError("a replaying journal needs recorded entries")
+        self._cursor = 0
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def recording(cls) -> "Journal":
+        return cls(RECORD)
+
+    def replay(self) -> "Journal":
+        """A fresh replaying journal over this journal's entries (the
+        cursor is per-journal, so each replay run gets its own)."""
+        return Journal(REPLAY, entries=self.entries)
+
+    # -- boundary hooks (called by the kernel) --------------------------------
+
+    def entropy(self, length: int) -> bytes:
+        """getrandom() bytes: host entropy on record, recorded bytes on
+        replay — the substitution that makes replay bit-identical."""
+        if self.mode == RECORD:
+            data = os.urandom(length)
+            self.entries.append({"kind": "entropy", "length": length,
+                                 "data": data.hex()})
+            return data
+        entry = self._next("entropy")
+        if entry["length"] != length:
+            raise ReplayError(
+                f"replay diverged at journal[{self._cursor - 1}]: "
+                f"getrandom asked for {length} bytes, recorded run asked "
+                f"for {entry['length']}")
+        return bytes.fromhex(entry["data"])
+
+    def syscall(self, instret: int, number: int,
+                result: "Optional[int]") -> None:
+        """Record, or verify on replay, one syscall result."""
+        self._event({"kind": "syscall", "instret": instret,
+                     "number": number, "result": result})
+
+    def signal(self, instret: int, number: int, pc: int) -> None:
+        """Record, or verify on replay, one signal-delivery point."""
+        self._event({"kind": "signal", "instret": instret,
+                     "number": number, "pc": pc})
+
+    def finish(self) -> None:
+        """Declare the run over; a replay must have consumed everything."""
+        if self.mode == REPLAY and self._cursor != len(self.entries):
+            entry = self.entries[self._cursor]
+            raise ReplayError(
+                f"replay ended early: {len(self.entries) - self._cursor} "
+                f"journal entries unconsumed, next is {entry}")
+
+    # -- internals -------------------------------------------------------------
+
+    def _event(self, event: dict) -> None:
+        if self.mode == RECORD:
+            self.entries.append(event)
+            return
+        entry = self._next(event["kind"])
+        if entry != event:
+            raise ReplayError(
+                f"replay diverged at journal[{self._cursor - 1}]: "
+                f"expected {entry}, got {event}")
+
+    def _next(self, kind: str) -> dict:
+        if self._cursor >= len(self.entries):
+            raise ReplayError(
+                f"replay diverged: a {kind} event occurred after the "
+                f"recorded run's last journal entry")
+        entry = self.entries[self._cursor]
+        self._cursor += 1
+        if entry["kind"] != kind:
+            raise ReplayError(
+                f"replay diverged at journal[{self._cursor - 1}]: "
+                f"expected a {entry['kind']} event, got a {kind} event")
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"version": 1, "entries": self.entries}, handle)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path, mode: str = REPLAY) -> "Journal":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise ReplayError(f"cannot read journal {path}: {exc}") from exc
+        if data.get("version") != 1:
+            raise ReplayError(f"unsupported journal version in {path}")
+        return cls(mode, entries=data["entries"])

@@ -14,6 +14,7 @@ from pathlib import Path
 
 from repro.asm import Executable, audit_image, collect_roload_keys
 from repro.errors import ReproError
+from repro.tools.cli import add_config_flag, config_scope
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -23,6 +24,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("image", type=Path)
     parser.add_argument("--strict", action="store_true",
                         help="treat warnings as failures")
+    add_config_flag(parser)
     return parser
 
 
@@ -30,9 +32,14 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         image = Executable.from_bytes(args.image.read_bytes())
+        with config_scope(args):
+            return _audit(args, image)
     except (ReproError, OSError) as error:
         print(f"roload-audit: {error}", file=sys.stderr)
         return 1
+
+
+def _audit(args, image) -> int:
     keys = sorted(collect_roload_keys(image))
     keyed_segments = [s for s in image.segments if s.key]
     print(f"{args.image}: {len(image.segments)} segments, "

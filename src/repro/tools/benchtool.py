@@ -46,8 +46,11 @@ import sys
 import time
 from pathlib import Path
 
+from repro import config as _config
 from repro.errors import ReproError
 from repro.eval.measure import resolve_jobs, run_benchmarks
+from repro.tools.cli import (add_config_flag, add_obs_flags, config_scope,
+                             obs_requested, write_obs_outputs)
 
 SCHEMA_VERSION = 3
 
@@ -67,14 +70,10 @@ SMOKE_SCALE = 0.05
 
 DEFAULT_TOLERANCE = 0.15
 
-# tier name -> (REPRO_FASTPATH, REPRO_JIT). The slow tier is always
-# serial; it is the seed configuration the whole trajectory is
-# measured against.
-TIERS = {
-    "slow": ("0", "0"),
-    "tier1": ("1", "0"),
-    "tier2": ("1", "1"),
-}
+# Tier name -> config field overrides (repro.config.TIERS). The slow
+# tier is always serial; it is the seed configuration the whole
+# trajectory is measured against.
+TIERS = _config.TIERS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,14 +107,8 @@ def build_parser() -> argparse.ArgumentParser:
                              f"(default {DEFAULT_TOLERANCE})")
     parser.add_argument("--report-only", action="store_true",
                         help="gate mode: print the verdict but exit 0")
-    parser.add_argument("--trace-out", type=Path, default=None,
-                        metavar="TRACE.json",
-                        help="write a Chrome trace-event JSON of the sweep "
-                             "(enables observability; forces --jobs 1)")
-    parser.add_argument("--metrics-out", type=Path, default=None,
-                        metavar="METRICS.json",
-                        help="write a metrics snapshot of the sweep "
-                             "(enables observability; forces --jobs 1)")
+    add_obs_flags(parser, what="the sweep (forces --jobs 1)")
+    add_config_flag(parser)
     return parser
 
 
@@ -167,13 +160,16 @@ def format_residency(residency: dict) -> str:
 
 
 def _run_sweep(benchmarks, variants, scale, *, tier: str, jobs: int):
-    """One timed sweep under an explicit tier configuration."""
-    fastpath, jit = TIERS[tier]
-    os.environ["REPRO_FASTPATH"] = fastpath
-    os.environ["REPRO_JIT"] = jit
-    start = time.perf_counter()
-    runs = run_benchmarks(benchmarks, variants, scale=scale, jobs=jobs)
-    elapsed = time.perf_counter() - start
+    """One timed sweep under an explicit tier configuration.
+
+    The tier's knobs are applied through :func:`repro.config.env_knobs`
+    so forked worker processes inherit them, and restored on exit.
+    """
+    with _config.env_knobs(**TIERS[tier]):
+        start = time.perf_counter()
+        runs = run_benchmarks(benchmarks, variants, scale=scale, jobs=jobs)
+        elapsed = time.perf_counter() - start
+        tier_config = _config.current()
     instructions = sum(m.instructions for run in runs.values()
                        for m in run.measurements.values())
     cycles = sum(m.cycles for run in runs.values()
@@ -187,8 +183,8 @@ def _run_sweep(benchmarks, variants, scale, *, tier: str, jobs: int):
     denominator = sim_seconds or elapsed
     return {
         "tier": tier,
-        "fast_path": fastpath == "1",
-        "jit": jit == "1",
+        "fast_path": tier_config.fast_path,
+        "jit": tier_config.jit,
         "jobs": jobs,
         "wall_seconds": round(elapsed, 3),
         "sim_seconds": round(sim_seconds, 3),
@@ -282,34 +278,35 @@ def _run_gate(args, benchmarks, variants, jobs) -> int:
     return 0 if ok else 1
 
 
-def _write_obs_outputs(args) -> None:
-    """Export the captured event ring / metrics registry to files."""
-    from repro import obs
-    if args.trace_out is not None:
-        trace = obs.write_chrome_trace(obs.OBS.events, args.trace_out)
-        print(f"[trace: {len(trace['traceEvents'])} events in "
-              f"{args.trace_out}]")
-    if args.metrics_out is not None:
-        snapshot = obs.OBS.registry.collect()
-        args.metrics_out.write_text(
-            json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
-        print(f"[metrics: {len(snapshot)} series in {args.metrics_out}]")
-
-
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        with config_scope(args):
+            return _main(args)
+    except ReproError as error:
+        print(f"roload-bench: {error}", file=sys.stderr)
+        return 1
+
+
+def _main(args) -> int:
     benchmarks = tuple(b for b in args.benchmarks.split(",") if b)
     variants = tuple(v for v in args.variants.split(",") if v)
     scale = args.scale if args.scale is not None else DEFAULT_SCALE
     if args.smoke:
         benchmarks, variants, scale = SMOKE_BENCHMARKS, ("base",), SMOKE_SCALE
-    jobs = args.jobs if args.jobs is not None else \
-        (resolve_jobs(None) if "REPRO_JOBS" in os.environ else 4)
+    # Worker count: explicit flag, else the REPRO_JOBS knob (via the
+    # config layer), else 4 for a timed sweep.
+    if args.jobs is not None:
+        jobs = args.jobs
+    elif "REPRO_JOBS" in os.environ:
+        jobs = resolve_jobs(None)
+    else:
+        jobs = 4
     # Never oversubscribe a timed sweep: extra workers on a busy host
     # only add scheduling noise to the per-pair simulation clocks.
     jobs = max(1, min(jobs, os.cpu_count() or 1))
 
-    observing = args.trace_out is not None or args.metrics_out is not None
+    observing = obs_requested(args)
     if observing:
         from repro import obs
         obs.enable()
@@ -318,52 +315,41 @@ def main(argv=None) -> int:
                   "in-process; forcing --jobs 1")
             jobs = 1
 
-    saved = {k: os.environ.get(k) for k in ("REPRO_FASTPATH", "REPRO_JIT")}
-    try:
-        if args.check_against is not None:
-            code = _run_gate(args, benchmarks, variants, jobs)
-            if observing:
-                _write_obs_outputs(args)
-            return code
-        tiers = {}
-        tiers["tier2"] = _run_sweep(benchmarks, variants, scale,
-                                    tier="tier2", jobs=jobs)
-        print(f"tier2: {tiers['tier2']['wall_seconds']}s, "
-              f"{tiers['tier2']['sim_mips']} sim-MIPS (jobs={jobs})")
-        print(f"tier2 {format_residency(tiers['tier2']['residency'])}")
-        if not (args.no_compare or args.smoke):
-            tiers["tier1"] = _run_sweep(benchmarks, variants, scale,
-                                        tier="tier1", jobs=jobs)
-            print(f"tier1: {tiers['tier1']['wall_seconds']}s, "
-                  f"{tiers['tier1']['sim_mips']} sim-MIPS (jobs={jobs})")
-            tiers["slow"] = _run_sweep(benchmarks, variants, scale,
-                                       tier="slow", jobs=1)
-            print(f"slow (seed-equivalent, serial): "
-                  f"{tiers['slow']['wall_seconds']}s, "
-                  f"{tiers['slow']['sim_mips']} sim-MIPS")
-            reference = tiers["tier2"]["measurements"]
-            for tier in ("tier1", "slow"):
-                if tiers[tier]["measurements"] != reference:
-                    raise ReproError(
-                        f"{tier} and tier2 sweeps disagree architecturally "
-                        f"— refusing to record a perf number for a broken "
-                        f"simulator")
-        record = build_record(benchmarks, variants, scale, tiers)
-        if "speedup" in record:
-            for key, value in record["speedup"].items():
-                print(f"{key}: {value}x")
-    except ReproError as error:
-        print(f"roload-bench: {error}", file=sys.stderr)
-        return 1
-    finally:
-        for key, value in saved.items():
-            if value is None:
-                os.environ.pop(key, None)
-            else:
-                os.environ[key] = value
+    if args.check_against is not None:
+        code = _run_gate(args, benchmarks, variants, jobs)
+        if observing:
+            write_obs_outputs(args)
+        return code
+    tiers = {}
+    tiers["tier2"] = _run_sweep(benchmarks, variants, scale,
+                                tier="tier2", jobs=jobs)
+    print(f"tier2: {tiers['tier2']['wall_seconds']}s, "
+          f"{tiers['tier2']['sim_mips']} sim-MIPS (jobs={jobs})")
+    print(f"tier2 {format_residency(tiers['tier2']['residency'])}")
+    if not (args.no_compare or args.smoke):
+        tiers["tier1"] = _run_sweep(benchmarks, variants, scale,
+                                    tier="tier1", jobs=jobs)
+        print(f"tier1: {tiers['tier1']['wall_seconds']}s, "
+              f"{tiers['tier1']['sim_mips']} sim-MIPS (jobs={jobs})")
+        tiers["slow"] = _run_sweep(benchmarks, variants, scale,
+                                   tier="slow", jobs=1)
+        print(f"slow (seed-equivalent, serial): "
+              f"{tiers['slow']['wall_seconds']}s, "
+              f"{tiers['slow']['sim_mips']} sim-MIPS")
+        reference = tiers["tier2"]["measurements"]
+        for tier in ("tier1", "slow"):
+            if tiers[tier]["measurements"] != reference:
+                raise ReproError(
+                    f"{tier} and tier2 sweeps disagree architecturally "
+                    f"— refusing to record a perf number for a broken "
+                    f"simulator")
+    record = build_record(benchmarks, variants, scale, tiers)
+    if "speedup" in record:
+        for key, value in record["speedup"].items():
+            print(f"{key}: {value}x")
 
     if observing:
-        _write_obs_outputs(args)
+        write_obs_outputs(args)
     if args.smoke:
         print("smoke ok")
         return 0

@@ -1,0 +1,74 @@
+"""Shared CLI surface for the roload-* tools.
+
+Every tool gets the same spelling for the same concept:
+
+* ``--config KEY=VAL`` (repeatable) — set any :mod:`repro.config` knob
+  for this invocation, by field name (``jit=0``) or environment name
+  (``REPRO_JIT=0``). Applied through :func:`repro.config.env_knobs`, so
+  worker processes forked by a sweep inherit the overrides exactly like
+  environment variables — because they *are* environment variables for
+  the duration of the run.
+* ``--trace-out TRACE.json`` / ``--metrics-out METRICS.json`` — enable
+  the observability layer and export a Chrome trace-event JSON and/or a
+  live-counter metrics snapshot after the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro import config as _config
+
+
+def add_config_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config", action="append", default=[], metavar="KEY=VAL",
+        help="override a REPRO_* knob for this invocation (repeatable); "
+             "KEY is a config field (jit=0) or env name (REPRO_JIT=0) — "
+             "see `python -m repro.config` for the knob table")
+
+
+@contextmanager
+def config_scope(args):
+    """Apply ``--config`` overrides for the body of a tool run."""
+    pairs = getattr(args, "config", None) or []
+    if not pairs:
+        yield _config.current()
+        return
+    changes = _config.parse_kv(pairs)
+    with _config.env_knobs(**changes):
+        yield _config.current()
+
+
+def add_obs_flags(parser: argparse.ArgumentParser,
+                  what: str = "the run") -> None:
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        metavar="TRACE.json",
+                        help=f"write a Chrome trace-event JSON of {what} "
+                             f"(enables observability)")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        metavar="METRICS.json",
+                        help=f"write a metrics snapshot (live architectural "
+                             f"counters) of {what} (enables observability)")
+
+
+def obs_requested(args) -> bool:
+    return (getattr(args, "trace_out", None) is not None
+            or getattr(args, "metrics_out", None) is not None)
+
+
+def write_obs_outputs(args) -> None:
+    """Export the captured event ring / metrics registry to files."""
+    from repro import obs
+    if args.trace_out is not None:
+        trace = obs.write_chrome_trace(obs.OBS.events, args.trace_out)
+        print(f"[trace: {len(trace['traceEvents'])} events in "
+              f"{args.trace_out}]")
+    if args.metrics_out is not None:
+        snapshot = obs.OBS.registry.collect()
+        args.metrics_out.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"[metrics: {len(snapshot)} series in {args.metrics_out}]")

@@ -3,6 +3,7 @@
     roload-run prog.rex [--profile processor+kernel] [--max N]
                         [--trace N] [--hot N] [--stats]
                         [--trace-out TRACE.json] [--metrics-out M.json]
+                        [--config KEY=VAL ...]
 
 ``--trace-out`` writes a Chrome trace-event JSON of the run (opens
 directly in Perfetto / chrome://tracing); ``--metrics-out`` writes a
@@ -14,7 +15,6 @@ layer (DESIGN.md §10) for the run.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
@@ -23,6 +23,8 @@ from repro.cpu.tracer import Profiler, Tracer
 from repro.errors import ReproError, SimulationError
 from repro.kernel import Kernel
 from repro.soc import PROFILES, build_system
+from repro.tools.cli import (add_config_flag, add_obs_flags, config_scope,
+                             obs_requested, write_obs_outputs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,13 +43,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the N hottest pcs by cycles")
     parser.add_argument("--stats", action="store_true",
                         help="print timing/cache/TLB statistics")
-    parser.add_argument("--trace-out", type=Path, default=None,
-                        metavar="TRACE.json",
-                        help="write a Chrome trace-event JSON of the run")
-    parser.add_argument("--metrics-out", type=Path, default=None,
-                        metavar="METRICS.json",
-                        help="write a metrics snapshot (live architectural "
-                             "counters) of the run")
+    add_obs_flags(parser, what="the run")
+    add_config_flag(parser)
     return parser
 
 
@@ -58,7 +55,16 @@ def main(argv=None) -> int:
     except (ReproError, OSError) as error:
         print(f"roload-run: {error}", file=sys.stderr)
         return 1
-    observing = args.trace_out is not None or args.metrics_out is not None
+    try:
+        with config_scope(args):
+            return _run(args, image)
+    except ReproError as error:
+        print(f"roload-run: {error}", file=sys.stderr)
+        return 1
+
+
+def _run(args, image) -> int:
+    observing = obs_requested(args)
     system = build_system(args.profile)
     if observing:
         from repro import obs
@@ -93,17 +99,7 @@ def main(argv=None) -> int:
         print("\n-- hottest pcs --")
         print(profiler.format(args.hot, symbols=image.symbols))
     if observing:
-        from repro import obs
-        if args.trace_out is not None:
-            trace = obs.write_chrome_trace(obs.OBS.events, args.trace_out)
-            print(f"[trace: {len(trace['traceEvents'])} events in "
-                  f"{args.trace_out}]")
-        if args.metrics_out is not None:
-            snapshot = obs.OBS.registry.collect()
-            args.metrics_out.write_text(
-                json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
-            print(f"[metrics: {len(snapshot)} series in "
-                  f"{args.metrics_out}]")
+        write_obs_outputs(args)
     if args.stats:
         stats = system.timing.stats
         print("\n-- statistics --")

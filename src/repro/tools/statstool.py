@@ -20,7 +20,9 @@ import sys
 from collections import Counter
 from pathlib import Path
 
+from repro.errors import ReproError
 from repro.obs import chrome_trace, load_jsonl, validate_trace
+from repro.tools.cli import add_config_flag, config_scope
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,6 +31,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Inspect, convert, and validate observability "
                     "artifacts (metrics JSON, events JSONL, Chrome "
                     "traces).")
+    add_config_flag(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     summary = sub.add_parser(
@@ -139,12 +142,13 @@ def cmd_validate(args) -> int:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        if args.command == "summary":
-            return cmd_summary(args)
-        if args.command == "trace":
-            return cmd_trace(args)
-        return cmd_validate(args)
-    except OSError as error:
+        with config_scope(args):
+            if args.command == "summary":
+                return cmd_summary(args)
+            if args.command == "trace":
+                return cmd_trace(args)
+            return cmd_validate(args)
+    except (ReproError, OSError) as error:
         print(f"roload-stats: {error}", file=sys.stderr)
         return 1
 

@@ -1,8 +1,11 @@
 """CLI tool tests (main() invoked directly; no subprocesses needed)."""
 
+import json
+import os
+
 import pytest
 
-from repro.tools import asmtool, audittool, objdump, runtool
+from repro.tools import asmtool, audittool, injecttool, objdump, runtool
 
 GOOD_SOURCE = r"""
 .globl _start
@@ -132,3 +135,66 @@ class TestAuditTool:
         asmtool.main([str(source), "-o", str(out)])
         assert audittool.main([str(out)]) == 0
         assert audittool.main([str(out), "--strict"]) == 3
+
+
+class TestConfigFlag:
+    """The shared --config KEY=VAL surface (tools/cli.py)."""
+
+    def test_runtool_accepts_field_and_env_spellings(self, good_image):
+        assert runtool.main([str(good_image), "--config", "fast_path=0",
+                             "--config", "REPRO_JIT=0"]) == 7
+
+    def test_overrides_do_not_leak_into_environ(self, good_image):
+        before = os.environ.get("REPRO_JIT")
+        runtool.main([str(good_image), "--config", "jit=0"])
+        assert os.environ.get("REPRO_JIT") == before
+
+    def test_unknown_knob_is_a_usage_error(self, good_image, capsys):
+        assert runtool.main([str(good_image), "--config", "warp=9"]) == 1
+        assert "unknown config knob" in capsys.readouterr().err
+
+    def test_missing_equals_is_a_usage_error(self, good_image, capsys):
+        assert runtool.main([str(good_image), "--config", "jit"]) == 1
+        assert "KEY=VAL" in capsys.readouterr().err
+
+    def test_audittool_has_the_flag(self, good_image):
+        assert audittool.main([str(good_image), "--config", "jit=0"]) == 0
+
+
+class TestInjectTool:
+    def test_verify_deterministic_across_tiers(self, tmp_path, capsys):
+        snap = tmp_path / "ref.snap"
+        journal = tmp_path / "ref.journal"
+        code = injecttool.main(
+            ["verify", "--stop-after", "150",
+             "--snapshot-out", str(snap), "--journal-out", str(journal)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replay deterministic across slow, tier1, tier2" in out
+        assert "DIVERGED" not in out
+        assert snap.exists() and journal.exists()
+
+    def test_verify_honours_config_flag(self, capsys):
+        code = injecttool.main(
+            ["verify", "--stop-after", "150", "--tiers", "tier2",
+             "--config", "jit_threshold=4"])
+        assert code == 0
+
+    def test_campaign_smoke_with_table(self, tmp_path, capsys):
+        table = tmp_path / "table.json"
+        code = injecttool.main(
+            ["campaign", "--points", "1", "--quiet",
+             "--table", str(table)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "escapes: 0" in out
+        data = json.loads(table.read_text())
+        assert data["ok"] is True
+        assert data["injections"] == len(data["records"]) > 0
+
+    def test_campaign_kind_filter(self, capsys):
+        code = injecttool.main(
+            ["campaign", "--points", "1", "--quiet",
+             "--kinds", "pte-key"])
+        assert code == 0
+        assert "pte-key" in capsys.readouterr().out

@@ -1,0 +1,64 @@
+"""The unified API surface — every public name importable, every
+``__all__`` honest, and the ``system_profile=`` → ``profile=`` rename
+kept alive through deprecation shims."""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.obs
+import repro.replay
+from repro.eval.measure import run_variant
+from repro.workloads import build_workload
+from repro.workloads import profile as workload_profile
+
+
+@pytest.mark.parametrize("module", [repro, repro.replay, repro.obs])
+def test_all_names_resolve(module):
+    missing = [name for name in module.__all__
+               if not hasattr(module, name)]
+    assert not missing, f"{module.__name__}.__all__ lists {missing}"
+
+
+def test_all_has_no_duplicates():
+    for module in (repro, repro.replay, repro.obs):
+        assert len(module.__all__) == len(set(module.__all__)), \
+            module.__name__
+
+
+def test_top_level_reexports_config_and_replay():
+    assert repro.Config is __import__("repro.config",
+                                      fromlist=["Config"]).Config
+    assert repro.Snapshot is repro.replay.Snapshot
+    assert repro.snapshot is repro.replay.snapshot
+    assert repro.restore is repro.replay.restore
+    for name in ("Config", "Snapshot", "snapshot", "restore"):
+        assert name in repro.__all__
+
+
+class TestProfileKeyword:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return build_workload(workload_profile("456.hmmer"), scale=0.02)
+
+    def test_profile_keyword_is_canonical(self, program):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            measurement = run_variant(program, "base",
+                                      profile="processor+kernel")
+        assert measurement.system_profile == "processor+kernel"
+        assert measurement.profile == "processor+kernel"
+
+    def test_system_profile_keyword_warns_but_works(self, program):
+        with pytest.warns(DeprecationWarning, match="system_profile"):
+            measurement = run_variant(program, "base",
+                                      system_profile="processor+kernel")
+        assert measurement.profile == "processor+kernel"
+
+    def test_run_benchmark_shim(self):
+        from repro.eval.measure import run_benchmark
+        with pytest.warns(DeprecationWarning, match="profile="):
+            run = run_benchmark("456.hmmer", ("base",), scale=0.02,
+                                system_profile="processor+kernel")
+        assert run.measurements["base"].profile == "processor+kernel"

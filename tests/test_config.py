@@ -1,0 +1,139 @@
+"""The typed Config surface (repro.config) — DESIGN.md §11 satellite.
+
+Covers: env round-trips for every knob (including the historical
+empty-string flag semantics), the override stack, env_knobs restore,
+parse_kv error handling, and the tier property driving the replay
+checker.
+"""
+
+import os
+
+import pytest
+
+from repro import config
+from repro.errors import ConfigError
+
+
+class TestFromEnv:
+    def test_defaults_with_empty_env(self):
+        cfg = config.Config.from_env({})
+        assert cfg == config.Config()
+        assert cfg.fast_path and cfg.jit
+        assert cfg.jit_threshold == 16
+        assert not cfg.obs and not cfg.jit_debug
+        assert cfg.jobs == 1 and cfg.bench_scale == 0.1
+
+    def test_every_knob_round_trips_through_to_env(self):
+        cfg = config.Config(fast_path=False, jit=False, jit_threshold=4,
+                            jit_debug=True, obs=True, obs_events=128,
+                            seclog_cap=32, jobs=3, bench_scale=0.5)
+        assert config.Config.from_env(cfg.to_env()) == cfg
+
+    def test_default_config_round_trips(self):
+        cfg = config.Config()
+        assert config.Config.from_env(cfg.to_env()) == cfg
+
+    def test_historical_empty_string_flag_semantics(self):
+        # REPRO_FASTPATH= (empty) historically meant ON; REPRO_OBS=
+        # (empty) meant OFF. The typed layer must not change that.
+        cfg = config.Config.from_env({"REPRO_FASTPATH": "", "REPRO_JIT": "",
+                                      "REPRO_OBS": "", "REPRO_JIT_DEBUG": ""})
+        assert cfg.fast_path and cfg.jit
+        assert not cfg.obs and not cfg.jit_debug
+
+    def test_false_words(self):
+        for word in ("0", "off", "no", "false", "OFF", "No"):
+            cfg = config.Config.from_env({"REPRO_JIT": word})
+            assert not cfg.jit, word
+
+    def test_invalid_ints_keep_defaults(self):
+        cfg = config.Config.from_env({"REPRO_JIT_THRESHOLD": "banana",
+                                      "REPRO_BENCH_SCALE": "soup"})
+        assert cfg.jit_threshold == 16
+        assert cfg.bench_scale == 0.1
+
+    def test_jobs_auto_and_invalid(self):
+        assert config.Config.from_env({"REPRO_JOBS": "auto"}).jobs == 0
+        assert config.Config.from_env({"REPRO_JOBS": "0"}).jobs == 0
+        with pytest.raises(ConfigError):
+            config.Config.from_env({"REPRO_JOBS": "many"})
+
+    def test_reads_process_environ_by_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_THRESHOLD", "7")
+        assert config.current().jit_threshold == 7
+
+
+class TestTierProperty:
+    def test_tiers_table_matches_tier_property(self):
+        for name, changes in config.TIERS.items():
+            assert config.Config(**changes).tier == name
+
+    def test_jit_without_fastpath_is_inert(self):
+        cfg = config.Config(fast_path=False, jit=True)
+        assert not cfg.effective_jit
+        assert cfg.tier == "slow"
+
+
+class TestOverrides:
+    def test_overrides_nest_and_restore(self):
+        base = config.current()
+        with config.overrides(jit=False):
+            assert not config.current().jit
+            with config.overrides(fast_path=False):
+                inner = config.current()
+                assert not inner.fast_path and not inner.jit
+            assert not config.current().jit
+            assert config.current().fast_path == base.fast_path
+        assert config.current() == config.current()  # env-derived again
+
+    def test_overrides_do_not_touch_environ(self):
+        before = os.environ.get("REPRO_JIT")
+        with config.overrides(jit=False):
+            assert os.environ.get("REPRO_JIT") == before
+
+    def test_set_override_and_clear(self):
+        config.set_override(config.Config(jit_threshold=3))
+        try:
+            assert config.current().jit_threshold == 3
+        finally:
+            config.set_override(None)
+        assert config.current().jit_threshold == 16
+
+    def test_env_knobs_sets_and_restores_environ(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+        with config.env_knobs(jit=False):
+            assert os.environ["REPRO_JIT"] == "0"
+            assert not config.current().jit
+        assert "REPRO_JIT" not in os.environ
+
+    def test_env_knobs_accepts_env_spelling(self):
+        with config.env_knobs(REPRO_JIT_THRESHOLD=5):
+            assert config.current().jit_threshold == 5
+
+    def test_env_knobs_unknown_name(self):
+        with pytest.raises(ConfigError):
+            with config.env_knobs(warp_factor=9):
+                pass
+
+
+class TestParseKv:
+    def test_field_and_env_names(self):
+        out = config.parse_kv(["jit=0", "REPRO_JIT_THRESHOLD=4",
+                               "repro_bench_scale=0.3"])
+        assert out == {"jit": False, "jit_threshold": 4,
+                       "bench_scale": 0.3}
+
+    def test_missing_equals(self):
+        with pytest.raises(ConfigError, match="KEY=VAL"):
+            config.parse_kv(["jit"])
+
+    def test_unknown_key_lists_fields(self):
+        with pytest.raises(ConfigError, match="jit_threshold"):
+            config.parse_kv(["warp=9"])
+
+
+def test_knob_table_mentions_every_knob():
+    table = config.knob_table()
+    for knob in config.KNOBS:
+        assert knob.env in table
+        assert knob.field in table
