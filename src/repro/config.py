@@ -20,9 +20,15 @@ REPRO_JIT               jit                 1        tier-2 trace compiler
                                                      (needs fast_path)
 REPRO_JIT_THRESHOLD     jit_threshold       16       block dispatches before
                                                      tier-2 compilation
-REPRO_JIT_DEBUG         jit_debug           0        re-raise tier-2 compile
-                                                     errors instead of
+REPRO_JIT_DEBUG         jit_debug           0        re-raise tier-2/tier-3
+                                                     compile errors instead of
                                                      pinning the block
+REPRO_TIER3             tier3               1        tier-3 region compiler
+                                                     (needs jit)
+REPRO_REGION_THRESHOLD  region_threshold    16       compiled-block arrivals
+                                                     before region compilation
+REPRO_REGION_BLOCKS     region_blocks       16       max member blocks per
+                                                     tier-3 region
 REPRO_OBS               obs                 0        observability layer on
                                                      at import
 REPRO_OBS_EVENTS        obs_events          65536    event-ring capacity
@@ -35,9 +41,9 @@ REPRO_BENCH_SCALE       bench_scale         0.1      pytest-benchmark workload
                                                      scale
 ======================  ==================  =======  =========================
 
-The three interpreter tiers are named configurations over the first two
-knobs (:data:`TIERS`); ``roload-bench`` sweeps them and the replay
-determinism checker restores the same snapshot under each.
+The four interpreter tiers are named configurations over the first
+three execution knobs (:data:`TIERS`); ``roload-bench`` sweeps them and
+the replay determinism checker restores the same snapshot under each.
 """
 
 from __future__ import annotations
@@ -119,6 +125,9 @@ class Config:
     jit: bool = True
     jit_threshold: int = 16
     jit_debug: bool = False
+    tier3: bool = True
+    region_threshold: int = 16
+    region_blocks: int = 16
     obs: bool = False
     obs_events: int = 65536
     seclog_cap: int = 4096
@@ -131,11 +140,19 @@ class Config:
         return self.jit and self.fast_path
 
     @property
+    def effective_tier3(self) -> bool:
+        """Tier 3 requires tier 2: regions are built from compiled
+        blocks, so tier3 without jit (or fast_path) is inert."""
+        return self.tier3 and self.effective_jit
+
+    @property
     def tier(self) -> str:
         """The interpreter tier this configuration selects."""
         if not self.fast_path:
             return "slow"
-        return "tier2" if self.jit else "tier1"
+        if not self.jit:
+            return "tier1"
+        return "tier3" if self.tier3 else "tier2"
 
     @classmethod
     def from_env(cls, env: "Optional[Dict[str, str]]" = None) -> "Config":
@@ -176,7 +193,14 @@ KNOBS: "tuple[Knob, ...]" = (
     Knob("jit_threshold", "REPRO_JIT_THRESHOLD", _parse_positive_int(16),
          str, "block dispatches before tier-2 compilation"),
     Knob("jit_debug", "REPRO_JIT_DEBUG", _parse_flag_default_off,
-         _flag_to_env, "re-raise tier-2 compile errors"),
+         _flag_to_env, "re-raise tier-2/tier-3 compile errors"),
+    Knob("tier3", "REPRO_TIER3", _parse_flag_default_on, _flag_to_env,
+         "tier-3 region compiler (needs jit)"),
+    Knob("region_threshold", "REPRO_REGION_THRESHOLD",
+         _parse_positive_int(16), str,
+         "compiled-block arrivals before region compilation"),
+    Knob("region_blocks", "REPRO_REGION_BLOCKS", _parse_positive_int(16),
+         str, "max member blocks per tier-3 region"),
     Knob("obs", "REPRO_OBS", _parse_flag_default_off, _flag_to_env,
          "observability layer on at import"),
     Knob("obs_events", "REPRO_OBS_EVENTS", _parse_positive_int(65536),
@@ -195,11 +219,14 @@ for _knob in KNOBS:
     _KNOB_BY_NAME[_knob.env] = _knob
     _KNOB_BY_NAME[_knob.env.lower()] = _knob
 
-# The three interpreter tiers of DESIGN.md §9 as Config field overrides.
+# The four interpreter tiers of DESIGN.md §9/§12 as Config field
+# overrides. Each entry pins every execution knob explicitly so a sweep
+# leg is immune to ambient REPRO_* settings.
 TIERS: "Dict[str, Dict[str, bool]]" = {
-    "slow": {"fast_path": False, "jit": False},
-    "tier1": {"fast_path": True, "jit": False},
-    "tier2": {"fast_path": True, "jit": True},
+    "slow": {"fast_path": False, "jit": False, "tier3": False},
+    "tier1": {"fast_path": True, "jit": False, "tier3": False},
+    "tier2": {"fast_path": True, "jit": True, "tier3": False},
+    "tier3": {"fast_path": True, "jit": True, "tier3": True},
 }
 
 # Programmatic override stack (innermost wins). Empty = read the

@@ -25,6 +25,8 @@ from repro.isa.instruction import Instruction
 from repro.isa.opcodes import MemOp
 from repro.cpu.csr import CSRFile
 from repro.cpu.jit import compile_block as _compile_block
+from repro.cpu.regions import DEFER as _REGION_DEFER
+from repro.cpu.regions import compile_region as _compile_region
 from repro.cpu.timing import TimingModel
 from repro.cpu.trap import Cause, Trap
 from repro.mem.cache import Cache
@@ -76,6 +78,21 @@ def _jit_threshold_default() -> int:
     return _config.current().jit_threshold
 
 
+def _tier3_default() -> bool:
+    """REPRO_TIER3=0 disables the tier-3 region compiler (DESIGN.md §12)."""
+    return _config.current().tier3
+
+
+def _region_threshold_default() -> int:
+    """Compiled-block arrivals before a region is planned around a pc."""
+    return _config.current().region_threshold
+
+
+def _region_blocks_default() -> int:
+    """Maximum member blocks a tier-3 region may inline."""
+    return _config.current().region_blocks
+
+
 class MMIORegion:
     """A memory-mapped device window (physical addresses)."""
 
@@ -100,7 +117,9 @@ class Core:
                  roload_enabled: bool = True,
                  fast_path: "bool | None" = None,
                  jit: "bool | None" = None,
-                 jit_threshold: "int | None" = None):
+                 jit_threshold: "int | None" = None,
+                 tier3: "bool | None" = None,
+                 region_threshold: "int | None" = None):
         self.memory = memory
         self.mmu = mmu
         self.icache = icache
@@ -160,6 +179,22 @@ class Core:
         self.jit_compiled = 0   # blocks compiled (cumulative)
         self.jit_flushes = 0    # times the compiled cache was dropped
         self.jit_compile_seconds = 0.0   # host time spent in compile_block
+        # Tier-3 region compiler (DESIGN.md §12): pcs arrived at
+        # region_threshold times through the compiled-block trampoline
+        # get a superblock region compiled around them
+        # (repro.cpu.regions); the trampoline records block-successor
+        # edge counts (JITBlock.edges) as the direction profile.
+        self.tier3_enabled = (_tier3_default() if tier3 is None else tier3) \
+            and self.jit_enabled
+        self.region_threshold = _region_threshold_default() \
+            if region_threshold is None else max(1, region_threshold)
+        self.region_blocks = _region_blocks_default()
+        self._regions: "dict[int, object]" = {}      # head pc -> Region
+        self._region_counts: "dict[int, int]" = {}   # arrival counters
+        self._region_nojit: "set[int]" = set()       # pcs pinned to tier 2
+        self.regions_compiled = 0       # regions compiled (cumulative)
+        self.region_side_exits = 0      # cold-direction guard exits taken
+        self.region_compile_seconds = 0.0  # host time in compile_region
         # Invalidation attribution: reason -> count of translation-cache
         # flushes that actually dropped cached state (DESIGN.md §10).
         self.flush_causes: "dict[str, int]" = {}
@@ -171,6 +206,10 @@ class Core:
         # counters directly, so the derivation adds zero work there).
         self.tier0_retired = 0
         self.tier1_retired = 0
+        # Tier-3 retirements are measured as the architectural-counter
+        # delta across each region call (regions bump stats directly);
+        # tier 2 stays the derived remainder.
+        self.tier3_retired = 0
         # Tier-2 merged page memos: vpn -> (frame, ok_kernel, ok_user,
         # ppn), collapsing the D-side page lookup + D-TLB revalidation +
         # frame fetch into one dict hit. An entry is valid only while
@@ -196,16 +235,22 @@ class Core:
         """Retired-instruction attribution per interpreter tier."""
         total = self.instret
         tier0, tier1 = self.tier0_retired, self.tier1_retired
-        tier2 = total - tier0 - tier1
+        tier3 = self.tier3_retired
+        tier2 = total - tier0 - tier1 - tier3
         out = {"retired": total, "tier0_retired": tier0,
                "tier1_retired": tier1, "tier2_retired": tier2,
+               "tier3_retired": tier3,
                "jit_compiled": self.jit_compiled,
                "jit_flushes": self.jit_flushes,
                "jit_compile_seconds": round(self.jit_compile_seconds, 6),
+               "regions_compiled": self.regions_compiled,
+               "region_side_exits": self.region_side_exits,
+               "region_compile_seconds":
+                   round(self.region_compile_seconds, 6),
                "flush_causes": dict(self.flush_causes)}
         if total:
             for tier, count in (("tier0", tier0), ("tier1", tier1),
-                                ("tier2", tier2)):
+                                ("tier2", tier2), ("tier3", tier3)):
                 out[f"{tier}_frac"] = round(count / total, 6)
         return out
 
@@ -529,15 +574,23 @@ class Core:
         """
         dropped_blocks = len(self._blocks)
         dropped_jit = len(self._jit_blocks)
+        dropped_regions = len(self._regions)
         self._blocks.clear()
         self._code_frames.clear()
         if dropped_jit:
             for rec in self._jit_blocks.values():
                 rec.links.clear()
+                rec.edges.clear()
             self._jit_blocks.clear()
             self.jit_flushes += 1
         self._jit_counts.clear()
         self._jit_nojit.clear()
+        # Tier-3 regions are built FROM tier-2 blocks, so they can
+        # never outlive them: the same flush drops regions, arrival
+        # counters, and pins together.
+        self._regions.clear()
+        self._region_counts.clear()
+        self._region_nojit.clear()
         self._block_abort = True
         if dropped_blocks or dropped_jit:
             self.flush_causes[reason] = \
@@ -546,7 +599,8 @@ class Core:
                 _OBS.events.emit("jit.flush" if dropped_jit
                                  else "block_cache.flush",
                                  reason=reason, blocks=dropped_blocks,
-                                 compiled=dropped_jit)
+                                 compiled=dropped_jit,
+                                 regions=dropped_regions)
 
     def _fetch_paddr(self, vaddr: int) -> int:
         """Translate a fetch address with a per-page fast path.
@@ -753,8 +807,10 @@ class Core:
         if self._block_generation != generation:
             self._flush_blocks("mmu_generation")
             self._block_generation = generation
-        elif self._jit_blocks:
-            rec = self._jit_blocks.get(pc)
+        elif self._jit_blocks or self._regions:
+            rec = self._regions.get(pc) if self._regions else None
+            if rec is None:
+                rec = self._jit_blocks.get(pc)
             if rec is not None and limit >= rec.n:
                 self._run_jit(rec, pc, limit, generation)
                 return
@@ -925,7 +981,9 @@ class Core:
                 icache.hits += ihits
 
     def _run_jit(self, rec, pc: int, limit: int, generation: int) -> None:
-        """Execute a compiled block, then chain into compiled successors.
+        """Execute compiled code (tier-2 blocks and tier-3 regions),
+        chaining from one unit to the next without re-entering the
+        dispatch loop.
 
         Chaining stops when the budget cannot cover a whole successor,
         an invalidation fires (``_block_abort`` set by a self-modifying
@@ -934,30 +992,102 @@ class Core:
         step_block's cached-block dispatch: losing the code page from
         the fetch cache costs the same retranslation the slow path's
         next fetch would charge.
+
+        With tier 3 enabled, every block-to-successor transition also
+        feeds the region profile: the block's ``edges`` counters record
+        observed successors (the branch-direction profile) and the
+        per-pc arrival counters trigger ``compile_region`` past
+        ``region_threshold``. Regions take a budget argument (their
+        internal loop re-checks it at every backedge) and retire a
+        variable number of instructions per call, measured as the
+        architectural-counter delta and attributed to tier 3.
         """
         mmu = self.mmu
+        stats = self.timing.stats
         fetch_pages = self._fetch_pages
         jit_blocks = self._jit_blocks
+        regions = self._regions
+        profile = self.tier3_enabled
+        if profile:
+            counts = self._region_counts
+            nojit = self._region_nojit
+            threshold = self.region_threshold
         self._block_abort = False
         while True:
             if self._fetch_generation != generation \
                     or rec.vpn not in fetch_pages:
                 self._current_pc = pc
                 self._fetch_paddr(pc)
+            if rec.region:
+                before = stats.instructions
+                try:
+                    pc = rec.fn(limit)
+                finally:
+                    self.tier3_retired += stats.instructions - before
+                limit -= stats.instructions - before
+                self.pc = pc
+                if self._block_abort:
+                    self._block_abort = False
+                    return
+                if mmu.generation != generation:
+                    return
+                nxt = regions.get(pc)
+                if nxt is None:
+                    nxt = jit_blocks.get(pc)
+                    if nxt is None:
+                        return
+                if limit < nxt.n:
+                    return
+                rec = nxt
+                continue
             pc = rec.fn()
+            limit -= rec.n
             self.pc = pc
             if self._block_abort:
                 self._block_abort = False
                 return
             if mmu.generation != generation:
                 return
+            if profile:
+                edges = rec.edges
+                edges[pc] = edges.get(pc, 0) + 1
+                nxt = regions.get(pc)
+                if nxt is None and pc not in nojit:
+                    seen = counts.get(pc, 0) + 1
+                    if seen < threshold:
+                        counts[pc] = seen
+                    else:
+                        began = perf_counter()
+                        nxt = _compile_region(self, pc, seen)
+                        self.region_compile_seconds += \
+                            perf_counter() - began
+                        if nxt is _REGION_DEFER:
+                            counts[pc] = seen
+                            nxt = None
+                        elif nxt is None:
+                            counts.pop(pc, None)
+                            nojit.add(pc)
+                        else:
+                            counts.pop(pc, None)
+                            regions[pc] = nxt
+                            self.regions_compiled += 1
+                            if _OBS.enabled:
+                                _OBS.events.emit(
+                                    "region.compile", pc=pc,
+                                    blocks=len(nxt.pcs),
+                                    instructions=nxt.n, loop=nxt.loop,
+                                    compiled_total=self.regions_compiled)
+                if nxt is not None:
+                    if limit < nxt.n:
+                        return
+                    rec = nxt
+                    continue
             nxt = rec.links.get(pc)
             if nxt is None:
                 nxt = jit_blocks.get(pc)
                 if nxt is None:
                     return
                 rec.links[pc] = nxt
-            limit -= rec.n
             if limit < nxt.n:
                 return
             rec = nxt

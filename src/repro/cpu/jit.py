@@ -67,7 +67,9 @@ _SENTINEL = object()
 class JITBlock:
     """One compiled block plus its direct-chaining memo."""
 
-    __slots__ = ("fn", "n", "vpn", "start_pc", "end_pc", "links")
+    __slots__ = ("fn", "n", "vpn", "start_pc", "end_pc", "links", "edges")
+
+    region = False  # dispatch discriminator (Region.region is True)
 
     def __init__(self, fn, n, vpn, start_pc, end_pc):
         self.fn = fn            # () -> next pc
@@ -76,6 +78,10 @@ class JITBlock:
         self.start_pc = start_pc
         self.end_pc = end_pc    # next_pc of the final entry
         self.links = {}         # next-pc -> JITBlock; cleared on flush
+        # Successor-pc arrival counts, recorded by the trampoline when
+        # tier 3 is profiling: the branch-direction evidence the region
+        # planner (repro.cpu.regions) specializes on. Cleared on flush.
+        self.edges = {}
 
 
 class _Src:

@@ -138,7 +138,9 @@ class Kernel:
                          tier0=core.tier0_retired,
                          tier1=core.tier1_retired,
                          tier2=(core.instret - core.tier0_retired
-                                - core.tier1_retired))
+                                - core.tier1_retired
+                                - core.tier3_retired),
+                         tier3=core.tier3_retired)
 
     def _handle_trap(self, process: Process, trap: Trap) -> None:
         core = self.system.core

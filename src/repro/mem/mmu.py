@@ -69,6 +69,18 @@ class MMU:
         # Bumped on every flush/root change; lets the core invalidate its
         # fetch fast-path cache without a callback.
         self.generation = 0
+        # Host-side walk memo: vpn -> (leaf PTE address, raw PTE word,
+        # TLB entry, walk accesses). A hit replays the exact
+        # architectural effects of the walk it memoized — same entry,
+        # same access count, same counters — after verifying that the
+        # 8-byte leaf PTE is bit-identical, so kernel-side mutations
+        # (munmap clearing a leaf, mprotect rewriting one) can never be
+        # served stale even when no sfence follows them. Keyed by the
+        # root so a context switch cannot alias address spaces; leaf
+        # *addresses* are stable per (root, vpn) because intermediate
+        # tables are never freed (bump allocator).
+        self._walk_memo: dict = {}
+        self._walk_memo_root = -1
 
     # -- configuration (satp writes, context switches) ----------------------
 
@@ -120,16 +132,28 @@ class MMU:
         entry = tlb.lookup(vpn)
         walk_accesses = 0
         if entry is None:
-            result = self.walker.walk(self.root_ppn, vaddr)
+            memo = self._walk_memo
+            if self._walk_memo_root != self.root_ppn:
+                memo.clear()
+                self._walk_memo_root = self.root_ppn
+            hit = memo.get(vpn)
             self.stats.walks += 1
-            if result is None:
-                raise self._fault(vaddr, memop, insn_key, None)
-            walk_accesses = result.accesses
-            pte = result.pte
-            entry = TLBEntry(ppn=pte.ppn, readable=pte.readable,
-                             writable=pte.writable,
-                             executable=pte.executable, user=pte.user,
-                             key=pte.key)
+            if hit is not None and self.memory.read(hit[0], 8) == hit[1]:
+                _, _, entry, walk_accesses = hit
+            else:
+                result = self.walker.walk(self.root_ppn, vaddr)
+                if result is None:
+                    memo.pop(vpn, None)
+                    raise self._fault(vaddr, memop, insn_key, None)
+                walk_accesses = result.accesses
+                pte = result.pte
+                entry = TLBEntry(ppn=pte.ppn, readable=pte.readable,
+                                 writable=pte.writable,
+                                 executable=pte.executable, user=pte.user,
+                                 key=pte.key)
+                memo[vpn] = (result.pte_address,
+                             self.memory.read(result.pte_address, 8),
+                             entry, walk_accesses)
             tlb.insert(vpn, entry)
             tlb_hit = False
         else:

@@ -7,18 +7,22 @@
 
 Times a fixed workload sweep end to end (generate + compile + simulate)
 and reports simulator throughput in sim-MIPS (millions of simulated
-instructions per wall-clock second). By default it runs the sweep three
+instructions per wall-clock second). By default it runs the sweep four
 times — once per interpreter tier:
 
     slow   REPRO_FASTPATH=0             the seed configuration, serial
     tier1  REPRO_FASTPATH=1 REPRO_JIT=0 block replay (PR 1)
-    tier2  REPRO_FASTPATH=1 REPRO_JIT=1 trace compiler (DESIGN.md §9)
+    tier2  REPRO_FASTPATH=1 REPRO_JIT=1 REPRO_TIER3=0 trace compiler (§9)
+    tier3  REPRO_FASTPATH=1 REPRO_JIT=1 REPRO_TIER3=1 region compiler (§12)
 
-and records all three, plus the pairwise speedups, in a
-``BENCH_interp.json`` record (schema_version 3) so the performance
-trajectory of the interpreter is tracked PR over PR. Schema v3 adds a
+and records all four, plus the pairwise speedups, in a
+``BENCH_interp.json`` record (schema_version 4) so the performance
+trajectory of the interpreter is tracked PR over PR. Schema v3 added a
 per-tier ``residency`` section: which interpreter tier retired the
 instructions, compile time, and invalidation causes (DESIGN.md §10).
+Schema v4 adds the tier-3 sweep (region counters in ``residency``) and
+fixes the host metadata to record the real ``os.cpu_count()`` plus the
+effective worker count (older records always said ``cpu_count: 1``).
 
 ``--trace-out``/``--metrics-out`` enable the observability layer for
 the sweep and export a Chrome trace-event JSON (opens in Perfetto) and
@@ -30,7 +34,7 @@ instructions, exit codes, miss rates): a perf record produced by a run
 that changed architecture is worthless.
 
 ``--check-against`` turns the tool into a regression gate: it re-runs a
-tier-2-only sweep with the baseline record's parameters and fails (exit
+tier-3-only sweep with the baseline record's parameters and fails (exit
 1) when throughput drops more than ``--tolerance`` (default 15%) below
 the recorded value. ``--report-only`` prints the verdict but always
 exits 0 — for CI legs on shared, noisy runners.
@@ -52,7 +56,7 @@ from repro.eval.measure import resolve_jobs, run_benchmarks
 from repro.tools.cli import (add_config_flag, add_obs_flags, config_scope,
                              obs_requested, write_obs_outputs)
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 # A small, representative slice of the Figure 4/5 sweep: two C integer
 # workloads and two C++ (virtual-call-heavy) ones.
@@ -92,15 +96,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: REPRO_JOBS or 4)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sweep for CI sanity: one benchmark, "
-                             "base only, tier 2 only, no JSON record")
+                             "base only, tier 3 only (writes a JSON record "
+                             "only if --out is given explicitly)")
     parser.add_argument("--no-compare", action="store_true",
-                        help="run only the tier-2 configuration (skip the "
-                             "tier-1 and seed-equivalent slow references)")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_interp.json"),
-                        help="where to write the JSON record")
+                        help="run only the tier-3 configuration (skip the "
+                             "tier-2/tier-1/seed-equivalent references)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="where to write the JSON record "
+                             "(default BENCH_interp.json)")
     parser.add_argument("--check-against", type=Path, default=None,
                         metavar="BASELINE",
-                        help="regression-gate mode: compare a fresh tier-2 "
+                        help="regression-gate mode: compare a fresh tier-3 "
                              "sweep against this recorded BENCH_interp.json")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed fractional sim-MIPS drop in gate mode "
@@ -112,37 +118,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def host_info() -> dict:
+def host_info(jobs: "int | None" = None) -> dict:
     """Host metadata embedded in the record — perf numbers are only
-    comparable between records from similar hosts."""
-    return {
+    comparable between records from similar hosts.
+
+    Records both the host's CPU count and the *effective* worker count
+    the sweep actually used: earlier records carried only ``cpu_count``,
+    which on a 1-CPU container read as ``cpu_count: 1`` with no way to
+    tell whether the sweep itself ran serial or oversubscribed.
+    """
+    info = {
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "cpu_count": os.cpu_count() or 1,
     }
+    if jobs is not None:
+        info["jobs"] = jobs
+    return info
 
 
 def aggregate_residency(runs) -> dict:
     """Sum the per-measurement tier-residency profiles of a sweep."""
     total = {"retired": 0, "tier0_retired": 0, "tier1_retired": 0,
-             "tier2_retired": 0, "jit_compiled": 0, "jit_flushes": 0,
-             "jit_compile_seconds": 0.0, "flush_causes": {}}
+             "tier2_retired": 0, "tier3_retired": 0, "jit_compiled": 0,
+             "jit_flushes": 0, "jit_compile_seconds": 0.0,
+             "regions_compiled": 0, "region_side_exits": 0,
+             "region_compile_seconds": 0.0, "flush_causes": {}}
     for run in runs.values():
         for m in run.measurements.values():
             residency = getattr(m, "tier_residency", None)
             if not residency:
                 continue
             for key in ("retired", "tier0_retired", "tier1_retired",
-                        "tier2_retired", "jit_compiled", "jit_flushes"):
+                        "tier2_retired", "tier3_retired", "jit_compiled",
+                        "jit_flushes", "regions_compiled",
+                        "region_side_exits"):
                 total[key] += residency.get(key, 0)
-            total["jit_compile_seconds"] += \
-                residency.get("jit_compile_seconds", 0.0)
+            for key in ("jit_compile_seconds", "region_compile_seconds"):
+                total[key] += residency.get(key, 0.0)
             for cause, count in residency.get("flush_causes", {}).items():
                 total["flush_causes"][cause] = \
                     total["flush_causes"].get(cause, 0) + count
-    total["jit_compile_seconds"] = round(total["jit_compile_seconds"], 6)
+    for key in ("jit_compile_seconds", "region_compile_seconds"):
+        total[key] = round(total[key], 6)
     if total["retired"]:
-        for tier in ("tier0", "tier1", "tier2"):
+        for tier in ("tier0", "tier1", "tier2", "tier3"):
             total[f"{tier}_frac"] = round(
                 total[f"{tier}_retired"] / total["retired"], 6)
     return total
@@ -153,10 +173,12 @@ def format_residency(residency: dict) -> str:
     if not retired:
         return "residency: no instructions retired"
     parts = [f"{tier} {100.0 * residency.get(f'{tier}_frac', 0.0):.1f}%"
-             for tier in ("tier2", "tier1", "tier0")]
+             for tier in ("tier3", "tier2", "tier1", "tier0")]
     return (f"residency: {' / '.join(parts)} of {retired:,d} retired "
             f"({residency.get('jit_compiled', 0)} blocks compiled in "
-            f"{residency.get('jit_compile_seconds', 0.0):.3f}s)")
+            f"{residency.get('jit_compile_seconds', 0.0):.3f}s, "
+            f"{residency.get('regions_compiled', 0)} regions in "
+            f"{residency.get('region_compile_seconds', 0.0):.3f}s)")
 
 
 def _run_sweep(benchmarks, variants, scale, *, tier: str, jobs: int):
@@ -185,6 +207,7 @@ def _run_sweep(benchmarks, variants, scale, *, tier: str, jobs: int):
         "tier": tier,
         "fast_path": tier_config.fast_path,
         "jit": tier_config.jit,
+        "tier3": tier_config.tier3,
         "jobs": jobs,
         "wall_seconds": round(elapsed, 3),
         "sim_seconds": round(sim_seconds, 3),
@@ -206,15 +229,16 @@ def _run_sweep(benchmarks, variants, scale, *, tier: str, jobs: int):
     }
 
 
-def build_record(benchmarks, variants, scale, tiers: dict) -> dict:
-    """Assemble the schema-v2 BENCH_interp.json record from tier sweeps."""
+def build_record(benchmarks, variants, scale, tiers: dict,
+                 jobs: "int | None" = None) -> dict:
+    """Assemble the schema-v4 BENCH_interp.json record from tier sweeps."""
     record = {
         "schema_version": SCHEMA_VERSION,
         "tool": "roload-bench",
         "scale": scale,
         "benchmarks": list(benchmarks),
         "variants": list(variants),
-        "host": host_info(),
+        "host": host_info(jobs),
         "tiers": tiers,
     }
     def seconds(sweep: dict) -> float:
@@ -223,7 +247,10 @@ def build_record(benchmarks, variants, scale, tiers: dict) -> dict:
     speedup = {}
     for num, den, key in (("tier1", "slow", "tier1_over_slow"),
                           ("tier2", "tier1", "tier2_over_tier1"),
-                          ("tier2", "slow", "tier2_over_slow")):
+                          ("tier2", "slow", "tier2_over_slow"),
+                          ("tier3", "tier2", "tier3_over_tier2"),
+                          ("tier3", "tier1", "tier3_over_tier1"),
+                          ("tier3", "slow", "tier3_over_slow")):
         if num in tiers and den in tiers and seconds(tiers[num]):
             speedup[key] = round(seconds(tiers[den]) / seconds(tiers[num]), 2)
     if speedup:
@@ -232,11 +259,11 @@ def build_record(benchmarks, variants, scale, tiers: dict) -> dict:
 
 
 def baseline_mips(record: dict) -> float:
-    """Reference sim-MIPS of a recorded run; understands both the v2
-    schema (``tiers.tier2``) and the PR 1 v1 schema (``fast``)."""
+    """Reference sim-MIPS of a recorded run; understands the v4 schema
+    (``tiers.tier3``) down through the PR 1 v1 schema (``fast``)."""
     if "tiers" in record:
         tiers = record["tiers"]
-        for tier in ("tier2", "tier1", "slow"):
+        for tier in ("tier3", "tier2", "tier1", "slow"):
             if tier in tiers:
                 return float(tiers[tier]["sim_mips"])
         raise ReproError("baseline record has an empty 'tiers' table")
@@ -265,7 +292,7 @@ def _run_gate(args, benchmarks, variants, jobs) -> int:
         benchmarks = tuple(baseline["benchmarks"])
     if "variants" in baseline:
         variants = tuple(baseline["variants"])
-    sweep = _run_sweep(benchmarks, variants, scale, tier="tier2", jobs=jobs)
+    sweep = _run_sweep(benchmarks, variants, scale, tier="tier3", jobs=jobs)
     ok, reference, floor = evaluate_gate(sweep["sim_mips"], baseline,
                                          args.tolerance)
     verdict = "ok" if ok else "REGRESSION"
@@ -321,12 +348,16 @@ def _main(args) -> int:
             write_obs_outputs(args)
         return code
     tiers = {}
-    tiers["tier2"] = _run_sweep(benchmarks, variants, scale,
-                                tier="tier2", jobs=jobs)
-    print(f"tier2: {tiers['tier2']['wall_seconds']}s, "
-          f"{tiers['tier2']['sim_mips']} sim-MIPS (jobs={jobs})")
-    print(f"tier2 {format_residency(tiers['tier2']['residency'])}")
+    tiers["tier3"] = _run_sweep(benchmarks, variants, scale,
+                                tier="tier3", jobs=jobs)
+    print(f"tier3: {tiers['tier3']['wall_seconds']}s, "
+          f"{tiers['tier3']['sim_mips']} sim-MIPS (jobs={jobs})")
+    print(f"tier3 {format_residency(tiers['tier3']['residency'])}")
     if not (args.no_compare or args.smoke):
+        tiers["tier2"] = _run_sweep(benchmarks, variants, scale,
+                                    tier="tier2", jobs=jobs)
+        print(f"tier2: {tiers['tier2']['wall_seconds']}s, "
+              f"{tiers['tier2']['sim_mips']} sim-MIPS (jobs={jobs})")
         tiers["tier1"] = _run_sweep(benchmarks, variants, scale,
                                     tier="tier1", jobs=jobs)
         print(f"tier1: {tiers['tier1']['wall_seconds']}s, "
@@ -336,25 +367,32 @@ def _main(args) -> int:
         print(f"slow (seed-equivalent, serial): "
               f"{tiers['slow']['wall_seconds']}s, "
               f"{tiers['slow']['sim_mips']} sim-MIPS")
-        reference = tiers["tier2"]["measurements"]
-        for tier in ("tier1", "slow"):
+        reference = tiers["tier3"]["measurements"]
+        for tier in ("tier2", "tier1", "slow"):
             if tiers[tier]["measurements"] != reference:
                 raise ReproError(
-                    f"{tier} and tier2 sweeps disagree architecturally "
+                    f"{tier} and tier3 sweeps disagree architecturally "
                     f"— refusing to record a perf number for a broken "
                     f"simulator")
-    record = build_record(benchmarks, variants, scale, tiers)
+    record = build_record(benchmarks, variants, scale, tiers, jobs)
     if "speedup" in record:
         for key, value in record["speedup"].items():
             print(f"{key}: {value}x")
 
     if observing:
         write_obs_outputs(args)
+    out = args.out if args.out is not None else Path("BENCH_interp.json")
     if args.smoke:
+        # A smoke sweep is not a comparable perf reference; record it
+        # only when the caller explicitly asked for an artifact.
+        if args.out is not None:
+            args.out.write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n")
+            print(f"[recorded in {args.out}]")
         print("smoke ok")
         return 0
-    args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-    print(f"[recorded in {args.out}]")
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"[recorded in {out}]")
     return 0
 
 

@@ -222,17 +222,20 @@ HOT_WALK_WRITABLE = (
 )
 
 TIERS = {
-    "slow": ("0", "0"),
-    "tier1": ("1", "0"),
-    "tier2": ("1", "1"),
+    "slow": ("0", "0", "0"),
+    "tier1": ("1", "0", "0"),
+    "tier2": ("1", "1", "0"),
+    "tier3": ("1", "1", "1"),
 }
 
 
 def run_hot_fault(monkeypatch, source, tier):
-    fastpath, jit = TIERS[tier]
+    fastpath, jit, tier3 = TIERS[tier]
     monkeypatch.setenv("REPRO_FASTPATH", fastpath)
     monkeypatch.setenv("REPRO_JIT", jit)
+    monkeypatch.setenv("REPRO_TIER3", tier3)
     monkeypatch.setenv("REPRO_JIT_THRESHOLD", "2")
+    monkeypatch.setenv("REPRO_REGION_THRESHOLD", "2")
     monkeypatch.setenv("REPRO_JIT_DEBUG", "1")
     kernel = Kernel(build_system("processor+kernel", memory_size=64 << 20))
     process = kernel.create_process(link([assemble(source)]))
@@ -254,12 +257,17 @@ def test_roload_fault_inside_hot_compiled_block(monkeypatch, source,
         assert process.signal.roload, tier
         event = kernel.security_log[0]
         core = kernel.system.core
-        if tier == "tier2":
+        if tier in ("tier2", "tier3"):
             # Non-vacuity: the faulting pc lies inside a block that was
             # compiled and still cached when the fault was delivered.
             assert core.jit_compiled >= 1
             assert any(rec.start_pc <= event.pc < rec.end_pc
                        for rec in core._jit_blocks.values())
+        if tier == "tier3":
+            # And the hot ld.ro loop really ran as a compiled region.
+            assert core.regions_compiled >= 1
+            assert any(region.covers(event.pc)
+                       for region in core._regions.values())
         results[tier] = (
             core.cycles, core.instret, len(kernel.security_log),
             event.reason, event.insn_key, event.page_key,
@@ -267,6 +275,7 @@ def test_roload_fault_inside_hot_compiled_block(monkeypatch, source,
         )
     assert results["tier1"] == results["slow"]
     assert results["tier2"] == results["slow"]
+    assert results["tier3"] == results["slow"]
     assert results["slow"][3] == reason
     assert results["slow"][4] == 5
     assert results["slow"][5] == page_key
@@ -281,7 +290,7 @@ def test_arch_event_stream_identical_across_tiers(monkeypatch, source,
     """The observability contract across tiers: the architectural event
     subsequence (faults, signals, MMU bumps — everything cat="arch") of
     a run that faults inside a hot compiled block is bit-identical in
-    all three interpreter tiers."""
+    all four interpreter tiers."""
     from repro import obs
     from repro.obs import arch_sequence
 
@@ -298,6 +307,7 @@ def test_arch_event_stream_identical_across_tiers(monkeypatch, source,
 
     assert sequences["tier1"] == sequences["slow"]
     assert sequences["tier2"] == sequences["slow"]
+    assert sequences["tier3"] == sequences["slow"]
     # Non-vacuity: the stream carries the violation and its signal.
     types = [dict(payload)["type"] for payload in sequences["slow"]]
     assert "roload.violation" in types
@@ -318,10 +328,12 @@ def test_roload_monitor_complete_under_hot_fault(monkeypatch, source,
     deoptimizes, so the compiled tier cannot hide executions from it."""
     from repro.cpu.tracer import ROLoadMonitor
 
-    fastpath, jit = TIERS[tier]
+    fastpath, jit, tier3 = TIERS[tier]
     monkeypatch.setenv("REPRO_FASTPATH", fastpath)
     monkeypatch.setenv("REPRO_JIT", jit)
+    monkeypatch.setenv("REPRO_TIER3", tier3)
     monkeypatch.setenv("REPRO_JIT_THRESHOLD", "2")
+    monkeypatch.setenv("REPRO_REGION_THRESHOLD", "2")
     kernel = Kernel(build_system("processor+kernel", memory_size=64 << 20))
     process = kernel.create_process(link([assemble(source)]))
     with ROLoadMonitor(kernel.system.core) as monitor:

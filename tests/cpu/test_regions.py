@@ -1,0 +1,244 @@
+"""Tier-3 region compiler: formation, deoptimization, four-tier identity.
+
+The region compiler (src/repro/cpu/regions.py) inlines hot tier-2 block
+chains into single superblock functions. Like the tiers below it, it
+must be architecturally invisible: these tests pin formation (hot loops
+really become regions), the deoptimization edges the issue names (an
+SMC store and an MMU-generation bump taken *mid-region* continue
+bit-identically in all four tiers), and the overlap-suppression policy
+that keeps alternate entry splits of a live region from recompiling
+near-identical superblocks.
+"""
+
+from repro.asm import assemble, link
+from repro.cpu import Core, TimingModel
+from repro.cpu.regions import DEFER, Region, compile_region
+from repro.kernel import Kernel, ProcessState
+from repro.mem import MMU, PhysicalMemory
+from repro.soc import build_system
+
+from .conftest import CODE_BASE, I, assemble_at
+
+# tier name -> (fast_path, jit, tier3) for the Core constructor.
+TIERS = {
+    "slow": (False, False, False),
+    "tier1": (True, False, False),
+    "tier2": (True, True, False),
+    "tier3": (True, True, True),
+}
+
+
+def tier_core(monkeypatch, tier):
+    fast_path, jit, tier3 = TIERS[tier]
+    monkeypatch.setenv("REPRO_JIT_DEBUG", "1")
+    memory = PhysicalMemory(1 << 20)
+    core = Core(memory, MMU(memory), timing=TimingModel(),
+                fast_path=fast_path, jit=jit, jit_threshold=2,
+                tier3=tier3, region_threshold=2)
+    core.pc = CODE_BASE
+    return core
+
+
+def countdown_loop(core, iters, body=2):
+    addr = assemble_at(core, [I("addi", rd=5, rs1=0, imm=iters)])
+    loop_pc = addr
+    insns = [I("addi", rd=6 + i, rs1=6 + i, imm=1) for i in range(body)]
+    insns.append(I("addi", rd=5, rs1=5, imm=-1))
+    addr = assemble_at(core, insns, addr)
+    addr = assemble_at(core, [I("bne", rs1=5, rs2=0, imm=loop_pc - addr)],
+                       addr)
+    assemble_at(core, [I("ebreak")], addr)
+    return loop_pc
+
+
+# -- formation ---------------------------------------------------------------
+
+def test_hot_loop_forms_region(monkeypatch):
+    outcomes = {}
+    for tier in TIERS:
+        core = tier_core(monkeypatch, tier)
+        loop_pc = countdown_loop(core, 50)
+        core.run(10_000, trap_handler=None)  # stops at ebreak
+        outcomes[tier] = (core.regs[5], core.regs[6], core.regs[7],
+                         core.instret, core.cycles)
+        if tier == "tier3":
+            assert core.regions_compiled >= 1
+            region = core._regions[loop_pc]
+            assert region.loop
+            assert loop_pc in region.pcs
+            assert core.tier3_retired > 0
+        else:
+            assert core.regions_compiled == 0 and not core._regions
+    for tier in ("tier1", "tier2", "tier3"):
+        assert outcomes[tier] == outcomes["slow"], tier
+    assert outcomes["slow"][1] == 50  # the body really ran 50 times
+
+
+def test_residency_attributes_region_instructions(monkeypatch):
+    core = tier_core(monkeypatch, "tier3")
+    countdown_loop(core, 50)
+    core.run(10_000, trap_handler=None)
+    residency = core.tier_residency()
+    assert residency["tier3_retired"] == core.tier3_retired > 0
+    assert (residency["tier0_retired"] + residency["tier1_retired"]
+            + residency["tier2_retired"]
+            + residency["tier3_retired"]) == residency["retired"]
+    assert residency["regions_compiled"] == core.regions_compiled >= 1
+
+
+# -- overlap suppression -----------------------------------------------------
+
+def test_region_covers_spans():
+    region = Region(fn=None, n=4, vpn=1, start_pc=0x1000,
+                    pcs=(0x1000, 0x2000), loop=True,
+                    spans=((0x1000, 0x1010), (0x2000, 0x2008)))
+    assert region.covers(0x1000)
+    assert region.covers(0x100C)
+    assert region.covers(0x2004)
+    assert not region.covers(0x1010)
+    assert not region.covers(0x0FFC)
+    assert not region.covers(0x2008)
+
+
+def test_alternate_entry_inside_live_region_defers(monkeypatch):
+    """A head pc lying inside a live region's instruction range is an
+    alternate entry split: compilation defers while lukewarm instead of
+    building a near-identical superblock (or pinning the pc)."""
+    core = tier_core(monkeypatch, "tier3")
+    loop_pc = countdown_loop(core, 50)
+    core.run(10_000, trap_handler=None)
+    assert core._regions[loop_pc].covers(loop_pc + 4)
+    assert compile_region(core, loop_pc + 4, 0) is DEFER
+    # Past the escalated arrival bar the duplicate compile is allowed
+    # again; here there is no tier-2 block at the split, so planning
+    # (not deferral) rejects it.
+    assert compile_region(core, loop_pc + 4, 10 ** 9) is None
+
+
+# -- deoptimization: SMC store taken mid-region ------------------------------
+
+def test_smc_store_mid_region_deoptimizes_identically(monkeypatch):
+    """Twenty clean iterations make the loop a compiled region; then a
+    side-exit block stores a patched encoding over the live region's
+    body (no fence.i) and jumps back in. The patch must take effect on
+    the very next iteration, identically in every tier."""
+    from repro.isa import Instruction, encode
+
+    def program(core):
+        # 0x2000 holds the patch word: "addi a0, a0, 2".
+        core.memory.write(0x2000, 4,
+                          encode(Instruction("addi", rd=10, rs1=10, imm=2)))
+        insns = [
+            I("addi", rd=5, rs1=0, imm=30),     # t0 = 30 iterations
+            I("addi", rd=29, rs1=0, imm=10),    # t4: patch trigger count
+            I("lui", rd=6, imm=0x2),            # t1 = 0x2000
+            I("lw", rd=7, rs1=6, imm=0),        # t2 = patch word
+            I("lui", rd=28, imm=0x1),           # t3 = 0x1000
+            # loop (0x1014):
+            I("addi", rd=9, rs1=9, imm=1),      # s1 += 1
+            I("addi", rd=10, rs1=10, imm=1),    # a0 += 1  <- 0x1018, patched
+            I("addi", rd=5, rs1=5, imm=-1),
+            I("beq", rs1=5, rs2=29, imm=12),    # t0 == 10: go patch
+            I("bne", rs1=5, rs2=0, imm=-16),    # backedge
+            I("ebreak"),
+            # patch block (0x102c): store over the hot loop, re-enter.
+            I("sw", rs1=28, rs2=7, imm=0x18),
+            I("jal", rd=0, imm=-28),
+        ]
+        assemble_at(core, insns)
+
+    outcomes = {}
+    for tier in TIERS:
+        core = tier_core(monkeypatch, tier)
+        program(core)
+        core.run(10_000, trap_handler=None)
+        outcomes[tier] = (core.regs[9], core.regs[10], core.instret,
+                         core.cycles)
+        if tier == "tier3":
+            # The region formed during the clean phase, before the SMC
+            # store invalidated it.
+            assert core.regions_compiled >= 1
+    for tier in ("tier1", "tier2", "tier3"):
+        assert outcomes[tier] == outcomes["slow"], tier
+    # 20 iterations at +1, then the patch, then 10 at +2.
+    assert outcomes["slow"][0] == 30
+    assert outcomes["slow"][1] == 40
+
+
+# -- deoptimization: MMU generation bump taken mid-run -----------------------
+
+MPROTECT_BETWEEN_LOOPS = r"""
+.globl _start
+_start:
+    li a0, 0
+    li a1, 4096
+    li a2, 3          # PROT_READ|PROT_WRITE
+    li a3, 0
+    li a4, 0
+    li a7, 222
+    ecall             # mmap a scratch page
+    mv s0, a0
+    li t0, 1234
+    sd t0, 0(s0)
+    li t1, 48
+loop1:                # hot loop 1: plain loads from the RW page
+    ld a1, 0(s0)
+    add s1, s1, a1
+    addi t1, t1, -1
+    bnez t1, loop1
+    mv a0, s0
+    li a1, 4096
+    li a2, 1          # PROT_READ
+    li a3, 55         # seal with a key: sfence.vma mid-run
+    li a7, 226
+    ecall
+    li t1, 48
+loop2:                # hot loop 2: the same page, now keyed ld.ro
+    ld.ro a2, (s0), 55
+    add s2, s2, a2
+    addi t1, t1, -1
+    bnez t1, loop2
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+
+def run_kernel_tier(monkeypatch, source, tier):
+    fast_path, jit, tier3 = TIERS[tier]
+    monkeypatch.setenv("REPRO_FASTPATH", "1" if fast_path else "0")
+    monkeypatch.setenv("REPRO_JIT", "1" if jit else "0")
+    monkeypatch.setenv("REPRO_TIER3", "1" if tier3 else "0")
+    monkeypatch.setenv("REPRO_JIT_THRESHOLD", "2")
+    monkeypatch.setenv("REPRO_REGION_THRESHOLD", "2")
+    monkeypatch.setenv("REPRO_JIT_DEBUG", "1")
+    kernel = Kernel(build_system("processor+kernel", memory_size=64 << 20))
+    process = kernel.create_process(link([assemble(source)]))
+    kernel.run(process)
+    return kernel, process
+
+
+def test_mmu_generation_bump_mid_region_identical(monkeypatch):
+    """mprotect between two hot loops bumps the MMU generation while
+    tier 3 has live regions; execution must continue bit-identically
+    (same cycles, instructions, TLB behavior) in all four tiers."""
+    results = {}
+    for tier in TIERS:
+        kernel, process = run_kernel_tier(monkeypatch,
+                                          MPROTECT_BETWEEN_LOOPS, tier)
+        assert process.state is ProcessState.EXITED, tier
+        assert process.exit_code == 0, tier
+        core = kernel.system.core
+        mmu = kernel.system.mmu
+        if tier == "tier3":
+            # Both hot loops became regions, before and after the bump.
+            assert core.regions_compiled >= 2
+            assert core.tier3_retired > 0
+        results[tier] = (
+            core.cycles, core.instret, mmu.generation,
+            mmu.dtlb.hits, mmu.dtlb.misses, mmu.stats.walks,
+            len(kernel.security_log),
+        )
+    for tier in ("tier1", "tier2", "tier3"):
+        assert results[tier] == results["slow"], tier
+    assert results["slow"][6] == 0  # the sealed ld.ro never faulted

@@ -85,12 +85,13 @@ def test_system_dump_matches_architectural_counters(enabled_obs):
     assert snapshot["sys.timing.instructions"] == timing.instructions
     assert snapshot["sys.timing.cycles"] == timing.cycles
 
-    # Residency accounting is exhaustive: the three tiers partition the
+    # Residency accounting is exhaustive: the four tiers partition the
     # retired-instruction count exactly.
     residency = snapshot["sys.tier.residency"]
     assert residency["retired"] == timing.instructions
     assert (residency["tier0_retired"] + residency["tier1_retired"]
-            + residency["tier2_retired"]) == residency["retired"]
+            + residency["tier2_retired"]
+            + residency["tier3_retired"]) == residency["retired"]
 
 
 def test_reregistering_replaces_namespace(enabled_obs):
