@@ -25,10 +25,16 @@ REPRO_JIT_DEBUG         jit_debug           0        re-raise tier-2/tier-3
                                                      pinning the block
 REPRO_TIER3             tier3               1        tier-3 region compiler
                                                      (needs jit)
+REPRO_TIER4             tier4               1        tier-4 flat-core backend
+                                                     (needs tier3)
 REPRO_REGION_THRESHOLD  region_threshold    16       compiled-block arrivals
                                                      before region compilation
 REPRO_REGION_BLOCKS     region_blocks       16       max member blocks per
                                                      tier-3 region
+REPRO_DECODE_CACHE      decode_cache        65536    decode-cache entry cap
+                                                     (raw bits -> Instruction)
+REPRO_BLOCK_CACHE       block_cache         4096     basic-block translation
+                                                     cache entry cap
 REPRO_OBS               obs                 0        observability layer on
                                                      at import
 REPRO_OBS_EVENTS        obs_events          65536    event-ring capacity
@@ -41,8 +47,8 @@ REPRO_BENCH_SCALE       bench_scale         0.1      pytest-benchmark workload
                                                      scale
 ======================  ==================  =======  =========================
 
-The four interpreter tiers are named configurations over the first
-three execution knobs (:data:`TIERS`); ``roload-bench`` sweeps them and
+The five interpreter tiers are named configurations over the first
+four execution knobs (:data:`TIERS`); ``roload-bench`` sweeps them and
 the replay determinism checker restores the same snapshot under each.
 """
 
@@ -126,8 +132,11 @@ class Config:
     jit_threshold: int = 16
     jit_debug: bool = False
     tier3: bool = True
+    tier4: bool = True
     region_threshold: int = 16
     region_blocks: int = 16
+    decode_cache: int = 65536
+    block_cache: int = 4096
     obs: bool = False
     obs_events: int = 65536
     seclog_cap: int = 4096
@@ -146,13 +155,21 @@ class Config:
         return self.tier3 and self.effective_jit
 
     @property
+    def effective_tier4(self) -> bool:
+        """Tier 4 requires tier 3: the flat core lowers regions picked
+        by the tier-3 planner, so tier4 without tier3 is inert."""
+        return self.tier4 and self.effective_tier3
+
+    @property
     def tier(self) -> str:
         """The interpreter tier this configuration selects."""
         if not self.fast_path:
             return "slow"
         if not self.jit:
             return "tier1"
-        return "tier3" if self.tier3 else "tier2"
+        if not self.tier3:
+            return "tier2"
+        return "tier4" if self.tier4 else "tier3"
 
     @classmethod
     def from_env(cls, env: "Optional[Dict[str, str]]" = None) -> "Config":
@@ -196,11 +213,17 @@ KNOBS: "tuple[Knob, ...]" = (
          _flag_to_env, "re-raise tier-2/tier-3 compile errors"),
     Knob("tier3", "REPRO_TIER3", _parse_flag_default_on, _flag_to_env,
          "tier-3 region compiler (needs jit)"),
+    Knob("tier4", "REPRO_TIER4", _parse_flag_default_on, _flag_to_env,
+         "tier-4 flat-core backend (needs tier3)"),
     Knob("region_threshold", "REPRO_REGION_THRESHOLD",
          _parse_positive_int(16), str,
          "compiled-block arrivals before region compilation"),
     Knob("region_blocks", "REPRO_REGION_BLOCKS", _parse_positive_int(16),
          str, "max member blocks per tier-3 region"),
+    Knob("decode_cache", "REPRO_DECODE_CACHE", _parse_positive_int(65536),
+         str, "decode-cache entry cap (raw bits -> Instruction)"),
+    Knob("block_cache", "REPRO_BLOCK_CACHE", _parse_positive_int(4096),
+         str, "basic-block translation cache entry cap"),
     Knob("obs", "REPRO_OBS", _parse_flag_default_off, _flag_to_env,
          "observability layer on at import"),
     Knob("obs_events", "REPRO_OBS_EVENTS", _parse_positive_int(65536),
@@ -219,14 +242,20 @@ for _knob in KNOBS:
     _KNOB_BY_NAME[_knob.env] = _knob
     _KNOB_BY_NAME[_knob.env.lower()] = _knob
 
-# The four interpreter tiers of DESIGN.md §9/§12 as Config field
+# The five interpreter tiers of DESIGN.md §9/§12/§13 as Config field
 # overrides. Each entry pins every execution knob explicitly so a sweep
 # leg is immune to ambient REPRO_* settings.
 TIERS: "Dict[str, Dict[str, bool]]" = {
-    "slow": {"fast_path": False, "jit": False, "tier3": False},
-    "tier1": {"fast_path": True, "jit": False, "tier3": False},
-    "tier2": {"fast_path": True, "jit": True, "tier3": False},
-    "tier3": {"fast_path": True, "jit": True, "tier3": True},
+    "slow": {"fast_path": False, "jit": False, "tier3": False,
+             "tier4": False},
+    "tier1": {"fast_path": True, "jit": False, "tier3": False,
+              "tier4": False},
+    "tier2": {"fast_path": True, "jit": True, "tier3": False,
+              "tier4": False},
+    "tier3": {"fast_path": True, "jit": True, "tier3": True,
+              "tier4": False},
+    "tier4": {"fast_path": True, "jit": True, "tier3": True,
+              "tier4": True},
 }
 
 # Programmatic override stack (innermost wins). Empty = read the

@@ -24,6 +24,7 @@ from repro.isa.encoding import decode
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import MemOp
 from repro.cpu.csr import CSRFile
+from repro.cpu.flatcore import compile_region as _compile_flat
 from repro.cpu.jit import compile_block as _compile_block
 from repro.cpu.regions import DEFER as _REGION_DEFER
 from repro.cpu.regions import compile_region as _compile_region
@@ -49,10 +50,9 @@ from repro.isa.codegen import (  # noqa: E402
 )
 
 # Decode caches are keyed on raw instruction bits; bound them so large or
-# self-modifying code cannot grow them without limit.
-_DECODE_CACHE_CAP = 65536
-# Basic-block translation cache: start-pc -> decoded block.
-_BLOCK_CACHE_CAP = 4096
+# self-modifying code cannot grow them without limit. Caps come from the
+# REPRO_DECODE_CACHE / REPRO_BLOCK_CACHE knobs (see repro.config) and are
+# snapshot per-core at construction.
 
 # Instructions that end a basic block: anything that can redirect the pc,
 # trap by design, or change translation/decode state mid-stream.
@@ -81,6 +81,21 @@ def _jit_threshold_default() -> int:
 def _tier3_default() -> bool:
     """REPRO_TIER3=0 disables the tier-3 region compiler (DESIGN.md §12)."""
     return _config.current().tier3
+
+
+def _tier4_default() -> bool:
+    """REPRO_TIER4=0 disables the tier-4 flat core (DESIGN.md §13)."""
+    return _config.current().tier4
+
+
+def _decode_cache_cap_default() -> int:
+    """Decode-cache entry cap (raw bits -> Instruction)."""
+    return _config.current().decode_cache
+
+
+def _block_cache_cap_default() -> int:
+    """Basic-block translation cache entry cap (start pc -> block)."""
+    return _config.current().block_cache
 
 
 def _region_threshold_default() -> int:
@@ -119,6 +134,7 @@ class Core:
                  jit: "bool | None" = None,
                  jit_threshold: "int | None" = None,
                  tier3: "bool | None" = None,
+                 tier4: "bool | None" = None,
                  region_threshold: "int | None" = None):
         self.memory = memory
         self.mmu = mmu
@@ -133,6 +149,8 @@ class Core:
         self.mmio: "list[MMIORegion]" = []
         self._decode_cache: "dict[int, Instruction]" = {}
         self._decode_cache_c: "dict[int, Instruction]" = {}
+        self._decode_cache_cap = _decode_cache_cap_default()
+        self._block_cache_cap = _block_cache_cap_default()
         self._current_pc = 0
         # Fetch fast path: vpn -> physical page base, valid for one MMU
         # generation (bounded by the I-TLB capacity to keep the reach
@@ -195,6 +213,13 @@ class Core:
         self.regions_compiled = 0       # regions compiled (cumulative)
         self.region_side_exits = 0      # cold-direction guard exits taken
         self.region_compile_seconds = 0.0  # host time in compile_region
+        # Tier-4 flat core (DESIGN.md §13): with tier4 enabled, regions
+        # picked by the tier-3 planner are lowered to the pre-decoded
+        # flat representation (repro.cpu.flatcore) instead of generated
+        # Python source; same trampoline protocol, same flush rules.
+        self.tier4_enabled = (_tier4_default() if tier4 is None else tier4) \
+            and self.tier3_enabled
+        self.flat_regions_compiled = 0  # flat regions lowered (cumulative)
         # Invalidation attribution: reason -> count of translation-cache
         # flushes that actually dropped cached state (DESIGN.md §10).
         self.flush_causes: "dict[str, int]" = {}
@@ -206,10 +231,12 @@ class Core:
         # counters directly, so the derivation adds zero work there).
         self.tier0_retired = 0
         self.tier1_retired = 0
-        # Tier-3 retirements are measured as the architectural-counter
-        # delta across each region call (regions bump stats directly);
-        # tier 2 stays the derived remainder.
+        # Tier-3/4 retirements are measured as the architectural-counter
+        # delta across each region call (regions bump stats directly),
+        # attributed by the backend that compiled the region; tier 2
+        # stays the derived remainder.
         self.tier3_retired = 0
+        self.tier4_retired = 0
         # Tier-2 merged page memos: vpn -> (frame, ok_kernel, ok_user,
         # ppn), collapsing the D-side page lookup + D-TLB revalidation +
         # frame fetch into one dict hit. An entry is valid only while
@@ -235,22 +262,25 @@ class Core:
         """Retired-instruction attribution per interpreter tier."""
         total = self.instret
         tier0, tier1 = self.tier0_retired, self.tier1_retired
-        tier3 = self.tier3_retired
-        tier2 = total - tier0 - tier1 - tier3
+        tier3, tier4 = self.tier3_retired, self.tier4_retired
+        tier2 = total - tier0 - tier1 - tier3 - tier4
         out = {"retired": total, "tier0_retired": tier0,
                "tier1_retired": tier1, "tier2_retired": tier2,
                "tier3_retired": tier3,
+               "tier4_retired": tier4,
                "jit_compiled": self.jit_compiled,
                "jit_flushes": self.jit_flushes,
                "jit_compile_seconds": round(self.jit_compile_seconds, 6),
                "regions_compiled": self.regions_compiled,
+               "flat_regions_compiled": self.flat_regions_compiled,
                "region_side_exits": self.region_side_exits,
                "region_compile_seconds":
                    round(self.region_compile_seconds, 6),
                "flush_causes": dict(self.flush_causes)}
         if total:
             for tier, count in (("tier0", tier0), ("tier1", tier1),
-                                ("tier2", tier2), ("tier3", tier3)):
+                                ("tier2", tier2), ("tier3", tier3),
+                                ("tier4", tier4)):
                 out[f"{tier}_frac"] = round(count / total, 6)
         return out
 
@@ -662,7 +692,7 @@ class Core:
                 except DecodingError:
                     raise Trap(Cause.ILLEGAL_INSTRUCTION, pc,
                                tval=low) from None
-                if len(self._decode_cache_c) >= _DECODE_CACHE_CAP:
+                if len(self._decode_cache_c) >= self._decode_cache_cap:
                     self._decode_cache_c.clear()
                 self._decode_cache_c[low] = insn
         else:
@@ -673,7 +703,7 @@ class Core:
                 except DecodingError:
                     raise Trap(Cause.ILLEGAL_INSTRUCTION, pc,
                                tval=word) from None
-                if len(self._decode_cache) >= _DECODE_CACHE_CAP:
+                if len(self._decode_cache) >= self._decode_cache_cap:
                     self._decode_cache.clear()
                 self._decode_cache[word] = insn
         if insn.semclass == "roload" and not self.roload_enabled:
@@ -748,7 +778,7 @@ class Core:
                         insn = decode_compressed(low)
                     except DecodingError:
                         break  # step() raises the illegal-instruction trap
-                    if len(self._decode_cache_c) >= _DECODE_CACHE_CAP:
+                    if len(self._decode_cache_c) >= self._decode_cache_cap:
                         self._decode_cache_c.clear()
                     self._decode_cache_c[low] = insn
                 paddr2 = None
@@ -759,7 +789,7 @@ class Core:
                         insn = decode(word)
                     except DecodingError:
                         break
-                    if len(self._decode_cache) >= _DECODE_CACHE_CAP:
+                    if len(self._decode_cache) >= self._decode_cache_cap:
                         self._decode_cache.clear()
                     self._decode_cache[word] = insn
                 # A 4-byte instruction whose tail crosses an I-cache line
@@ -783,7 +813,7 @@ class Core:
         if not entries:
             return None
         block = (tuple(entries), vpn, frame)
-        if len(self._blocks) >= _BLOCK_CACHE_CAP:
+        if len(self._blocks) >= self._block_cache_cap:
             self._flush_blocks("block_cache_capacity")
         self._blocks[entries[0][2]] = block
         self._code_frames.add(frame >> 12)
@@ -1012,6 +1042,8 @@ class Core:
             counts = self._region_counts
             nojit = self._region_nojit
             threshold = self.region_threshold
+            compile_region = _compile_flat if self.tier4_enabled \
+                else _compile_region
         self._block_abort = False
         while True:
             if self._fetch_generation != generation \
@@ -1023,7 +1055,10 @@ class Core:
                 try:
                     pc = rec.fn(limit)
                 finally:
-                    self.tier3_retired += stats.instructions - before
+                    if rec.tier4:
+                        self.tier4_retired += stats.instructions - before
+                    else:
+                        self.tier3_retired += stats.instructions - before
                 limit -= stats.instructions - before
                 self.pc = pc
                 if self._block_abort:
@@ -1058,7 +1093,7 @@ class Core:
                         counts[pc] = seen
                     else:
                         began = perf_counter()
-                        nxt = _compile_region(self, pc, seen)
+                        nxt = compile_region(self, pc, seen)
                         self.region_compile_seconds += \
                             perf_counter() - began
                         if nxt is _REGION_DEFER:
@@ -1071,11 +1106,14 @@ class Core:
                             counts.pop(pc, None)
                             regions[pc] = nxt
                             self.regions_compiled += 1
+                            if nxt.tier4:
+                                self.flat_regions_compiled += 1
                             if _OBS.enabled:
                                 _OBS.events.emit(
                                     "region.compile", pc=pc,
                                     blocks=len(nxt.pcs),
                                     instructions=nxt.n, loop=nxt.loop,
+                                    tier4=nxt.tier4,
                                     compiled_total=self.regions_compiled)
                 if nxt is not None:
                     if limit < nxt.n:

@@ -1,0 +1,1904 @@
+"""Tier-4 flat core: regions lowered to pre-decoded arrays, no compile().
+
+Tier 3 (repro.cpu.regions) generates Python source per region and pays
+``compile()`` for it — roughly 10 us per instruction of region, which
+both caps how aggressively regions can be planned (DEFER_FACTOR) and
+shows up directly in the bench wall time. Tier 4 keeps the tier-3
+*planner* (the superblock selection over the tier-2 edge profile) but
+replaces code generation with a lowering pass: every member
+instruction becomes one or more entries in parallel integer arrays —
+opcode-handler index, rd/rs1/rs2, folded immediates, and static
+per-site catch-up metadata — executed by one shared dispatch loop
+(``_run``) whose hot state lives in function locals.
+
+What the flat representation changes relative to tier 3:
+
+* zero compile cost: lowering is pure data manipulation (a few us per
+  region), so duplicate alternate-entry heads are worth lowering far
+  earlier (``DEFER_FACTOR`` 8 instead of 256) and region coverage
+  grows faster after every flush;
+* the register file is the live ``core.regs`` list indexed by
+  pre-decoded operand numbers — no per-region register locals, no
+  flush on exit, and the architectural file is always current when a
+  fault propagates (the ``except`` repair only drains counters);
+* branch/jump penalty cycles and muldiv latency are *statically
+  deferred*: the lowering records cumulative penalty counts per site
+  (``BP``/``MU``) exactly like the retire counter (``NI``), so the hot
+  loop does not touch ``stats`` at all between syncs — tier 3 pays two
+  attribute round-trips per taken branch;
+* all other accounting is the tier-3 protocol verbatim: deferred
+  retire catch-up (``fc``), deferred I-fetch hit credit (``PQ``/
+  ``pf``), LRU change-lists replayed by ``_lf`` (dedup-by-last), the
+  numeric D-hit counters (``dh``/``ch``) drained at exits and raises
+  only, last-page cached frame views behind a page+alignment guard,
+  warm-loop I-probe elision with rotation-table replay (``_IRT``),
+  side exits, the ``_block_abort`` SMC deopt, and the loop backedge
+  budget check.
+
+``ld.ro`` (the ROLoad family) is never cached: every execution syncs
+and takes the full ``Core.load`` -> ``MMU.translate`` path so the
+read-only + key check actually runs (DESIGN.md paragraph 8), then drops
+the cached views. Flat regions are invalidated by ``Core._flush_blocks``
+exactly like tiers 1-3 (they live in the same ``core._regions`` map).
+
+Array layout (parallel, one slot per stream entry):
+
+====  =====================================================
+OPS   opcode (dispatch ladder index; literals in ``_run``)
+A     rd / handler slot / cond code / set index / width
+B     rs1
+C     rs2 / packed width|signed
+IM    folded immediate / exit pc / line / vpn / key
+X     expected branch direction / next pc / link / signed
+NI    instructions retired before this site (static)
+BP    penalty cycles charged before this site (static)
+MU    muldiv cycles charged before this site (static)
+PQ    fetch-line touches before+incl this site (static)
+JX    warm-replay exit index at this site (static)
+PCA   architectural pc at this site (sync sites)
+====  =====================================================
+
+Bit-identity is enforced by the five-way differential suite
+(tests/test_fastpath_equivalence.py): slow/tier1/tier2/tier3/tier4 all
+produce identical architectural state, counters included.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import config as _config
+from repro.cpu.jit import _classify
+from repro.cpu.regions import DEFER, Region, _plan
+from repro.cpu.trap import Cause, Trap
+from repro.isa.codegen import INLINE_MULDIV, LOAD_INFO, RO_INFO, STORE_INFO
+from repro.utils.bits import sext, to_u64
+
+_M64 = 0xFFFFFFFFFFFFFFFF
+_H63 = 0x8000000000000000
+
+# Lowering is ~100x cheaper than a tier-3 compile, so alternate-entry
+# duplicate heads are worth the second copy after far fewer arrivals.
+DEFER_FACTOR = 8
+
+# The flat cached-view arms index little-endian "Q" casts; big-endian
+# hosts fall back to the eager (architectural) path for every access.
+_NATIVE_LE = sys.byteorder == "little"
+
+# "No value yet" marker for the load arms (0 and -1 are real values).
+_S = object()
+
+# Opcodes. The dispatch ladder in _run tests literal ints (locals or
+# globals would cost a LOAD per test); keep this table and the ladder
+# comments in sync. Ordered roughly hottest-first.
+OP_ADDI = 1
+OP_LD8 = 2
+OP_ADD = 3
+OP_ST8 = 4
+OP_IPROBE = 5
+OP_BNE = 6
+OP_BEQ = 7
+OP_BLT = 8
+OP_BGE = 9
+OP_BLTU = 10
+OP_BGEU = 11
+OP_LD4S = 12
+OP_LD1U = 13
+OP_LDW = 14       # generic sub-8 load; C = width | signed << 8
+OP_ST4 = 15
+OP_ST1 = 16
+OP_STW = 17       # generic sub-8 store; A = width
+OP_CONST = 18     # lui/auipc, folded
+OP_ANDI = 19
+OP_ORI = 20
+OP_XORI = 21
+OP_SLLI = 22
+OP_SRLI = 23
+OP_SRAI = 24
+OP_SLTI = 25      # IM = to_u64(imm) ^ H63
+OP_SLTIU = 26
+OP_ADDIW = 27
+OP_SUB = 28
+OP_AND = 29
+OP_OR = 30
+OP_XOR = 31
+OP_SLL = 32
+OP_SRL = 33
+OP_SRA = 34
+OP_SLT = 35
+OP_SLTU = 36
+OP_ADDW = 37
+OP_SUBW = 38
+OP_MUL = 39
+OP_MULW = 40
+OP_SLLIW = 41
+OP_SRLIW = 42
+OP_SRAIW = 43
+OP_SLLW = 44
+OP_SRLW = 45
+OP_SRAW = 46
+OP_JAL = 47       # mid-trace link write (rd != 0); penalty is static
+OP_BACKEDGE = 48
+OP_MEMCHK = 49
+OP_HEADCHK = 50
+OP_ROLOAD = 51
+OP_GEN = 52
+OP_LD_EAGER = 53
+OP_ST_EAGER = 54
+OP_RET = 55       # epilogue after a final alu/load/store/roload
+OP_BR_F = 56
+OP_JAL_F = 57
+OP_JALR_F = 58
+OP_GEN_F = 59
+
+_IMM_OPS = {
+    # name -> (opcode, immediate folding)
+    "addi": (OP_ADDI, "raw"),
+    "andi": (OP_ANDI, "u64"),
+    "ori": (OP_ORI, "u64"),
+    "xori": (OP_XORI, "u64"),
+    "slli": (OP_SLLI, "raw"),
+    "srli": (OP_SRLI, "raw"),
+    "srai": (OP_SRAI, "raw"),
+    "slti": (OP_SLTI, "sx"),
+    "sltiu": (OP_SLTIU, "u64"),
+    "addiw": (OP_ADDIW, "raw"),
+    "slliw": (OP_SLLIW, "raw"),
+    "srliw": (OP_SRLIW, "raw"),
+    "sraiw": (OP_SRAIW, "raw"),
+}
+
+_REG_OPS = {
+    "add": OP_ADD, "sub": OP_SUB, "and": OP_AND, "or": OP_OR,
+    "xor": OP_XOR, "sll": OP_SLL, "srl": OP_SRL, "sra": OP_SRA,
+    "slt": OP_SLT, "sltu": OP_SLTU, "addw": OP_ADDW, "subw": OP_SUBW,
+    "sllw": OP_SLLW, "srlw": OP_SRLW, "sraw": OP_SRAW,
+    "mul": OP_MUL, "mulw": OP_MULW,
+}
+
+_BR_MID = {"beq": OP_BEQ, "bne": OP_BNE, "blt": OP_BLT, "bge": OP_BGE,
+           "bltu": OP_BLTU, "bgeu": OP_BGEU}
+_BR_CODE = {"beq": 0, "bne": 1, "blt": 2, "bge": 3, "bltu": 4, "bgeu": 5}
+
+_LD_OPS = {(8, True): OP_LD8, (4, True): OP_LD4S, (1, False): OP_LD1U}
+_ST_OPS = {8: OP_ST8, 4: OP_ST4, 1: OP_ST1}
+
+
+class FlatRegion(Region):
+    """A region lowered to the flat representation. Same trampoline
+    protocol as Region; the discriminator routes retire attribution."""
+
+    __slots__ = ()
+
+    tier4 = True
+
+
+def compile_region(core, head_pc, arrivals=0):
+    """Plan (tier-3 planner) and lower a flat region at ``head_pc``.
+
+    Returns None when no viable region exists, or ``DEFER`` (the
+    regions sentinel — the trampoline compares identity) for a
+    lukewarm alternate entry of an already-lowered region.
+    """
+    if arrivals < core.region_threshold * DEFER_FACTOR:
+        for region in core._regions.values():
+            if region.covers(head_pc):
+                return DEFER
+    plan = _plan(core, head_pc)
+    if plan is None:
+        return None
+    try:
+        fn = _lower(core, plan)
+    except Exception:
+        if _config.current().jit_debug:
+            raise
+        return None
+    return FlatRegion(fn, plan.n, plan.members[0].vpn, head_pc,
+                      tuple(m.pc for m in plan.members), plan.loop,
+                      tuple((m.pc, m.entries[-1][2] + 4)
+                            for m in plan.members))
+
+
+def _lower(core, plan):
+    """Flatten a plan into the parallel arrays and bind the runner."""
+    members = plan.members
+    head_pc = plan.head_pc
+    params = core.timing.params
+    tbp = params.taken_branch_penalty
+    jp = params.jump_penalty
+    mmu = core.mmu
+    icache = core.icache
+    dtlb = getattr(mmu, "dtlb", None)
+    dside = bool(core._dside_cap) and dtlb is not None and not mmu.bare \
+        and _NATIVE_LE
+    multi_page = len({m.vpn for m in members}) > 1
+    warm_mach = plan.loop and icache is not None
+    if icache is not None:
+        ishift = icache.line_shift
+        imask = icache.num_sets - 1
+
+    ops = []
+    aa = []
+    bb = []
+    cc = []
+    im = []
+    xx = []
+    ni = []
+    bp = []
+    mu = []
+    pq = []
+    jx = []
+    pca = []
+    gh = []             # (handler, insn) pairs for generic sites
+    k = 0               # architectural instruction index
+    bpc = 0             # cumulative penalty cycles (branch/jump)
+    muc = 0             # cumulative muldiv cycles
+    pcum = 0            # cumulative fetch-line touches
+    last_line = None
+    isite_seq = []      # static per-iteration line sequence (changes)
+
+    def emit(op, a=0, b=0, c=0, imv=0, x=0, pc=0):
+        ops.append(op)
+        aa.append(a)
+        bb.append(b)
+        cc.append(c)
+        im.append(imv)
+        xx.append(x)
+        ni.append(k)
+        bp.append(bpc)
+        mu.append(muc)
+        pq.append(pcum)
+        jx.append(len(isite_seq))
+        pca.append(pc)
+
+    if plan.loop and multi_page:
+        # Loop-top head-page check: later members can evict the head
+        # page from the fetch cache on capacity; exit bare (everything
+        # is drained at the loop top after a backedge).
+        emit(OP_HEADCHK, imv=members[0].vpn, x=head_pc)
+
+    flat = []
+    gi = 0
+    for m in members:
+        for j, e in enumerate(m.entries):
+            flat.append((m, j, gi, e))
+            gi += 1
+
+    prev_vpn = members[0].vpn
+    for m, j, i, (handler, insn, pc, next_pc, paddr, paddr2) in flat:
+        kind = _classify(insn.name)
+        member_last = j == len(m.entries) - 1
+        final = member_last and not m.inline_next and not m.backedge
+        if kind in ("branch", "jal", "jalr") and not member_last:
+            raise ValueError("control flow before member end")
+        if j == 0 and i and m.vpn != prev_vpn:
+            # Member page transition: same exit-to-trampoline protocol
+            # as tier 3 (the trampoline recheck retranslates and
+            # resumes at this pc through the member's tier-2 block).
+            emit(OP_MEMCHK, imv=m.vpn, x=pc)
+        if j == 0:
+            prev_vpn = m.vpn
+        if icache is not None:
+            for pa in (paddr,) if paddr2 is None else (paddr, paddr2):
+                line = pa >> ishift
+                pcum += 1
+                if line != last_line:
+                    emit(OP_IPROBE, a=line & imask, imv=line)
+                    isite_seq.append(line)
+                    last_line = line
+
+        if kind == "alu":
+            name = insn.name
+            if insn.rd:
+                if name == "lui":
+                    emit(OP_CONST, a=insn.rd,
+                         imv=to_u64(sext(insn.imm << 12, 32)))
+                elif name == "auipc":
+                    emit(OP_CONST, a=insn.rd,
+                         imv=to_u64(pc + sext(insn.imm << 12, 32)))
+                elif name in _IMM_OPS:
+                    op, fold = _IMM_OPS[name]
+                    v = insn.imm
+                    if fold == "u64":
+                        v = to_u64(v)
+                    elif fold == "sx":
+                        v = to_u64(v) ^ _H63
+                    emit(op, a=insn.rd, b=insn.rs1, imv=v)
+                else:
+                    emit(_REG_OPS[name], a=insn.rd, b=insn.rs1,
+                         c=insn.rs2)
+            # rd == x0: the op is architecturally a no-op (registers
+            # never change; retire/cycles ride the static counters) —
+            # elide the entry entirely. Muldiv latency still charges.
+            k += 1
+            if name in INLINE_MULDIV:
+                muc += params.mul_latency
+            if final:
+                emit(OP_RET, x=next_pc)
+
+        elif kind == "load":
+            width, signed = LOAD_INFO[insn.name]
+            if not dside:
+                emit(OP_LD_EAGER, a=insn.rd, b=insn.rs1, c=width,
+                     imv=insn.imm, x=signed, pc=pc)
+            elif (width, signed) in _LD_OPS:
+                emit(_LD_OPS[(width, signed)], a=insn.rd, b=insn.rs1,
+                     imv=insn.imm, pc=pc)
+            else:
+                emit(OP_LDW, a=insn.rd, b=insn.rs1,
+                     c=width | (0x100 if signed else 0),
+                     imv=insn.imm, pc=pc)
+            k += 1
+            if final:
+                emit(OP_RET, x=next_pc)
+
+        elif kind == "roload":
+            width, signed = RO_INFO[insn.name]
+            emit(OP_ROLOAD, a=insn.rd, b=insn.rs1, c=width,
+                 imv=insn.key, x=signed, pc=pc)
+            k += 1
+            if final:
+                emit(OP_RET, x=next_pc)
+
+        elif kind == "store":
+            width = STORE_INFO[insn.name]
+            if not dside:
+                emit(OP_ST_EAGER, a=width, b=insn.rs1, c=insn.rs2,
+                     imv=insn.imm, x=next_pc, pc=pc)
+            elif width in _ST_OPS:
+                emit(_ST_OPS[width], b=insn.rs1, c=insn.rs2,
+                     imv=insn.imm, x=next_pc, pc=pc)
+            else:
+                emit(OP_STW, a=width, b=insn.rs1, c=insn.rs2,
+                     imv=insn.imm, x=next_pc, pc=pc)
+            k += 1
+            if final:
+                emit(OP_RET, x=next_pc)
+
+        elif kind == "branch":
+            if final:
+                emit(OP_BR_F, a=_BR_CODE[insn.name], b=insn.rs1,
+                     c=insn.rs2, imv=m.taken_pc, x=m.fall_pc)
+                k += 1
+            else:
+                # Specialize on the profiled direction: the cold side
+                # becomes a guarded side exit (X = expected cond).
+                target = m.fall_pc if m.chosen_taken else m.taken_pc
+                emit(_BR_MID[insn.name], b=insn.rs1, c=insn.rs2,
+                     imv=target, x=1 if m.chosen_taken else 0)
+                k += 1
+                if m.chosen_taken:
+                    bpc += tbp
+
+        elif kind == "jal":
+            if final:
+                emit(OP_JAL_F, a=insn.rd, imv=to_u64(pc + insn.imm),
+                     x=pc + insn.length)
+                k += 1
+            else:
+                if insn.rd:
+                    emit(OP_JAL, a=insn.rd, imv=pc + insn.length)
+                k += 1
+                bpc += jp
+
+        elif kind == "jalr":
+            emit(OP_JALR_F, a=insn.rd, b=insn.rs1, imv=insn.imm,
+                 x=pc + insn.length)
+            k += 1
+
+        else:   # generic
+            slot = len(gh)
+            gh.append((handler, insn))
+            emit(OP_GEN_F if final else OP_GEN, a=slot, x=next_pc,
+                 pc=pc)
+            k += 1
+
+        if member_last and m.backedge:
+            emit(OP_BACKEDGE)
+
+    if k != plan.n:
+        raise ValueError("lowered instruction count mismatch")
+
+    if warm_mach:
+        msites = len(isite_seq)
+        irt = []
+        for j in range(msites + 1):
+            order = isite_seq[j:] + isite_seq[:j]
+            irt.append(tuple(reversed(dict.fromkeys(reversed(order)))))
+        irt = tuple(irt)
+        ilines = tuple(dict.fromkeys(isite_seq))
+    else:
+        irt = ()
+        ilines = ()
+
+    return _bind(core, plan, dside,
+                 tuple(ops), tuple(aa), tuple(bb), tuple(cc),
+                 tuple(im), tuple(xx), tuple(ni), tuple(bp),
+                 tuple(mu), tuple(pq), tuple(jx), tuple(pca),
+                 tuple(gh), bpc, muc, pcum, irt, ilines)
+
+
+def _bind(core, plan, dside, OPS, A, B, C, IM, X, NI, BP, MU, PQ, JX,
+          PCA, GH, BPT, MUT, PQT, IRT, ILINES):
+    """Close the shared runner over one region's arrays and the core's
+    hot state. Everything the dispatch loop touches per instruction is
+    a local of ``_run`` or an argument-free closure; ``stats`` and the
+    cache objects are only reached at syncs, misses, and exits."""
+    mmu = core.mmu
+    stats = core.timing.stats
+    timing = core.timing.params
+    CPI = timing.base_cpi
+    PEN = timing.cache_miss_penalty
+    TBP = timing.taken_branch_penalty
+    JP = timing.jump_penalty
+    NT = plan.n
+    HEAD = plan.head_pc
+    LOOP = plan.loop
+    load = core.load
+    store = core.store
+    icache = core.icache
+    dcache = core.dcache
+    ICH = icache is not None
+    isets = icache.line_sets if ICH else None
+    IMK = icache.num_sets - 1 if ICH else 0
+    IWAYS = icache.ways if ICH else 0
+    use_dc = dcache is not None and dside
+    dsets = dcache.line_sets if use_dc else None
+    DSH = dcache.line_shift if use_dc else 0
+    DMK = dcache.num_sets - 1 if use_dc else 0
+    DWAYS = dcache.ways if use_dc else 0
+    WARM = LOOP and ICH
+    fpages = core._fetch_pages
+    cframes = core._code_frames
+    if dside:
+        dtlb = mmu.dtlb
+        tent = dtlb.entry_map
+        mmu_stats = mmu.stats
+        dload = core._dload_pages
+        jload = core._jload_memo
+        jlget = jload.get
+        jlf = core._jload_fill
+        dstore = core._dstore_pages
+        jstore = core._jstore_memo
+        jsget = jstore.get
+        jsf = core._jstore_fill
+    else:
+        dtlb = tent = mmu_stats = None
+        dload = jload = jlget = jlf = None
+        dstore = jstore = jsget = jsf = None
+    mv = memoryview
+    LPF = Cause.LOAD_PAGE_FAULT
+    SPF = Cause.STORE_PAGE_FAULT
+
+    # Packed decode: one tuple fetch + unpack per dispatch instead of
+    # four to six parallel-array subscripts. The static catch-up arrays
+    # (NI/BP/MU/PQ/JX/PCA) stay separate — they are only read on the
+    # cold sync/exit paths.
+    DC = tuple(zip(OPS, A, B, C, IM, X))
+    NSITE = len(OPS)
+    # Per-site inline page caches: when the shared one-entry guard
+    # misses (two streams alternating pages), the site's own last
+    # page is tried before the memo fill. Entries are valid only for
+    # the epoch they were filled in; the epoch is bumped wherever the
+    # shared guard is reset (any callout that could remap) and once
+    # per trampoline entry (anything may have happened outside).
+    SGB = [-1] * NSITE      # guard base (page | alignment bits)
+    SPT = [None] * NSITE    # cached _lfl/_sfl view tuple
+    SVP = [0] * NSITE       # vpn of the cached page
+    SEP = [0] * NSITE       # epoch the entry was filled in
+    EPB = [0]               # persistent epoch box (monotonic)
+
+    # Deferred LRU replay: the lists carry MOVES only; dedup-by-last
+    # replay reconstructs the eager order (tier-3 protocol).
+    dl = []
+    dla = dl.append
+    cl = []
+    cla = cl.append
+    il = []
+    ila = il.append
+
+    def _lf():
+        if dl:
+            for _k in reversed(dict.fromkeys(reversed(dl))):
+                tent.move_to_end(_k)
+            dl.clear()
+        if cl:
+            for _k in reversed(dict.fromkeys(reversed(cl))):
+                dsets[_k & DMK].move_to_end(_k)
+            cl.clear()
+        if il:
+            for _k in reversed(dict.fromkeys(reversed(il))):
+                isets[_k & IMK].move_to_end(_k)
+            il.clear()
+
+    def _fl(ti, tcy, tb2, tmd, tic):
+        """Drain the iteration-deferred stat accumulators. The backedge
+        banks whole completed iterations here instead of touching
+        ``stats`` per loop; every sync/exit/raise drains first, so any
+        observer (rdcycle through a generic handler, the trampoline
+        after return, a propagating trap) sees exact totals."""
+        stats.instructions += ti
+        stats.cycles += tcy
+        if tb2:
+            stats.branch_penalty_cycles += tb2
+        if tmd:
+            stats.muldiv_cycles += tmd
+        if tic:
+            icache.hits += tic
+
+    def _dmiss(ln, wy):
+        _lf()
+        dcache.misses += 1
+        wy[ln] = True
+        if len(wy) > DWAYS:
+            wy.popitem(last=False)
+        stats.dcache_misses += 1
+        stats.cycles += PEN
+
+    def _imiss(line, wy, pf):
+        _lf()
+        icache.misses += 1
+        wy[line] = True
+        if len(wy) > IWAYS:
+            wy.popitem(last=False)
+        stats.icache_misses += 1
+        stats.cycles += PEN
+        return pf + 1
+
+    def _irp(j):
+        for _k in IRT[j]:
+            isets[_k & IMK].move_to_end(_k)
+
+    def _wchk():
+        for _k in ILINES:
+            if _k not in isets[_k & IMK]:
+                return False
+        return True
+
+    def _lfl(vp, um):
+        """Load-page view fill: None = eager fallback, False = fault."""
+        mo = jlget(vp)
+        if mo is None:
+            mo = jlf(vp)
+            if mo is None:
+                return None
+        fb, okk, oku, pp = mo
+        if not (okk if um else oku):
+            del dload[vp]
+            del jload[vp]
+            return False
+        return (vp << 12, pp << 12, mv(fb).cast("Q"), fb)
+
+    def _sfl(vp, um):
+        mo = jsget(vp)
+        if mo is None:
+            mo = jsf(vp)
+            if mo is None:
+                return None
+        fb, okk, oku, pp = mo
+        if not (okk if um else oku):
+            del dstore[vp]
+            del jstore[vp]
+            return False
+        return (vp << 12, pp << 12, pp, mv(fb).cast("Q"), fb)
+
+    def _sy(i, fc, bc, mc, pf):
+        """Cold-path sync: pc + deferred retire/penalty/fetch catch-up
+        + LRU drain, from the static per-site arrays. ch/dh stay
+        deferred (no mid-region observer; callouts commute)."""
+        pc = PCA[i]
+        core.pc = pc
+        core._current_pc = pc
+        kk = NI[i]
+        bv = BP[i]
+        uv = MU[i]
+        qv = PQ[i]
+        stats.instructions += kk - fc
+        stats.cycles += (kk - fc) * CPI + (bv - bc) + (uv - mc)
+        if bv != bc:
+            stats.branch_penalty_cycles += bv - bc
+        if uv != mc:
+            stats.muldiv_cycles += uv - mc
+        if ICH:
+            icache.hits += qv - pf
+        _lf()
+        return kk, bv, uv, qv, JX[i]
+
+    def _xt(i, extra, pen, tgt, ch, dh, warm, fc, bc, mc, pf):
+        """Region exit: catch the architecture up through NI[i]+extra
+        (+pen penalty cycles), drain everything, replay the warm
+        I-side permutation for this exit point, return the exit pc."""
+        kk = NI[i] + extra
+        bpd = BP[i] - bc + pen
+        mud = MU[i] - mc
+        stats.instructions += kk - fc
+        stats.cycles += (kk - fc) * CPI + bpd + mud
+        if bpd:
+            stats.branch_penalty_cycles += bpd
+        if mud:
+            stats.muldiv_cycles += mud
+        if ICH:
+            icache.hits += PQ[i] - pf
+        if ch:
+            dcache.hits += ch
+        if dh:
+            dtlb.hits += dh
+            mmu_stats.translations += dh
+        _lf()
+        if warm:
+            _irp(JX[i])
+        return tgt
+
+    def _run(b):
+        R = core.regs
+        i = 0
+        fc = 0
+        bc = 0
+        mc = 0
+        pf = 0
+        warm = False
+        ip = 0
+        lvb = -1
+        svb = -1
+        ldp = -1
+        lln = -1
+        dh = 0
+        ch = 0
+        ti = 0
+        tcy = 0
+        tb2 = 0
+        tmd = 0
+        tic = 0
+        ep = EPB[0] = EPB[0] + 1
+        lvp = -1
+        svp = -1
+        lpb = 0
+        spb = 0
+        spp = 0
+        mql = None
+        fbl = None
+        mqs = None
+        fbs = None
+        if dside:
+            gen = mmu.generation
+            dok = core._dside_generation == gen
+            um = not mmu.user_mode
+        else:
+            gen = 0
+            dok = False
+            um = True
+        try:
+            while True:
+                op, ad, rb, rc, imv, xv = DC[i]
+
+                if op == 2:   # OP_LD8
+                    va = (R[rb] + imv) & 0xFFFFFFFFFFFFFFFF
+                    if va & 0xFFFFFFFFFFFFF007 == lvb:
+                        if lvp != ldp:
+                            dla(lvp)
+                            ldp = lvp
+                        dh += 1
+                        of = va & 0xFFF
+                        if use_dc:
+                            ln = (lpb | of) >> DSH
+                            if ln == lln:
+                                ch += 1
+                            else:
+                                wy = dsets[ln & DMK]
+                                if ln in wy:
+                                    cla(ln)
+                                    ch += 1
+                                else:
+                                    _dmiss(ln, wy)
+                                lln = ln
+                        v = mql[of >> 3]
+                    else:
+                        v = _S
+                        if va & 0xFFFFFFFFFFFFF007 == SGB[i] \
+                                and SEP[i] == ep:
+                            lvb, lpb, mql, fbl = SPT[i]
+                            lvp = SVP[i]
+                            if lvp != ldp:
+                                dla(lvp)
+                                ldp = lvp
+                            dh += 1
+                            of = va & 0xFFF
+                            if use_dc:
+                                ln = (lpb | of) >> DSH
+                                if ln == lln:
+                                    ch += 1
+                                else:
+                                    wy = dsets[ln & DMK]
+                                    if ln in wy:
+                                        cla(ln)
+                                        ch += 1
+                                    else:
+                                        _dmiss(ln, wy)
+                                    lln = ln
+                            v = mql[of >> 3]
+                        elif not va & 7 and dok:
+                            vp = va >> 12
+                            t = _lfl(vp, um)
+                            if t is not None:
+                                if vp != ldp:
+                                    dla(vp)
+                                    ldp = vp
+                                dh += 1
+                                if t is False:
+                                    if ti:
+                                        _fl(ti, tcy, tb2, tmd, tic)
+                                        ti = tcy = tb2 = tmd = tic = 0
+                                    fc, bc, mc, pf, ip = \
+                                        _sy(i, fc, bc, mc, pf)
+                                    raise Trap(LPF, PCA[i], tval=va)
+                                lvb, lpb, mql, fbl = t
+                                lvp = vp
+                                SGB[i] = lvb
+                                SPT[i] = t
+                                SVP[i] = vp
+                                SEP[i] = ep
+                                of = va & 0xFFF
+                                if use_dc:
+                                    ln = (lpb | of) >> DSH
+                                    if ln == lln:
+                                        ch += 1
+                                    else:
+                                        wy = dsets[ln & DMK]
+                                        if ln in wy:
+                                            cla(ln)
+                                            ch += 1
+                                        else:
+                                            _dmiss(ln, wy)
+                                        lln = ln
+                                v = mql[of >> 3]
+                        if v is _S:
+                            if ti:
+                                _fl(ti, tcy, tb2, tmd, tic)
+                                ti = tcy = tb2 = tmd = tic = 0
+                            fc, bc, mc, pf, ip = _sy(i, fc, bc, mc, pf)
+                            lvb = svb = ldp = lln = -1
+                            ep = EPB[0] = ep + 1
+                            v = load(va, 8, True)
+                    if ad:
+                        R[ad] = v
+
+                elif op == 4:   # OP_ST8
+                    va = (R[rb] + imv) & 0xFFFFFFFFFFFFFFFF
+                    if va & 0xFFFFFFFFFFFFF007 == svb:
+                        if svp != ldp:
+                            dla(svp)
+                            ldp = svp
+                        dh += 1
+                        of = va & 0xFFF
+                        if cframes and spp in cframes:
+                            core._flush_blocks()
+                        if use_dc:
+                            ln = (spb | of) >> DSH
+                            if ln == lln:
+                                ch += 1
+                            else:
+                                wy = dsets[ln & DMK]
+                                if ln in wy:
+                                    cla(ln)
+                                    ch += 1
+                                else:
+                                    _dmiss(ln, wy)
+                                lln = ln
+                        mqs[of >> 3] = R[rc]
+                    else:
+                        ok = False
+                        if va & 0xFFFFFFFFFFFFF007 == SGB[i] \
+                                and SEP[i] == ep:
+                            svb, spb, spp, mqs, fbs = SPT[i]
+                            svp = SVP[i]
+                            if svp != ldp:
+                                dla(svp)
+                                ldp = svp
+                            dh += 1
+                            of = va & 0xFFF
+                            if cframes and spp in cframes:
+                                core._flush_blocks()
+                            if use_dc:
+                                ln = (spb | of) >> DSH
+                                if ln == lln:
+                                    ch += 1
+                                else:
+                                    wy = dsets[ln & DMK]
+                                    if ln in wy:
+                                        cla(ln)
+                                        ch += 1
+                                    else:
+                                        _dmiss(ln, wy)
+                                    lln = ln
+                            mqs[of >> 3] = R[rc]
+                            ok = True
+                        elif not va & 7 and dok:
+                            vp = va >> 12
+                            t = _sfl(vp, um)
+                            if t is not None:
+                                if vp != ldp:
+                                    dla(vp)
+                                    ldp = vp
+                                dh += 1
+                                if t is False:
+                                    if ti:
+                                        _fl(ti, tcy, tb2, tmd, tic)
+                                        ti = tcy = tb2 = tmd = tic = 0
+                                    fc, bc, mc, pf, ip = \
+                                        _sy(i, fc, bc, mc, pf)
+                                    raise Trap(SPF, PCA[i], tval=va)
+                                svb, spb, spp, mqs, fbs = t
+                                svp = vp
+                                SGB[i] = svb
+                                SPT[i] = t
+                                SVP[i] = vp
+                                SEP[i] = ep
+                                of = va & 0xFFF
+                                if cframes and spp in cframes:
+                                    core._flush_blocks()
+                                if use_dc:
+                                    ln = (spb | of) >> DSH
+                                    if ln == lln:
+                                        ch += 1
+                                    else:
+                                        wy = dsets[ln & DMK]
+                                        if ln in wy:
+                                            cla(ln)
+                                            ch += 1
+                                        else:
+                                            _dmiss(ln, wy)
+                                        lln = ln
+                                mqs[of >> 3] = R[rc]
+                                ok = True
+                        if not ok:
+                            if ti:
+                                _fl(ti, tcy, tb2, tmd, tic)
+                                ti = tcy = tb2 = tmd = tic = 0
+                            fc, bc, mc, pf, ip = _sy(i, fc, bc, mc, pf)
+                            lvb = svb = ldp = lln = -1
+                            ep = EPB[0] = ep + 1
+                            store(va, 8, R[rc])
+                    if core._block_abort:
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 1, 0, xv, ch, dh, warm,
+                                   fc, bc, mc, pf)
+
+                elif op == 1:     # OP_ADDI
+                    R[ad] = (R[rb] + imv) & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 3:   # OP_ADD
+                    R[ad] = (R[rb] + R[rc]) & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 5:   # OP_IPROBE
+                    if not warm:
+                        ln = imv
+                        wy = isets[ad]
+                        if ln in wy:
+                            ila(ln)
+                        else:
+                            pf = _imiss(ln, wy, pf)
+
+                elif op == 7:   # OP_BEQ
+                    c_ = R[rb] == R[rc]
+                    if c_ != xv:
+                        core.region_side_exits += 1
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 1, TBP if c_ else 0, imv,
+                                   ch, dh, warm, fc, bc, mc, pf)
+
+                elif op == 6:   # OP_BNE
+                    c_ = R[rb] != R[rc]
+                    if c_ != xv:
+                        core.region_side_exits += 1
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 1, TBP if c_ else 0, imv,
+                                   ch, dh, warm, fc, bc, mc, pf)
+
+                elif op == 29:  # OP_AND
+                    R[ad] = R[rb] & R[rc]
+
+                elif op == 18:  # OP_CONST
+                    R[ad] = imv
+
+                elif op == 32:  # OP_SLL
+                    R[ad] = (R[rb] << (R[rc] & 63)) \
+                        & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 27:  # OP_ADDIW
+                    R[ad] = ((((R[rb] + imv) & 0xFFFFFFFF)
+                                ^ 0x80000000) - 0x80000000) \
+                        & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 48:  # OP_BACKEDGE
+                    # Bank the finished iteration in locals; ``stats``
+                    # is only touched at syncs/exits (_fl drains).
+                    d = NT - fc
+                    bpd = BPT - bc
+                    mud = MUT - mc
+                    ti += d
+                    tcy += d * CPI + bpd + mud
+                    tb2 += bpd
+                    tmd += mud
+                    if ICH:
+                        tic += PQT - pf
+                    if dl or cl or il:
+                        _lf()
+                    if WARM and not warm:
+                        warm = _wchk()
+                    fc = 0
+                    bc = 0
+                    mc = 0
+                    pf = 0
+                    b -= NT
+                    if b < NT:
+                        _fl(ti, tcy, tb2, tmd, tic)
+                        if ch:
+                            dcache.hits += ch
+                        if dh:
+                            dtlb.hits += dh
+                            mmu_stats.translations += dh
+                        if warm:
+                            _irp(0)
+                        return HEAD
+                    if not dok:
+                        dok = core._dside_generation == gen
+                    i = 0
+                    continue
+
+                elif op == 33:  # OP_SRL
+                    R[ad] = R[rb] >> (R[rc] & 63)
+
+                elif op == 31:  # OP_XOR
+                    R[ad] = R[rb] ^ R[rc]
+
+                elif op == 28:  # OP_SUB
+                    R[ad] = (R[rb] - R[rc]) & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 30:  # OP_OR
+                    R[ad] = R[rb] | R[rc]
+
+                elif op == 8:   # OP_BLT
+                    c_ = (R[rb] ^ 0x8000000000000000) < \
+                        (R[rc] ^ 0x8000000000000000)
+                    if c_ != xv:
+                        core.region_side_exits += 1
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 1, TBP if c_ else 0, imv,
+                                   ch, dh, warm, fc, bc, mc, pf)
+
+                elif op == 9:   # OP_BGE
+                    c_ = (R[rb] ^ 0x8000000000000000) >= \
+                        (R[rc] ^ 0x8000000000000000)
+                    if c_ != xv:
+                        core.region_side_exits += 1
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 1, TBP if c_ else 0, imv,
+                                   ch, dh, warm, fc, bc, mc, pf)
+
+                elif op == 10:  # OP_BLTU
+                    c_ = R[rb] < R[rc]
+                    if c_ != xv:
+                        core.region_side_exits += 1
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 1, TBP if c_ else 0, imv,
+                                   ch, dh, warm, fc, bc, mc, pf)
+
+                elif op == 11:  # OP_BGEU
+                    c_ = R[rb] >= R[rc]
+                    if c_ != xv:
+                        core.region_side_exits += 1
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 1, TBP if c_ else 0, imv,
+                                   ch, dh, warm, fc, bc, mc, pf)
+
+                elif op == 12:  # OP_LD4S
+                    va = (R[rb] + imv) & 0xFFFFFFFFFFFFFFFF
+                    if va & 0xFFFFFFFFFFFFF003 == lvb:
+                        if lvp != ldp:
+                            dla(lvp)
+                            ldp = lvp
+                        dh += 1
+                        of = va & 0xFFF
+                        if use_dc:
+                            ln = (lpb | of) >> DSH
+                            if ln == lln:
+                                ch += 1
+                            else:
+                                wy = dsets[ln & DMK]
+                                if ln in wy:
+                                    cla(ln)
+                                    ch += 1
+                                else:
+                                    _dmiss(ln, wy)
+                                lln = ln
+                        w_ = (mql[of >> 3] >> ((of & 4) << 3)) \
+                            & 0xFFFFFFFF
+                        v = ((w_ ^ 0x80000000) - 0x80000000) \
+                            & 0xFFFFFFFFFFFFFFFF
+                    else:
+                        v = _S
+                        if va & 0xFFFFFFFFFFFFF003 == SGB[i] \
+                                and SEP[i] == ep:
+                            lvb, lpb, mql, fbl = SPT[i]
+                            lvp = SVP[i]
+                            if lvp != ldp:
+                                dla(lvp)
+                                ldp = lvp
+                            dh += 1
+                            of = va & 0xFFF
+                            if use_dc:
+                                ln = (lpb | of) >> DSH
+                                if ln == lln:
+                                    ch += 1
+                                else:
+                                    wy = dsets[ln & DMK]
+                                    if ln in wy:
+                                        cla(ln)
+                                        ch += 1
+                                    else:
+                                        _dmiss(ln, wy)
+                                    lln = ln
+                            w_ = (mql[of >> 3] >> ((of & 4) << 3)) \
+                                & 0xFFFFFFFF
+                            v = ((w_ ^ 0x80000000) - 0x80000000) \
+                                & 0xFFFFFFFFFFFFFFFF
+                        elif not va & 3 and dok:
+                            vp = va >> 12
+                            t = _lfl(vp, um)
+                            if t is not None:
+                                if vp != ldp:
+                                    dla(vp)
+                                    ldp = vp
+                                dh += 1
+                                if t is False:
+                                    if ti:
+                                        _fl(ti, tcy, tb2, tmd, tic)
+                                        ti = tcy = tb2 = tmd = tic = 0
+                                    fc, bc, mc, pf, ip = \
+                                        _sy(i, fc, bc, mc, pf)
+                                    raise Trap(LPF, PCA[i], tval=va)
+                                lvb, lpb, mql, fbl = t
+                                lvp = vp
+                                SGB[i] = lvb
+                                SPT[i] = t
+                                SVP[i] = vp
+                                SEP[i] = ep
+                                of = va & 0xFFF
+                                if use_dc:
+                                    ln = (lpb | of) >> DSH
+                                    if ln == lln:
+                                        ch += 1
+                                    else:
+                                        wy = dsets[ln & DMK]
+                                        if ln in wy:
+                                            cla(ln)
+                                            ch += 1
+                                        else:
+                                            _dmiss(ln, wy)
+                                        lln = ln
+                                w_ = (mql[of >> 3] >> ((of & 4) << 3)) \
+                                    & 0xFFFFFFFF
+                                v = ((w_ ^ 0x80000000) - 0x80000000) \
+                                    & 0xFFFFFFFFFFFFFFFF
+                        if v is _S:
+                            if ti:
+                                _fl(ti, tcy, tb2, tmd, tic)
+                                ti = tcy = tb2 = tmd = tic = 0
+                            fc, bc, mc, pf, ip = _sy(i, fc, bc, mc, pf)
+                            lvb = svb = ldp = lln = -1
+                            ep = EPB[0] = ep + 1
+                            v = load(va, 4, True)
+                    if ad:
+                        R[ad] = v
+
+                elif op == 13:  # OP_LD1U
+                    va = (R[rb] + imv) & 0xFFFFFFFFFFFFFFFF
+                    if va & 0xFFFFFFFFFFFFF000 == lvb:
+                        if lvp != ldp:
+                            dla(lvp)
+                            ldp = lvp
+                        dh += 1
+                        of = va & 0xFFF
+                        if use_dc:
+                            ln = (lpb | of) >> DSH
+                            if ln == lln:
+                                ch += 1
+                            else:
+                                wy = dsets[ln & DMK]
+                                if ln in wy:
+                                    cla(ln)
+                                    ch += 1
+                                else:
+                                    _dmiss(ln, wy)
+                                lln = ln
+                        v = fbl[of]
+                    else:
+                        v = _S
+                        if va & 0xFFFFFFFFFFFFF000 == SGB[i] \
+                                and SEP[i] == ep:
+                            lvb, lpb, mql, fbl = SPT[i]
+                            lvp = SVP[i]
+                            if lvp != ldp:
+                                dla(lvp)
+                                ldp = lvp
+                            dh += 1
+                            of = va & 0xFFF
+                            if use_dc:
+                                ln = (lpb | of) >> DSH
+                                if ln == lln:
+                                    ch += 1
+                                else:
+                                    wy = dsets[ln & DMK]
+                                    if ln in wy:
+                                        cla(ln)
+                                        ch += 1
+                                    else:
+                                        _dmiss(ln, wy)
+                                    lln = ln
+                            v = fbl[of]
+                        elif dok:
+                            vp = va >> 12
+                            t = _lfl(vp, um)
+                            if t is not None:
+                                if vp != ldp:
+                                    dla(vp)
+                                    ldp = vp
+                                dh += 1
+                                if t is False:
+                                    if ti:
+                                        _fl(ti, tcy, tb2, tmd, tic)
+                                        ti = tcy = tb2 = tmd = tic = 0
+                                    fc, bc, mc, pf, ip = \
+                                        _sy(i, fc, bc, mc, pf)
+                                    raise Trap(LPF, PCA[i], tval=va)
+                                lvb, lpb, mql, fbl = t
+                                lvp = vp
+                                SGB[i] = lvb
+                                SPT[i] = t
+                                SVP[i] = vp
+                                SEP[i] = ep
+                                of = va & 0xFFF
+                                if use_dc:
+                                    ln = (lpb | of) >> DSH
+                                    if ln == lln:
+                                        ch += 1
+                                    else:
+                                        wy = dsets[ln & DMK]
+                                        if ln in wy:
+                                            cla(ln)
+                                            ch += 1
+                                        else:
+                                            _dmiss(ln, wy)
+                                        lln = ln
+                                v = fbl[of]
+                        if v is _S:
+                            if ti:
+                                _fl(ti, tcy, tb2, tmd, tic)
+                                ti = tcy = tb2 = tmd = tic = 0
+                            fc, bc, mc, pf, ip = _sy(i, fc, bc, mc, pf)
+                            lvb = svb = ldp = lln = -1
+                            ep = EPB[0] = ep + 1
+                            v = load(va, 1, False)
+                    if ad:
+                        R[ad] = v
+
+                elif op == 14:  # OP_LDW (generic sub-8)
+                    wd = rc & 0xFF
+                    va = (R[rb] + imv) & 0xFFFFFFFFFFFFFFFF
+                    if va & (0xFFFFFFFFFFFFF000 | (wd - 1)) == lvb:
+                        if lvp != ldp:
+                            dla(lvp)
+                            ldp = lvp
+                        dh += 1
+                        of = va & 0xFFF
+                        if use_dc:
+                            ln = (lpb | of) >> DSH
+                            if ln == lln:
+                                ch += 1
+                            else:
+                                wy = dsets[ln & DMK]
+                                if ln in wy:
+                                    cla(ln)
+                                    ch += 1
+                                else:
+                                    _dmiss(ln, wy)
+                                lln = ln
+                        w_ = (mql[of >> 3] >> ((of & 7) << 3)) \
+                            & ((1 << (wd << 3)) - 1)
+                        if rc >> 8:
+                            sb = 1 << ((wd << 3) - 1)
+                            w_ = ((w_ ^ sb) - sb) & 0xFFFFFFFFFFFFFFFF
+                        v = w_
+                    else:
+                        v = _S
+                        if va & (0xFFFFFFFFFFFFF000 | (wd - 1)) == SGB[i] \
+                                and SEP[i] == ep:
+                            lvb, lpb, mql, fbl = SPT[i]
+                            lvp = SVP[i]
+                            if lvp != ldp:
+                                dla(lvp)
+                                ldp = lvp
+                            dh += 1
+                            of = va & 0xFFF
+                            if use_dc:
+                                ln = (lpb | of) >> DSH
+                                if ln == lln:
+                                    ch += 1
+                                else:
+                                    wy = dsets[ln & DMK]
+                                    if ln in wy:
+                                        cla(ln)
+                                        ch += 1
+                                    else:
+                                        _dmiss(ln, wy)
+                                    lln = ln
+                            w_ = (mql[of >> 3] >> ((of & 7) << 3)) \
+                                & ((1 << (wd << 3)) - 1)
+                            if rc >> 8:
+                                sb = 1 << ((wd << 3) - 1)
+                                w_ = ((w_ ^ sb) - sb) \
+                                    & 0xFFFFFFFFFFFFFFFF
+                            v = w_
+                        elif not va & (wd - 1) and dok:
+                            vp = va >> 12
+                            t = _lfl(vp, um)
+                            if t is not None:
+                                if vp != ldp:
+                                    dla(vp)
+                                    ldp = vp
+                                dh += 1
+                                if t is False:
+                                    if ti:
+                                        _fl(ti, tcy, tb2, tmd, tic)
+                                        ti = tcy = tb2 = tmd = tic = 0
+                                    fc, bc, mc, pf, ip = \
+                                        _sy(i, fc, bc, mc, pf)
+                                    raise Trap(LPF, PCA[i], tval=va)
+                                lvb, lpb, mql, fbl = t
+                                lvp = vp
+                                SGB[i] = lvb
+                                SPT[i] = t
+                                SVP[i] = vp
+                                SEP[i] = ep
+                                of = va & 0xFFF
+                                if use_dc:
+                                    ln = (lpb | of) >> DSH
+                                    if ln == lln:
+                                        ch += 1
+                                    else:
+                                        wy = dsets[ln & DMK]
+                                        if ln in wy:
+                                            cla(ln)
+                                            ch += 1
+                                        else:
+                                            _dmiss(ln, wy)
+                                        lln = ln
+                                w_ = (mql[of >> 3] >> ((of & 7) << 3)) \
+                                    & ((1 << (wd << 3)) - 1)
+                                if rc >> 8:
+                                    sb = 1 << ((wd << 3) - 1)
+                                    w_ = ((w_ ^ sb) - sb) \
+                                        & 0xFFFFFFFFFFFFFFFF
+                                v = w_
+                        if v is _S:
+                            if ti:
+                                _fl(ti, tcy, tb2, tmd, tic)
+                                ti = tcy = tb2 = tmd = tic = 0
+                            fc, bc, mc, pf, ip = _sy(i, fc, bc, mc, pf)
+                            lvb = svb = ldp = lln = -1
+                            ep = EPB[0] = ep + 1
+                            v = load(va, wd, bool(rc >> 8))
+                    if ad:
+                        R[ad] = v
+
+                elif op == 15:  # OP_ST4
+                    va = (R[rb] + imv) & 0xFFFFFFFFFFFFFFFF
+                    if va & 0xFFFFFFFFFFFFF003 == svb:
+                        if svp != ldp:
+                            dla(svp)
+                            ldp = svp
+                        dh += 1
+                        of = va & 0xFFF
+                        if cframes and spp in cframes:
+                            core._flush_blocks()
+                        if use_dc:
+                            ln = (spb | of) >> DSH
+                            if ln == lln:
+                                ch += 1
+                            else:
+                                wy = dsets[ln & DMK]
+                                if ln in wy:
+                                    cla(ln)
+                                    ch += 1
+                                else:
+                                    _dmiss(ln, wy)
+                                lln = ln
+                        idx = of >> 3
+                        sh = (of & 4) << 3
+                        mqs[idx] = (mqs[idx]
+                                    & (0xFFFFFFFFFFFFFFFF
+                                       ^ (0xFFFFFFFF << sh))) \
+                            | ((R[rc] & 0xFFFFFFFF) << sh)
+                    else:
+                        ok = False
+                        if va & 0xFFFFFFFFFFFFF003 == SGB[i] \
+                                and SEP[i] == ep:
+                            svb, spb, spp, mqs, fbs = SPT[i]
+                            svp = SVP[i]
+                            if svp != ldp:
+                                dla(svp)
+                                ldp = svp
+                            dh += 1
+                            of = va & 0xFFF
+                            if cframes and spp in cframes:
+                                core._flush_blocks()
+                            if use_dc:
+                                ln = (spb | of) >> DSH
+                                if ln == lln:
+                                    ch += 1
+                                else:
+                                    wy = dsets[ln & DMK]
+                                    if ln in wy:
+                                        cla(ln)
+                                        ch += 1
+                                    else:
+                                        _dmiss(ln, wy)
+                                    lln = ln
+                            idx = of >> 3
+                            sh = (of & 4) << 3
+                            mqs[idx] = (mqs[idx]
+                                        & (0xFFFFFFFFFFFFFFFF
+                                           ^ (0xFFFFFFFF << sh))) \
+                                | ((R[rc] & 0xFFFFFFFF) << sh)
+                            ok = True
+                        elif not va & 3 and dok:
+                            vp = va >> 12
+                            t = _sfl(vp, um)
+                            if t is not None:
+                                if vp != ldp:
+                                    dla(vp)
+                                    ldp = vp
+                                dh += 1
+                                if t is False:
+                                    if ti:
+                                        _fl(ti, tcy, tb2, tmd, tic)
+                                        ti = tcy = tb2 = tmd = tic = 0
+                                    fc, bc, mc, pf, ip = \
+                                        _sy(i, fc, bc, mc, pf)
+                                    raise Trap(SPF, PCA[i], tval=va)
+                                svb, spb, spp, mqs, fbs = t
+                                svp = vp
+                                SGB[i] = svb
+                                SPT[i] = t
+                                SVP[i] = vp
+                                SEP[i] = ep
+                                of = va & 0xFFF
+                                if cframes and spp in cframes:
+                                    core._flush_blocks()
+                                if use_dc:
+                                    ln = (spb | of) >> DSH
+                                    if ln == lln:
+                                        ch += 1
+                                    else:
+                                        wy = dsets[ln & DMK]
+                                        if ln in wy:
+                                            cla(ln)
+                                            ch += 1
+                                        else:
+                                            _dmiss(ln, wy)
+                                        lln = ln
+                                idx = of >> 3
+                                sh = (of & 4) << 3
+                                mqs[idx] = (mqs[idx]
+                                            & (0xFFFFFFFFFFFFFFFF
+                                               ^ (0xFFFFFFFF << sh))) \
+                                    | ((R[rc] & 0xFFFFFFFF) << sh)
+                                ok = True
+                        if not ok:
+                            if ti:
+                                _fl(ti, tcy, tb2, tmd, tic)
+                                ti = tcy = tb2 = tmd = tic = 0
+                            fc, bc, mc, pf, ip = _sy(i, fc, bc, mc, pf)
+                            lvb = svb = ldp = lln = -1
+                            ep = EPB[0] = ep + 1
+                            store(va, 4, R[rc])
+                    if core._block_abort:
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 1, 0, xv, ch, dh, warm,
+                                   fc, bc, mc, pf)
+
+                elif op == 16:  # OP_ST1
+                    va = (R[rb] + imv) & 0xFFFFFFFFFFFFFFFF
+                    if va & 0xFFFFFFFFFFFFF000 == svb:
+                        if svp != ldp:
+                            dla(svp)
+                            ldp = svp
+                        dh += 1
+                        of = va & 0xFFF
+                        if cframes and spp in cframes:
+                            core._flush_blocks()
+                        if use_dc:
+                            ln = (spb | of) >> DSH
+                            if ln == lln:
+                                ch += 1
+                            else:
+                                wy = dsets[ln & DMK]
+                                if ln in wy:
+                                    cla(ln)
+                                    ch += 1
+                                else:
+                                    _dmiss(ln, wy)
+                                lln = ln
+                        fbs[of] = R[rc] & 0xFF
+                    else:
+                        ok = False
+                        if va & 0xFFFFFFFFFFFFF000 == SGB[i] \
+                                and SEP[i] == ep:
+                            svb, spb, spp, mqs, fbs = SPT[i]
+                            svp = SVP[i]
+                            if svp != ldp:
+                                dla(svp)
+                                ldp = svp
+                            dh += 1
+                            of = va & 0xFFF
+                            if cframes and spp in cframes:
+                                core._flush_blocks()
+                            if use_dc:
+                                ln = (spb | of) >> DSH
+                                if ln == lln:
+                                    ch += 1
+                                else:
+                                    wy = dsets[ln & DMK]
+                                    if ln in wy:
+                                        cla(ln)
+                                        ch += 1
+                                    else:
+                                        _dmiss(ln, wy)
+                                    lln = ln
+                            fbs[of] = R[rc] & 0xFF
+                            ok = True
+                        elif dok:
+                            vp = va >> 12
+                            t = _sfl(vp, um)
+                            if t is not None:
+                                if vp != ldp:
+                                    dla(vp)
+                                    ldp = vp
+                                dh += 1
+                                if t is False:
+                                    if ti:
+                                        _fl(ti, tcy, tb2, tmd, tic)
+                                        ti = tcy = tb2 = tmd = tic = 0
+                                    fc, bc, mc, pf, ip = \
+                                        _sy(i, fc, bc, mc, pf)
+                                    raise Trap(SPF, PCA[i], tval=va)
+                                svb, spb, spp, mqs, fbs = t
+                                svp = vp
+                                SGB[i] = svb
+                                SPT[i] = t
+                                SVP[i] = vp
+                                SEP[i] = ep
+                                of = va & 0xFFF
+                                if cframes and spp in cframes:
+                                    core._flush_blocks()
+                                if use_dc:
+                                    ln = (spb | of) >> DSH
+                                    if ln == lln:
+                                        ch += 1
+                                    else:
+                                        wy = dsets[ln & DMK]
+                                        if ln in wy:
+                                            cla(ln)
+                                            ch += 1
+                                        else:
+                                            _dmiss(ln, wy)
+                                        lln = ln
+                                fbs[of] = R[rc] & 0xFF
+                                ok = True
+                        if not ok:
+                            if ti:
+                                _fl(ti, tcy, tb2, tmd, tic)
+                                ti = tcy = tb2 = tmd = tic = 0
+                            fc, bc, mc, pf, ip = _sy(i, fc, bc, mc, pf)
+                            lvb = svb = ldp = lln = -1
+                            ep = EPB[0] = ep + 1
+                            store(va, 1, R[rc])
+                    if core._block_abort:
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 1, 0, xv, ch, dh, warm,
+                                   fc, bc, mc, pf)
+
+                elif op == 17:  # OP_STW (generic sub-8)
+                    wd = ad
+                    va = (R[rb] + imv) & 0xFFFFFFFFFFFFFFFF
+                    if va & (0xFFFFFFFFFFFFF000 | (wd - 1)) == svb:
+                        if svp != ldp:
+                            dla(svp)
+                            ldp = svp
+                        dh += 1
+                        of = va & 0xFFF
+                        if cframes and spp in cframes:
+                            core._flush_blocks()
+                        if use_dc:
+                            ln = (spb | of) >> DSH
+                            if ln == lln:
+                                ch += 1
+                            else:
+                                wy = dsets[ln & DMK]
+                                if ln in wy:
+                                    cla(ln)
+                                    ch += 1
+                                else:
+                                    _dmiss(ln, wy)
+                                lln = ln
+                        idx = of >> 3
+                        sh = (of & 7) << 3
+                        wm = (1 << (wd << 3)) - 1
+                        mqs[idx] = (mqs[idx]
+                                    & (0xFFFFFFFFFFFFFFFF
+                                       ^ (wm << sh))) \
+                            | ((R[rc] & wm) << sh)
+                    else:
+                        ok = False
+                        if va & (0xFFFFFFFFFFFFF000 | (wd - 1)) == SGB[i] \
+                                and SEP[i] == ep:
+                            svb, spb, spp, mqs, fbs = SPT[i]
+                            svp = SVP[i]
+                            if svp != ldp:
+                                dla(svp)
+                                ldp = svp
+                            dh += 1
+                            of = va & 0xFFF
+                            if cframes and spp in cframes:
+                                core._flush_blocks()
+                            if use_dc:
+                                ln = (spb | of) >> DSH
+                                if ln == lln:
+                                    ch += 1
+                                else:
+                                    wy = dsets[ln & DMK]
+                                    if ln in wy:
+                                        cla(ln)
+                                        ch += 1
+                                    else:
+                                        _dmiss(ln, wy)
+                                    lln = ln
+                            idx = of >> 3
+                            sh = (of & 7) << 3
+                            wm = (1 << (wd << 3)) - 1
+                            mqs[idx] = (mqs[idx]
+                                        & (0xFFFFFFFFFFFFFFFF
+                                           ^ (wm << sh))) \
+                                | ((R[rc] & wm) << sh)
+                            ok = True
+                        elif not va & (wd - 1) and dok:
+                            vp = va >> 12
+                            t = _sfl(vp, um)
+                            if t is not None:
+                                if vp != ldp:
+                                    dla(vp)
+                                    ldp = vp
+                                dh += 1
+                                if t is False:
+                                    if ti:
+                                        _fl(ti, tcy, tb2, tmd, tic)
+                                        ti = tcy = tb2 = tmd = tic = 0
+                                    fc, bc, mc, pf, ip = \
+                                        _sy(i, fc, bc, mc, pf)
+                                    raise Trap(SPF, PCA[i], tval=va)
+                                svb, spb, spp, mqs, fbs = t
+                                svp = vp
+                                SGB[i] = svb
+                                SPT[i] = t
+                                SVP[i] = vp
+                                SEP[i] = ep
+                                of = va & 0xFFF
+                                if cframes and spp in cframes:
+                                    core._flush_blocks()
+                                if use_dc:
+                                    ln = (spb | of) >> DSH
+                                    if ln == lln:
+                                        ch += 1
+                                    else:
+                                        wy = dsets[ln & DMK]
+                                        if ln in wy:
+                                            cla(ln)
+                                            ch += 1
+                                        else:
+                                            _dmiss(ln, wy)
+                                        lln = ln
+                                idx = of >> 3
+                                sh = (of & 7) << 3
+                                wm = (1 << (wd << 3)) - 1
+                                mqs[idx] = (mqs[idx]
+                                            & (0xFFFFFFFFFFFFFFFF
+                                               ^ (wm << sh))) \
+                                    | ((R[rc] & wm) << sh)
+                                ok = True
+                        if not ok:
+                            if ti:
+                                _fl(ti, tcy, tb2, tmd, tic)
+                                ti = tcy = tb2 = tmd = tic = 0
+                            fc, bc, mc, pf, ip = _sy(i, fc, bc, mc, pf)
+                            lvb = svb = ldp = lln = -1
+                            ep = EPB[0] = ep + 1
+                            store(va, wd, R[rc])
+                    if core._block_abort:
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 1, 0, xv, ch, dh, warm,
+                                   fc, bc, mc, pf)
+
+                elif op == 19:  # OP_ANDI
+                    R[ad] = R[rb] & imv
+
+                elif op == 20:  # OP_ORI
+                    R[ad] = R[rb] | imv
+
+                elif op == 21:  # OP_XORI
+                    R[ad] = R[rb] ^ imv
+
+                elif op == 22:  # OP_SLLI
+                    R[ad] = (R[rb] << imv) & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 23:  # OP_SRLI
+                    R[ad] = R[rb] >> imv
+
+                elif op == 24:  # OP_SRAI
+                    R[ad] = (((R[rb] ^ 0x8000000000000000)
+                                - 0x8000000000000000) >> imv) \
+                        & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 25:  # OP_SLTI (IM pre-xored with H63)
+                    R[ad] = 1 if (R[rb] ^ 0x8000000000000000) \
+                        < imv else 0
+
+                elif op == 26:  # OP_SLTIU
+                    R[ad] = 1 if R[rb] < imv else 0
+
+                elif op == 34:  # OP_SRA
+                    R[ad] = (((R[rb] ^ 0x8000000000000000)
+                                - 0x8000000000000000)
+                               >> (R[rc] & 63)) & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 35:  # OP_SLT
+                    R[ad] = 1 if (R[rb] ^ 0x8000000000000000) \
+                        < (R[rc] ^ 0x8000000000000000) else 0
+
+                elif op == 36:  # OP_SLTU
+                    R[ad] = 1 if R[rb] < R[rc] else 0
+
+                elif op == 37:  # OP_ADDW
+                    R[ad] = ((((R[rb] + R[rc]) & 0xFFFFFFFF)
+                                ^ 0x80000000) - 0x80000000) \
+                        & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 38:  # OP_SUBW
+                    R[ad] = ((((R[rb] - R[rc]) & 0xFFFFFFFF)
+                                ^ 0x80000000) - 0x80000000) \
+                        & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 39:  # OP_MUL (latency rides MU static)
+                    R[ad] = (R[rb] * R[rc]) & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 40:  # OP_MULW
+                    R[ad] = ((((R[rb] * R[rc]) & 0xFFFFFFFF)
+                                ^ 0x80000000) - 0x80000000) \
+                        & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 41:  # OP_SLLIW
+                    R[ad] = ((((R[rb] << imv) & 0xFFFFFFFF)
+                                ^ 0x80000000) - 0x80000000) \
+                        & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 42:  # OP_SRLIW
+                    R[ad] = (((((R[rb] & 0xFFFFFFFF) >> imv)
+                                 & 0xFFFFFFFF) ^ 0x80000000)
+                               - 0x80000000) & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 43:  # OP_SRAIW
+                    R[ad] = ((((((R[rb] & 0xFFFFFFFF) ^ 0x80000000)
+                                  - 0x80000000) >> imv) & 0xFFFFFFFF
+                                 ^ 0x80000000) - 0x80000000) \
+                        & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 44:  # OP_SLLW
+                    R[ad] = ((((R[rb] << (R[rc] & 31))
+                                 & 0xFFFFFFFF) ^ 0x80000000)
+                               - 0x80000000) & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 45:  # OP_SRLW
+                    R[ad] = (((((R[rb] & 0xFFFFFFFF)
+                                  >> (R[rc] & 31)) & 0xFFFFFFFF)
+                                ^ 0x80000000) - 0x80000000) \
+                        & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 46:  # OP_SRAW
+                    R[ad] = ((((((R[rb] & 0xFFFFFFFF) ^ 0x80000000)
+                                  - 0x80000000) >> (R[rc] & 31))
+                                 & 0xFFFFFFFF ^ 0x80000000)
+                                - 0x80000000) & 0xFFFFFFFFFFFFFFFF
+
+                elif op == 47:  # OP_JAL (mid; penalty is static)
+                    R[ad] = imv
+
+                elif op == 49:  # OP_MEMCHK
+                    if imv not in fpages:
+                        core.region_side_exits += 1
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 0, 0, xv, ch, dh, warm,
+                                   fc, bc, mc, pf)
+
+                elif op == 50:  # OP_HEADCHK
+                    if imv not in fpages:
+                        core.region_side_exits += 1
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 0, 0, xv, ch, dh, warm,
+                                   fc, bc, mc, pf)
+
+                elif op == 51:  # OP_ROLOAD — never cached (DESIGN.md 8)
+                    if ti:
+                        _fl(ti, tcy, tb2, tmd, tic)
+                        ti = tcy = tb2 = tmd = tic = 0
+                    fc, bc, mc, pf, ip = _sy(i, fc, bc, mc, pf)
+                    v = load(R[rb], rc, xv, "read_ro", imv)
+                    if ad:
+                        R[ad] = v
+                    lvb = svb = ldp = lln = -1
+                    ep = EPB[0] = ep + 1
+
+                elif op == 52:  # OP_GEN
+                    if ti:
+                        _fl(ti, tcy, tb2, tmd, tic)
+                        ti = tcy = tb2 = tmd = tic = 0
+                    fc, bc, mc, pf, ip = _sy(i, fc, bc, mc, pf)
+                    h_, i_ = GH[ad]
+                    h_(core, i_, PCA[i])
+                    if dside:
+                        um = not mmu.user_mode
+                    lvb = svb = ldp = lln = -1
+                    ep = EPB[0] = ep + 1
+                    if core._block_abort:
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 1, 0, xv, ch, dh, warm,
+                                   fc, bc, mc, pf)
+
+                elif op == 53:  # OP_LD_EAGER (no D-side fast path)
+                    if ti:
+                        _fl(ti, tcy, tb2, tmd, tic)
+                        ti = tcy = tb2 = tmd = tic = 0
+                    fc, bc, mc, pf, ip = _sy(i, fc, bc, mc, pf)
+                    v = load((R[rb] + imv) & 0xFFFFFFFFFFFFFFFF,
+                             rc, xv)
+                    if ad:
+                        R[ad] = v
+
+                elif op == 54:  # OP_ST_EAGER
+                    if ti:
+                        _fl(ti, tcy, tb2, tmd, tic)
+                        ti = tcy = tb2 = tmd = tic = 0
+                    fc, bc, mc, pf, ip = _sy(i, fc, bc, mc, pf)
+                    store((R[rb] + imv) & 0xFFFFFFFFFFFFFFFF,
+                          ad, R[rc])
+                    if core._block_abort:
+                        if ti:
+                            _fl(ti, tcy, tb2, tmd, tic)
+                        return _xt(i, 1, 0, xv, ch, dh, warm,
+                                   fc, bc, mc, pf)
+
+                elif op == 55:  # OP_RET
+                    if ti:
+                        _fl(ti, tcy, tb2, tmd, tic)
+                    return _xt(i, 0, 0, xv, ch, dh, warm,
+                               fc, bc, mc, pf)
+
+                elif op == 56:  # OP_BR_F
+                    cc2 = ad
+                    x_ = R[rb]
+                    y_ = R[rc]
+                    if cc2 == 0:
+                        c_ = x_ == y_
+                    elif cc2 == 1:
+                        c_ = x_ != y_
+                    elif cc2 == 2:
+                        c_ = (x_ ^ 0x8000000000000000) \
+                            < (y_ ^ 0x8000000000000000)
+                    elif cc2 == 3:
+                        c_ = (x_ ^ 0x8000000000000000) \
+                            >= (y_ ^ 0x8000000000000000)
+                    elif cc2 == 4:
+                        c_ = x_ < y_
+                    else:
+                        c_ = x_ >= y_
+                    if ti:
+                        _fl(ti, tcy, tb2, tmd, tic)
+                    return _xt(i, 1, TBP if c_ else 0,
+                               imv if c_ else xv,
+                               ch, dh, warm, fc, bc, mc, pf)
+
+                elif op == 57:  # OP_JAL_F
+                    if ad:
+                        R[ad] = xv
+                    if ti:
+                        _fl(ti, tcy, tb2, tmd, tic)
+                    return _xt(i, 1, JP, imv, ch, dh, warm,
+                               fc, bc, mc, pf)
+
+                elif op == 58:  # OP_JALR_F
+                    t = (R[rb] + imv) & 0xFFFFFFFFFFFFFFFE
+                    if ad:
+                        R[ad] = xv
+                    if ti:
+                        _fl(ti, tcy, tb2, tmd, tic)
+                    return _xt(i, 1, JP, t, ch, dh, warm,
+                               fc, bc, mc, pf)
+
+                else:           # OP_GEN_F (59)
+                    if ti:
+                        _fl(ti, tcy, tb2, tmd, tic)
+                        ti = tcy = tb2 = tmd = tic = 0
+                    fc, bc, mc, pf, ip = _sy(i, fc, bc, mc, pf)
+                    h_, i_ = GH[ad]
+                    res = h_(core, i_, PCA[i])
+                    stats.instructions += 1
+                    stats.cycles += CPI
+                    if ch:
+                        dcache.hits += ch
+                    if dh:
+                        dtlb.hits += dh
+                        mmu_stats.translations += dh
+                    _lf()
+                    return xv if res is None else res
+
+                i += 1
+        except BaseException:
+            # Counters were synced at the raising site (which stamped
+            # ``ip``); the register file is already current (written
+            # in place). Drain the deferred hits and any banked
+            # iterations, replay the LRU lists, and replay the warm
+            # I-side permutation.
+            if ti:
+                _fl(ti, tcy, tb2, tmd, tic)
+            if ch:
+                dcache.hits += ch
+            if dh:
+                dtlb.hits += dh
+                mmu_stats.translations += dh
+            _lf()
+            if warm:
+                _irp(ip)
+            raise
+
+    return _run

@@ -113,6 +113,7 @@ class Region:
     __slots__ = ("fn", "n", "vpn", "start_pc", "pcs", "loop", "spans")
 
     region = True   # dispatch discriminator (JITBlock.region is False)
+    tier4 = False   # backend discriminator (FlatRegion.tier4 is True)
 
     def __init__(self, fn, n, vpn, start_pc, pcs, loop, spans):
         self.fn = fn            # (budget) -> next pc

@@ -4,25 +4,34 @@
                  [--variants base,vcall,...] [--no-compare] [--out PATH]
                  [--check-against BASELINE [--tolerance T] [--report-only]]
                  [--trace-out TRACE.json] [--metrics-out METRICS.json]
+                 [--profile]
 
 Times a fixed workload sweep end to end (generate + compile + simulate)
 and reports simulator throughput in sim-MIPS (millions of simulated
-instructions per wall-clock second). By default it runs the sweep four
+instructions per wall-clock second). By default it runs the sweep five
 times — once per interpreter tier:
 
     slow   REPRO_FASTPATH=0             the seed configuration, serial
     tier1  REPRO_FASTPATH=1 REPRO_JIT=0 block replay (PR 1)
     tier2  REPRO_FASTPATH=1 REPRO_JIT=1 REPRO_TIER3=0 trace compiler (§9)
     tier3  REPRO_FASTPATH=1 REPRO_JIT=1 REPRO_TIER3=1 region compiler (§12)
+    tier4  ... REPRO_TIER4=1            flat-core backend (§13)
 
-and records all four, plus the pairwise speedups, in a
-``BENCH_interp.json`` record (schema_version 4) so the performance
+and records all five, plus the pairwise speedups, in a
+``BENCH_interp.json`` record (schema_version 5) so the performance
 trajectory of the interpreter is tracked PR over PR. Schema v3 added a
 per-tier ``residency`` section: which interpreter tier retired the
 instructions, compile time, and invalidation causes (DESIGN.md §10).
-Schema v4 adds the tier-3 sweep (region counters in ``residency``) and
-fixes the host metadata to record the real ``os.cpu_count()`` plus the
-effective worker count (older records always said ``cpu_count: 1``).
+Schema v4 added the tier-3 sweep (region counters in ``residency``) and
+fixed the host metadata to record the real ``os.cpu_count()`` plus the
+effective worker count. Schema v5 adds the tier-4 flat-core sweep
+(``tier4_retired``/``flat_regions_compiled`` in ``residency``) and the
+``tier4_over_tier3``/``tier4_over_slow`` speedups.
+
+``--profile`` wraps the top-tier sweep in :mod:`cProfile` and writes a
+pstats artifact next to the JSON record (``<out>.pstats``) so a perf
+regression caught by the gate comes with the profile that explains it.
+Profiling captures in-process frames only, so it forces ``--jobs 1``.
 
 ``--trace-out``/``--metrics-out`` enable the observability layer for
 the sweep and export a Chrome trace-event JSON (opens in Perfetto) and
@@ -34,15 +43,17 @@ instructions, exit codes, miss rates): a perf record produced by a run
 that changed architecture is worthless.
 
 ``--check-against`` turns the tool into a regression gate: it re-runs a
-tier-3-only sweep with the baseline record's parameters and fails (exit
+tier-4-only sweep with the baseline record's parameters and fails (exit
 1) when throughput drops more than ``--tolerance`` (default 15%) below
-the recorded value. ``--report-only`` prints the verdict but always
+the recorded value (older v3/v4 baselines gate against their recorded
+tier-3 number). ``--report-only`` prints the verdict but always
 exits 0 — for CI legs on shared, noisy runners.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import platform
@@ -56,7 +67,7 @@ from repro.eval.measure import resolve_jobs, run_benchmarks
 from repro.tools.cli import (add_config_flag, add_obs_flags, config_scope,
                              obs_requested, write_obs_outputs)
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 # A small, representative slice of the Figure 4/5 sweep: two C integer
 # workloads and two C++ (virtual-call-heavy) ones.
@@ -73,6 +84,24 @@ DEFAULT_SCALE = 8.0
 SMOKE_SCALE = 0.05
 
 DEFAULT_TOLERANCE = 0.15
+
+
+@contextlib.contextmanager
+def _profiled(profiler):
+    """Enable a cProfile.Profile around a sweep (no-op when None)."""
+    if profiler is None:
+        yield
+        return
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+
+
+def profile_path(out: Path) -> Path:
+    """The pstats artifact written next to the JSON record."""
+    return out.with_suffix(".pstats")
 
 # Tier name -> config field overrides (repro.config.TIERS). The slow
 # tier is always serial; it is the seed configuration the whole
@@ -96,17 +125,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: REPRO_JOBS or 4)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sweep for CI sanity: one benchmark, "
-                             "base only, tier 3 only (writes a JSON record "
+                             "base only, tier 4 only (writes a JSON record "
                              "only if --out is given explicitly)")
     parser.add_argument("--no-compare", action="store_true",
-                        help="run only the tier-3 configuration (skip the "
-                             "tier-2/tier-1/seed-equivalent references)")
+                        help="run only the tier-4 configuration (skip the "
+                             "tier-3/tier-2/tier-1/seed references)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the top-tier sweep with cProfile and "
+                             "write <out>.pstats (forces --jobs 1)")
     parser.add_argument("--out", type=Path, default=None,
                         help="where to write the JSON record "
                              "(default BENCH_interp.json)")
     parser.add_argument("--check-against", type=Path, default=None,
                         metavar="BASELINE",
-                        help="regression-gate mode: compare a fresh tier-3 "
+                        help="regression-gate mode: compare a fresh tier-4 "
                              "sweep against this recorded BENCH_interp.json")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed fractional sim-MIPS drop in gate mode "
@@ -140,9 +172,10 @@ def host_info(jobs: "int | None" = None) -> dict:
 def aggregate_residency(runs) -> dict:
     """Sum the per-measurement tier-residency profiles of a sweep."""
     total = {"retired": 0, "tier0_retired": 0, "tier1_retired": 0,
-             "tier2_retired": 0, "tier3_retired": 0, "jit_compiled": 0,
-             "jit_flushes": 0, "jit_compile_seconds": 0.0,
-             "regions_compiled": 0, "region_side_exits": 0,
+             "tier2_retired": 0, "tier3_retired": 0, "tier4_retired": 0,
+             "jit_compiled": 0, "jit_flushes": 0,
+             "jit_compile_seconds": 0.0, "regions_compiled": 0,
+             "flat_regions_compiled": 0, "region_side_exits": 0,
              "region_compile_seconds": 0.0, "flush_causes": {}}
     for run in runs.values():
         for m in run.measurements.values():
@@ -150,9 +183,9 @@ def aggregate_residency(runs) -> dict:
             if not residency:
                 continue
             for key in ("retired", "tier0_retired", "tier1_retired",
-                        "tier2_retired", "tier3_retired", "jit_compiled",
-                        "jit_flushes", "regions_compiled",
-                        "region_side_exits"):
+                        "tier2_retired", "tier3_retired", "tier4_retired",
+                        "jit_compiled", "jit_flushes", "regions_compiled",
+                        "flat_regions_compiled", "region_side_exits"):
                 total[key] += residency.get(key, 0)
             for key in ("jit_compile_seconds", "region_compile_seconds"):
                 total[key] += residency.get(key, 0.0)
@@ -162,7 +195,7 @@ def aggregate_residency(runs) -> dict:
     for key in ("jit_compile_seconds", "region_compile_seconds"):
         total[key] = round(total[key], 6)
     if total["retired"]:
-        for tier in ("tier0", "tier1", "tier2", "tier3"):
+        for tier in ("tier0", "tier1", "tier2", "tier3", "tier4"):
             total[f"{tier}_frac"] = round(
                 total[f"{tier}_retired"] / total["retired"], 6)
     return total
@@ -173,7 +206,7 @@ def format_residency(residency: dict) -> str:
     if not retired:
         return "residency: no instructions retired"
     parts = [f"{tier} {100.0 * residency.get(f'{tier}_frac', 0.0):.1f}%"
-             for tier in ("tier3", "tier2", "tier1", "tier0")]
+             for tier in ("tier4", "tier3", "tier2", "tier1", "tier0")]
     return (f"residency: {' / '.join(parts)} of {retired:,d} retired "
             f"({residency.get('jit_compiled', 0)} blocks compiled in "
             f"{residency.get('jit_compile_seconds', 0.0):.3f}s, "
@@ -208,6 +241,7 @@ def _run_sweep(benchmarks, variants, scale, *, tier: str, jobs: int):
         "fast_path": tier_config.fast_path,
         "jit": tier_config.jit,
         "tier3": tier_config.tier3,
+        "tier4": tier_config.tier4,
         "jobs": jobs,
         "wall_seconds": round(elapsed, 3),
         "sim_seconds": round(sim_seconds, 3),
@@ -231,7 +265,7 @@ def _run_sweep(benchmarks, variants, scale, *, tier: str, jobs: int):
 
 def build_record(benchmarks, variants, scale, tiers: dict,
                  jobs: "int | None" = None) -> dict:
-    """Assemble the schema-v4 BENCH_interp.json record from tier sweeps."""
+    """Assemble the schema-v5 BENCH_interp.json record from tier sweeps."""
     record = {
         "schema_version": SCHEMA_VERSION,
         "tool": "roload-bench",
@@ -250,7 +284,9 @@ def build_record(benchmarks, variants, scale, tiers: dict,
                           ("tier2", "slow", "tier2_over_slow"),
                           ("tier3", "tier2", "tier3_over_tier2"),
                           ("tier3", "tier1", "tier3_over_tier1"),
-                          ("tier3", "slow", "tier3_over_slow")):
+                          ("tier3", "slow", "tier3_over_slow"),
+                          ("tier4", "tier3", "tier4_over_tier3"),
+                          ("tier4", "slow", "tier4_over_slow")):
         if num in tiers and den in tiers and seconds(tiers[num]):
             speedup[key] = round(seconds(tiers[den]) / seconds(tiers[num]), 2)
     if speedup:
@@ -259,11 +295,11 @@ def build_record(benchmarks, variants, scale, tiers: dict,
 
 
 def baseline_mips(record: dict) -> float:
-    """Reference sim-MIPS of a recorded run; understands the v4 schema
-    (``tiers.tier3``) down through the PR 1 v1 schema (``fast``)."""
+    """Reference sim-MIPS of a recorded run; understands the v5 schema
+    (``tiers.tier4``) down through the PR 1 v1 schema (``fast``)."""
     if "tiers" in record:
         tiers = record["tiers"]
-        for tier in ("tier3", "tier2", "tier1", "slow"):
+        for tier in ("tier4", "tier3", "tier2", "tier1", "slow"):
             if tier in tiers:
                 return float(tiers[tier]["sim_mips"])
         raise ReproError("baseline record has an empty 'tiers' table")
@@ -282,7 +318,7 @@ def evaluate_gate(current_mips: float, baseline: dict,
     return current_mips >= floor, reference, floor
 
 
-def _run_gate(args, benchmarks, variants, jobs) -> int:
+def _run_gate(args, benchmarks, variants, jobs, profiler=None) -> int:
     baseline = json.loads(args.check_against.read_text())
     # Compare like with like: reuse the baseline's sweep parameters
     # unless overridden on the command line.
@@ -292,7 +328,9 @@ def _run_gate(args, benchmarks, variants, jobs) -> int:
         benchmarks = tuple(baseline["benchmarks"])
     if "variants" in baseline:
         variants = tuple(baseline["variants"])
-    sweep = _run_sweep(benchmarks, variants, scale, tier="tier3", jobs=jobs)
+    with _profiled(profiler):
+        sweep = _run_sweep(benchmarks, variants, scale, tier="tier4",
+                           jobs=jobs)
     ok, reference, floor = evaluate_gate(sweep["sim_mips"], baseline,
                                          args.tolerance)
     verdict = "ok" if ok else "REGRESSION"
@@ -342,18 +380,38 @@ def _main(args) -> int:
                   "in-process; forcing --jobs 1")
             jobs = 1
 
+    profiler = None
+    if args.profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        if jobs != 1:
+            print("note: --profile captures in-process frames; "
+                  "forcing --jobs 1")
+            jobs = 1
+
+    out = args.out if args.out is not None else Path("BENCH_interp.json")
+
     if args.check_against is not None:
-        code = _run_gate(args, benchmarks, variants, jobs)
+        code = _run_gate(args, benchmarks, variants, jobs, profiler)
+        if profiler is not None:
+            profiler.dump_stats(profile_path(out))
+            print(f"[profile in {profile_path(out)}]")
         if observing:
             write_obs_outputs(args)
         return code
     tiers = {}
-    tiers["tier3"] = _run_sweep(benchmarks, variants, scale,
-                                tier="tier3", jobs=jobs)
-    print(f"tier3: {tiers['tier3']['wall_seconds']}s, "
-          f"{tiers['tier3']['sim_mips']} sim-MIPS (jobs={jobs})")
-    print(f"tier3 {format_residency(tiers['tier3']['residency'])}")
+    with _profiled(profiler):
+        tiers["tier4"] = _run_sweep(benchmarks, variants, scale,
+                                    tier="tier4", jobs=jobs)
+    print(f"tier4: {tiers['tier4']['wall_seconds']}s, "
+          f"{tiers['tier4']['sim_mips']} sim-MIPS (jobs={jobs})")
+    print(f"tier4 {format_residency(tiers['tier4']['residency'])}")
     if not (args.no_compare or args.smoke):
+        tiers["tier3"] = _run_sweep(benchmarks, variants, scale,
+                                    tier="tier3", jobs=jobs)
+        print(f"tier3: {tiers['tier3']['wall_seconds']}s, "
+              f"{tiers['tier3']['sim_mips']} sim-MIPS (jobs={jobs})")
+        print(f"tier3 {format_residency(tiers['tier3']['residency'])}")
         tiers["tier2"] = _run_sweep(benchmarks, variants, scale,
                                     tier="tier2", jobs=jobs)
         print(f"tier2: {tiers['tier2']['wall_seconds']}s, "
@@ -367,11 +425,11 @@ def _main(args) -> int:
         print(f"slow (seed-equivalent, serial): "
               f"{tiers['slow']['wall_seconds']}s, "
               f"{tiers['slow']['sim_mips']} sim-MIPS")
-        reference = tiers["tier3"]["measurements"]
-        for tier in ("tier2", "tier1", "slow"):
+        reference = tiers["tier4"]["measurements"]
+        for tier in ("tier3", "tier2", "tier1", "slow"):
             if tiers[tier]["measurements"] != reference:
                 raise ReproError(
-                    f"{tier} and tier3 sweeps disagree architecturally "
+                    f"{tier} and tier4 sweeps disagree architecturally "
                     f"— refusing to record a perf number for a broken "
                     f"simulator")
     record = build_record(benchmarks, variants, scale, tiers, jobs)
@@ -379,9 +437,11 @@ def _main(args) -> int:
         for key, value in record["speedup"].items():
             print(f"{key}: {value}x")
 
+    if profiler is not None:
+        profiler.dump_stats(profile_path(out))
+        print(f"[profile in {profile_path(out)}]")
     if observing:
         write_obs_outputs(args)
-    out = args.out if args.out is not None else Path("BENCH_interp.json")
     if args.smoke:
         # A smoke sweep is not a comparable perf reference; record it
         # only when the caller explicitly asked for an artifact.

@@ -2,14 +2,15 @@
 
     roload-stats summary FILE          # metrics JSON or events JSONL
     roload-stats trace EVENTS.jsonl -o TRACE.json
-    roload-stats validate TRACE.json
+    roload-stats validate FILE         # Chrome trace or bench record
 
 ``summary`` prints a human-readable digest of a metrics snapshot
 (``--metrics-out``) or a structured event dump (JSONL).  ``trace``
 converts a JSONL event dump into Chrome trace-event JSON that opens in
 Perfetto / chrome://tracing.  ``validate`` checks a trace file against
-the trace-event schema and exits 1 on any problem — the CI artifact
-check.
+the trace-event schema — or, when the file is a ``roload-bench``
+record, checks it against the bench record schema (versions 3 through
+5) — and exits 1 on any problem: the CI artifact check.
 """
 
 from __future__ import annotations
@@ -45,9 +46,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     validate = sub.add_parser(
         "validate", help="check a Chrome trace file against the "
-                         "trace-event schema")
+                         "trace-event schema, or a roload-bench record "
+                         "against the bench schema (v3-v5)")
     validate.add_argument("trace", type=Path)
     return parser
+
+
+# Bench record schema (see repro.tools.benchtool): versions the
+# validator accepts, and what each sweep/residency must carry. v5
+# added the tier-4 flat-core sweep; committed v3/v4 records must keep
+# validating so the gate can run against historical baselines.
+BENCH_SCHEMA_VERSIONS = (3, 4, 5)
+
+_SWEEP_REQUIRED = ("tier", "wall_seconds", "sim_mips",
+                   "instructions", "cycles", "residency")
+
+# The newest tier a record of each version is required to include
+# (full and smoke/gate records alike always sweep their top tier).
+_TOP_TIER = {3: "tier2", 4: "tier3", 5: "tier4"}
+
+
+def is_bench_record(data: dict) -> bool:
+    return isinstance(data, dict) and data.get("tool") == "roload-bench"
+
+
+def validate_bench_record(record: dict) -> "list[str]":
+    """Schema-check one BENCH_interp.json record; returns problems."""
+    problems = []
+    version = record.get("schema_version")
+    if version not in BENCH_SCHEMA_VERSIONS:
+        problems.append(
+            f"schema_version {version!r} not in "
+            f"{list(BENCH_SCHEMA_VERSIONS)}")
+        return problems
+    for key in ("scale", "benchmarks", "variants", "host", "tiers"):
+        if key not in record:
+            problems.append(f"missing top-level key {key!r}")
+    tiers = record.get("tiers")
+    if not isinstance(tiers, dict) or not tiers:
+        problems.append("'tiers' must be a non-empty object")
+        return problems
+    top = _TOP_TIER[version]
+    if top not in tiers:
+        problems.append(f"schema v{version} record lacks the "
+                        f"{top!r} sweep")
+    for name, sweep in tiers.items():
+        for key in _SWEEP_REQUIRED:
+            if key not in sweep:
+                problems.append(f"tiers.{name}: missing {key!r}")
+        residency = sweep.get("residency", {})
+        if "retired" not in residency:
+            problems.append(f"tiers.{name}.residency: missing 'retired'")
+        if version >= 5:
+            for key in ("tier4_retired", "flat_regions_compiled"):
+                if key not in residency:
+                    problems.append(
+                        f"tiers.{name}.residency: missing {key!r} "
+                        f"(required at schema v5)")
+    speedup = record.get("speedup", {})
+    for key, value in speedup.items():
+        if not isinstance(value, (int, float)):
+            problems.append(f"speedup.{key}: not a number")
+    if version >= 5 and "tier4" in tiers and "tier3" in tiers \
+            and "tier4_over_tier3" not in speedup:
+        problems.append("schema v5 record with tier3+tier4 sweeps "
+                        "lacks speedup.tier4_over_tier3")
+    return problems
 
 
 def _summarize_events(events: "list[dict]") -> str:
@@ -128,6 +192,18 @@ def cmd_validate(args) -> int:
         print(f"roload-stats: {args.trace}: not JSON ({error})",
               file=sys.stderr)
         return 1
+    if is_bench_record(trace):
+        problems = validate_bench_record(trace)
+        if problems:
+            for problem in problems:
+                print(f"roload-stats: {args.trace}: {problem}",
+                      file=sys.stderr)
+            return 1
+        version = trace["schema_version"]
+        tiers = ", ".join(sorted(trace["tiers"]))
+        print(f"{args.trace}: ok (bench record schema v{version}, "
+              f"tiers: {tiers})")
+        return 0
     problems = validate_trace(trace)
     if problems:
         for problem in problems:

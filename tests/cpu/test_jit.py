@@ -222,18 +222,22 @@ HOT_WALK_WRITABLE = (
 )
 
 TIERS = {
-    "slow": ("0", "0", "0"),
-    "tier1": ("1", "0", "0"),
-    "tier2": ("1", "1", "0"),
-    "tier3": ("1", "1", "1"),
+    "slow": ("0", "0", "0", "0"),
+    "tier1": ("1", "0", "0", "0"),
+    "tier2": ("1", "1", "0", "0"),
+    "tier3": ("1", "1", "1", "0"),
+    "tier4": ("1", "1", "1", "1"),
 }
+
+COMPARED = ("tier1", "tier2", "tier3", "tier4")
 
 
 def run_hot_fault(monkeypatch, source, tier):
-    fastpath, jit, tier3 = TIERS[tier]
+    fastpath, jit, tier3, tier4 = TIERS[tier]
     monkeypatch.setenv("REPRO_FASTPATH", fastpath)
     monkeypatch.setenv("REPRO_JIT", jit)
     monkeypatch.setenv("REPRO_TIER3", tier3)
+    monkeypatch.setenv("REPRO_TIER4", tier4)
     monkeypatch.setenv("REPRO_JIT_THRESHOLD", "2")
     monkeypatch.setenv("REPRO_REGION_THRESHOLD", "2")
     monkeypatch.setenv("REPRO_JIT_DEBUG", "1")
@@ -257,25 +261,28 @@ def test_roload_fault_inside_hot_compiled_block(monkeypatch, source,
         assert process.signal.roload, tier
         event = kernel.security_log[0]
         core = kernel.system.core
-        if tier in ("tier2", "tier3"):
+        if tier in ("tier2", "tier3", "tier4"):
             # Non-vacuity: the faulting pc lies inside a block that was
             # compiled and still cached when the fault was delivered.
             assert core.jit_compiled >= 1
             assert any(rec.start_pc <= event.pc < rec.end_pc
                        for rec in core._jit_blocks.values())
-        if tier == "tier3":
+        if tier in ("tier3", "tier4"):
             # And the hot ld.ro loop really ran as a compiled region.
             assert core.regions_compiled >= 1
             assert any(region.covers(event.pc)
                        for region in core._regions.values())
+        if tier == "tier4":
+            # ... lowered by the flat backend, raising from inside it.
+            assert core.flat_regions_compiled >= 1
+            assert core.tier4_retired > 0
         results[tier] = (
             core.cycles, core.instret, len(kernel.security_log),
             event.reason, event.insn_key, event.page_key,
             event.pc, event.fault_address,
         )
-    assert results["tier1"] == results["slow"]
-    assert results["tier2"] == results["slow"]
-    assert results["tier3"] == results["slow"]
+    for tier in COMPARED:
+        assert results[tier] == results["slow"], tier
     assert results["slow"][3] == reason
     assert results["slow"][4] == 5
     assert results["slow"][5] == page_key
@@ -305,9 +312,8 @@ def test_arch_event_stream_identical_across_tiers(monkeypatch, source,
     finally:
         obs.disable()
 
-    assert sequences["tier1"] == sequences["slow"]
-    assert sequences["tier2"] == sequences["slow"]
-    assert sequences["tier3"] == sequences["slow"]
+    for tier in COMPARED:
+        assert sequences[tier] == sequences["slow"], tier
     # Non-vacuity: the stream carries the violation and its signal.
     types = [dict(payload)["type"] for payload in sequences["slow"]]
     assert "roload.violation" in types
@@ -328,10 +334,11 @@ def test_roload_monitor_complete_under_hot_fault(monkeypatch, source,
     deoptimizes, so the compiled tier cannot hide executions from it."""
     from repro.cpu.tracer import ROLoadMonitor
 
-    fastpath, jit, tier3 = TIERS[tier]
+    fastpath, jit, tier3, tier4 = TIERS[tier]
     monkeypatch.setenv("REPRO_FASTPATH", fastpath)
     monkeypatch.setenv("REPRO_JIT", jit)
     monkeypatch.setenv("REPRO_TIER3", tier3)
+    monkeypatch.setenv("REPRO_TIER4", tier4)
     monkeypatch.setenv("REPRO_JIT_THRESHOLD", "2")
     monkeypatch.setenv("REPRO_REGION_THRESHOLD", "2")
     kernel = Kernel(build_system("processor+kernel", memory_size=64 << 20))

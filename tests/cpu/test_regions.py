@@ -1,13 +1,14 @@
-"""Tier-3 region compiler: formation, deoptimization, four-tier identity.
+"""Region backends: formation, deoptimization, five-tier identity.
 
 The region compiler (src/repro/cpu/regions.py) inlines hot tier-2 block
-chains into single superblock functions. Like the tiers below it, it
-must be architecturally invisible: these tests pin formation (hot loops
-really become regions), the deoptimization edges the issue names (an
-SMC store and an MMU-generation bump taken *mid-region* continue
-bit-identically in all four tiers), and the overlap-suppression policy
-that keeps alternate entry splits of a live region from recompiling
-near-identical superblocks.
+chains into single superblock functions; the tier-4 flat core
+(src/repro/cpu/flatcore.py) lowers the same plans to pre-decoded array
+dispatch. Like the tiers below them, both must be architecturally
+invisible: these tests pin formation (hot loops really become regions),
+the deoptimization edges (an SMC store and an MMU-generation bump taken
+*mid-region* continue bit-identically in all five tiers), and the
+overlap-suppression policy that keeps alternate entry splits of a live
+region from recompiling near-identical superblocks.
 """
 
 from repro.asm import assemble, link
@@ -19,22 +20,25 @@ from repro.soc import build_system
 
 from .conftest import CODE_BASE, I, assemble_at
 
-# tier name -> (fast_path, jit, tier3) for the Core constructor.
+# tier name -> (fast_path, jit, tier3, tier4) for the Core constructor.
 TIERS = {
-    "slow": (False, False, False),
-    "tier1": (True, False, False),
-    "tier2": (True, True, False),
-    "tier3": (True, True, True),
+    "slow": (False, False, False, False),
+    "tier1": (True, False, False, False),
+    "tier2": (True, True, False, False),
+    "tier3": (True, True, True, False),
+    "tier4": (True, True, True, True),
 }
+
+COMPARED = ("tier1", "tier2", "tier3", "tier4")
 
 
 def tier_core(monkeypatch, tier):
-    fast_path, jit, tier3 = TIERS[tier]
+    fast_path, jit, tier3, tier4 = TIERS[tier]
     monkeypatch.setenv("REPRO_JIT_DEBUG", "1")
     memory = PhysicalMemory(1 << 20)
     core = Core(memory, MMU(memory), timing=TimingModel(),
                 fast_path=fast_path, jit=jit, jit_threshold=2,
-                tier3=tier3, region_threshold=2)
+                tier3=tier3, tier4=tier4, region_threshold=2)
     core.pc = CODE_BASE
     return core
 
@@ -61,15 +65,21 @@ def test_hot_loop_forms_region(monkeypatch):
         core.run(10_000, trap_handler=None)  # stops at ebreak
         outcomes[tier] = (core.regs[5], core.regs[6], core.regs[7],
                          core.instret, core.cycles)
-        if tier == "tier3":
+        if tier in ("tier3", "tier4"):
             assert core.regions_compiled >= 1
             region = core._regions[loop_pc]
             assert region.loop
             assert loop_pc in region.pcs
-            assert core.tier3_retired > 0
+            if tier == "tier4":
+                assert region.tier4
+                assert core.flat_regions_compiled >= 1
+                assert core.tier4_retired > 0
+            else:
+                assert not region.tier4
+                assert core.tier3_retired > 0
         else:
             assert core.regions_compiled == 0 and not core._regions
-    for tier in ("tier1", "tier2", "tier3"):
+    for tier in COMPARED:
         assert outcomes[tier] == outcomes["slow"], tier
     assert outcomes["slow"][1] == 50  # the body really ran 50 times
 
@@ -81,9 +91,23 @@ def test_residency_attributes_region_instructions(monkeypatch):
     residency = core.tier_residency()
     assert residency["tier3_retired"] == core.tier3_retired > 0
     assert (residency["tier0_retired"] + residency["tier1_retired"]
-            + residency["tier2_retired"]
-            + residency["tier3_retired"]) == residency["retired"]
+            + residency["tier2_retired"] + residency["tier3_retired"]
+            + residency["tier4_retired"]) == residency["retired"]
     assert residency["regions_compiled"] == core.regions_compiled >= 1
+
+
+def test_residency_attributes_flat_region_instructions(monkeypatch):
+    core = tier_core(monkeypatch, "tier4")
+    countdown_loop(core, 50)
+    core.run(10_000, trap_handler=None)
+    residency = core.tier_residency()
+    assert residency["tier4_retired"] == core.tier4_retired > 0
+    assert residency["tier3_retired"] == 0
+    assert (residency["tier0_retired"] + residency["tier1_retired"]
+            + residency["tier2_retired"] + residency["tier3_retired"]
+            + residency["tier4_retired"]) == residency["retired"]
+    assert residency["flat_regions_compiled"] \
+        == core.flat_regions_compiled >= 1
 
 
 # -- overlap suppression -----------------------------------------------------
@@ -154,11 +178,11 @@ def test_smc_store_mid_region_deoptimizes_identically(monkeypatch):
         core.run(10_000, trap_handler=None)
         outcomes[tier] = (core.regs[9], core.regs[10], core.instret,
                          core.cycles)
-        if tier == "tier3":
+        if tier in ("tier3", "tier4"):
             # The region formed during the clean phase, before the SMC
             # store invalidated it.
             assert core.regions_compiled >= 1
-    for tier in ("tier1", "tier2", "tier3"):
+    for tier in COMPARED:
         assert outcomes[tier] == outcomes["slow"], tier
     # 20 iterations at +1, then the patch, then 10 at +2.
     assert outcomes["slow"][0] == 30
@@ -205,10 +229,11 @@ loop2:                # hot loop 2: the same page, now keyed ld.ro
 
 
 def run_kernel_tier(monkeypatch, source, tier):
-    fast_path, jit, tier3 = TIERS[tier]
+    fast_path, jit, tier3, tier4 = TIERS[tier]
     monkeypatch.setenv("REPRO_FASTPATH", "1" if fast_path else "0")
     monkeypatch.setenv("REPRO_JIT", "1" if jit else "0")
     monkeypatch.setenv("REPRO_TIER3", "1" if tier3 else "0")
+    monkeypatch.setenv("REPRO_TIER4", "1" if tier4 else "0")
     monkeypatch.setenv("REPRO_JIT_THRESHOLD", "2")
     monkeypatch.setenv("REPRO_REGION_THRESHOLD", "2")
     monkeypatch.setenv("REPRO_JIT_DEBUG", "1")
@@ -230,15 +255,18 @@ def test_mmu_generation_bump_mid_region_identical(monkeypatch):
         assert process.exit_code == 0, tier
         core = kernel.system.core
         mmu = kernel.system.mmu
-        if tier == "tier3":
+        if tier in ("tier3", "tier4"):
             # Both hot loops became regions, before and after the bump.
             assert core.regions_compiled >= 2
-            assert core.tier3_retired > 0
+            if tier == "tier4":
+                assert core.tier4_retired > 0
+            else:
+                assert core.tier3_retired > 0
         results[tier] = (
             core.cycles, core.instret, mmu.generation,
             mmu.dtlb.hits, mmu.dtlb.misses, mmu.stats.walks,
             len(kernel.security_log),
         )
-    for tier in ("tier1", "tier2", "tier3"):
+    for tier in COMPARED:
         assert results[tier] == results["slow"], tier
     assert results["slow"][6] == 0  # the sealed ld.ro never faulted

@@ -60,6 +60,93 @@ def test_validate_rejects_bad_trace(tmp_path, capsys):
     assert stats_main(["validate", str(notjson)]) == 1
 
 
+def _bench_record(version, tiers, speedup=None):
+    """A minimal roload-bench record of the given schema vintage."""
+    record = {
+        "tool": "roload-bench",
+        "schema_version": version,
+        "scale": 8.0,
+        "benchmarks": ["429.mcf"],
+        "variants": ["base"],
+        "host": {"python": "3.x", "platform": "linux"},
+        "tiers": {},
+    }
+    for name in tiers:
+        residency = {"retired": 1000}
+        if version >= 5:
+            residency["tier4_retired"] = 900
+            residency["flat_regions_compiled"] = 3
+        record["tiers"][name] = {
+            "tier": name,
+            "wall_seconds": 1.0,
+            "sim_mips": 1.0,
+            "instructions": 1000,
+            "cycles": 2000,
+            "residency": residency,
+        }
+    if speedup is not None:
+        record["speedup"] = speedup
+    return record
+
+
+def _validate(tmp_path, record):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(record))
+    return stats_main(["validate", str(path)])
+
+
+def test_validate_accepts_each_bench_schema_version(tmp_path, capsys):
+    """One fixture per supported vintage: v3 (tier2-top), v4
+    (tier3-top), v5 (tier4-top with flat-core residency)."""
+    fixtures = [
+        _bench_record(3, ["slow", "tier1", "tier2"],
+                      speedup={"tier2_over_slow": 3.0}),
+        _bench_record(4, ["slow", "tier2", "tier3"],
+                      speedup={"tier3_over_tier2": 1.5}),
+        _bench_record(5, ["tier3", "tier4"],
+                      speedup={"tier4_over_tier3": 1.4}),
+    ]
+    for record in fixtures:
+        assert _validate(tmp_path, record) == 0
+        out = capsys.readouterr().out
+        assert f"schema v{record['schema_version']}" in out
+
+
+def test_validate_rejects_malformed_bench_records(tmp_path, capsys):
+    # Unknown vintage.
+    assert _validate(tmp_path, _bench_record(2, ["tier2"])) == 1
+    assert "schema_version 2" in capsys.readouterr().err
+    # A v5 record must sweep the flat core.
+    assert _validate(tmp_path, _bench_record(5, ["tier3"])) == 1
+    assert "lacks the 'tier4' sweep" in capsys.readouterr().err
+    # A v5 record with both top sweeps must report their speedup.
+    record = _bench_record(5, ["tier3", "tier4"])
+    assert _validate(tmp_path, record) == 1
+    assert "tier4_over_tier3" in capsys.readouterr().err
+    # v5 residency must carry the flat-core counters.
+    record = _bench_record(5, ["tier4"])
+    del record["tiers"]["tier4"]["residency"]["flat_regions_compiled"]
+    assert _validate(tmp_path, record) == 1
+    assert "flat_regions_compiled" in capsys.readouterr().err
+    # Incomplete sweeps are named field by field.
+    record = _bench_record(4, ["tier3"])
+    del record["tiers"]["tier3"]["sim_mips"]
+    assert _validate(tmp_path, record) == 1
+    assert "missing 'sim_mips'" in capsys.readouterr().err
+
+
+def test_validate_accepts_real_smoke_record(tmp_path, capsys):
+    """End to end: a record produced by roload-bench --smoke must pass
+    the validator (the CI artifact check)."""
+    from repro.tools.benchtool import main as bench_main
+    out = tmp_path / "bench.json"
+    code = bench_main(["--smoke", "--jobs", "1", "--out", str(out)])
+    assert code == 0
+    capsys.readouterr()
+    assert stats_main(["validate", str(out)]) == 0
+    assert "schema v5" in capsys.readouterr().out
+
+
 def test_summary_of_events_and_metrics(tmp_path, capsys):
     events = _events_file(tmp_path)
     assert stats_main(["summary", str(events)]) == 0

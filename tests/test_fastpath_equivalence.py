@@ -1,14 +1,16 @@
 """Differential proof that the interpreter fast paths change nothing.
 
-The simulator has four interpreter tiers (src/repro/cpu/core.py,
-src/repro/cpu/jit.py and src/repro/cpu/regions.py):
+The simulator has five interpreter tiers (src/repro/cpu/core.py,
+src/repro/cpu/jit.py, src/repro/cpu/regions.py and
+src/repro/cpu/flatcore.py):
 
   slow   REPRO_FASTPATH=0              the seed decode-dispatch loop
   tier1  REPRO_FASTPATH=1 REPRO_JIT=0  block replay + D-side page cache
   tier2  REPRO_FASTPATH=1 REPRO_JIT=1  hot blocks compiled to Python
   tier3  ... REPRO_TIER3=1             hot loops compiled to superblocks
+  tier4  ... REPRO_TIER4=1             regions lowered to flat arrays
 
-All four are pure implementation details: every test here runs the same
+All five are pure implementation details: every test here runs the same
 program under each tier and asserts the architectural results are
 bit-identical: cycles, retired instructions, memory, exit codes,
 cache/TLB miss rates, and fault delivery (including the ROLoad security
@@ -28,20 +30,24 @@ from repro.mem import MMU, PhysicalMemory
 from repro.soc import build_system
 from repro.workloads import build_workload, profile
 
-# tier name -> (REPRO_FASTPATH, REPRO_JIT, REPRO_TIER3)
+# tier name -> (REPRO_FASTPATH, REPRO_JIT, REPRO_TIER3, REPRO_TIER4)
 TIERS = {
-    "slow": ("0", "0", "0"),
-    "tier1": ("1", "0", "0"),
-    "tier2": ("1", "1", "0"),
-    "tier3": ("1", "1", "1"),
+    "slow": ("0", "0", "0", "0"),
+    "tier1": ("1", "0", "0", "0"),
+    "tier2": ("1", "1", "0", "0"),
+    "tier3": ("1", "1", "1", "0"),
+    "tier4": ("1", "1", "1", "1"),
 }
+
+COMPARED = ("tier1", "tier2", "tier3", "tier4")
 
 
 def set_tier(monkeypatch, tier):
-    fastpath, jit, tier3 = TIERS[tier]
+    fastpath, jit, tier3, tier4 = TIERS[tier]
     monkeypatch.setenv("REPRO_FASTPATH", fastpath)
     monkeypatch.setenv("REPRO_JIT", jit)
     monkeypatch.setenv("REPRO_TIER3", tier3)
+    monkeypatch.setenv("REPRO_TIER4", tier4)
     # Low promotion thresholds so the scaled-down workloads really do
     # execute compiled blocks and regions, and debug mode so a compile
     # failure is an error rather than a silent fallback to tier 1.
@@ -67,7 +73,7 @@ def measure(monkeypatch, name, variant, tier):
 @pytest.mark.parametrize("name,variant", WORKLOADS)
 def test_workload_equivalence(monkeypatch, name, variant):
     slow = measure(monkeypatch, name, variant, "slow")
-    for tier in ("tier1", "tier2", "tier3"):
+    for tier in COMPARED:
         fast = measure(monkeypatch, name, variant, tier)
         assert dataclasses.asdict(fast) == dataclasses.asdict(slow), tier
         # The fields the issue names, spelled out for a readable failure:
@@ -119,20 +125,22 @@ def test_roload_key_mismatch_through_fast_path(monkeypatch):
         if tier != "slow":
             # Guard against vacuity: the block cache really engaged.
             assert core._blocks
-        if tier in ("tier2", "tier3"):
+        if tier in ("tier2", "tier3", "tier4"):
             assert core.jit_compiled > 0 and core._jit_blocks
-        if tier == "tier3":
+        if tier in ("tier3", "tier4"):
             # Guard against vacuity: the hot ld.ro loop really did run
-            # as a compiled region when the tier-3 knob is on.
+            # as a compiled region when the tier-3/4 knobs are on.
             assert core.regions_compiled > 0
+        if tier == "tier4":
+            assert core.flat_regions_compiled > 0
+            assert core.tier4_retired > 0
         results[tier] = (
             core.cycles, core.instret,
             len(kernel.security_log), event.reason,
             event.insn_key, event.page_key, event.pc, event.fault_address,
         )
-    assert results["tier1"] == results["slow"]
-    assert results["tier2"] == results["slow"]
-    assert results["tier3"] == results["slow"]
+    for tier in COMPARED:
+        assert results[tier] == results["slow"], tier
     assert results["slow"][3] == "key_mismatch"
     assert results["slow"][4] == 7 and results["slow"][5] == 42
 
@@ -176,9 +184,8 @@ def test_self_modifying_code_equivalence(monkeypatch):
         program(core)
         retired = core.run(100, trap_handler=None)  # stops at ebreak
         outcomes[tier] = (core.regs[10], retired, core.cycles)
-    assert outcomes["tier1"] == outcomes["slow"]
-    assert outcomes["tier2"] == outcomes["slow"]
-    assert outcomes["tier3"] == outcomes["slow"]
+    for tier in COMPARED:
+        assert outcomes[tier] == outcomes["slow"], tier
     assert outcomes["slow"][0] == 9  # the patched instruction executed
 
 
@@ -200,5 +207,5 @@ def test_budget_exhaustion_identical(monkeypatch):
         with pytest.raises(SimulationError):
             core.run(100)
         assert core.instret == 100, f"tier={tier} retired {core.instret}"
-        if tier in ("tier2", "tier3"):
+        if tier in ("tier2", "tier3", "tier4"):
             assert core.jit_compiled > 0  # the loop really was compiled
