@@ -38,6 +38,11 @@ REPRO_BLOCK_CACHE       block_cache         4096     basic-block translation
 REPRO_OBS               obs                 0        observability layer on
                                                      at import
 REPRO_OBS_EVENTS        obs_events          65536    event-ring capacity
+REPRO_OBS_SAMPLE        obs_sample          0        flight-recorder sample
+                                                     interval in retired
+                                                     instructions (0 = off)
+REPRO_AUDIT             audit               0        hash-chained security
+                                                     audit trail
 REPRO_SECLOG_CAP        seclog_cap          4096     kernel security-log ring
                                                      capacity
 REPRO_JOBS              jobs                1        benchmark worker
@@ -79,6 +84,16 @@ def _parse_positive_int(default: int) -> "Callable[[str], int]":
     def parse(raw: str) -> int:
         try:
             return max(1, int(raw))
+        except ValueError:
+            return default
+    return parse
+
+
+def _parse_nonneg_int(default: int) -> "Callable[[str], int]":
+    """For knobs where 0 is meaningful (= off), unlike the >=1 caps."""
+    def parse(raw: str) -> int:
+        try:
+            return max(0, int(raw))
         except ValueError:
             return default
     return parse
@@ -139,6 +154,9 @@ class Config:
     block_cache: int = 4096
     obs: bool = False
     obs_events: int = 65536
+    obs_sample: int = 0     # flight-recorder interval in retired
+                            # instructions; 0 = sampler off
+    audit: bool = False
     seclog_cap: int = 4096
     jobs: int = 1           # 0 = one worker per CPU ("auto")
     bench_scale: float = 0.1
@@ -228,6 +246,11 @@ KNOBS: "tuple[Knob, ...]" = (
          "observability layer on at import"),
     Knob("obs_events", "REPRO_OBS_EVENTS", _parse_positive_int(65536),
          str, "event-ring capacity"),
+    Knob("obs_sample", "REPRO_OBS_SAMPLE", _parse_nonneg_int(0), str,
+         "flight-recorder sample interval in retired instructions "
+         "(0 = off)"),
+    Knob("audit", "REPRO_AUDIT", _parse_flag_default_off, _flag_to_env,
+         "hash-chained security audit trail"),
     Knob("seclog_cap", "REPRO_SECLOG_CAP", _parse_positive_int(4096),
          str, "kernel security-log ring capacity"),
     Knob("jobs", "REPRO_JOBS", _parse_jobs, str,

@@ -255,6 +255,11 @@ class Core:
         # callback really sees every retired instruction.
         self.trace_hook = None
         self._retire_hooks: "list" = []
+        # Flight-recorder / attribution taps (repro.obs.register_system
+        # installs them). None costs one attribute test at the batch
+        # observation points only — never per instruction.
+        self._sampler = None
+        self._attrib = None
 
     # -- observability -------------------------------------------------------
 
@@ -631,6 +636,17 @@ class Core:
                                  reason=reason, blocks=dropped_blocks,
                                  compiled=dropped_jit,
                                  regions=dropped_regions)
+                # Guest-initiated invalidations are security-relevant
+                # (SMC is how W^X gets probed) and deterministic across
+                # tiers; cache-management flushes (context switches, MMU
+                # generation bumps) are tier-dependent plumbing and stay
+                # out of the audit chain.
+                if _OBS.audit is not None and reason in ("smc", "fence.i"):
+                    _OBS.audit.append("cache.flush", reason=reason,
+                                      blocks=dropped_blocks,
+                                      compiled=dropped_jit,
+                                      regions=dropped_regions,
+                                      instret=self.instret)
 
     def _fetch_paddr(self, vaddr: int) -> int:
         """Translate a fetch address with a per-page fast path.
@@ -904,6 +920,8 @@ class Core:
         done = 0
         ihits = 0
         last_line = -1
+        attrib = self._attrib
+        tier1_before = self.tier1_retired if attrib is not None else 0
         self._block_abort = False
         try:
             for handler, insn, ipc, next_pc, paddr, paddr2 in entries[:-1]:
@@ -1009,6 +1027,10 @@ class Core:
                 self.tier1_retired += done
             if ihits:
                 icache.hits += ihits
+            if attrib is not None:
+                retired = self.tier1_retired - tier1_before
+                if retired:
+                    attrib.record(1, pc, retired)
 
     def _run_jit(self, rec, pc: int, limit: int, generation: int) -> None:
         """Execute compiled code (tier-2 blocks and tier-3 regions),
@@ -1044,8 +1066,13 @@ class Core:
             threshold = self.region_threshold
             compile_region = _compile_flat if self.tier4_enabled \
                 else _compile_region
+        sampler = self._sampler
+        attrib = self._attrib
         self._block_abort = False
         while True:
+            if sampler is not None \
+                    and stats.instructions >= sampler.next_at:
+                sampler.sample(self)
             if self._fetch_generation != generation \
                     or rec.vpn not in fetch_pages:
                 self._current_pc = pc
@@ -1060,6 +1087,9 @@ class Core:
                     else:
                         self.tier3_retired += stats.instructions - before
                 limit -= stats.instructions - before
+                if attrib is not None:
+                    attrib.record(4 if rec.tier4 else 3, rec.start_pc,
+                                  stats.instructions - before)
                 self.pc = pc
                 if self._block_abort:
                     self._block_abort = False
@@ -1077,6 +1107,8 @@ class Core:
                 continue
             pc = rec.fn()
             limit -= rec.n
+            if attrib is not None:
+                attrib.record(2, rec.start_pc, rec.n)
             self.pc = pc
             if self._block_abort:
                 self._block_abort = False

@@ -72,3 +72,8 @@ class ConfigError(ReproError):
 class ReplayError(ReproError):
     """Snapshot/replay misuse: unreadable or wrong-version snapshot,
     or a replayed run that diverged from its recorded journal."""
+
+
+class AuditError(ReproError):
+    """Audit-trail misuse (appending to a sealed chain) or an audit log
+    whose hash chain fails verification."""

@@ -23,7 +23,7 @@ from repro.defenses import (
 )
 from repro.errors import ReproError
 from repro.kernel import Kernel
-from repro.obs import OBS as _OBS, register_system
+from repro.obs import OBS as _OBS, register_kernel, register_system
 from repro.soc import build_system
 from repro.workloads import WorkloadProgram, build_workload
 from repro.workloads import profile as _workload_profile
@@ -96,6 +96,7 @@ def run_variant(program: WorkloadProgram, variant: str, *,
     kernel = Kernel(system)
     if _OBS.enabled:
         register_system(system)
+        register_kernel(kernel)
     process = kernel.create_process(image, name=program.profile.name)
     start = time.perf_counter()
     kernel.run(process, max_instructions=max_instructions)

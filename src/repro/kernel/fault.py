@@ -109,8 +109,13 @@ class FaultHandler:
     roload_aware: bool = True
     security_log: SecurityLog = field(default_factory=SecurityLog)
 
-    def handle(self, process, trap: Trap) -> SignalInfo:
+    def handle(self, process, trap: Trap,
+               instret: "int | None" = None) -> SignalInfo:
         """Handle a memory fault; returns the fatal signal delivered.
+
+        ``instret`` is the guest retired-instruction count at the trap;
+        the audit trail records it instead of any host timestamp so the
+        chain stays bit-identical across interpreter tiers.
 
         (This model has no demand paging or swapping: every valid page is
         mapped up front, so any page fault is a genuine violation.)
@@ -129,6 +134,12 @@ class FaultHandler:
                     "roload.violation", cat="arch", pid=process.pid,
                     pc=trap.pc, addr=trap.tval, reason=reason,
                     insn_key=trap.insn_key, page_key=trap.page_key)
+                if _OBS.audit is not None:
+                    _OBS.audit.append(
+                        "roload.violation", pid=process.pid,
+                        pc=trap.pc, addr=trap.tval, reason=reason,
+                        insn_key=trap.insn_key,
+                        page_key=trap.page_key, instret=instret)
             signal = SignalInfo(SIGSEGV,
                                 f"pointee integrity violation: {reason}",
                                 pc=trap.pc, fault_address=trap.tval,

@@ -97,11 +97,19 @@ class Kernel:
         self._schedule(process)
         executed_start = core.instret
         observing = _OBS.enabled
+        sampler = None
         if observing:
             self._sample_tiers(core)
             run_began = perf_counter()
+            sampler = _OBS.sampler
+            if sampler is not None:
+                stats = core.timing.stats
+                sampler.sample(core)
         try:
             while process.alive:
+                if sampler is not None \
+                        and stats.instructions >= sampler.next_at:
+                    sampler.sample(core)
                 executed = core.instret - executed_start
                 if stop_after is not None and executed >= stop_after:
                     break
@@ -122,6 +130,8 @@ class Kernel:
         finally:
             self._deschedule(process)
             if observing:
+                if sampler is not None:
+                    sampler.sample(core)
                 self._sample_tiers(core)
                 _OBS.events.emit(
                     "span.kernel.run", pid=process.pid,
@@ -139,8 +149,10 @@ class Kernel:
                          tier1=core.tier1_retired,
                          tier2=(core.instret - core.tier0_retired
                                 - core.tier1_retired
-                                - core.tier3_retired),
-                         tier3=core.tier3_retired)
+                                - core.tier3_retired
+                                - core.tier4_retired),
+                         tier3=core.tier3_retired,
+                         tier4=core.tier4_retired)
 
     def _handle_trap(self, process: Process, trap: Trap) -> None:
         core = self.system.core
@@ -154,7 +166,8 @@ class Kernel:
                           Cause.MISALIGNED_STORE, Cause.MISALIGNED_FETCH):
             if _OBS.enabled:
                 began = perf_counter()
-                signal = self.faults.handle(process, trap)
+                signal = self.faults.handle(process, trap,
+                                            instret=core.instret)
                 _OBS.events.emit(
                     "span.fault", pid=process.pid, pc=trap.pc,
                     cause=Cause.NAMES.get(trap.cause, "memory fault"),
@@ -162,7 +175,8 @@ class Kernel:
                     signal=signal.number,
                     dur_us=(perf_counter() - began) * 1e6)
             else:
-                signal = self.faults.handle(process, trap)
+                signal = self.faults.handle(process, trap,
+                                            instret=core.instret)
             self._journal_signal(core, signal)
             return
         if trap.cause == Cause.ILLEGAL_INSTRUCTION:

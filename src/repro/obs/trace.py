@@ -32,6 +32,7 @@ _TRACK_OF = {
     "roload": 5,
     "fault": 5,
     "mmu": 6,
+    "counter.sampled": 7,
 }
 _TRACK_NAMES = {
     0: "events",
@@ -41,6 +42,7 @@ _TRACK_NAMES = {
     4: "syscalls",
     5: "security",
     6: "mmu",
+    7: "flight recorder",
 }
 
 _PHASES = {"X", "B", "E", "i", "I", "C", "M"}

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReplayError
+from repro.obs import OBS as _OBS
 from repro.replay.snapshot import Snapshot, restore, snapshot
 
 KINDS = ("pte-key", "pte-writable", "allowlist-ptr")
@@ -309,8 +310,28 @@ def run_campaign(*, reps: int = 8, points: int = 10,
                 record = _inject_and_run(snap, image, kind, variant,
                                          baseline_exit, max_instructions)
                 report.records.append(record)
+                if _OBS.enabled:
+                    _OBS.events.emit(
+                        "inject.verdict", kind=kind,
+                        trigger=record.trigger, target=record.target,
+                        outcome=record.outcome)
+                    if _OBS.audit is not None:
+                        _OBS.audit.append(
+                            "inject.verdict", kind=kind,
+                            trigger=record.trigger, target=record.target,
+                            outcome=record.outcome,
+                            exit_code=record.exit_code,
+                            signal=record.signal)
                 if log is not None:
                     log(f"[{len(report.records):>3}] {kind:<14} "
                         f"@{record.trigger:<8} -> {record.outcome:<8} "
                         f"{record.detail}")
+    if _OBS.enabled and _OBS.audit is not None:
+        # The campaign summary is the record auditors care about: the
+        # detection table's bottom line, sealed into the chain.
+        _OBS.audit.append("inject.campaign",
+                          injections=report.injections,
+                          escapes=len(report.escapes), ok=report.ok,
+                          baseline_exit=baseline_exit,
+                          total_instructions=total)
     return report

@@ -65,7 +65,7 @@ from repro import config as _config
 from repro.errors import ReproError
 from repro.eval.measure import resolve_jobs, run_benchmarks
 from repro.tools.cli import (add_config_flag, add_obs_flags, config_scope,
-                             obs_requested, write_obs_outputs)
+                             enable_obs, obs_requested, write_obs_outputs)
 
 SCHEMA_VERSION = 5
 
@@ -373,8 +373,7 @@ def _main(args) -> int:
 
     observing = obs_requested(args)
     if observing:
-        from repro import obs
-        obs.enable()
+        enable_obs(args)
         if jobs != 1:
             print("note: --trace-out/--metrics-out capture events "
                   "in-process; forcing --jobs 1")

@@ -11,6 +11,11 @@ Every tool gets the same spelling for the same concept:
 * ``--trace-out TRACE.json`` / ``--metrics-out METRICS.json`` — enable
   the observability layer and export a Chrome trace-event JSON and/or a
   live-counter metrics snapshot after the run.
+* ``--sample-interval N`` — arm the flight recorder (counter
+  time-series every N retired instructions; ``timeseries`` metrics
+  section + Perfetto counter tracks in the trace).
+* ``--audit-out AUDIT.jsonl`` — record the hash-chained security audit
+  trail and save it sealed; verify with ``roload-stats audit verify``.
 """
 
 from __future__ import annotations
@@ -53,18 +58,45 @@ def add_obs_flags(parser: argparse.ArgumentParser,
                         metavar="METRICS.json",
                         help=f"write a metrics snapshot (live architectural "
                              f"counters) of {what} (enables observability)")
+    parser.add_argument("--sample-interval", type=int, default=0,
+                        metavar="N",
+                        help="flight recorder: sample the live counters "
+                             "every N retired instructions (enables "
+                             "observability; exported as the 'timeseries' "
+                             "metrics section and as trace counter tracks)")
+    parser.add_argument("--audit-out", type=Path, default=None,
+                        metavar="AUDIT.jsonl",
+                        help=f"write the hash-chained security audit trail "
+                             f"of {what}, sealed (enables observability; "
+                             f"check with `roload-stats audit verify`)")
 
 
 def obs_requested(args) -> bool:
     return (getattr(args, "trace_out", None) is not None
-            or getattr(args, "metrics_out", None) is not None)
+            or getattr(args, "metrics_out", None) is not None
+            or getattr(args, "sample_interval", 0) > 0
+            or getattr(args, "audit_out", None) is not None)
+
+
+def enable_obs(args):
+    """Enable observability per the tool's flags (plus the REPRO_* env
+    defaults, which :func:`repro.obs.enable` applies on its own)."""
+    from repro import obs
+    sample = getattr(args, "sample_interval", 0) or None
+    audit = True if getattr(args, "audit_out", None) is not None else None
+    return obs.enable(sample=sample, audit=audit)
 
 
 def write_obs_outputs(args) -> None:
     """Export the captured event ring / metrics registry to files."""
     from repro import obs
     if args.trace_out is not None:
-        trace = obs.write_chrome_trace(obs.OBS.events, args.trace_out)
+        events = list(obs.OBS.events)
+        sampler = obs.OBS.sampler
+        if sampler is not None and sampler.samples:
+            events.extend(sampler.counter_events(obs.OBS.events.epoch))
+            events.sort(key=lambda event: event["ts"])
+        trace = obs.write_chrome_trace(events, args.trace_out)
         print(f"[trace: {len(trace['traceEvents'])} events in "
               f"{args.trace_out}]")
     if args.metrics_out is not None:
@@ -72,3 +104,8 @@ def write_obs_outputs(args) -> None:
         args.metrics_out.write_text(
             json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
         print(f"[metrics: {len(snapshot)} series in {args.metrics_out}]")
+    audit_out = getattr(args, "audit_out", None)
+    if audit_out is not None and obs.OBS.audit is not None:
+        obs.OBS.audit.seal()
+        count = obs.OBS.audit.save(audit_out)
+        print(f"[audit: {count} records in {audit_out}]")

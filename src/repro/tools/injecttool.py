@@ -24,7 +24,8 @@ import sys
 from pathlib import Path
 
 from repro.errors import ReproError
-from repro.tools.cli import add_config_flag, config_scope
+from repro.tools.cli import (add_config_flag, add_obs_flags, config_scope,
+                             enable_obs, obs_requested, write_obs_outputs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "per-injection records) as JSON")
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress the per-injection log lines")
+    add_obs_flags(campaign, what="the campaign")
     add_config_flag(campaign)
 
     verify = sub.add_parser(
@@ -80,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _campaign(args) -> int:
     from repro.replay import run_campaign
+    observing = obs_requested(args)
+    if observing:
+        enable_obs(args)
     kinds = tuple(k for k in (args.kinds or "").split(",") if k) or None
     log = None if args.quiet else \
         (lambda line: print(line, file=sys.stderr))
@@ -96,6 +101,8 @@ def _campaign(args) -> int:
     if args.table is not None:
         report.save_json(args.table)
         print(f"[detection table in {args.table}]")
+    if observing:
+        write_obs_outputs(args)
     if not report.ok:
         for record in report.escapes:
             print(f"ESCAPE: {record.kind} @ {record.trigger}: "

@@ -24,7 +24,7 @@ from repro.errors import ReproError, SimulationError
 from repro.kernel import Kernel
 from repro.soc import PROFILES, build_system
 from repro.tools.cli import (add_config_flag, add_obs_flags, config_scope,
-                             obs_requested, write_obs_outputs)
+                             enable_obs, obs_requested, write_obs_outputs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,9 +68,12 @@ def _run(args, image) -> int:
     system = build_system(args.profile)
     if observing:
         from repro import obs
-        obs.enable()
+        enable_obs(args)
         obs.register_system(system)
     kernel = Kernel(system)
+    if observing:
+        from repro import obs
+        obs.register_kernel(kernel)
     process = kernel.create_process(image, name=args.image.name)
 
     tracer = Tracer(system.core, limit=max(args.trace, 1))

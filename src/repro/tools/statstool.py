@@ -3,14 +3,27 @@
     roload-stats summary FILE          # metrics JSON or events JSONL
     roload-stats trace EVENTS.jsonl -o TRACE.json
     roload-stats validate FILE         # Chrome trace or bench record
+    roload-stats top METRICS.json [--image IMG] [--annotate SYMBOL]
+    roload-stats audit verify AUDIT.jsonl
+    roload-stats trend BENCH.json ... [--check-against BASELINE.json]
 
 ``summary`` prints a human-readable digest of a metrics snapshot
-(``--metrics-out``) or a structured event dump (JSONL).  ``trace``
+(``--metrics-out``), a structured event dump (JSONL), or a
+``roload-bench`` record (per-tier residency incl. tier 4).  ``trace``
 converts a JSONL event dump into Chrome trace-event JSON that opens in
 Perfetto / chrome://tracing.  ``validate`` checks a trace file against
 the trace-event schema — or, when the file is a ``roload-bench``
 record, checks it against the bench record schema (versions 3 through
 5) — and exits 1 on any problem: the CI artifact check.
+
+``top`` ranks the guest-attribution histogram (blocks/regions by
+retired instructions per tier); with ``--image`` the unit heads resolve
+to symbols, and ``--annotate SYMBOL`` prints that symbol's disassembly
+with retire counts.  ``audit verify`` recomputes a saved audit trail's
+hash chain and fails closed — exit 1 with the divergent record named —
+on any tamper, truncation, or reorder.  ``trend`` compares a series of
+bench records (oldest first) and exits 1 when a later comparable record
+regresses past the tolerance.
 """
 
 from __future__ import annotations
@@ -22,7 +35,8 @@ from collections import Counter
 from pathlib import Path
 
 from repro.errors import ReproError
-from repro.obs import chrome_trace, load_jsonl, validate_trace
+from repro.obs import chrome_trace, load_jsonl, validate_trace, verify_file
+from repro.obs.attribution import SymbolMap, annotate, flatten, format_top
 from repro.tools.cli import add_config_flag, config_scope
 
 
@@ -49,6 +63,38 @@ def build_parser() -> argparse.ArgumentParser:
                          "trace-event schema, or a roload-bench record "
                          "against the bench schema (v3-v5)")
     validate.add_argument("trace", type=Path)
+
+    top = sub.add_parser(
+        "top", help="rank guest code by retired instructions per tier "
+                    "(from a metrics snapshot's attribution section)")
+    top.add_argument("file", type=Path,
+                     help="metrics JSON written with --metrics-out")
+    top.add_argument("--image", type=Path, default=None, metavar="IMG",
+                     help="REX image: resolve unit heads to symbols")
+    top.add_argument("-n", "--limit", type=int, default=20,
+                     help="rows to show (default 20)")
+    top.add_argument("--annotate", default=None, metavar="SYMBOL",
+                     help="print SYMBOL's disassembly annotated with "
+                          "retire counts (requires --image)")
+
+    audit = sub.add_parser(
+        "audit", help="verify a saved security audit trail's hash chain")
+    audit.add_argument("action", choices=("verify",))
+    audit.add_argument("file", type=Path,
+                       help="audit JSONL written with --audit-out")
+
+    trend = sub.add_parser(
+        "trend", help="compare a series of roload-bench records; fail "
+                      "on a regression between comparable records")
+    trend.add_argument("files", type=Path, nargs="+",
+                       help="bench records, oldest first")
+    trend.add_argument("--check-against", type=Path, default=None,
+                       metavar="BASELINE.json",
+                       help="also gate the newest record against this "
+                            "baseline record")
+    trend.add_argument("--tolerance", type=float, default=0.15,
+                       help="allowed fractional sim-MIPS drop between "
+                            "comparable records (default 0.15)")
     return parser
 
 
@@ -145,10 +191,37 @@ def _summarize_metrics(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
+def _summarize_bench(record: dict) -> str:
+    """A roload-bench record as a per-tier residency/perf table (all
+    five tiers, tier 4 included)."""
+    version = record.get("schema_version", "?")
+    lines = [f"roload-bench record (schema v{version}): "
+             f"scale {record.get('scale', '?')}, "
+             f"benchmarks: {', '.join(record.get('benchmarks', []))}",
+             f"  {'tier':<8} {'sim_mips':>10} {'retired':>14} "
+             f"{'t4_retired':>12} {'flat_regions':>12}"]
+    tiers = record.get("tiers", {})
+    for name in ("slow", "tier1", "tier2", "tier3", "tier4"):
+        sweep = tiers.get(name)
+        if sweep is None:
+            continue
+        residency = sweep.get("residency", {})
+        lines.append(
+            f"  {name:<8} {sweep.get('sim_mips', 0):>10} "
+            f"{residency.get('retired', 0):>14,d} "
+            f"{residency.get('tier4_retired', 0):>12,d} "
+            f"{residency.get('flat_regions_compiled', 0):>12,d}")
+    speedup = record.get("speedup", {})
+    if speedup:
+        lines.append("  speedups: " + ", ".join(
+            f"{key}={value}x" for key, value in sorted(speedup.items())))
+    return "\n".join(lines)
+
+
 def cmd_summary(args) -> int:
     """Digest a file, auto-detecting its kind: a whole-file JSON object
-    is a metrics snapshot (or a Chrome trace); anything that only parses
-    line by line is an events JSONL dump."""
+    is a metrics snapshot, a bench record, or a Chrome trace; anything
+    that only parses line by line is an events JSONL dump."""
     try:
         data = json.loads(args.file.read_text())
     except json.JSONDecodeError:
@@ -157,6 +230,9 @@ def cmd_summary(args) -> int:
         if "traceEvents" in data:
             print(f"Chrome trace: {len(data['traceEvents'])} trace "
                   f"events (use 'validate' to schema-check)")
+            return 0
+        if is_bench_record(data):
+            print(_summarize_bench(data))
             return 0
         if "ts" in data and "type" in data:   # a one-event JSONL dump
             print(_summarize_events([data]))
@@ -215,6 +291,113 @@ def cmd_validate(args) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    data = json.loads(args.file.read_text())
+    if not isinstance(data, dict):
+        print(f"roload-stats: {args.file} is not a metrics snapshot",
+              file=sys.stderr)
+        return 1
+    table = data.get("attribution")
+    if not isinstance(table, dict):
+        table = {}
+    symbols = None
+    image = None
+    if args.image is not None:
+        from repro.asm import Executable
+        image = Executable.from_bytes(args.image.read_bytes())
+        symbols = SymbolMap(image.symbols)
+    if args.annotate is not None:
+        if image is None:
+            print("roload-stats: --annotate requires --image",
+                  file=sys.stderr)
+            return 2
+        print(annotate(image, args.annotate, table))
+        return 0
+    print(format_top(flatten(table), symbols, limit=args.limit))
+    return 0
+
+
+def cmd_audit(args) -> int:
+    problems = verify_file(args.file)
+    if problems:
+        for problem in problems:
+            print(f"roload-stats: {args.file}: {problem}",
+                  file=sys.stderr)
+        print(f"roload-stats: {args.file}: audit chain verification "
+              f"FAILED ({len(problems)} problem"
+              f"{'s' if len(problems) != 1 else ''})", file=sys.stderr)
+        return 1
+    records = [json.loads(line)
+               for line in args.file.read_text().splitlines() if line]
+    head = records[-1]["sha256"]
+    print(f"{args.file}: ok ({len(records)} records, "
+          f"{len(records) - 2} events, head {head[:16]}…)")
+    return 0
+
+
+def _comparable(a: dict, b: dict) -> bool:
+    """Two bench records measure the same thing: same scale, same
+    benchmark set, same variants. Gating across different sweeps (a
+    smoke record vs a full record) is meaningless."""
+    return (a.get("scale") == b.get("scale")
+            and a.get("benchmarks") == b.get("benchmarks")
+            and a.get("variants") == b.get("variants"))
+
+
+def cmd_trend(args) -> int:
+    from repro.tools.benchtool import baseline_mips, evaluate_gate
+    series = []
+    for path in args.files:
+        record = json.loads(path.read_text())
+        if not is_bench_record(record):
+            print(f"roload-stats: {path}: not a roload-bench record",
+                  file=sys.stderr)
+            return 1
+        problems = validate_bench_record(record)
+        if problems:
+            for problem in problems:
+                print(f"roload-stats: {path}: {problem}", file=sys.stderr)
+            return 1
+        series.append((path, record))
+    print(f"  {'record':<36} {'schema':>6} {'top tier':>8} "
+          f"{'sim_mips':>10}")
+    for path, record in series:
+        top = _TOP_TIER[record["schema_version"]]
+        print(f"  {path.name:<36} {record['schema_version']:>6} "
+              f"{top:>8} {baseline_mips(record):>10.3f}")
+    failed = False
+    for (prev_path, prev), (path, record) in zip(series, series[1:]):
+        if not _comparable(prev, record):
+            print(f"note: {prev_path.name} -> {path.name}: not "
+                  f"comparable (different scale/benchmarks/variants); "
+                  f"not gated")
+            continue
+        ok, reference, floor = evaluate_gate(
+            baseline_mips(record), prev, args.tolerance)
+        if not ok:
+            failed = True
+            print(f"roload-stats: {path.name}: REGRESSION vs "
+                  f"{prev_path.name}: {baseline_mips(record):.3f} MIPS "
+                  f"< floor {floor:.3f} (reference {reference:.3f})",
+                  file=sys.stderr)
+    if args.check_against is not None:
+        baseline = json.loads(args.check_against.read_text())
+        path, newest = series[-1]
+        if not _comparable(baseline, newest):
+            print(f"note: {path.name} vs {args.check_against.name}: not "
+                  f"comparable (different scale/benchmarks/variants); "
+                  f"not gated")
+        else:
+            ok, reference, floor = evaluate_gate(
+                baseline_mips(newest), baseline, args.tolerance)
+            verdict = "ok" if ok else "REGRESSION"
+            print(f"gate vs {args.check_against.name}: {verdict} "
+                  f"({baseline_mips(newest):.3f} MIPS, floor "
+                  f"{floor:.3f}, reference {reference:.3f})")
+            failed = failed or not ok
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -223,6 +406,12 @@ def main(argv=None) -> int:
                 return cmd_summary(args)
             if args.command == "trace":
                 return cmd_trace(args)
+            if args.command == "top":
+                return cmd_top(args)
+            if args.command == "audit":
+                return cmd_audit(args)
+            if args.command == "trend":
+                return cmd_trend(args)
             return cmd_validate(args)
     except (ReproError, OSError) as error:
         print(f"roload-stats: {error}", file=sys.stderr)

@@ -324,6 +324,48 @@ def test_arch_event_stream_identical_across_tiers(monkeypatch, source,
     assert violation["insn_key"] == 5
 
 
+def test_audit_chain_identical_across_tiers(monkeypatch):
+    """The tamper-evident audit trail is part of the same cross-tier
+    contract: a ROLoad key-mismatch raised inside a compiled region must
+    produce a bit-identical hash chain — same records, same hashes, same
+    head — under every interpreter tier, because audit records carry
+    guest instret, never host time. Alongside it, the architectural
+    event subsequence must also match (the satellite differential)."""
+    from repro import obs
+    from repro.obs import arch_sequence, verify_chain
+
+    chains = {}
+    sequences = {}
+    try:
+        for tier in TIERS:
+            obs.disable()
+            obs.enable(audit=True)
+            kernel, __ = run_hot_fault(monkeypatch, HOT_WALK_KEY, tier)
+            assert kernel.security_log, tier  # the fault really happened
+            obs.OBS.audit.seal()
+            chains[tier] = [dict(record)
+                            for record in obs.OBS.audit.records]
+            sequences[tier] = arch_sequence(obs.OBS.events)
+    finally:
+        obs.disable()
+
+    for tier in COMPARED:
+        assert chains[tier] == chains["slow"], tier
+        assert sequences[tier] == sequences["slow"], tier
+    chain = chains["slow"]
+    assert verify_chain(chain) == []
+    assert chain[0]["type"] == "audit.genesis"
+    assert chain[-1]["type"] == "audit.seal"
+    violation = next(record for record in chain
+                     if record["type"] == "roload.violation")
+    assert violation["reason"] == "key_mismatch"
+    assert violation["insn_key"] == 5
+    # Guest time, identical in every tier: 512 good walks retired the
+    # same instruction count everywhere before the 513th ld.ro faulted.
+    assert isinstance(violation["instret"], int)
+    assert violation["instret"] > 512
+
+
 @pytest.mark.parametrize("source", [HOT_WALK_KEY, HOT_WALK_WRITABLE],
                          ids=["key-mismatch", "writable-page"])
 @pytest.mark.parametrize("tier", list(TIERS))

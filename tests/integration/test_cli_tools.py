@@ -198,3 +198,29 @@ class TestInjectTool:
              "--kinds", "pte-key"])
         assert code == 0
         assert "pte-key" in capsys.readouterr().out
+
+    def test_campaign_writes_verifiable_audit_trail(self, tmp_path,
+                                                    capsys):
+        """--audit-out on a campaign seals per-injection verdicts and
+        the campaign summary into a hash chain that verifies clean."""
+        import json as _json
+        from repro import obs
+        from repro.obs import verify_file
+        audit = tmp_path / "audit.jsonl"
+        try:
+            code = injecttool.main(
+                ["campaign", "--points", "1", "--quiet",
+                 "--kinds", "pte-key", "--audit-out", str(audit)])
+        finally:
+            obs.disable()
+        assert code == 0
+        assert "[audit:" in capsys.readouterr().out
+        assert verify_file(audit) == []
+        records = [_json.loads(line)
+                   for line in audit.read_text().splitlines()]
+        verdicts = [r for r in records if r["type"] == "inject.verdict"]
+        assert len(verdicts) == 3          # one point x three key flips
+        assert all(v["outcome"] == "detected" for v in verdicts)
+        summary = next(r for r in records
+                       if r["type"] == "inject.campaign")
+        assert summary["ok"] is True and summary["escapes"] == 0

@@ -1,0 +1,139 @@
+"""The tamper-evidence contract of the audit trail.
+
+A sealed chain verifies clean; any single-byte tamper, truncation,
+reorder, or post-seal append fails verification with the divergent
+record named. The committed fixtures pin the on-disk format: an intact
+chain from an old run must keep verifying, and the corrupted fixture
+must keep failing, no matter how the implementation evolves.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import AuditError
+from repro.obs import AuditTrail, record_hash, verify_chain, verify_file
+from repro.obs.audit import ZERO_HASH
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _chain(events=3):
+    trail = AuditTrail()
+    for index in range(events):
+        trail.append("roload.violation", pid=1, pc=0x10000 + 4 * index,
+                     addr=0x20000, reason="key_mismatch", insn_key=5,
+                     page_key=9, instret=100 + index)
+    trail.seal()
+    return trail
+
+
+def test_sealed_chain_verifies_clean(tmp_path):
+    trail = _chain()
+    assert trail.events == 3
+    assert verify_chain(trail.records) == []
+    path = tmp_path / "audit.jsonl"
+    assert trail.save(path) == 5  # genesis + 3 events + seal
+    assert verify_file(path) == []
+
+
+def test_chain_is_deterministic():
+    assert _chain().records == _chain().records
+    assert _chain().head == _chain().head
+
+
+def test_append_after_seal_raises():
+    trail = _chain()
+    with pytest.raises(AuditError):
+        trail.append("roload.violation", pid=1)
+    # seal() is idempotent and does not grow the chain.
+    before = len(trail.records)
+    trail.seal()
+    assert len(trail.records) == before
+
+
+def test_genesis_links_from_zero_hash():
+    trail = AuditTrail()
+    genesis = trail.records[0]
+    assert genesis["type"] == "audit.genesis"
+    assert genesis["prev"] == ZERO_HASH
+    assert genesis["sha256"] == record_hash(genesis)
+
+
+def test_single_byte_tamper_is_named(tmp_path):
+    path = tmp_path / "audit.jsonl"
+    _chain().save(path)
+    lines = path.read_text().splitlines()
+    # Flip one byte of record 2's payload: 0x20000 -> 0x20001.
+    assert "131072" in lines[2]
+    lines[2] = lines[2].replace("131072", "131073", 1)
+    path.write_text("\n".join(lines) + "\n")
+    problems = verify_file(path)
+    assert problems
+    assert any("record 2" in p and "tampered" in p for p in problems)
+
+
+def test_truncation_fails_closed(tmp_path):
+    path = tmp_path / "audit.jsonl"
+    _chain().save(path)
+    lines = path.read_text().splitlines()
+    # Dropping the tail (seal included) leaves an unsealed chain.
+    path.write_text("\n".join(lines[:-2]) + "\n")
+    problems = verify_file(path)
+    assert any("truncated" in p for p in problems)
+    # Dropping a middle record breaks both linkage and numbering.
+    path.write_text("\n".join(lines[:2] + lines[3:]) + "\n")
+    problems = verify_file(path)
+    assert any("chain broken" in p or "reordered or dropped" in p
+               for p in problems)
+
+
+def test_reorder_is_named(tmp_path):
+    path = tmp_path / "audit.jsonl"
+    _chain().save(path)
+    lines = path.read_text().splitlines()
+    lines[1], lines[2] = lines[2], lines[1]
+    path.write_text("\n".join(lines) + "\n")
+    problems = verify_file(path)
+    assert any("reordered or dropped" in p for p in problems)
+    assert any("chain broken" in p for p in problems)
+
+
+def test_garbage_line_fails_closed(tmp_path):
+    path = tmp_path / "audit.jsonl"
+    _chain().save(path)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("not json at all\n")
+    problems = verify_file(path)
+    assert problems and "not valid JSON" in problems[0]
+
+
+def test_records_appended_after_seal_are_detected(tmp_path):
+    path = tmp_path / "audit.jsonl"
+    trail = _chain()
+    trail.save(path)
+    # Forge a post-seal record that even carries a valid self-hash and
+    # prev link: the seal's position still betrays it.
+    forged = {"seq": len(trail.records), "type": "roload.violation",
+              "prev": trail.head, "pid": 9}
+    forged["sha256"] = record_hash(forged)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(forged, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+    problems = verify_file(path)
+    assert any("seal record is not last" in p for p in problems)
+
+
+def test_committed_intact_fixture_verifies():
+    """Format stability: a chain written by an earlier build must keep
+    verifying byte for byte."""
+    assert verify_file(FIXTURES / "audit_ok.jsonl") == []
+
+
+def test_committed_corrupted_fixture_fails():
+    """The CI negative control: this fixture carries a one-byte tamper
+    and MUST fail verification forever."""
+    problems = verify_file(FIXTURES / "audit_corrupted.jsonl")
+    assert problems
+    assert any("tampered" in p or "chain broken" in p for p in problems)

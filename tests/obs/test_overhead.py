@@ -4,20 +4,27 @@ Three layers of proof:
 
 * behavioural — a full kernel run with the switchboard off allocates no
   buffers and emits no events;
-* structural — the per-instruction slow path and the generated tier-2
-  source contain no reference to the obs layer at all (the only hot-path
-  cost anywhere is one ``enabled`` attribute test at cold sites);
+* structural — the per-instruction slow path and the generated tier-2,
+  tier-3, and tier-4 code contain no reference to the obs layer at all
+  (the only hot-path cost anywhere is one ``enabled`` attribute test at
+  cold sites, plus one ``is not None`` test at the batch observation
+  points);
 * end-to-end — a tier-2 mini-sweep with REPRO_OBS=0 passes the existing
-  15% roload-bench regression gate against an identical sweep.
+  15% roload-bench regression gate against an identical sweep, and a
+  tier-4 sweep with the flight recorder ON passes it against an obs-off
+  reference.
 """
 
 import inspect
 
 from repro import obs
 from repro.asm import assemble, link
+from repro.cpu import TimingModel
 from repro.cpu.core import Core
 from repro.cpu.jit import _generate
+from repro.cpu import regions as regions_mod
 from repro.kernel import Kernel
+from repro.mem import MMU, PhysicalMemory
 from repro.soc import build_system
 from repro.tools.benchtool import (
     _run_sweep,
@@ -95,6 +102,51 @@ def test_tier2_generated_source_has_no_obs_reference(monkeypatch):
     assert "obs" not in source.lower()
 
 
+def _region_core(monkeypatch, tier4=False):
+    monkeypatch.setenv("REPRO_JIT_DEBUG", "1")
+    memory = PhysicalMemory(1 << 20)
+    core = Core(memory, MMU(memory), timing=TimingModel(),
+                fast_path=True, jit=True, jit_threshold=2,
+                tier3=True, tier4=tier4, region_threshold=2)
+    core.pc = CODE_BASE
+    return core
+
+
+def test_tier3_region_source_has_no_obs_reference(monkeypatch):
+    """Tier-3 superblocks are also pure generated Python: the region
+    compiler must emit no observability reference either."""
+    core = _region_core(monkeypatch)
+    countdown_loop(core, 50)
+    run_to_ebreak(core)
+    assert core.regions_compiled >= 1
+    head_pc = next(iter(core._regions))
+    plan = regions_mod._plan(core, head_pc)
+    assert plan is not None
+    source, __, __ = regions_mod._generate(core, plan)
+    assert "obs" not in source.lower()
+
+
+def test_tier4_flat_core_has_no_obs_reference(monkeypatch):
+    """The flat-core backend (module source AND a real lowered region's
+    code object) carries no observability reference: tier-4 dispatch
+    runs past the obs layer entirely."""
+    from repro.cpu import flatcore
+    source = inspect.getsource(flatcore)
+    assert "_OBS" not in source
+    assert "repro.obs" not in source
+
+    core = _region_core(monkeypatch, tier4=True)
+    countdown_loop(core, 50)
+    run_to_ebreak(core)
+    assert core.flat_regions_compiled >= 1
+    region = next(iter(core._regions.values()))
+    assert region.tier4
+    names = set(region.fn.__code__.co_names)
+    names |= set(region.fn.__code__.co_freevars)
+    names |= set(region.fn.__code__.co_varnames)
+    assert not any("obs" in name.lower() for name in names)
+
+
 def test_tier2_sweep_with_obs_off_passes_the_bench_gate(monkeypatch):
     """End to end: two identical REPRO_OBS=0 tier-2 mini-sweeps stay
     inside the 15% regression gate — the acceptance bar for shipping
@@ -119,3 +171,37 @@ def test_tier2_sweep_with_obs_off_passes_the_bench_gate(monkeypatch):
     # The sweeps are architecturally identical, and nothing was observed.
     assert current["measurements"] == reference["measurements"]
     assert obs.OBS.events is None
+
+
+def test_tier4_sweep_with_sampling_on_passes_the_bench_gate(monkeypatch):
+    """The tentpole acceptance bar: an obs-ON tier-4 sweep with the
+    flight recorder sampling stays inside the 15% gate against an
+    obs-off reference — observability on is cheap, off is free."""
+    monkeypatch.setenv("REPRO_OBS", "0")
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    monkeypatch.setenv("REPRO_JIT", "1")
+    monkeypatch.setenv("REPRO_TIER3", "1")
+    monkeypatch.setenv("REPRO_TIER4", "1")
+    obs.disable()
+    benchmarks, variants, scale = ("429.mcf",), ("base",), 0.5
+    reference = _run_sweep(benchmarks, variants, scale,
+                           tier="tier4", jobs=1)
+    record = build_record(benchmarks, variants, scale,
+                          {"tier4": reference})
+    obs.enable(sample=5_000)
+    try:
+        current = _run_sweep(benchmarks, variants, scale,
+                             tier="tier4", jobs=1)
+        sampler = obs.OBS.sampler
+        assert sampler is not None and sampler.taken > 0
+        attributed = sum(sum(pcs.values()) for pcs
+                         in obs.OBS.attribution.export().values())
+        assert attributed > 0
+    finally:
+        obs.disable()
+    ok, ref_mips, floor = evaluate_gate(current["sim_mips"], record)
+    assert ok, (f"obs-on (sampled) tier-4 throughput "
+                f"{current['sim_mips']} sim-MIPS fell below the gate "
+                f"floor {floor:.4f} (reference {ref_mips})")
+    # Observation never changes the architecture.
+    assert current["measurements"] == reference["measurements"]

@@ -161,6 +161,139 @@ def test_summary_of_events_and_metrics(tmp_path, capsys):
     assert "2 metric series" in out and "sys.l1d.hits" in out
 
 
+def test_summary_of_bench_record_reports_tier4_residency(tmp_path,
+                                                         capsys):
+    """`summary` on a bench record must show the flat-core residency
+    columns — tier-4 retires and lowered region count — not just the
+    raw metric names."""
+    record = _bench_record(5, ["tier3", "tier4"],
+                           speedup={"tier4_over_tier3": 1.4})
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(record))
+    assert stats_main(["summary", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "schema v5" in out
+    assert "t4_retired" in out and "flat_regions" in out
+    assert "tier4" in out and "900" in out and "3" in out
+    assert "tier4_over_tier3=1.4x" in out
+
+
+def test_top_ranks_and_annotates(tmp_path, capsys):
+    """`top` on a synthetic attribution table ranks hottest-first; the
+    end-to-end path (runtool --metrics-out, then top --image) resolves
+    unit heads through the image's symbol table."""
+    metrics = tmp_path / "metrics.json"
+    metrics.write_text(json.dumps({"attribution": {
+        "tier2": {"0x10004": 400, "0x10020": 10},
+        "tier3": {"0x10004": 4000},
+    }}))
+    assert stats_main(["top", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "3 attributed units" in out
+    lines = out.splitlines()
+    assert "tier3" in lines[2]     # 4000 retires ranks first
+    # --annotate without --image is a usage error.
+    assert stats_main(["top", str(metrics), "--annotate", "f"]) == 2
+    capsys.readouterr()
+    # A metrics file without attribution degrades gracefully.
+    empty = tmp_path / "empty.json"
+    empty.write_text(json.dumps({"sys.l1d.hits": 1}))
+    assert stats_main(["top", str(empty)]) == 0
+    assert "no attribution data" in capsys.readouterr().out
+
+
+def test_top_end_to_end_with_image(tmp_path, capsys):
+    image_path = tmp_path / "prog.rex"
+    image_path.write_bytes(link([assemble(SOURCE)]).to_bytes())
+    metrics = tmp_path / "metrics.json"
+    run_main([str(image_path), "--metrics-out", str(metrics)])
+    capsys.readouterr()
+    assert stats_main(["top", str(metrics),
+                       "--image", str(image_path)]) == 0
+    out = capsys.readouterr().out
+    assert "attributed units" in out
+    assert "_start" in out or "loop" in out   # symbols resolved
+    assert stats_main(["top", str(metrics), "--image", str(image_path),
+                       "--annotate", "loop"]) == 0
+    assert "ld.ro" in capsys.readouterr().out
+
+
+def test_audit_verify_cli_end_to_end(tmp_path, capsys):
+    """roload-run --audit-out writes a sealed chain carrying the run's
+    ROLoad violation; `audit verify` passes it, fails a tampered copy
+    with the record named, and exits 1."""
+    image_path = tmp_path / "prog.rex"
+    image_path.write_bytes(link([assemble(SOURCE)]).to_bytes())
+    audit_path = tmp_path / "audit.jsonl"
+    code = run_main([str(image_path), "--audit-out", str(audit_path)])
+    assert code == 128 + 11
+    out = capsys.readouterr().out
+    assert "[audit:" in out
+
+    records = [json.loads(line)
+               for line in audit_path.read_text().splitlines()]
+    assert records[0]["type"] == "audit.genesis"
+    assert records[-1]["type"] == "audit.seal"
+    assert any(r["type"] == "roload.violation" for r in records)
+
+    assert stats_main(["audit", "verify", str(audit_path)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+    tampered = tmp_path / "tampered.jsonl"
+    text = audit_path.read_text().replace("key_mismatch",
+                                          "key_mismatcX", 1)
+    tampered.write_text(text)
+    assert stats_main(["audit", "verify", str(tampered)]) == 1
+    err = capsys.readouterr().err
+    assert "tampered" in err and "FAILED" in err
+
+
+def test_trend_gates_comparable_records(tmp_path, capsys):
+    def _write(name, mips):
+        record = _bench_record(5, ["tier3", "tier4"],
+                               speedup={"tier4_over_tier3": 1.4})
+        record["tiers"]["tier4"]["sim_mips"] = mips
+        path = tmp_path / name
+        path.write_text(json.dumps(record))
+        return path
+
+    a = _write("a.json", 1.00)
+    b = _write("b.json", 0.95)    # inside the 15% tolerance
+    c = _write("c.json", 0.50)    # a real regression
+    assert stats_main(["trend", str(a), str(b)]) == 0
+    assert "REGRESSION" not in capsys.readouterr().err
+    assert stats_main(["trend", str(a), str(b), str(c)]) == 1
+    assert "c.json: REGRESSION" in capsys.readouterr().err
+    # Gate against an explicit baseline.
+    assert stats_main(["trend", str(b), "--check-against", str(a)]) == 0
+    assert "gate vs a.json: ok" in capsys.readouterr().out
+    assert stats_main(["trend", str(c), "--check-against", str(a)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_trend_skips_non_comparable_records(tmp_path, capsys):
+    """A smoke record gated against a full-scale baseline is apples to
+    oranges: trend must say so and exit 0, not produce a fake verdict —
+    exactly what CI does with its smoke artifact."""
+    full = _bench_record(5, ["tier3", "tier4"],
+                         speedup={"tier4_over_tier3": 1.4})
+    smoke = json.loads(json.dumps(full))
+    smoke["scale"] = 0.05
+    smoke["tiers"]["tier4"]["sim_mips"] = 0.01   # would fail if gated
+    full_path = tmp_path / "full.json"
+    full_path.write_text(json.dumps(full))
+    smoke_path = tmp_path / "smoke.json"
+    smoke_path.write_text(json.dumps(smoke))
+    assert stats_main(["trend", str(smoke_path),
+                       "--check-against", str(full_path)]) == 0
+    out = capsys.readouterr().out
+    assert "not comparable" in out
+    # And a malformed record still fails loudly.
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"tool": "else"}))
+    assert stats_main(["trend", str(bad)]) == 1
+
+
 def test_runtool_exports_validating_trace_and_exact_metrics(tmp_path,
                                                             capsys):
     """The acceptance demo: a run with a ROLoad violation produces a
@@ -187,3 +320,37 @@ def test_runtool_exports_validating_trace_and_exact_metrics(tmp_path,
     assert metrics["sys.timing.instructions"] > 0
     residency = metrics["sys.tier.residency"]
     assert residency["retired"] == metrics["sys.timing.instructions"]
+    # The event-ring health counters ride along (overflow is visible).
+    assert metrics["events.emitted"] >= len(trace["traceEvents"]) - 10
+    assert metrics["events.dropped"] == 0
+    # And so does the bounded security log's accounting.
+    assert metrics["kernel.seclog.total"] == 1
+    assert metrics["kernel.seclog.dropped"] == 0
+
+
+def test_runtool_sample_interval_exports_timeseries(tmp_path, capsys):
+    """--sample-interval arms the flight recorder: the metrics dump
+    grows a 'timeseries' section and the trace grows flight-recorder
+    counter tracks, and the file still validates."""
+    image = tmp_path / "prog.rex"
+    image.write_bytes(link([assemble(SOURCE)]).to_bytes())
+    trace_out = tmp_path / "trace.json"
+    metrics_out = tmp_path / "metrics.json"
+    code = run_main([str(image), "--sample-interval", "5",
+                     "--trace-out", str(trace_out),
+                     "--metrics-out", str(metrics_out)])
+    assert code == 128 + 11
+    capsys.readouterr()
+
+    metrics = json.loads(metrics_out.read_text())
+    series = metrics["timeseries"]
+    assert series["initial_interval"] == 5
+    assert series["taken"] >= 2          # run start + mid/end samples
+    instrets = [row["instret"] for row in series["samples"]]
+    assert instrets == sorted(instrets)
+
+    assert stats_main(["validate", str(trace_out)]) == 0
+    trace = json.loads(trace_out.read_text())
+    names = {event["name"] for event in trace["traceEvents"]}
+    assert "sampled.tiers" in names
+    assert "sampled.progress" in names
