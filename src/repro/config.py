@@ -50,6 +50,24 @@ REPRO_JOBS              jobs                1        benchmark worker
                                                      one per CPU)
 REPRO_BENCH_SCALE       bench_scale         0.1      pytest-benchmark workload
                                                      scale
+REPRO_SERVE_WORKERS     serve_workers       2        roload-serve worker
+                                                     processes (0/"auto" =
+                                                     one per CPU)
+REPRO_SERVE_SESSIONS    serve_sessions      64       max live sessions per
+                                                     serve worker (fail
+                                                     closed)
+REPRO_SERVE_SLICE       serve_slice         50000    max instructions one
+                                                     serve step request may
+                                                     run (time-slice quantum)
+REPRO_SERVE_INSTRET     serve_instret       10000000 default per-session
+                                                     retired-instruction
+                                                     budget (fail closed)
+REPRO_SERVE_FRAMES      serve_frames        8192     default per-session
+                                                     private-frame cap
+                                                     (fail closed)
+REPRO_SERVE_BOOT        serve_boot          4096     warm-snapshot boot
+                                                     point (instructions
+                                                     retired before capture)
 ======================  ==================  =======  =========================
 
 The five interpreter tiers are named configurations over the first
@@ -99,17 +117,22 @@ def _parse_nonneg_int(default: int) -> "Callable[[str], int]":
     return parse
 
 
-def _parse_jobs(raw: str) -> int:
-    """0 means one worker per CPU; invalid values are a usage error
-    (matching the old ``resolve_jobs`` behaviour)."""
-    raw = raw.strip().lower()
-    if raw in ("0", "auto"):
-        return 0
-    try:
-        return int(raw)
-    except ValueError:
-        raise ConfigError(
-            f"REPRO_JOBS={raw!r} is not an integer (or 'auto')") from None
+def _parse_worker_count(env: str) -> "Callable[[str], int]":
+    """0/'auto' means one worker per CPU; invalid values are a usage
+    error (matching the old ``resolve_jobs`` behaviour)."""
+    def parse(raw: str) -> int:
+        raw = raw.strip().lower()
+        if raw in ("0", "auto"):
+            return 0
+        try:
+            return int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{env}={raw!r} is not an integer (or 'auto')") from None
+    return parse
+
+
+_parse_jobs = _parse_worker_count("REPRO_JOBS")
 
 
 def _parse_scale(raw: str) -> float:
@@ -160,6 +183,12 @@ class Config:
     seclog_cap: int = 4096
     jobs: int = 1           # 0 = one worker per CPU ("auto")
     bench_scale: float = 0.1
+    serve_workers: int = 2  # 0 = one worker per CPU ("auto")
+    serve_sessions: int = 64
+    serve_slice: int = 50_000
+    serve_instret: int = 10_000_000
+    serve_frames: int = 8192
+    serve_boot: int = 4096
 
     @property
     def effective_jit(self) -> bool:
@@ -219,6 +248,14 @@ class Config:
             jobs = os.cpu_count() or 1
         return max(1, jobs)
 
+    def resolve_serve_workers(self, workers: "Optional[int]" = None) -> int:
+        """Serve worker-process count, with the same 0 = auto rule."""
+        if workers is None:
+            workers = self.serve_workers
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        return max(1, workers)
+
 
 KNOBS: "tuple[Knob, ...]" = (
     Knob("fast_path", "REPRO_FASTPATH", _parse_flag_default_on,
@@ -257,6 +294,20 @@ KNOBS: "tuple[Knob, ...]" = (
          "benchmark worker processes (0/'auto' = one per CPU)"),
     Knob("bench_scale", "REPRO_BENCH_SCALE", _parse_scale, str,
          "pytest-benchmark workload scale"),
+    Knob("serve_workers", "REPRO_SERVE_WORKERS",
+         _parse_worker_count("REPRO_SERVE_WORKERS"), str,
+         "roload-serve worker processes (0/'auto' = one per CPU)"),
+    Knob("serve_sessions", "REPRO_SERVE_SESSIONS", _parse_positive_int(64),
+         str, "max live sessions per serve worker (fail closed)"),
+    Knob("serve_slice", "REPRO_SERVE_SLICE", _parse_positive_int(50_000),
+         str, "max instructions one serve step request may run"),
+    Knob("serve_instret", "REPRO_SERVE_INSTRET",
+         _parse_positive_int(10_000_000), str,
+         "default per-session retired-instruction budget (fail closed)"),
+    Knob("serve_frames", "REPRO_SERVE_FRAMES", _parse_positive_int(8192),
+         str, "default per-session private-frame cap (fail closed)"),
+    Knob("serve_boot", "REPRO_SERVE_BOOT", _parse_positive_int(4096),
+         str, "warm-snapshot boot point (instructions before capture)"),
 )
 
 _KNOB_BY_NAME: "Dict[str, Knob]" = {}

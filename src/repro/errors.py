@@ -77,3 +77,10 @@ class ReplayError(ReproError):
 class AuditError(ReproError):
     """Audit-trail misuse (appending to a sealed chain) or an audit log
     whose hash chain fails verification."""
+
+
+class ServeError(ReproError):
+    """Simulation-service misuse: a malformed or unverifiable protocol
+    request, an unknown session, or a fail-closed denial (resource cap,
+    session limit, detached session). The server maps these to error
+    responses — they never kill a worker."""

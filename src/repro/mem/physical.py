@@ -14,6 +14,51 @@ PAGE_SIZE = 1 << PAGE_SHIFT
 PAGE_MASK = PAGE_SIZE - 1
 
 
+class CowFrameMap(dict):
+    """Frame store with a shared read-only backing layer (COW forking).
+
+    A :class:`dict` subclass so the interpreter fast paths — which bind
+    ``memory._frames`` and issue plain ``frames.get(ppn)`` /
+    ``frames[ppn] = fb`` traffic — keep working unchanged: :meth:`get`
+    materializes a *private* ``bytearray`` copy of a shared frame on
+    first touch, after which the frame behaves exactly like an eagerly
+    restored one (JIT memos may pin it, stores mutate it in place).
+    The shared dict holds immutable ``bytes`` and is never written, so
+    any number of sessions can fork from the same snapshot and share
+    it; ``len()``/iteration/membership intentionally reflect only the
+    materialized private frames (see ``PhysicalMemory.frame_count``).
+    """
+
+    __slots__ = ("shared",)
+
+    def __init__(self, shared: "dict[int, bytes]"):
+        super().__init__()
+        self.shared = shared
+
+    def get(self, key, default=None):
+        frame = dict.get(self, key)
+        if frame is not None:
+            return frame
+        data = self.shared.get(key)
+        if data is None:
+            return default
+        frame = bytearray(data)
+        dict.__setitem__(self, key, frame)
+        return frame
+
+    def __getitem__(self, key):
+        frame = self.get(key)
+        if frame is None:
+            raise KeyError(key)
+        return frame
+
+    def clear(self) -> None:
+        """Drop private *and* shared frames (the shared dict itself is
+        left untouched — other forks keep reading it)."""
+        dict.clear(self)
+        self.shared = {}
+
+
 class PhysicalMemory:
     """Byte-addressable physical memory with sparse page-frame backing."""
 
@@ -34,7 +79,25 @@ class PhysicalMemory:
         return frame
 
     def frame_count(self) -> int:
-        """Number of frames actually allocated (for memory accounting)."""
+        """Number of frames logically present (for memory accounting).
+
+        Under a copy-on-write restore this counts shared frames too —
+        a forked machine holds the same logical pages as an eagerly
+        restored one, whether or not it has touched them yet.
+        """
+        frames = self._frames
+        shared = getattr(frames, "shared", None)
+        if not shared:
+            return len(frames)
+        return len(frames.keys() | shared.keys())
+
+    def private_frame_count(self) -> int:
+        """Frames this machine owns outright — its real memory cost.
+
+        Equal to :meth:`frame_count` on an ordinary machine; on a
+        copy-on-write fork it counts only the materialized private
+        copies, which is what per-session frame caps meter.
+        """
         return len(self._frames)
 
     @property
@@ -121,20 +184,69 @@ class PhysicalMemory:
 
         All-zero frames are dropped: an unallocated frame reads as zeroes,
         so restoring without them is observationally identical and the
-        snapshot stays proportional to the *touched* working set.
+        snapshot stays proportional to the *touched* working set. Shared
+        copy-on-write frames not yet touched are included as-is (they
+        are already immutable), so a forked machine snapshots to the
+        same frame set as an eagerly restored one.
         """
         zero = bytes(PAGE_SIZE)
-        return {index: bytes(frame)
-                for index, frame in self._frames.items()
-                if frame != zero}
+        out = {index: bytes(frame)
+               for index, frame in self._frames.items()
+               if frame != zero}
+        shared = getattr(self._frames, "shared", None)
+        if shared:
+            private = self._frames
+            for index, data in shared.items():
+                if index not in private and data != zero:
+                    out[index] = data
+        return out
+
+    def _validate_frames(self, frames: "dict[int, bytes]") -> None:
+        """Reject snapshots whose frames do not fit this memory's
+        geometry — fail closed instead of silently corrupting state."""
+        limit = self.size >> PAGE_SHIFT
+        for index, data in frames.items():
+            if not isinstance(index, int) or isinstance(index, bool) \
+                    or index < 0 or index >= limit:
+                raise MemoryError_(
+                    f"snapshot frame index {index!r} outside the "
+                    f"configured geometry (0..{limit - 1})")
+            if not isinstance(data, (bytes, bytearray)) \
+                    or len(data) != PAGE_SIZE:
+                size = len(data) if isinstance(data, (bytes, bytearray)) \
+                    else type(data).__name__
+                raise MemoryError_(
+                    f"snapshot frame {index:#x} is not a {PAGE_SIZE}-byte "
+                    f"page ({size})")
 
     def restore_frames(self, frames: "dict[int, bytes]") -> None:
         """Replace the entire backing store with a snapshot's frames.
 
         Mutates the existing dict in place: decode-specialised ops and
         JIT code close over :attr:`frame_map` by identity, so the store
-        must never be rebound on a live machine.
+        must never be rebound on a live machine. Frames are validated
+        against the configured geometry first (a malformed frame raises
+        :class:`~repro.errors.MemoryError_` before anything is touched).
         """
+        self._validate_frames(frames)
         self._frames.clear()
         for index, data in frames.items():
             self._frames[index] = bytearray(data)
+
+    def restore_frames_cow(self, shared: "dict[int, bytes]") -> None:
+        """Install a snapshot's frames as a shared copy-on-write layer.
+
+        The milliseconds-fork path of ``repro.serve``: no frame data is
+        copied here — ``shared`` (immutable snapshot bytes, typically
+        ``Snapshot.state["memory"]``) becomes the read layer of a
+        :class:`CowFrameMap` and private copies materialize on first
+        touch. Unlike :meth:`restore_frames` this **rebinds** the store,
+        so it is only valid on a machine that has never run: nothing may
+        have bound :attr:`frame_map` yet and no frame may exist.
+        """
+        if self._frames:
+            raise MemoryError_(
+                "copy-on-write restore requires an untouched memory "
+                f"({len(self._frames)} frames already allocated)")
+        self._validate_frames(shared)
+        self._frames = CowFrameMap(shared)

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 from repro import config as _config
 from repro.obs.attribution import Attribution
-from repro.obs.audit import AuditTrail, record_hash, verify_chain, verify_file
+from repro.obs.audit import (AuditTrail, record_hash, sealed_view,
+                             verify_chain, verify_file)
 from repro.obs.events import (
     DEFAULT_CAPACITY,
     EventStream,
@@ -45,7 +46,7 @@ __all__ = [
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "EventStream",
     "arch_sequence", "load_jsonl",
     "Sampler", "AuditTrail", "Attribution",
-    "record_hash", "verify_chain", "verify_file",
+    "record_hash", "sealed_view", "verify_chain", "verify_file",
     "chrome_trace", "write_chrome_trace", "validate_trace",
 ]
 

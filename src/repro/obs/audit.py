@@ -111,6 +111,24 @@ class AuditTrail:
         return len(self.records)
 
 
+def sealed_view(trail: AuditTrail) -> "List[dict]":
+    """A verifiable copy of a chain *without* sealing the live trail.
+
+    Used by the serve ``query`` export: the returned record list ends in
+    a seal computed over the current head, so :func:`verify_chain`
+    accepts it, while the session's own chain stays open and keeps
+    accumulating events. Each later export is a longer, independently
+    verifiable prefix-extension of the earlier ones.
+    """
+    records = list(trail.records)
+    if trail.sealed:
+        return records
+    seal = {"seq": len(records), "type": "audit.seal",
+            "prev": records[-1]["sha256"], "events": len(records) - 1}
+    seal["sha256"] = record_hash(seal)
+    return records + [seal]
+
+
 def load_audit(path) -> "List[dict]":
     """Read a saved audit chain back; raises on unparseable lines (a
     non-JSON line *is* a verification failure — use :func:`verify_file`

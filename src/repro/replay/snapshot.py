@@ -278,7 +278,7 @@ def _cache_counters(cache) -> "Optional[dict]":
     return {"hits": cache.hits, "misses": cache.misses}
 
 
-def restore(snap: Snapshot, *, system=None):
+def restore(snap: Snapshot, *, system=None, cow: bool = False):
     """Rebuild a (kernel, process) pair from a snapshot.
 
     ``system`` defaults to a fresh :func:`build_system` of the
@@ -287,6 +287,14 @@ def restore(snap: Snapshot, *, system=None):
     tiers) starts empty — exactly the quiesced state the capture left
     the original machine in. Returns the kernel and the process that
     was current at capture (the last runnable one, else the last).
+
+    With ``cow=True`` the snapshot's frames are installed as a shared
+    copy-on-write layer instead of being copied eagerly
+    (:meth:`~repro.mem.physical.PhysicalMemory.restore_frames_cow`):
+    restoring is then O(bookkeeping), not O(memory), and any number of
+    machines forked from the same snapshot share its frame bytes — the
+    ``repro.serve`` session-fork path. Requires a system whose memory
+    has never been touched (the fresh default always qualifies).
     """
     from repro.kernel.address_space import AddressSpace
     from repro.kernel.fault import SecurityEvent
@@ -301,7 +309,10 @@ def restore(snap: Snapshot, *, system=None):
         raise ReplayError(
             f"snapshot was taken on profile {state['profile']!r}, "
             f"got a {system.config.profile!r} system")
-    system.memory.restore_frames(state["memory"])
+    if cow:
+        system.memory.restore_frames_cow(state["memory"])
+    else:
+        system.memory.restore_frames(state["memory"])
     kernel = Kernel(system)
     kernel.allocator._next = state["allocator"]["next"]
     kernel.allocator.allocated = state["allocator"]["allocated"]

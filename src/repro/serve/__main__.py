@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` — same entry point as ``roload-serve``."""
+
+from repro.serve.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,246 @@
+"""roload-serve: the asyncio front end over the worker-process pool.
+
+The server listens on a local socket (Unix-domain by default, TCP with
+``--host``) and speaks the line-JSON protocol of :mod:`repro.serve.
+protocol`. It owns no simulator state itself: sessions live in a pool
+of share-nothing worker processes (:mod:`repro.serve.worker`), sharded
+by session id (``sid % workers``), so two sessions on different
+workers advance in true parallel while sessions on one worker share it
+cooperatively via bounded step slices.
+
+Requests that fail validation are answered ``{"ok": false}`` and
+change nothing; a client protocol error never reaches a worker. The
+front end allocates session ids itself — clients name sessions only by
+the ids the server handed out, so one client cannot address another's
+worker state by guessing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import multiprocessing
+import os
+import sys
+from time import perf_counter
+from typing import Optional
+
+from repro import config as _config
+from repro.errors import ServeError
+from repro.serve import protocol
+from repro.serve.worker import worker_main
+
+_FORWARDED_ENV = ("PYTHONPATH", "PYTHONHASHSEED")
+
+
+def _worker_env() -> dict:
+    """Environment snapshot the workers re-read their config from."""
+    env = {name: value for name, value in os.environ.items()
+           if name.startswith("REPRO_")}
+    for name in _FORWARDED_ENV:
+        if name in os.environ:
+            env[name] = os.environ[name]
+    return env
+
+
+class WorkerHandle:
+    """One worker process plus the pipe and lock guarding it."""
+
+    def __init__(self, worker_id: int, env: dict):
+        context = multiprocessing.get_context(
+            "fork" if sys.platform != "win32" else "spawn")
+        self.worker_id = worker_id
+        self.conn, child = context.Pipe()
+        self.process = context.Process(
+            target=worker_main, args=(child, worker_id, env),
+            name=f"roload-serve-worker-{worker_id}", daemon=True)
+        self.process.start()
+        child.close()
+        self.lock = asyncio.Lock()
+
+    def _call_sync(self, request: dict) -> dict:
+        self.conn.send(request)
+        return self.conn.recv()
+
+    async def call(self, request: dict) -> dict:
+        """Send one request and await its reply, one at a time."""
+        async with self.lock:
+            if not self.process.is_alive():
+                return protocol.error(
+                    f"worker {self.worker_id} is dead")
+            try:
+                return await asyncio.to_thread(self._call_sync, request)
+            except (EOFError, OSError) as error:
+                return protocol.error(f"worker {self.worker_id} pipe "
+                                      f"broke: {error}")
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send({"op": "shutdown"})
+            self.conn.recv()
+        except (EOFError, OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():
+            self.process.terminate()
+        self.conn.close()
+
+
+class ServeFrontEnd:
+    """Session-id allocation, sharding, and protocol dispatch."""
+
+    def __init__(self, workers: "Optional[int]" = None, config=None):
+        self.config = config or _config.current()
+        count = self.config.resolve_serve_workers(workers)
+        env = _worker_env()
+        self.workers = [WorkerHandle(i, env) for i in range(count)]
+        self.next_sid = 0
+        self.started = perf_counter()
+        self.requests = 0
+
+    def _shard(self, sid: int) -> WorkerHandle:
+        return self.workers[sid % len(self.workers)]
+
+    async def handle(self, request: dict) -> dict:
+        """Dispatch one *validated* request."""
+        self.requests += 1
+        op = request["op"]
+        if op == "ping":
+            return protocol.ok(server="roload-serve",
+                               workers=len(self.workers),
+                               requests=self.requests,
+                               uptime_s=perf_counter() - self.started)
+        if op == "stats":
+            replies = await asyncio.gather(
+                *(worker.call(request) for worker in self.workers))
+            return protocol.ok(workers=list(replies),
+                               requests=self.requests)
+        if op == "warm":
+            # Warm every worker: a later create lands on the shard its
+            # session id picks, and each must already hold the snapshot
+            # for forking to be cheap there.
+            replies = await asyncio.gather(
+                *(worker.call(request) for worker in self.workers))
+            bad = next((r for r in replies if not r.get("ok")), None)
+            if bad is not None:
+                return bad
+            return protocol.ok(
+                built=sum(1 for r in replies if r.get("built")),
+                workers=len(replies),
+                boot_us=[r["boot_us"] for r in replies
+                         if r.get("built")])
+        if op == "create":
+            sid = self.next_sid
+            self.next_sid += 1
+            routed = dict(request)
+            routed["session"] = sid
+            return await self._shard(sid).call(routed)
+        sid = protocol.session_of(request)
+        if sid is None:
+            return protocol.error(f"op {op!r} is not routable")
+        if sid >= self.next_sid:
+            return protocol.error(f"unknown session {sid}")
+        return await self._shard(sid).call(request)
+
+    async def handle_line(self, line: str) -> dict:
+        try:
+            request = protocol.parse_request(line)
+        except ServeError as error:
+            return protocol.error(str(error))
+        return await self.handle(request)
+
+    def shutdown(self) -> None:
+        for worker in self.workers:
+            worker.shutdown()
+
+
+async def _client_loop(front: ServeFrontEnd, reader, writer) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            response = await front.handle_line(text)
+            writer.write(protocol.encode(response))
+            await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        writer.close()
+
+
+async def serve(path: "Optional[str]" = None,
+                host: "Optional[str]" = None, port: int = 0,
+                workers: "Optional[int]" = None,
+                ready=None) -> None:
+    """Run the server until cancelled.
+
+    ``ready``, if given, is called with the listening address once the
+    socket is bound — the load generator and tests use it to connect
+    without racing the bind.
+    """
+    front = ServeFrontEnd(workers)
+
+    async def on_client(reader, writer):
+        await _client_loop(front, reader, writer)
+
+    if host is not None:
+        server = await asyncio.start_server(on_client, host, port)
+        address = server.sockets[0].getsockname()[:2]
+    else:
+        if path is None:
+            raise ServeError("serve() needs a socket path or a host")
+        server = await asyncio.start_unix_server(on_client, path)
+        address = path
+    try:
+        if ready is not None:
+            ready(address)
+        async with server:
+            await server.serve_forever()
+    finally:
+        front.shutdown()
+        if host is None and path is not None:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="roload-serve",
+        description="Snapshot-forked multi-session simulation service "
+                    "speaking line-JSON over a local socket.")
+    parser.add_argument("--socket", metavar="PATH",
+                        default="roload-serve.sock",
+                        help="Unix socket path (default: "
+                             "./roload-serve.sock)")
+    parser.add_argument("--host", default=None,
+                        help="serve TCP on this host instead of a "
+                             "Unix socket")
+    parser.add_argument("--port", type=int, default=7333,
+                        help="TCP port with --host (default: 7333)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: "
+                             "REPRO_SERVE_WORKERS; 0 = one per CPU)")
+    args = parser.parse_args(argv)
+
+    def announce(address):
+        print(f"roload-serve: listening on {address} "
+              f"({_config.current().resolve_serve_workers(args.workers)}"
+              f" workers)", flush=True)
+
+    try:
+        asyncio.run(serve(path=None if args.host else args.socket,
+                          host=args.host, port=args.port,
+                          workers=args.workers, ready=announce))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,8 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     validate = sub.add_parser(
         "validate", help="check a Chrome trace file against the "
-                         "trace-event schema, or a roload-bench record "
-                         "against the bench schema (v3-v5)")
+                         "trace-event schema, a roload-bench record "
+                         "against the bench schema (v3-v5), or a "
+                         "roload-serve record (BENCH_serve.json, v1)")
     validate.add_argument("trace", type=Path)
 
     top = sub.add_parser(
@@ -114,6 +115,80 @@ _TOP_TIER = {3: "tier2", 4: "tier3", 5: "tier4"}
 
 def is_bench_record(data: dict) -> bool:
     return isinstance(data, dict) and data.get("tool") == "roload-bench"
+
+
+# Serve bench record schema (see repro.serve.loadgen): what a
+# BENCH_serve.json must carry for the CI artifact check.
+SERVE_SCHEMA_VERSIONS = (1,)
+
+_SERVE_SECTIONS = {
+    "fork": ("cold_boot_ms", "fork_ms_mean", "fork_ms_p99", "speedup"),
+    "throughput": ("sessions_per_sec", "steps_per_sec", "sim_mips"),
+    "latency_ms": ("step_p50", "step_p99", "create_p50", "create_p99"),
+    "determinism": ("groups", "divergent"),
+}
+
+
+def is_serve_record(data: dict) -> bool:
+    return isinstance(data, dict) and data.get("tool") == "roload-serve"
+
+
+def validate_serve_record(record: dict) -> "list[str]":
+    """Schema-check one BENCH_serve.json record; returns problems."""
+    problems = []
+    version = record.get("schema_version")
+    if version not in SERVE_SCHEMA_VERSIONS:
+        problems.append(f"schema_version {version!r} not in "
+                        f"{list(SERVE_SCHEMA_VERSIONS)}")
+        return problems
+    for key in ("params", "host"):
+        if not isinstance(record.get(key), dict):
+            problems.append(f"missing section {key!r}")
+    for section, fields in _SERVE_SECTIONS.items():
+        body = record.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"missing section {section!r}")
+            continue
+        for field in fields:
+            if not isinstance(body.get(field), (int, float)) \
+                    or isinstance(body.get(field), bool):
+                problems.append(f"{section}.{field}: not a number "
+                                f"(got {body.get(field)!r})")
+    determinism = record.get("determinism", {})
+    divergent = determinism.get("divergent")
+    if isinstance(divergent, int) and divergent > 0:
+        problems.append(f"determinism.divergent is {divergent}: "
+                        f"identical-workload sessions diverged")
+    return problems
+
+
+def _summarize_serve(record: dict) -> str:
+    params = record.get("params", {})
+    fork = record.get("fork", {})
+    throughput = record.get("throughput", {})
+    latency = record.get("latency_ms", {})
+    determinism = record.get("determinism", {})
+    return "\n".join([
+        f"roload-serve record (schema "
+        f"v{record.get('schema_version', '?')}): "
+        f"{params.get('sessions', '?')} sessions across "
+        f"{params.get('workers', '?')} workers, "
+        f"workload {params.get('workload', '?')} "
+        f"(scale {params.get('scale', '?')}, "
+        f"tiers: {', '.join(params.get('tiers', []))})",
+        f"  fork: {fork.get('fork_ms_mean', 0):.3f}ms mean / "
+        f"{fork.get('fork_ms_p99', 0):.3f}ms p99 vs "
+        f"{fork.get('cold_boot_ms', 0):.1f}ms cold boot "
+        f"({fork.get('speedup', 0):.1f}x)",
+        f"  throughput: {throughput.get('sessions_per_sec', 0):.1f} "
+        f"sessions/s, {throughput.get('steps_per_sec', 0):.1f} steps/s, "
+        f"{throughput.get('sim_mips', 0):.3f} sim-MIPS",
+        f"  latency: step p50 {latency.get('step_p50', 0):.2f}ms / "
+        f"p99 {latency.get('step_p99', 0):.2f}ms, create p99 "
+        f"{latency.get('create_p99', 0):.2f}ms",
+        f"  determinism: {determinism.get('groups', 0)} group(s), "
+        f"{determinism.get('divergent', 0)} divergent",
+    ])
 
 
 def validate_bench_record(record: dict) -> "list[str]":
@@ -234,6 +309,9 @@ def cmd_summary(args) -> int:
         if is_bench_record(data):
             print(_summarize_bench(data))
             return 0
+        if is_serve_record(data):
+            print(_summarize_serve(data))
+            return 0
         if "ts" in data and "type" in data:   # a one-event JSONL dump
             print(_summarize_events([data]))
             return 0
@@ -279,6 +357,19 @@ def cmd_validate(args) -> int:
         tiers = ", ".join(sorted(trace["tiers"]))
         print(f"{args.trace}: ok (bench record schema v{version}, "
               f"tiers: {tiers})")
+        return 0
+    if is_serve_record(trace):
+        problems = validate_serve_record(trace)
+        if problems:
+            for problem in problems:
+                print(f"roload-stats: {args.trace}: {problem}",
+                      file=sys.stderr)
+            return 1
+        version = trace["schema_version"]
+        determinism = trace.get("determinism", {})
+        print(f"{args.trace}: ok (serve record schema v{version}, "
+              f"{trace.get('params', {}).get('sessions', '?')} sessions, "
+              f"{determinism.get('divergent', 0)} divergent)")
         return 0
     problems = validate_trace(trace)
     if problems:

@@ -1,0 +1,26 @@
+"""Shared serve fixtures: one tiny warm snapshot per test session.
+
+Booting a workload costs ~100ms; forking from the warm snapshot costs
+microseconds. Every serve test that needs a live machine forks from
+this one pool entry, which is exactly the production shape.
+"""
+
+import pytest
+
+from repro.serve.pool import PoolKey, SnapshotPool
+
+# Small enough to boot fast, big enough to survive thousands of step
+# instructions past the boot point before exiting.
+KEY = PoolKey(profile="processor+kernel", workload="429.mcf",
+              scale=0.02, variant="vcall", boot=2000)
+
+
+@pytest.fixture(scope="session")
+def pool():
+    return SnapshotPool()
+
+
+@pytest.fixture(scope="session")
+def warm_key(pool):
+    pool.warm(KEY)
+    return KEY

@@ -1,0 +1,147 @@
+"""Copy-on-write frame sharing (repro.mem.physical) — PR 9 tentpole.
+
+The properties that make snapshot forking safe: forked memories share
+frame bytes until first write, writes never leak between forks or back
+into the shared layer, and frame accounting distinguishes logical
+pages (what the guest sees) from private pages (what the session
+costs). Plus the restore_frames validation satellite: malformed frame
+dicts are rejected with a typed error before any state changes.
+"""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem.physical import PAGE_SIZE, CowFrameMap, PhysicalMemory
+
+
+def _seeded_memory():
+    memory = PhysicalMemory(1 << 20)
+    memory.write_bytes(0x0000, b"frame-zero".ljust(64, b"\0"))
+    memory.write_bytes(0x3000, b"frame-three".ljust(64, b"\0"))
+    return memory
+
+
+def _fork(shared):
+    memory = PhysicalMemory(1 << 20)
+    memory.restore_frames_cow(shared)
+    return memory
+
+
+class TestCowSharing:
+    def test_fork_reads_shared_bytes(self):
+        shared = _seeded_memory().snapshot_frames()
+        fork = _fork(shared)
+        assert fork.read_bytes(0, 10) == b"frame-zero"
+        assert fork.read_bytes(0x3000, 11) == b"frame-three"
+
+    def test_untouched_fork_materializes_nothing(self):
+        shared = _seeded_memory().snapshot_frames()
+        fork = _fork(shared)
+        assert fork.private_frame_count() == 0
+        assert fork.frame_count() == len(shared)
+        # First touch — read or write — materializes exactly the frame
+        # touched, nothing else (the fast paths bind frames.get() for
+        # loads too, so reads copy as well; the frame cap meters both).
+        fork.read_bytes(0, 64)
+        assert fork.private_frame_count() == 1
+
+    def test_write_copies_only_the_touched_frame(self):
+        shared = _seeded_memory().snapshot_frames()
+        fork = _fork(shared)
+        fork.write_bytes(0x3000, b"CHANGED")
+        assert fork.private_frame_count() == 1
+        assert fork.read_bytes(0x3000, 7) == b"CHANGED"
+        # The rest of the touched frame kept its shared content.
+        assert fork.read_bytes(0x3007, 4) == b"hree"
+
+    def test_writes_do_not_leak_between_forks(self):
+        shared = _seeded_memory().snapshot_frames()
+        one, two = _fork(shared), _fork(shared)
+        one.write_bytes(0x0000, b"ONE")
+        two.write_bytes(0x0000, b"TWO")
+        assert one.read_bytes(0, 3) == b"ONE"
+        assert two.read_bytes(0, 3) == b"TWO"
+        assert shared[0][:10] == b"frame-zero"
+
+    def test_fresh_frame_allocation_still_works(self):
+        fork = _fork(_seeded_memory().snapshot_frames())
+        fork.write_bytes(0x8000, b"new page")
+        assert fork.read_bytes(0x8000, 8) == b"new page"
+        assert fork.private_frame_count() == 1
+
+    def test_snapshot_of_a_fork_includes_shared_frames(self):
+        shared = _seeded_memory().snapshot_frames()
+        fork = _fork(shared)
+        fork.write_bytes(0x0000, b"ONE")
+        again = fork.snapshot_frames()
+        assert again[0][:3] == b"ONE"
+        assert again[3][:11] == b"frame-three"
+
+    def test_clear_detaches_from_the_shared_layer(self):
+        shared = _seeded_memory().snapshot_frames()
+        fork = _fork(shared)
+        fork.frame_map.clear()
+        assert fork.frame_count() == 0
+        assert fork.read_bytes(0, 10) == bytes(10)
+        assert shared[0][:10] == b"frame-zero"
+
+    def test_cow_restore_refuses_a_dirty_memory(self):
+        memory = _seeded_memory()
+        with pytest.raises(MemoryError_, match="untouched"):
+            memory.restore_frames_cow({0: bytes(PAGE_SIZE)})
+
+
+class TestCowFrameMap:
+    def test_get_materializes_a_private_copy(self):
+        shared = {5: b"\xaa" * PAGE_SIZE}
+        frames = CowFrameMap(shared)
+        frame = frames.get(5)
+        assert isinstance(frame, bytearray)
+        assert frames.get(5) is frame          # stable identity
+        frame[0] = 0xBB
+        assert shared[5][0] == 0xAA
+
+    def test_missing_frame_is_none_like_a_plain_dict(self):
+        frames = CowFrameMap({1: b"\x01" * PAGE_SIZE})
+        assert frames.get(99) is None
+        with pytest.raises(KeyError):
+            frames[99]
+
+
+class TestRestoreValidation:
+    """Satellite: restore_frames validates against frame geometry."""
+
+    def _memory(self):
+        return PhysicalMemory(1 << 20)     # 256 frames
+
+    def test_wrong_frame_size_rejected(self):
+        with pytest.raises(MemoryError_, match="byte"):
+            self._memory().restore_frames({0: b"short"})
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(MemoryError_, match="geometry"):
+            self._memory().restore_frames({256: bytes(PAGE_SIZE)})
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(MemoryError_, match="geometry"):
+            self._memory().restore_frames({-1: bytes(PAGE_SIZE)})
+
+    def test_non_int_index_rejected(self):
+        with pytest.raises(MemoryError_):
+            self._memory().restore_frames({"0": bytes(PAGE_SIZE)})
+
+    def test_rejection_leaves_memory_untouched(self):
+        memory = self._memory()
+        memory.write_bytes(0, b"keep")
+        with pytest.raises(MemoryError_):
+            memory.restore_frames({0: bytes(PAGE_SIZE), 999: b"x"})
+        assert memory.read_bytes(0, 4) == b"keep"
+
+    def test_cow_restore_validates_too(self):
+        with pytest.raises(MemoryError_, match="geometry"):
+            self._memory().restore_frames_cow({400: bytes(PAGE_SIZE)})
+
+    def test_valid_restore_still_works(self):
+        memory = self._memory()
+        memory.restore_frames({2: b"\x02" * PAGE_SIZE})
+        assert memory.read_bytes(2 * PAGE_SIZE, 1) == b"\x02"

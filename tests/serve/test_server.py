@@ -1,0 +1,157 @@
+"""End-to-end serve stack: asyncio front end, worker pool, sessions.
+
+Boots a real server (worker processes included) on a Unix socket in a
+tmpdir and drives it exactly like a client would. Small workload and
+boot point keep this in CI-smoke territory; the heavy concurrency run
+lives in the CI serve leg (repro.serve.loadgen).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.server import serve
+from repro.serve.worker import Worker
+
+BASE = {"profile": "processor+kernel", "workload": "429.mcf",
+        "scale": 0.02, "variant": "vcall", "boot": 2000}
+
+
+def _drive(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=120))
+
+
+async def _with_server(scenario, workers=2):
+    """Run ``scenario(request)`` against a live server."""
+    import tempfile, os
+    bound = asyncio.Event()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "serve.sock")
+        task = asyncio.create_task(
+            serve(path=path, workers=workers, ready=lambda _: bound.set()))
+        await asyncio.wait_for(bound.wait(), timeout=30)
+        reader, writer = await asyncio.open_unix_connection(path)
+
+        async def request(**fields):
+            writer.write(protocol.encode(fields))
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        try:
+            return await scenario(request)
+        finally:
+            writer.close()
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+
+class TestServerEndToEnd:
+    def test_full_session_lifecycle_over_the_socket(self):
+        async def scenario(request):
+            reply = await request(op="ping")
+            assert reply["ok"] and reply["workers"] == 2
+
+            reply = await request(op="warm", **BASE)
+            assert reply["ok"] and reply["workers"] == 2
+
+            # Two sessions land on different workers (sid % 2).
+            sids = []
+            for tier in ("tier1", "tier4"):
+                reply = await request(op="create", tier=tier, **BASE)
+                assert reply["ok"], reply
+                assert reply["source"] == "fork"
+                sids.append(reply["session"])
+            assert sids == [0, 1]
+
+            for sid in sids:
+                reply = await request(op="step", session=sid, n=1500)
+                assert reply["ok"] and reply["executed"] == 1500
+
+            # Same workload, same plan, different tiers and workers:
+            # identical outside-visible state.
+            hashes, heads = set(), set()
+            for sid in sids:
+                reply = await request(op="query", session=sid,
+                                      hash=True)
+                assert reply["ok"] and reply["state"] == "running"
+                hashes.add(reply["state_hash"])
+                heads.add(reply["audit"]["head"])
+            assert len(hashes) == 1 and len(heads) == 1
+
+            reply = await request(op="detach", session=sids[0])
+            assert reply["ok"] and reply["state"] == "detached"
+            reply = await request(op="step", session=sids[0], n=10)
+            assert not reply["ok"] and "detached" in reply["error"]
+            reply = await request(op="reattach", session=sids[0])
+            assert reply["ok"] and reply["state"] == "running"
+
+            reply = await request(op="stats")
+            assert reply["ok"]
+            assert sum(w["sessions"] for w in reply["workers"]) == 2
+
+            for sid in sids:
+                reply = await request(op="destroy", session=sid)
+                assert reply["ok"]
+                from repro.obs.audit import verify_chain
+                assert verify_chain(reply["audit"]) == []
+
+        _drive(_with_server(scenario))
+
+    def test_protocol_violations_answered_not_fatal(self):
+        async def scenario(request):
+            reply = await request(op="conquer")
+            assert not reply["ok"] and "unknown op" in reply["error"]
+            reply = await request(op="step", session=999, n=10)
+            assert not reply["ok"] and "unknown session" in reply["error"]
+            reply = await request(op="create", profile="quantum",
+                                  workload="429.mcf")
+            assert not reply["ok"]
+            # The server survived all of it.
+            reply = await request(op="ping")
+            assert reply["ok"]
+
+        _drive(_with_server(scenario, workers=1))
+
+    def test_cap_request_above_maximum_denied_at_create(self):
+        async def scenario(request):
+            reply = await request(op="create",
+                                  caps={"instret": 10**12}, **BASE)
+            assert not reply["ok"]
+            assert "exceeds the server maximum" in reply["error"]
+
+        _drive(_with_server(scenario, workers=1))
+
+
+class TestWorkerInline:
+    """Worker dispatch details that don't need real processes."""
+
+    def test_session_limit_fails_closed(self):
+        from repro import config
+        with config.overrides(serve_sessions=1):
+            worker = Worker(0, config.current())
+            reply = worker.handle({"op": "create", "session": 0, **BASE})
+            assert reply["ok"]
+            reply = worker.handle({"op": "create", "session": 1, **BASE})
+            assert not reply["ok"]
+            assert "session limit" in reply["error"]
+            worker.handle({"op": "destroy", "session": 0})
+            reply = worker.handle({"op": "create", "session": 1, **BASE})
+            assert reply["ok"]
+
+    def test_duplicate_session_id_denied(self):
+        worker = Worker(0)
+        assert worker.handle({"op": "create", "session": 5, **BASE})["ok"]
+        reply = worker.handle({"op": "create", "session": 5, **BASE})
+        assert not reply["ok"] and "already exists" in reply["error"]
+
+    def test_worker_never_raises(self):
+        worker = Worker(0)
+        reply = worker.handle({"op": "query", "session": 404})
+        assert reply == {"ok": False, "error": "unknown session 404"}
+        reply = worker.handle({"op": "shutdown"})
+        assert not reply["ok"]

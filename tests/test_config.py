@@ -137,3 +137,39 @@ def test_knob_table_mentions_every_knob():
     for knob in config.KNOBS:
         assert knob.env in table
         assert knob.field in table
+
+
+def test_every_config_field_has_a_knob_and_vice_versa():
+    # The knob table is the complete public surface: a Config field
+    # without an env knob (or a knob without a field) is a docs bug.
+    import dataclasses
+    fields = {field.name for field in dataclasses.fields(config.Config)}
+    knobs = {knob.field for knob in config.KNOBS}
+    assert fields == knobs
+
+
+class TestServeKnobs:
+    def test_defaults(self):
+        cfg = config.Config.from_env({})
+        assert cfg.serve_workers == 2
+        assert cfg.serve_sessions == 64
+        assert cfg.serve_slice == 50_000
+        assert cfg.serve_instret == 10_000_000
+        assert cfg.serve_frames == 8192
+        assert cfg.serve_boot == 4096
+
+    def test_env_round_trip(self):
+        cfg = config.Config(serve_workers=4, serve_sessions=16,
+                            serve_slice=1000, serve_instret=50_000,
+                            serve_frames=64, serve_boot=100)
+        assert config.Config.from_env(cfg.to_env()) == cfg
+
+    def test_workers_auto_rule(self):
+        auto = config.Config.from_env({"REPRO_SERVE_WORKERS": "auto"})
+        assert auto.serve_workers == 0
+        assert auto.resolve_serve_workers() >= 1
+        assert config.Config().resolve_serve_workers(3) == 3
+
+    def test_invalid_workers_raises(self):
+        with pytest.raises(ConfigError, match="REPRO_SERVE_WORKERS"):
+            config.Config.from_env({"REPRO_SERVE_WORKERS": "lots"})
