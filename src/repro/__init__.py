@@ -72,10 +72,19 @@ from repro.workloads import PROFILES, build_workload, profile
 # Snapshot / record-replay (DESIGN.md §11).
 from repro.replay import Snapshot, restore, snapshot
 
+# Typed evaluation model + fuzz campaigns (DESIGN.md §16).
+from repro.eval_model import (CampaignResult, DetectionTable, RunResult,
+                              Verdict)
+from repro.fuzz import (Campaign, Corpus, FuzzInput, Mutator,
+                        VictimSpec, run_comparison)
+
 __all__ = [
     "ReproError", "__version__",
     "Config",
     "Snapshot", "snapshot", "restore",
+    "Verdict", "RunResult", "DetectionTable", "CampaignResult",
+    "Campaign", "Corpus", "FuzzInput", "Mutator", "VictimSpec",
+    "run_comparison",
     "SoCConfig", "System", "build_embedded_system", "build_system",
     "Kernel", "Process", "run_program",
     "Assembler", "Executable", "Linker", "assemble", "link",

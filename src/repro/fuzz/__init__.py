@@ -1,0 +1,48 @@
+"""Coverage-guided fuzzing + fault-injection campaigns (DESIGN.md §16).
+
+Scales the PR 5 injection harness (60 injections) by three orders of
+magnitude: mutated victim shapes x mutated injection schedules,
+executed as copy-on-write forks of warm snapshots across worker
+processes, guided by tier-stable coverage signatures from the obs
+layer, with crashes/escapes deduplicated by replay-verified divergence
+point and minimized through the record/replay journal.
+
+Public surface (also re-exported from :mod:`repro`):
+
+* :class:`Campaign` / :func:`run_comparison` — the drivers
+* :class:`Corpus`, :class:`FuzzInput`, :class:`ScheduleEntry`,
+  :class:`VictimSpec` — the input model
+* :class:`Mutator` and friends — the mutation engine
+* :class:`WarmVictimPool` — one-process execution (tests, triage)
+* :class:`CoverageMap` / :func:`signature` — the feedback
+"""
+
+from repro.fuzz.campaign import (Campaign, CampaignReportV1,
+                                 SCHEMA_VERSION, comparison_from_records,
+                                 comparison_record, run_comparison)
+from repro.fuzz.corpus import (Corpus, FRAC_SCALE, FUZZ_KINDS, FuzzInput,
+                               ScheduleEntry)
+from repro.fuzz.coverage import CoverageMap, final_fingerprint, signature
+from repro.fuzz.executor import (BOOT, ExecutionOutcome, WarmVictimPool)
+from repro.fuzz.minimizer import (Finding, dedup_key, journal_divergence,
+                                  minimize, replay_verify)
+from repro.fuzz.mutators import (HavocMutator, Mutator, ScheduleMutator,
+                                 SpecMutator, TriggerMutator,
+                                 default_mutators, random_input)
+from repro.fuzz.scheduler import GuidedScheduler, RandomScheduler
+from repro.fuzz.target import VictimSpec, build_image, build_victim
+
+__all__ = [
+    "BOOT", "FRAC_SCALE", "FUZZ_KINDS", "SCHEMA_VERSION",
+    "Campaign", "CampaignReportV1", "run_comparison",
+    "comparison_record", "comparison_from_records",
+    "Corpus", "FuzzInput", "ScheduleEntry", "VictimSpec",
+    "build_victim", "build_image",
+    "Mutator", "SpecMutator", "TriggerMutator", "ScheduleMutator",
+    "HavocMutator", "default_mutators", "random_input",
+    "GuidedScheduler", "RandomScheduler",
+    "WarmVictimPool", "ExecutionOutcome",
+    "CoverageMap", "signature", "final_fingerprint",
+    "Finding", "dedup_key", "journal_divergence", "minimize",
+    "replay_verify",
+]

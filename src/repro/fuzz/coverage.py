@@ -1,0 +1,115 @@
+"""Coverage signatures: the feedback that makes the fuzzer *guided*.
+
+A run's signature hashes its **behavior class**, not its raw trace.
+Three tier-stable observations go in:
+
+* the **coarsened architectural event sequence** from the obs layer —
+  for each arch event, only its semantic coordinates survive (syscall
+  numbers, signal numbers, ROLoad violation reason + instruction/page
+  keys, benign-fault classes). Raw pc/addr values and exact payloads
+  are bucketed away, AFL-style: if every field of every event fed the
+  hash, *every* input would be "novel" and coverage feedback would
+  guide nothing;
+* the **injection phase coordinates**: the MMU's cumulative keyed-load
+  check count at the moment each schedule entry fired. This is the
+  inter-keyed-load interval ordinal — the quantity that determines
+  what the defense can catch — in units independent of victim length
+  and simulator tier. Reaching a high ordinal requires a long victim
+  *and* a late trigger, which is exactly the kind of rare coordinate
+  mutation walks toward and uniform sampling stumbles on;
+* a **coarse final fingerprint**: log2-bucketed run length, keyed-load
+  check/fault totals, the security-log reasons this run appended, how
+  the process ended, and whether the exit code matched baseline.
+
+Everything hashed is architectural, so the same input yields the same
+signature on tiers 0-4 — the fork-determinism contract
+(tests/serve/test_fork_determinism.py) extended to coverage itself. A
+corpus built on tier 4 transplants verbatim to any tier, and a new
+signature is always new *behavior*, never simulator-backend noise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional, Tuple
+
+
+def coarse_events(raw_events: "Iterable[dict]") -> "Tuple[tuple, ...]":
+    """Reduce raw arch events to their semantic coordinates."""
+    out = []
+    generation_bumps = 0
+    for event in raw_events:
+        name = event.get("type", "")
+        if name == "mmu.generation":
+            # One bump per injected flush; runs of bumps collapse into
+            # a count so schedule length doesn't fan out the space.
+            generation_bumps += 1
+            continue
+        if name == "syscall":
+            out.append(("sys", event.get("number")))
+        elif name == "signal.delivery":
+            out.append(("sig", event.get("number")))
+        elif name == "roload.violation":
+            out.append(("roload", event.get("reason"),
+                        event.get("insn_key"), event.get("page_key")))
+        elif name == "fault.benign":
+            out.append(("fault",
+                        event.get("kind", event.get("reason"))))
+        else:
+            out.append((name,))
+    if generation_bumps:
+        out.append(("mmu.generation", generation_bumps))
+    return tuple(out)
+
+
+def _bucket(value: int) -> int:
+    """log2 bucket: collapses length-ish counters AFL-style."""
+    return int(value).bit_length()
+
+
+def final_fingerprint(kernel, process, seclog_before: int,
+                      baseline_exit: "Optional[int]" = None) -> "Tuple":
+    """Coarse tier-stable end-of-run digest (every component is part
+    of, or derived from, the cross-tier state-hash contract)."""
+    mstats = kernel.system.mmu.stats
+    reasons = tuple(e.reason
+                    for e in kernel.security_log[seclog_before:])
+    # process.state.value, not process.status(): the status string
+    # embeds the raw exit code and fault pc/addr, which vary with every
+    # victim shape — hashing them would make each spec its own "new
+    # coverage" and drown the feedback. Likewise run length is measured
+    # only in keyed-load units (bucketed), not instructions: the two
+    # are behaviorally redundant and their cross product would multiply
+    # the space with spec-size noise.
+    return (_bucket(mstats.roload_checks), mstats.roload_faults,
+            reasons, process.state.value,
+            process.exit_code == baseline_exit,
+            process.signal.number if process.signal else None)
+
+
+def signature(events: "Tuple[tuple, ...]",
+              checks_at: "Tuple[int, ...]",
+              fingerprint: "Tuple") -> str:
+    """Hash one run's coverage coordinates into a stable signature."""
+    blob = repr((events, checks_at, fingerprint)).encode()
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+class CoverageMap:
+    """The campaign-global set of signatures seen so far."""
+
+    def __init__(self):
+        self._seen = set()
+
+    def add(self, sig: str) -> bool:
+        """Record ``sig``; True iff it is new coverage."""
+        if sig in self._seen:
+            return False
+        self._seen.add(sig)
+        return True
+
+    def __contains__(self, sig: "Optional[str]") -> bool:
+        return sig in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)

@@ -1,0 +1,137 @@
+"""Mutation engine: small deterministic perturbations of fuzz inputs.
+
+Each :class:`Mutator` maps (rng, input) -> input. The campaign PRNG is
+the only entropy source, so a campaign is reproducible from its seed.
+Mutators perturb both halves of an input — the victim shape (workload
+parameters) and the injection schedule — mirroring the two axes the
+ISSUE names: workload-generator parameters and injection schedules.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.corpus import (FRAC_SCALE, FUZZ_KINDS, FuzzInput,
+                               ScheduleEntry, VARIANT_SPAN)
+from repro.fuzz.target import ARITH_RANGE, CALLS_RANGE, REPS_RANGE, \
+    VictimSpec
+
+
+def random_entry(rng) -> ScheduleEntry:
+    return ScheduleEntry(kind=rng.choice(FUZZ_KINDS),
+                         frac=rng.randrange(FRAC_SCALE),
+                         variant=rng.randrange(VARIANT_SPAN)).normalized()
+
+
+def random_input(rng, schedule_max: int = 3) -> FuzzInput:
+    """A uniformly random input — the random scheduler's whole policy,
+    and the guided scheduler's exploration arm."""
+    spec = VictimSpec(
+        reps=rng.randint(*REPS_RANGE),
+        loop=bool(rng.getrandbits(1)),
+        vcalls=rng.randint(*CALLS_RANGE),
+        icalls=rng.randint(*CALLS_RANGE),
+        arith=rng.randint(*ARITH_RANGE)).normalized()
+    entries = tuple(random_entry(rng)
+                    for _ in range(rng.randint(1, max(1, schedule_max))))
+    return FuzzInput(spec=spec, schedule=entries).normalized()
+
+
+class Mutator:
+    """One mutation strategy; subclasses override :meth:`mutate`."""
+
+    name = "identity"
+
+    def mutate(self, rng, input: FuzzInput) -> FuzzInput:
+        raise NotImplementedError
+
+
+class SpecMutator(Mutator):
+    """Nudge one victim-shape parameter."""
+
+    name = "spec"
+
+    def mutate(self, rng, input: FuzzInput) -> FuzzInput:
+        field = rng.choice(("reps", "loop", "vcalls", "icalls", "arith"))
+        spec = input.spec
+        if field == "loop":
+            spec = spec.replace(loop=not spec.loop)
+        elif field == "reps":
+            spec = spec.replace(reps=spec.reps + rng.choice(
+                (-4, -2, -1, 1, 2, 4)))
+        else:
+            spec = spec.replace(**{field: getattr(spec, field)
+                                   + rng.choice((-1, 1))})
+        return FuzzInput(spec=spec, schedule=input.schedule).normalized()
+
+
+class TriggerMutator(Mutator):
+    """Slide one schedule entry's trigger position — the fine-grained
+    search for untouched inter-keyed-load intervals."""
+
+    name = "trigger"
+
+    def mutate(self, rng, input: FuzzInput) -> FuzzInput:
+        if not input.schedule:
+            return FuzzInput(input.spec, (random_entry(rng),))
+        idx = rng.randrange(len(input.schedule))
+        entry = input.schedule[idx]
+        delta = rng.choice((-512, -64, -8, -1, 1, 8, 64, 512))
+        entry = ScheduleEntry(kind=entry.kind, frac=entry.frac + delta,
+                              variant=entry.variant)
+        schedule = list(input.schedule)
+        schedule[idx] = entry
+        return FuzzInput(input.spec, tuple(schedule)).normalized()
+
+
+class ScheduleMutator(Mutator):
+    """Grow, shrink, or re-class the injection schedule."""
+
+    name = "schedule"
+
+    def __init__(self, schedule_max: int = 3):
+        self.schedule_max = max(1, schedule_max)
+
+    def mutate(self, rng, input: FuzzInput) -> FuzzInput:
+        schedule = list(input.schedule)
+        ops = ["add", "rekind", "revariant"]
+        if len(schedule) > 1:
+            ops.append("drop")
+        op = rng.choice(ops)
+        if op == "add" and len(schedule) < self.schedule_max:
+            schedule.insert(rng.randint(0, len(schedule)),
+                            random_entry(rng))
+        elif op == "drop" and len(schedule) > 1:
+            schedule.pop(rng.randrange(len(schedule)))
+        elif schedule:
+            idx = rng.randrange(len(schedule))
+            entry = schedule[idx]
+            if op == "rekind":
+                entry = ScheduleEntry(kind=rng.choice(FUZZ_KINDS),
+                                      frac=entry.frac,
+                                      variant=entry.variant)
+            else:
+                entry = ScheduleEntry(kind=entry.kind, frac=entry.frac,
+                                      variant=rng.randrange(VARIANT_SPAN))
+            schedule[idx] = entry
+        else:
+            schedule.append(random_entry(rng))
+        return FuzzInput(input.spec, tuple(schedule)).normalized()
+
+
+class HavocMutator(Mutator):
+    """Stacked random mutations — the escape hatch out of local optima."""
+
+    name = "havoc"
+
+    def __init__(self, schedule_max: int = 3):
+        self._stack = (SpecMutator(), TriggerMutator(),
+                       ScheduleMutator(schedule_max))
+
+    def mutate(self, rng, input: FuzzInput) -> FuzzInput:
+        for _ in range(rng.randint(2, 4)):
+            input = rng.choice(self._stack).mutate(rng, input)
+        return input
+
+
+def default_mutators(schedule_max: int = 3) -> "tuple[Mutator, ...]":
+    return (SpecMutator(), TriggerMutator(), TriggerMutator(),
+            ScheduleMutator(schedule_max), HavocMutator(schedule_max))

@@ -14,6 +14,7 @@ DESIGN.md §11. Three layers, each usable alone:
 """
 
 from repro.replay.check import (
+    ObsCapture,
     Reference,
     ReplayResult,
     VerifyReport,
@@ -24,8 +25,10 @@ from repro.replay.check import (
 from repro.replay.inject import (
     CampaignReport,
     InjectionRecord,
+    apply_injection,
     build_inject_image,
     build_inject_victim,
+    classify_outcome,
     run_campaign,
 )
 from repro.replay.journal import Journal
@@ -42,8 +45,10 @@ __all__ = [
     "FORMAT_VERSION",
     "Snapshot", "snapshot", "restore", "state_hash", "quiesce",
     "Journal",
+    "ObsCapture",
     "Reference", "ReplayResult", "VerifyReport",
     "record_reference", "replay_tier", "verify_replay",
     "CampaignReport", "InjectionRecord",
+    "apply_injection", "classify_outcome",
     "build_inject_victim", "build_inject_image", "run_campaign",
 ]

@@ -52,13 +52,16 @@ class Reference:
         self.journal.save(journal_path)
 
 
-class _ObsWindow:
+class ObsCapture:
     """Fresh architectural-event capture around one run.
 
     Cycles the process-wide OBS state: buffers are cleared on entry and
     the prior enabled/disabled state is put back on exit, so a capture
     nested in a user's observability session only costs them their
     buffered events, never their configuration.
+
+    Public since PR 10: the replay checker and the fuzz executor both
+    capture the tier-stable arch-event subsequence this way.
     """
 
     def __enter__(self):
@@ -71,10 +74,19 @@ class _ObsWindow:
         return tuple(tuple(e) if isinstance(e, list) else e
                      for e in arch_sequence(_obs.OBS.events.events()))
 
+    def raw_arch(self) -> "list[dict]":
+        """The captured architectural events as raw dicts (full
+        payloads with names) — the fuzz coverage extractor's input."""
+        return _obs.OBS.events.events(cat="arch")
+
     def __exit__(self, *exc):
         if not self._was_enabled:
             _obs.disable()
         return False
+
+
+# Pre-PR 10 private name, kept for any straggling importers.
+_ObsWindow = ObsCapture
 
 
 def _digest(kernel, process, tier: str,
@@ -115,7 +127,7 @@ def record_reference(image, *, stop_after: int,
     snap = snapshot(kernel)
     journal = Journal.recording()
     kernel.journal = journal
-    with _ObsWindow() as window:
+    with ObsCapture() as window:
         kernel.run(process, max_instructions=max_instructions)
         events = window.arch()
     result = _digest(kernel, process, tier=_config.current().tier,
@@ -136,7 +148,7 @@ def replay_tier(reference: Reference,
         if not process.alive:
             raise ReplayError("restored process is not runnable")
         kernel.journal = reference.journal.replay()
-        with _ObsWindow() as window:
+        with ObsCapture() as window:
             kernel.run(process,
                        max_instructions=reference.max_instructions)
             events = window.arch()

@@ -3,7 +3,8 @@
 Regenerates a §V-style detection table: a hardened victim is run to a
 chosen instruction count, snapshotted, perturbed — PTE key bits flipped,
 page writability flipped, allowlist pointers corrupted — and replayed to
-completion, classifying every injection:
+completion, classifying every injection with the shared
+:class:`repro.eval_model.Verdict` taxonomy:
 
 * ``detected`` — the run died with a ROLoad-discriminated SIGSEGV (the
   modified kernel logged a security event): the defense fired.
@@ -20,25 +21,39 @@ completion, classifying every injection:
 The victim is a straight-line unrolled program (no loops) doing ``reps``
 vcall+icall rounds through keyed vtables and a keyed GFPT, so injection
 points stratified over the run mostly land before a later keyed load.
+
+The perturbation primitives (:func:`apply_injection`) and the verdict
+classifier (:func:`classify_outcome`) are public: the coverage-guided
+fuzzer (:mod:`repro.fuzz`) composes them into multi-entry injection
+schedules over mutated victims. Results are the typed
+:class:`~repro.eval_model.RunResult` / :class:`~repro.eval_model.CampaignResult`;
+the pre-PR 10 names ``InjectionRecord`` / ``CampaignReport`` remain as
+deprecated aliases with unchanged ``to_dict()`` shapes.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import warnings
+from typing import Tuple
 
 from repro.errors import ReplayError
+from repro.eval_model import (CampaignResult, DEFAULT_KINDS, RunResult,
+                              Verdict, VERDICTS)
 from repro.obs import OBS as _OBS
 from repro.replay.snapshot import Snapshot, restore, snapshot
 
-KINDS = ("pte-key", "pte-writable", "allowlist-ptr")
-OUTCOMES = ("detected", "benign", "crashed", "escaped")
+KINDS = DEFAULT_KINDS
+OUTCOMES = VERDICTS
 
 # Key-bit patterns XORed into the PTE key field (10 bits), modelling
 # single-bit upsets through full-field corruption.
 KEY_FLIPS = (0x001, 0x155, 0x3FF)
 POINTER_TARGETS = ("obj", "fp_slot")
+
+# Fuzz-only class: redirect an allowlist pointer at unmapped memory, so
+# the next keyed load dies of an ordinary translation fault. Not part of
+# KINDS — it exists to exercise the crashed-verdict path at scale.
+WILD_ADDRESS = 0x7F00_0000
 
 BENIGN_VCALL = 13
 BENIGN_ICALL = 29
@@ -96,88 +111,29 @@ def build_inject_image(reps: int = 8):
                           hardening=[VCallProtection(), TypeBasedCFI()])
 
 
-@dataclass
-class InjectionRecord:
-    """One injection and its classified outcome."""
+class InjectionRecord(RunResult):
+    """Deprecated alias for :class:`repro.eval_model.RunResult`.
 
-    kind: str
-    trigger: int          # retired-instruction count at injection
-    target: str           # what was perturbed
-    outcome: str          # detected | benign | crashed | escaped
-    detail: str = ""
-    exit_code: "Optional[int]" = None
-    signal: "Optional[int]" = None
+    Kept so pre-PR 10 callers (and pickles of old reports) keep working;
+    ``to_dict()`` output is bit-identical. New code should construct
+    :class:`RunResult` with a :class:`Verdict`.
+    """
 
-    def to_dict(self) -> dict:
-        return {"kind": self.kind, "trigger": self.trigger,
-                "target": self.target, "outcome": self.outcome,
-                "detail": self.detail, "exit_code": self.exit_code,
-                "signal": self.signal}
-
-
-@dataclass
-class CampaignReport:
-    """The full detection table plus the raw per-injection records."""
-
-    baseline_exit: int
-    total_instructions: int
-    records: "List[InjectionRecord]" = field(default_factory=list)
-
-    def counts(self) -> "Dict[str, Dict[str, int]]":
-        table: "Dict[str, Dict[str, int]]" = {}
-        for record in self.records:
-            row = table.setdefault(record.kind,
-                                   {outcome: 0 for outcome in OUTCOMES})
-            row[record.outcome] += 1
-        return table
-
-    @property
-    def injections(self) -> int:
-        return len(self.records)
-
-    @property
-    def escapes(self) -> "List[InjectionRecord]":
-        return [r for r in self.records if r.outcome == "escaped"]
-
-    @property
-    def ok(self) -> bool:
-        return self.injections > 0 and not self.escapes
-
-    def format_table(self) -> str:
-        header = (f"{'class':<16} {'injected':>8} "
-                  + " ".join(f"{o:>8}" for o in OUTCOMES))
-        lines = [header, "-" * len(header)]
-        counts = self.counts()
-        for kind in KINDS:
-            row = counts.get(kind)
-            if row is None:
-                continue
-            total = sum(row.values())
-            lines.append(f"{kind:<16} {total:>8} "
-                         + " ".join(f"{row[o]:>8}" for o in OUTCOMES))
-        total_row = {o: sum(counts.get(k, {}).get(o, 0) for k in counts)
-                     for o in OUTCOMES}
-        lines.append("-" * len(header))
-        lines.append(f"{'total':<16} {self.injections:>8} "
-                     + " ".join(f"{total_row[o]:>8}" for o in OUTCOMES))
-        return "\n".join(lines)
-
-    def to_dict(self) -> dict:
-        return {"baseline_exit": self.baseline_exit,
-                "total_instructions": self.total_instructions,
-                "injections": self.injections,
-                "table": self.counts(),
-                "escapes": len(self.escapes),
-                "ok": self.ok,
-                "records": [r.to_dict() for r in self.records]}
-
-    def save_json(self, path) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
-            handle.write("\n")
+    def __init__(self, kind, trigger, target, outcome, detail="",
+                 exit_code=None, signal=None):
+        warnings.warn("InjectionRecord is deprecated; use "
+                      "repro.eval_model.RunResult", DeprecationWarning,
+                      stacklevel=2)
+        super().__init__(kind=kind, trigger=trigger, target=target,
+                         verdict=outcome, detail=detail,
+                         exit_code=exit_code, signal=signal)
 
 
-def _keyed_pages(process) -> "List[Tuple[int, int]]":
+# Deprecated alias: the campaign result moved to the shared typed model.
+CampaignReport = CampaignResult
+
+
+def _keyed_pages(process) -> "list[Tuple[int, int]]":
     """(vaddr, key) of the first page of every keyed mapping."""
     return [(vma.start, vma.key)
             for vma in process.address_space.vmas if vma.key]
@@ -198,36 +154,16 @@ def _run_to(image, trigger: int, *, profile: str,
     return snapshot(kernel)
 
 
-def _classify(kernel, process, image, baseline_exit: int,
-              seclog_before: int) -> "Tuple[str, str]":
-    if process.state.value == "killed":
-        roload = bool(process.signal and process.signal.roload) \
-            or kernel.security_log.total > seclog_before
-        if roload:
-            events = kernel.security_log[seclog_before:]
-            reason = events[-1].reason if events else "roload"
-            return "detected", reason
-        return "crashed", process.signal.reason if process.signal else ""
-    pwned = 0
-    try:
-        addr = image.symbol("pwned")
-        pwned = int.from_bytes(
-            process.address_space.read_memory(addr, 8), "little")
-    except Exception:
-        pass
-    if pwned or process.exit_code != baseline_exit:
-        return "escaped", (f"pwned={pwned} exit={process.exit_code} "
-                           f"(baseline {baseline_exit})")
-    return "benign", "corruption never consumed"
+def apply_injection(kernel, process, image, kind: str,
+                    variant: int) -> str:
+    """Perturb the live machine in place; returns the target description.
 
-
-def _inject_and_run(snap: Snapshot, image, kind: str, variant: int,
-                    baseline_exit: int,
-                    max_instructions: int) -> InjectionRecord:
-    kernel, process = restore(snap)
+    The shared primitive under both the PR 5 campaign and the fuzzer's
+    schedule entries: ``pte-key`` / ``pte-writable`` / ``allowlist-ptr``
+    from KINDS, plus the fuzz-only ``wild-ptr`` (allowlist pointer aimed
+    at unmapped memory — exercises the non-ROLoad crash path)."""
     space = process.address_space
     mmu = kernel.system.mmu
-    seclog_before = kernel.security_log.total
 
     if kind == "pte-key":
         keyed = _keyed_pages(process)
@@ -239,31 +175,70 @@ def _inject_and_run(snap: Snapshot, image, kind: str, variant: int,
         new_key = (pte.key ^ flip) & 0x3FF
         space.page_table.set_protection(vaddr, key=new_key)
         mmu.flush_page(vaddr)
-        target = f"key {pte.key}->{new_key} @ {vaddr:#x}"
-    elif kind == "pte-writable":
+        return f"key {pte.key}->{new_key} @ {vaddr:#x}"
+    if kind == "pte-writable":
         keyed = _keyed_pages(process)
         if not keyed:
             raise ReplayError("victim has no keyed mappings to corrupt")
         vaddr, key = keyed[variant % len(keyed)]
         space.page_table.set_protection(vaddr, writable=True)
         mmu.flush_page(vaddr)
-        target = f"W bit set on keyed page @ {vaddr:#x} (key {key})"
-    elif kind == "allowlist-ptr":
+        return f"W bit set on keyed page @ {vaddr:#x} (key {key})"
+    if kind == "allowlist-ptr":
         from repro.attacks.primitives import MemoryCorruption
         symbol = POINTER_TARGETS[variant % len(POINTER_TARGETS)]
         attacker = MemoryCorruption(kernel, process, image)
         decoy = image.symbol("attacker_buf")
         attacker.write_symbol(symbol, decoy,
                               note=f"redirect {symbol} to attacker_buf")
-        target = f"{symbol} -> attacker_buf ({decoy:#x})"
-    else:
-        raise ReplayError(f"unknown injection kind {kind!r}")
+        return f"{symbol} -> attacker_buf ({decoy:#x})"
+    if kind == "wild-ptr":
+        from repro.attacks.primitives import MemoryCorruption
+        symbol = POINTER_TARGETS[variant % len(POINTER_TARGETS)]
+        attacker = MemoryCorruption(kernel, process, image)
+        wild = WILD_ADDRESS + (variant // len(POINTER_TARGETS)) * 0x1000
+        attacker.write_symbol(symbol, wild,
+                              note=f"redirect {symbol} to unmapped")
+        return f"{symbol} -> unmapped ({wild:#x})"
+    raise ReplayError(f"unknown injection kind {kind!r}")
 
+
+def classify_outcome(kernel, process, image, baseline_exit: int,
+                     seclog_before: int) -> "Tuple[Verdict, str]":
+    """Map the post-run machine state onto the §V verdict taxonomy."""
+    if process.state.value == "killed":
+        roload = bool(process.signal and process.signal.roload) \
+            or kernel.security_log.total > seclog_before
+        if roload:
+            events = kernel.security_log[seclog_before:]
+            reason = events[-1].reason if events else "roload"
+            return Verdict.DETECTED, reason
+        return Verdict.CRASHED, \
+            process.signal.reason if process.signal else ""
+    pwned = 0
+    try:
+        addr = image.symbol("pwned")
+        pwned = int.from_bytes(
+            process.address_space.read_memory(addr, 8), "little")
+    except Exception:
+        pass
+    if pwned or process.exit_code != baseline_exit:
+        return Verdict.ESCAPED, (f"pwned={pwned} exit={process.exit_code} "
+                                 f"(baseline {baseline_exit})")
+    return Verdict.BENIGN, "corruption never consumed"
+
+
+def _inject_and_run(snap: Snapshot, image, kind: str, variant: int,
+                    baseline_exit: int,
+                    max_instructions: int) -> RunResult:
+    kernel, process = restore(snap)
+    seclog_before = kernel.security_log.total
+    target = apply_injection(kernel, process, image, kind, variant)
     kernel.run(process, max_instructions=max_instructions)
-    outcome, detail = _classify(kernel, process, image, baseline_exit,
-                                seclog_before)
-    return InjectionRecord(
-        kind=kind, trigger=snap.instret, target=target, outcome=outcome,
+    verdict, detail = classify_outcome(kernel, process, image,
+                                       baseline_exit, seclog_before)
+    return RunResult(
+        kind=kind, trigger=snap.instret, target=target, verdict=verdict,
         detail=detail, exit_code=process.exit_code,
         signal=process.signal.number if process.signal else None)
 
@@ -272,7 +247,7 @@ def run_campaign(*, reps: int = 8, points: int = 10,
                  kinds: "Tuple[str, ...]" = KINDS,
                  profile: str = "processor+kernel",
                  max_instructions: int = 10_000_000,
-                 log=None) -> CampaignReport:
+                 log=None) -> CampaignResult:
     """The full injection campaign: ``points`` stratified snapshot points
     x (3 key flips + 1 writability flip + 2 pointer corruptions) per
     point — 6 injections per point with the default kinds."""
@@ -295,7 +270,7 @@ def run_campaign(*, reps: int = 8, points: int = 10,
                           f"{process.status()}")
     baseline_exit = process.exit_code
     total = kernel.system.core.instret
-    report = CampaignReport(baseline_exit=baseline_exit,
+    report = CampaignResult(baseline_exit=baseline_exit,
                             total_instructions=total)
 
     triggers = sorted({max(1, total * i // (points + 1))

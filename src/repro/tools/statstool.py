@@ -22,8 +22,9 @@ to symbols, and ``--annotate SYMBOL`` prints that symbol's disassembly
 with retire counts.  ``audit verify`` recomputes a saved audit trail's
 hash chain and fails closed — exit 1 with the divergent record named —
 on any tamper, truncation, or reorder.  ``trend`` compares a series of
-bench records (oldest first) and exits 1 when a later comparable record
-regresses past the tolerance.
+bench and/or fuzz-campaign records (oldest first) and exits 1 when a
+later comparable record regresses past the tolerance — sim-MIPS for
+bench records, detection rate for campaign records.
 """
 
 from __future__ import annotations
@@ -61,8 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser(
         "validate", help="check a Chrome trace file against the "
                          "trace-event schema, a roload-bench record "
-                         "against the bench schema (v3-v5), or a "
-                         "roload-serve record (BENCH_serve.json, v1)")
+                         "against the bench schema (v3-v5), a "
+                         "roload-serve record (BENCH_serve.json, v1), "
+                         "or a roload-fuzz campaign record "
+                         "(BENCH_campaign.json, v1)")
     validate.add_argument("trace", type=Path)
 
     top = sub.add_parser(
@@ -191,6 +194,122 @@ def _summarize_serve(record: dict) -> str:
     ])
 
 
+# Fuzz campaign record schema (see repro.fuzz.campaign): what a
+# BENCH_campaign.json must carry for the CI artifact check.
+CAMPAIGN_SCHEMA_VERSIONS = (1,)
+
+_CAMPAIGN_SECTIONS = {
+    "coverage": ("unique_signatures", "corpus_size"),
+    "detection": ("injections", "rate"),
+    "crashes": ("total", "unique"),
+    "escapes": ("total", "unique", "unexplained"),
+}
+
+
+def is_campaign_record(data: dict) -> bool:
+    return isinstance(data, dict) and data.get("tool") == "roload-fuzz"
+
+
+def validate_campaign_record(record: dict) -> "list[str]":
+    """Schema-check one BENCH_campaign.json record; returns problems.
+
+    Beyond shape, the security gate itself is enforced: a record with
+    escapes, unexplained (non-replay-verified) escape findings, or
+    ``ok: false`` is invalid — CI must not archive a campaign that
+    failed its own acceptance criteria.
+    """
+    problems = []
+    version = record.get("schema")
+    if version not in CAMPAIGN_SCHEMA_VERSIONS:
+        problems.append(f"schema {version!r} not in "
+                        f"{list(CAMPAIGN_SCHEMA_VERSIONS)}")
+        return problems
+    for key in ("mode", "seed", "executions", "workers",
+                "schedule_max"):
+        if key not in record:
+            problems.append(f"missing top-level key {key!r}")
+    if record.get("mode") not in ("guided", "random", None):
+        problems.append(f"mode {record.get('mode')!r} is neither "
+                        f"'guided' nor 'random'")
+    for section, fields in _CAMPAIGN_SECTIONS.items():
+        body = record.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"missing section {section!r}")
+            continue
+        for field in fields:
+            if not isinstance(body.get(field), (int, float)) \
+                    or isinstance(body.get(field), bool):
+                problems.append(f"{section}.{field}: not a number "
+                                f"(got {body.get(field)!r})")
+    coverage = record.get("coverage")
+    if isinstance(coverage, dict) \
+            and not isinstance(coverage.get("curve"), list):
+        problems.append("coverage.curve: not a list")
+    detection = record.get("detection")
+    if isinstance(detection, dict):
+        rate = detection.get("rate")
+        if isinstance(rate, (int, float)) and not 0 <= rate <= 1:
+            problems.append(f"detection.rate {rate!r} outside [0, 1]")
+        if not isinstance(detection.get("table"), dict):
+            problems.append("detection.table: not an object")
+    if not isinstance(record.get("findings"), list):
+        problems.append("findings: not a list")
+    versus = record.get("guided_vs_random")
+    if versus is not None:
+        if not isinstance(versus, dict):
+            problems.append("guided_vs_random: not an object")
+        elif not versus.get("guided_wins"):
+            problems.append("guided_vs_random.guided_wins is false: "
+                            "guided coverage did not beat random at "
+                            "equal budget")
+    escapes = record.get("escapes", {})
+    if isinstance(escapes, dict):
+        if isinstance(escapes.get("total"), int) and escapes["total"] > 0:
+            problems.append(f"escapes.total is {escapes['total']}: "
+                            f"injections escaped detection")
+        unexplained = escapes.get("unexplained")
+        if isinstance(unexplained, int) and unexplained > 0:
+            problems.append(f"escapes.unexplained is {unexplained}: "
+                            f"escape findings failed replay "
+                            f"verification")
+    if record.get("ok") is not True:
+        problems.append("record marks itself not ok")
+    return problems
+
+
+def _summarize_campaign(record: dict) -> str:
+    coverage = record.get("coverage", {})
+    detection = record.get("detection", {})
+    crashes = record.get("crashes", {})
+    escapes = record.get("escapes", {})
+    lines = [
+        f"roload-fuzz record (schema v{record.get('schema', '?')}): "
+        f"{record.get('mode', '?')} mode, "
+        f"{record.get('executions', '?')} executions across "
+        f"{record.get('workers', '?')} workers "
+        f"(seed {record.get('seed', '?')}, schedule_max "
+        f"{record.get('schedule_max', '?')})",
+        f"  coverage: {coverage.get('unique_signatures', 0)} unique "
+        f"signatures, corpus {coverage.get('corpus_size', 0)}",
+        f"  detection: rate {detection.get('rate', 0):.3f} over "
+        f"{detection.get('injections', 0)} injections "
+        f"({detection.get('groups', 0)} behavior groups)",
+        f"  crashes: {crashes.get('total', 0)} "
+        f"({crashes.get('unique', 0)} unique); escapes: "
+        f"{escapes.get('total', 0)} "
+        f"({escapes.get('unexplained', 0)} unexplained)",
+    ]
+    versus = record.get("guided_vs_random")
+    if isinstance(versus, dict):
+        lines.append(
+            f"  guided vs random: {versus.get('guided_unique', 0)} vs "
+            f"{versus.get('random_unique', 0)} unique signatures at "
+            f"{versus.get('budget', 0)} executions each "
+            f"({'guided wins' if versus.get('guided_wins') else 'guided does NOT win'})")
+    lines.append(f"  ok: {record.get('ok')}")
+    return "\n".join(lines)
+
+
 def validate_bench_record(record: dict) -> "list[str]":
     """Schema-check one BENCH_interp.json record; returns problems."""
     problems = []
@@ -312,6 +431,9 @@ def cmd_summary(args) -> int:
         if is_serve_record(data):
             print(_summarize_serve(data))
             return 0
+        if is_campaign_record(data):
+            print(_summarize_campaign(data))
+            return 0
         if "ts" in data and "type" in data:   # a one-event JSONL dump
             print(_summarize_events([data]))
             return 0
@@ -370,6 +492,20 @@ def cmd_validate(args) -> int:
         print(f"{args.trace}: ok (serve record schema v{version}, "
               f"{trace.get('params', {}).get('sessions', '?')} sessions, "
               f"{determinism.get('divergent', 0)} divergent)")
+        return 0
+    if is_campaign_record(trace):
+        problems = validate_campaign_record(trace)
+        if problems:
+            for problem in problems:
+                print(f"roload-stats: {args.trace}: {problem}",
+                      file=sys.stderr)
+            return 1
+        coverage = trace.get("coverage", {})
+        print(f"{args.trace}: ok (campaign record schema "
+              f"v{trace['schema']}, {trace.get('mode', '?')} mode, "
+              f"{trace.get('executions', '?')} executions, "
+              f"{coverage.get('unique_signatures', 0)} unique "
+              f"signatures)")
         return 0
     problems = validate_trace(trace)
     if problems:
@@ -435,14 +571,60 @@ def _comparable(a: dict, b: dict) -> bool:
             and a.get("variants") == b.get("variants"))
 
 
+def _campaign_comparable(a: dict, b: dict) -> bool:
+    """Two campaign records measure the same thing: same scheduling
+    mode, same budget, same schedule depth."""
+    return (a.get("mode") == b.get("mode")
+            and a.get("executions") == b.get("executions")
+            and a.get("schedule_max") == b.get("schedule_max"))
+
+
+def _trend_campaigns(series, tolerance: float) -> bool:
+    """Gate a series of campaign records on detection-rate drops;
+    returns whether any comparable pair regressed."""
+    print(f"  {'record':<36} {'schema':>6} {'mode':>8} "
+          f"{'det_rate':>10} {'coverage':>10}")
+    for path, record in series:
+        print(f"  {path.name:<36} {record['schema']:>6} "
+              f"{record.get('mode', '?'):>8} "
+              f"{record['detection']['rate']:>10.3f} "
+              f"{record['coverage']['unique_signatures']:>10}")
+    failed = False
+    for (prev_path, prev), (path, record) in zip(series, series[1:]):
+        if not _campaign_comparable(prev, record):
+            print(f"note: {prev_path.name} -> {path.name}: not "
+                  f"comparable (different mode/executions/"
+                  f"schedule_max); not gated")
+            continue
+        rate = record["detection"]["rate"]
+        floor = prev["detection"]["rate"] - tolerance
+        if rate < floor:
+            failed = True
+            print(f"roload-stats: {path.name}: DETECTION REGRESSION vs "
+                  f"{prev_path.name}: rate {rate:.3f} < floor "
+                  f"{floor:.3f} (reference "
+                  f"{prev['detection']['rate']:.3f})", file=sys.stderr)
+    return failed
+
+
 def cmd_trend(args) -> int:
     from repro.tools.benchtool import baseline_mips, evaluate_gate
     series = []
+    campaigns = []
     for path in args.files:
         record = json.loads(path.read_text())
+        if is_campaign_record(record):
+            problems = validate_campaign_record(record)
+            if problems:
+                for problem in problems:
+                    print(f"roload-stats: {path}: {problem}",
+                          file=sys.stderr)
+                return 1
+            campaigns.append((path, record))
+            continue
         if not is_bench_record(record):
-            print(f"roload-stats: {path}: not a roload-bench record",
-                  file=sys.stderr)
+            print(f"roload-stats: {path}: neither a roload-bench nor a "
+                  f"roload-fuzz record", file=sys.stderr)
             return 1
         problems = validate_bench_record(record)
         if problems:
@@ -450,13 +632,17 @@ def cmd_trend(args) -> int:
                 print(f"roload-stats: {path}: {problem}", file=sys.stderr)
             return 1
         series.append((path, record))
+    failed = False
+    if campaigns:
+        failed = _trend_campaigns(campaigns, args.tolerance)
+    if not series:
+        return 1 if failed else 0
     print(f"  {'record':<36} {'schema':>6} {'top tier':>8} "
           f"{'sim_mips':>10}")
     for path, record in series:
         top = _TOP_TIER[record["schema_version"]]
         print(f"  {path.name:<36} {record['schema_version']:>6} "
               f"{top:>8} {baseline_mips(record):>10.3f}")
-    failed = False
     for (prev_path, prev), (path, record) in zip(series, series[1:]):
         if not _comparable(prev, record):
             print(f"note: {prev_path.name} -> {path.name}: not "

@@ -1,0 +1,132 @@
+"""The input model (schedules, corpus) and the mutation engine."""
+
+import random
+
+import pytest
+
+from repro.errors import ReplayError
+from repro.fuzz.corpus import (FRAC_SCALE, FUZZ_KINDS, Corpus, FuzzInput,
+                               ScheduleEntry, VARIANT_SPAN)
+from repro.fuzz.mutators import (HavocMutator, default_mutators,
+                                 random_input)
+from repro.fuzz.scheduler import GuidedScheduler, RandomScheduler
+from repro.fuzz.target import VictimSpec
+
+
+class TestScheduleEntry:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReplayError, match="unknown injection kind"):
+            ScheduleEntry(kind="cosmic-ray", frac=0).normalized()
+
+    def test_clamps_frac_and_folds_variant(self):
+        entry = ScheduleEntry(kind="pte-key", frac=99999,
+                              variant=VARIANT_SPAN + 2).normalized()
+        assert entry.frac == FRAC_SCALE - 1
+        assert entry.variant == 2
+
+    def test_wild_ptr_is_a_fuzz_kind(self):
+        assert "wild-ptr" in FUZZ_KINDS
+        ScheduleEntry(kind="wild-ptr", frac=0).normalized()
+
+
+class TestFuzzInput:
+    def test_kind_label(self):
+        assert FuzzInput(spec=VictimSpec()).kind == "baseline"
+        inp = FuzzInput(spec=VictimSpec(), schedule=(
+            ScheduleEntry("pte-key", 10), ScheduleEntry("wild-ptr", 20)))
+        assert inp.kind == "pte-key+wild-ptr"
+
+    def test_dict_roundtrip(self):
+        inp = FuzzInput(spec=VictimSpec(reps=3, loop=True),
+                        schedule=(ScheduleEntry("pte-writable", 7, 1),))
+        again = FuzzInput.from_dict(inp.to_dict())
+        assert again.key() == inp.normalized().key()
+
+
+class TestCorpus:
+    def test_add_keyed_by_signature(self):
+        corpus = Corpus(cap=8)
+        inp = FuzzInput(spec=VictimSpec())
+        assert corpus.add(inp, "sig-a")
+        assert not corpus.add(inp, "sig-a")
+        assert corpus.add(inp, "sig-b")
+        assert len(corpus) == 2
+
+    def test_eviction_drops_lowest_energy(self):
+        corpus = Corpus(cap=2)
+        rng = random.Random(0)
+        corpus.add(FuzzInput(spec=VictimSpec(reps=1)), "a")
+        corpus.add(FuzzInput(spec=VictimSpec(reps=2)), "b")
+        for _ in range(10):     # decay whichever gets picked
+            corpus.pick(rng)
+        corpus.add(FuzzInput(spec=VictimSpec(reps=3)), "c")
+        assert len(corpus) == 2
+        assert "c" in {e.signature for e in corpus}
+
+    def test_pick_decays_energy(self):
+        corpus = Corpus()
+        corpus.add(FuzzInput(spec=VictimSpec()), "only")
+        entry = corpus.pick(random.Random(1))
+        assert entry.picks == 1
+        assert entry.energy < 1.0
+
+    def test_pick_empty_returns_none(self):
+        assert Corpus().pick(random.Random(1)) is None
+
+
+class TestMutators:
+    def test_random_input_is_normalized_and_deterministic(self):
+        a = random_input(random.Random(42), 3)
+        b = random_input(random.Random(42), 3)
+        assert a.key() == b.key()
+        assert a.normalized().key() == a.key()
+        assert len(a.schedule) >= 1
+
+    @pytest.mark.parametrize("mutator", default_mutators(3),
+                             ids=lambda m: type(m).__name__)
+    def test_mutations_stay_in_the_input_space(self, mutator):
+        rng = random.Random(7)
+        seed = random_input(rng, 3)
+        for _ in range(50):
+            mutated = mutator.mutate(rng, seed)
+            assert mutated.key() == mutated.normalized().key()
+            seed = mutated
+
+    def test_havoc_changes_the_input(self):
+        rng = random.Random(9)
+        seed = random_input(rng, 3)
+        assert any(HavocMutator(3).mutate(rng, seed).key() != seed.key()
+                   for _ in range(8))
+
+
+class TestSchedulers:
+    def test_random_scheduler_ignores_feedback(self):
+        rng = random.Random(3)
+        sched = RandomScheduler(rng, 3)
+        inp = sched.propose()
+        sched.feedback(inp, "sig", True)
+        assert sched.propose().key() != inp.key()
+
+    def test_guided_explores_until_corpus_seeds(self):
+        sched = GuidedScheduler(random.Random(5), 3)
+        assert sched.explore_probability() == 1.0
+        inp = sched.propose()
+        sched.feedback(inp, "sig-1", True)
+        assert len(sched.corpus) == 1
+        assert sched.explore_probability() < 1.0
+
+    def test_fixed_explore_pins_the_mix(self):
+        sched = GuidedScheduler(random.Random(5), 3, explore=0.25)
+        inp = sched.propose()
+        sched.feedback(inp, "sig-1", True)
+        assert sched.explore_probability() == 0.25
+
+    def test_adaptive_mix_follows_novelty(self):
+        sched = GuidedScheduler(random.Random(5), 3)
+        inp = sched.propose()
+        sched.feedback(inp, "sig-0", True)
+        # Make exploration stop paying and exploitation keep paying.
+        sched._hits["explore"].extend([0] * 40)
+        sched._hits["exploit"].extend([1] * 40)
+        assert sched.explore_probability() < 0.5
+        assert sched.explore_probability() >= sched.MIN_MIX

@@ -1,0 +1,53 @@
+"""The parameterized victim family: normalization bounds, the 12-bit
+frame budget for unrolled shapes, and clean execution of the extremes."""
+
+import pytest
+
+from repro.fuzz.target import (ARITH_RANGE, CALLS_RANGE, REPS_RANGE,
+                               VictimSpec, build_image)
+from repro.kernel import run_program
+
+
+class TestNormalization:
+    def test_clamps_into_bounds(self):
+        spec = VictimSpec(reps=999, vcalls=-2, icalls=99,
+                          arith=999).normalized()
+        assert REPS_RANGE[0] <= spec.reps <= REPS_RANGE[1]
+        assert spec.vcalls == CALLS_RANGE[0]
+        assert spec.icalls == CALLS_RANGE[1]
+        assert spec.arith == ARITH_RANGE[1]
+
+    def test_keeps_at_least_one_keyed_load(self):
+        spec = VictimSpec(vcalls=0, icalls=0).normalized()
+        assert spec.vcalls + spec.icalls >= 1
+
+    def test_loop_specs_keep_full_reps_range(self):
+        spec = VictimSpec(reps=REPS_RANGE[1], loop=True, vcalls=3,
+                          icalls=3, arith=ARITH_RANGE[1]).normalized()
+        assert spec.reps == REPS_RANGE[1]
+
+    def test_unrolled_reps_shrink_with_round_size(self):
+        slim = VictimSpec(reps=REPS_RANGE[1], vcalls=1, icalls=0,
+                          arith=0).normalized()
+        busy = VictimSpec(reps=REPS_RANGE[1], vcalls=3, icalls=3,
+                          arith=ARITH_RANGE[1]).normalized()
+        assert busy.reps < slim.reps
+
+    def test_roundtrip_and_replace(self):
+        spec = VictimSpec(reps=5, loop=True, vcalls=2)
+        assert VictimSpec.from_dict(spec.to_dict()) == spec.normalized()
+        assert spec.replace(arith=3).arith == 3
+        assert spec.replace(arith=3).loop is True
+
+
+@pytest.mark.parametrize("loop", [False, True])
+@pytest.mark.parametrize("vcalls,icalls,arith",
+                         [(1, 0, 0), (0, 3, 6), (3, 3, ARITH_RANGE[1])])
+def test_extreme_shapes_build_and_run(loop, vcalls, icalls, arith):
+    """Every corner of the spec space must assemble (the 12-bit frame
+    budget) and exit cleanly when unperturbed."""
+    spec = VictimSpec(reps=REPS_RANGE[1], loop=loop, vcalls=vcalls,
+                      icalls=icalls, arith=arith)
+    image = build_image(spec)
+    process = run_program(image)
+    assert process.state.value == "exited", process.status()

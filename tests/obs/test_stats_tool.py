@@ -354,3 +354,95 @@ def test_runtool_sample_interval_exports_timeseries(tmp_path, capsys):
     names = {event["name"] for event in trace["traceEvents"]}
     assert "sampled.tiers" in names
     assert "sampled.progress" in names
+
+
+FIXTURES = __import__("pathlib").Path(__file__).parent / "fixtures"
+
+
+def test_validate_accepts_campaign_fixture(capsys):
+    """The committed good fixture — produced by a real roload-fuzz run
+    — must pass the campaign schema check."""
+    assert stats_main(["validate",
+                       str(FIXTURES / "campaign_ok.json")]) == 0
+    out = capsys.readouterr().out
+    assert "campaign record schema v1" in out and "guided mode" in out
+
+
+def test_validate_rejects_campaign_malformed_fixture(capsys):
+    """The committed malformed fixture trips every class of problem:
+    bad mode, non-numeric coverage, missing section, and — the security
+    gate — escapes."""
+    assert stats_main(["validate",
+                       str(FIXTURES / "campaign_malformed.json")]) == 1
+    err = capsys.readouterr().err
+    assert "mode 'psychic'" in err
+    assert "coverage.unique_signatures: not a number" in err
+    assert "missing section 'detection'" in err
+    assert "escapes.total is 2" in err
+    assert "escapes.unexplained is 1" in err
+    assert "not ok" in err
+
+
+def test_summary_of_campaign_record(capsys):
+    assert stats_main(["summary",
+                       str(FIXTURES / "campaign_ok.json")]) == 0
+    out = capsys.readouterr().out
+    assert "roload-fuzz record" in out
+    assert "unique signatures" in out
+    assert "detection: rate" in out
+    assert "ok: True" in out
+
+
+def _campaign_variant(rate):
+    record = json.loads((FIXTURES / "campaign_ok.json").read_text())
+    record["detection"] = dict(record["detection"])
+    record["detection"]["rate"] = rate
+    return record
+
+
+def test_trend_gates_campaign_detection_rate(tmp_path, capsys):
+    """A comparable campaign record whose detection rate drops beyond
+    the tolerance fails the trend gate, like a sim-MIPS regression."""
+    def _write(name, rate):
+        path = tmp_path / name
+        path.write_text(json.dumps(_campaign_variant(rate)))
+        return path
+
+    a = _write("a.json", 1.00)
+    b = _write("b.json", 0.90)    # inside the 0.15 tolerance
+    c = _write("c.json", 0.60)    # a real detection regression
+    assert stats_main(["trend", str(a), str(b)]) == 0
+    assert "DETECTION REGRESSION" not in capsys.readouterr().err
+    assert stats_main(["trend", str(a), str(b), str(c)]) == 1
+    assert "c.json: DETECTION REGRESSION" in capsys.readouterr().err
+
+
+def test_trend_mixes_bench_and_campaign_series(tmp_path, capsys):
+    """One trend invocation can carry both artifact kinds — CI hands it
+    BENCH_interp.json and BENCH_campaign.json together — and each
+    subseries is gated on its own axis."""
+    bench = _bench_record(5, ["tier3", "tier4"],
+                          speedup={"tier4_over_tier3": 1.4})
+    bench_path = tmp_path / "bench.json"
+    bench_path.write_text(json.dumps(bench))
+    camp_path = tmp_path / "camp.json"
+    camp_path.write_text(json.dumps(_campaign_variant(1.0)))
+    assert stats_main(["trend", str(bench_path), str(camp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "det_rate" in out and "sim_mips" in out
+
+
+def test_trend_skips_non_comparable_campaigns(tmp_path, capsys):
+    """A smoke campaign (different budget) against a full campaign must
+    not be gated."""
+    def _write(name, rate, executions):
+        record = _campaign_variant(rate)
+        record["executions"] = executions
+        path = tmp_path / name
+        path.write_text(json.dumps(record))
+        return path
+
+    full = _write("full.json", 1.00, 10000)
+    smoke = _write("smoke.json", 0.10, 500)   # would fail if gated
+    assert stats_main(["trend", str(full), str(smoke)]) == 0
+    assert "not comparable" in capsys.readouterr().out

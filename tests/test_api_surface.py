@@ -7,6 +7,7 @@ import warnings
 import pytest
 
 import repro
+import repro.fuzz
 import repro.obs
 import repro.replay
 from repro.eval.measure import run_variant
@@ -14,7 +15,8 @@ from repro.workloads import build_workload
 from repro.workloads import profile as workload_profile
 
 
-@pytest.mark.parametrize("module", [repro, repro.replay, repro.obs])
+@pytest.mark.parametrize("module",
+                         [repro, repro.replay, repro.obs, repro.fuzz])
 def test_all_names_resolve(module):
     missing = [name for name in module.__all__
                if not hasattr(module, name)]
@@ -22,7 +24,7 @@ def test_all_names_resolve(module):
 
 
 def test_all_has_no_duplicates():
-    for module in (repro, repro.replay, repro.obs):
+    for module in (repro, repro.replay, repro.obs, repro.fuzz):
         assert len(module.__all__) == len(set(module.__all__)), \
             module.__name__
 
@@ -35,6 +37,36 @@ def test_top_level_reexports_config_and_replay():
     assert repro.restore is repro.replay.restore
     for name in ("Config", "Snapshot", "snapshot", "restore"):
         assert name in repro.__all__
+
+
+def test_top_level_reexports_eval_model_and_fuzz():
+    from repro.eval_model import (CampaignResult, DetectionTable,
+                                  RunResult, Verdict)
+    assert repro.Verdict is Verdict
+    assert repro.RunResult is RunResult
+    assert repro.DetectionTable is DetectionTable
+    assert repro.CampaignResult is CampaignResult
+    assert repro.Campaign is repro.fuzz.Campaign
+    assert repro.Corpus is repro.fuzz.Corpus
+    assert repro.Mutator is repro.fuzz.Mutator
+    assert repro.FuzzInput is repro.fuzz.FuzzInput
+    assert repro.VictimSpec is repro.fuzz.VictimSpec
+    assert repro.run_comparison is repro.fuzz.run_comparison
+    for name in ("Verdict", "RunResult", "DetectionTable",
+                 "CampaignResult", "Campaign", "Corpus", "Mutator",
+                 "FuzzInput", "VictimSpec", "run_comparison"):
+        assert name in repro.__all__
+
+
+def test_replay_exports_injection_primitives():
+    assert repro.replay.apply_injection \
+        is __import__("repro.replay.inject",
+                      fromlist=["apply_injection"]).apply_injection
+    assert repro.replay.classify_outcome is not None
+    assert repro.replay.ObsCapture is not None
+    for name in ("apply_injection", "classify_outcome", "ObsCapture",
+                 "CampaignReport", "InjectionRecord"):
+        assert name in repro.replay.__all__
 
 
 class TestProfileKeyword:
